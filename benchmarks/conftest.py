@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+The heavy part of every figure benchmark is the flow itself (placement
++ routing of multi-mode circuits).  It runs once per pytest session in
+the ``experiment`` fixture — one pair per suite through the *identical*
+code path the paper's full sweep uses — and the individual benchmarks
+time the artefact regeneration on top while asserting the paper's
+qualitative shape.
+
+``examples/run_paper_experiments.py --effort paper`` runs the full
+sweep (all 10 pairs per suite).
+"""
+
+import pytest
+
+from repro.bench.harness import EFFORT_PROFILES, EffortProfile, ExperimentHarness
+
+# A one-pair-per-suite profile so the benchmark session stays in the
+# minutes range while exercising the full pipeline.
+EFFORT_PROFILES.setdefault(
+    "bench", EffortProfile("bench", 1, 0.1, 1)
+)
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return ExperimentHarness(effort="bench", seed=0)
+
+
+@pytest.fixture(scope="session")
+def experiment(harness):
+    """All suites implemented once; shared by the figure benchmarks."""
+    return {
+        suite: harness.run_suite(suite)
+        for suite in ("RegExp", "FIR", "MCNC")
+    }

@@ -1,0 +1,192 @@
+"""Ablation benchmarks over architecture and effort parameters.
+
+Paper Section IV-B: "the techniques and tools we use in this paper are
+independent of the architecture used.  The number of inputs of the
+LUTs is simply an input parameter of the tool flow."  These benches
+substantiate that claim by sweeping
+
+* the LUT size K (3..6),
+* the channel-width slack over the estimated minimum,
+* the annealing effort (VPR's ``inner_num``),
+
+on one small multi-mode pair, asserting the flow completes and the
+paper's qualitative relationships hold at every point.
+"""
+
+import pytest
+
+from repro.bench.regex import compile_regex_circuit
+from repro.core.flow import (
+    FlowOptions,
+    estimate_channel_width,
+    implement_multi_mode,
+)
+from repro.core.merge import MergeStrategy
+
+PATTERNS = ("ab+c(de)*", "a(bc|de)+f")
+
+
+def _modes(k: int):
+    return [
+        compile_regex_circuit(p, name=f"rx{i}_k{k}", k=k)
+        for i, p in enumerate(PATTERNS)
+    ]
+
+
+class TestLutSizeSweep:
+    @pytest.fixture(scope="class")
+    def k_sweep(self):
+        results = {}
+        for k in (3, 4, 5, 6):
+            modes = _modes(k)
+            results[k] = (
+                modes,
+                implement_multi_mode(
+                    f"k{k}",
+                    modes,
+                    FlowOptions(seed=0, k=k, inner_num=0.2),
+                    strategies=(MergeStrategy.WIRE_LENGTH,),
+                ),
+            )
+        return results
+
+    def test_flow_completes_for_every_k(self, k_sweep):
+        print()
+        print("LUT-size sweep (one RegExp pair):")
+        for k, (modes, result) in k_sweep.items():
+            s = result.speedup(MergeStrategy.WIRE_LENGTH)
+            luts = max(c.n_luts() for c in modes)
+            print(f"  K={k}: {luts:3d} LUTs, speed-up {s:.2f}x, "
+                  f"region {result.arch.nx}x{result.arch.ny}")
+            assert s > 1.5, (k, s)
+
+    def test_bigger_luts_mean_fewer_blocks(self, k_sweep):
+        sizes = {
+            k: max(c.n_luts() for c in modes)
+            for k, (modes, _r) in k_sweep.items()
+        }
+        assert sizes[6] < sizes[3]
+        # Monotone within noise: each step down by K never grows the
+        # count by more than a small factor.
+        for k in (4, 5, 6):
+            assert sizes[k] <= sizes[k - 1] * 1.1, sizes
+
+    def test_lut_bits_per_block_scale(self, k_sweep):
+        for k, (_modes, result) in k_sweep.items():
+            assert result.arch.lut_bits_per_clb() == (1 << k) + 1
+
+
+class TestChannelWidthSensitivity:
+    @pytest.fixture(scope="class")
+    def width_sweep(self):
+        modes = _modes(4)
+        base = None
+        results = {}
+        for slack_label, extra in (("tight", 0), ("paper", 2),
+                                   ("wide", 6)):
+            options = FlowOptions(seed=0, inner_num=0.2)
+            if base is None:
+                probe = implement_multi_mode(
+                    "probe", modes, options,
+                    strategies=(MergeStrategy.WIRE_LENGTH,),
+                )
+                base = probe.arch.channel_width
+                results[slack_label] = probe
+                continue
+            options.channel_width = base + extra
+            results[slack_label] = implement_multi_mode(
+                f"w{extra}", modes, options,
+                strategies=(MergeStrategy.WIRE_LENGTH,),
+            )
+        return results
+
+    def test_all_widths_route(self, width_sweep):
+        print()
+        print("Channel-width sensitivity:")
+        for label, result in width_sweep.items():
+            s = result.speedup(MergeStrategy.WIRE_LENGTH)
+            print(
+                f"  {label:6s} W={result.arch.channel_width:2d} "
+                f"speed-up {s:.2f}x "
+                f"MDR bits {result.mdr.cost.total}"
+            )
+            assert s > 1.5
+
+    def test_wider_channels_grow_mdr_cost(self, width_sweep):
+        """More tracks = more switches = more bits MDR rewrites."""
+        tight = width_sweep["tight"]
+        wide = width_sweep["wide"]
+        assert (
+            wide.mdr.cost.routing_bits
+            > tight.mdr.cost.routing_bits
+        )
+
+    def test_dcs_parameterized_bits_stay_put(self, width_sweep):
+        """Parameterised bits track circuit differences, not region
+        size: widening the channel must not inflate them in step with
+        the region (this is the core of the paper's region-effect
+        argument)."""
+        tight = width_sweep["tight"]
+        wide = width_sweep["wide"]
+        region_growth = (
+            wide.mdr.cost.routing_bits / tight.mdr.cost.routing_bits
+        )
+        dcs_growth = (
+            wide.dcs[MergeStrategy.WIRE_LENGTH].cost.routing_bits
+            / max(
+                1,
+                tight.dcs[
+                    MergeStrategy.WIRE_LENGTH
+                ].cost.routing_bits,
+            )
+        )
+        print(f"\nregion growth {region_growth:.2f}x vs "
+              f"parameterised-bit growth {dcs_growth:.2f}x")
+        assert dcs_growth < region_growth
+
+
+class TestAnnealingEffort:
+    @pytest.fixture(scope="class")
+    def effort_sweep(self):
+        modes = _modes(4)
+        results = {}
+        for inner_num in (0.05, 0.5):
+            results[inner_num] = implement_multi_mode(
+                f"e{inner_num}",
+                modes,
+                FlowOptions(seed=0, inner_num=inner_num),
+                strategies=(MergeStrategy.WIRE_LENGTH,),
+            )
+        return results
+
+    def test_both_efforts_complete(self, effort_sweep):
+        print()
+        print("Annealing-effort sweep:")
+        for inner_num, result in effort_sweep.items():
+            wl = result.wirelength_ratio(MergeStrategy.WIRE_LENGTH)
+            print(f"  inner_num={inner_num}: "
+                  f"speed-up "
+                  f"{result.speedup(MergeStrategy.WIRE_LENGTH):.2f}x "
+                  f"wires {100 * wl:.0f}% of MDR")
+            assert result.speedup(MergeStrategy.WIRE_LENGTH) > 1.5
+
+    def test_more_effort_no_worse_absolute_wires(self, effort_sweep):
+        """Higher effort shortens the merged circuit's absolute wire
+        usage (allowing a little annealing noise)."""
+        lo = effort_sweep[0.05].dcs[MergeStrategy.WIRE_LENGTH]
+        hi = effort_sweep[0.5].dcs[MergeStrategy.WIRE_LENGTH]
+        assert hi.mean_wirelength() <= lo.mean_wirelength() * 1.15
+
+
+def test_bench_k6_flow(benchmark):
+    modes = _modes(6)
+    options = FlowOptions(seed=0, k=6, inner_num=0.1)
+
+    def run():
+        return implement_multi_mode(
+            "bench_k6", modes, options,
+            strategies=(MergeStrategy.WIRE_LENGTH,),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.speedup(MergeStrategy.WIRE_LENGTH) > 1.0

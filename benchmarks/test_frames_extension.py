@@ -1,0 +1,101 @@
+"""Extension benchmark: frame-level reconfiguration (paper's outlook).
+
+The paper's Section IV-C.1 projects frame-granularity results:
+"By reconfiguring only these frames we can further reduce
+reconfiguration time.  Given the analysis above we expect the speed up
+of routing reconfiguration time to be roughly between 4x and 20x."
+
+This benchmark applies the frame model (``repro.arch.frames``) to the
+routed RegExp pair:
+
+* MDR rewrites every frame of the region;
+* DCS as-routed touches only frames containing parameterised bits;
+* the paper's proposed allocator packs the parameterised bits into
+  fewer frames (column-constrained and ideal bounds).
+"""
+
+import pytest
+
+from repro.arch.frames import (
+    FrameAllocator,
+    build_frame_layout,
+    dcs_frame_cost,
+    mdr_frame_cost,
+)
+from repro.arch.rrg import build_rrg
+from repro.core.merge import MergeStrategy
+from repro.core.reconfig import varying_bits
+
+
+@pytest.fixture(scope="module")
+def frame_data(experiment):
+    outcome = experiment["RegExp"][0]
+    result = outcome.result
+    dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+    rrg = build_rrg(result.arch)
+    layout = build_frame_layout(result.arch, rrg, frame_size=256)
+    param_bits = varying_bits(
+        [dcs.routing.bits_on(m) for m in range(2)]
+    )
+    return result.arch, rrg, layout, param_bits
+
+
+def test_frame_rows(frame_data):
+    arch, rrg, layout, param_bits = frame_data
+    mdr = mdr_frame_cost(layout)
+    dcs = dcs_frame_cost(layout, param_bits)
+    allocator = FrameAllocator(layout, rrg)
+    report = allocator.report(param_bits)
+
+    print()
+    print("Frame-level reconfiguration (extension of Fig. 6):")
+    print(f"  frames in region: {layout.n_frames} "
+          f"({layout.n_routing_frames} routing, "
+          f"{layout.n_lut_frames} LUT)")
+    print(f"  MDR rewrites:       {mdr.total} frames")
+    print(f"  DCS as-routed:      {dcs.total} frames "
+          f"({dcs.routing_frames} routing)")
+    print(f"  DCS column-packed:  "
+          f"{layout.n_lut_frames + report['column_packed']} frames")
+    print(f"  DCS ideal packing:  "
+          f"{layout.n_lut_frames + report['ideal']} frames")
+    routing_speedup = (
+        layout.n_routing_frames / max(1, report["column_packed"])
+    )
+    print(f"  routing-frame speed-up after packing: "
+          f"{routing_speedup:.1f}x (paper projects 4x-20x)")
+
+    assert dcs.total <= mdr.total
+    assert (
+        report["ideal"]
+        <= report["column_packed"]
+        <= report["as_routed"]
+    )
+    # The paper's projected band is wide; require at least the lower
+    # end after column packing.
+    assert routing_speedup >= 2.0
+
+
+def test_bench_frame_layout(benchmark, frame_data):
+    arch, rrg, _layout, _bits = frame_data
+    layout = benchmark(build_frame_layout, arch, rrg, 256)
+    assert layout.n_routing_frames > 0
+
+
+def test_lut_diff_extension(experiment):
+    """Paper: counting only differing LUT bits improves DCS further."""
+    from repro.core.reconfig import dcs_cost_lut_diff
+
+    outcome = experiment["RegExp"][0]
+    result = outcome.result
+    dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+    bit_sets = [dcs.routing.bits_on(m) for m in range(2)]
+    diffed = dcs_cost_lut_diff(dcs.tunable, bit_sets)
+    # Same routing bits, fewer (or equal) LUT bits than "rewrite all".
+    assert diffed.routing_bits == dcs.cost.routing_bits
+    assert diffed.lut_bits <= dcs.cost.lut_bits
+    improved = result.mdr.cost.total / diffed.total
+    baseline = result.speedup(MergeStrategy.WIRE_LENGTH)
+    print(f"\nspeed-up with LUT-bit diffing: {improved:.2f}x "
+          f"(vs {baseline:.2f}x rewriting all LUT bits)")
+    assert improved >= baseline

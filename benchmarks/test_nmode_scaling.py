@@ -1,0 +1,97 @@
+"""Extension benchmark: scaling beyond two modes.
+
+The paper's formulation covers any mode count (Section III numbers the
+modes in binary) but the evaluation uses pairs.  This bench sweeps the
+mode count on small regex engines and checks the qualitative
+expectations:
+
+* the DCS speed-up stays well above 1 for every mode count (the
+  region effect does not depend on the pair-ness of the workload);
+* parameterised LUT bits grow with the mode count (more members per
+  Tunable LUT means more rows that differ somewhere);
+* the region (area) stays at the maximum mode size, not the sum.
+"""
+
+import pytest
+
+from repro.bench.regex import compile_regex_circuit
+from repro.core.flow import FlowOptions, implement_multi_mode
+from repro.core.merge import MergeStrategy
+
+PATTERNS = ["ab+c", "(ab|cd)e", "a(bc)*d", "abc|de+f"]
+
+
+@pytest.fixture(scope="module")
+def mode_circuits():
+    return [
+        compile_regex_circuit(p, name=f"rx{i}", k=4)
+        for i, p in enumerate(PATTERNS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep(mode_circuits):
+    options = FlowOptions(seed=0, inner_num=0.2)
+    results = {}
+    for n in (2, 3, 4):
+        results[n] = implement_multi_mode(
+            f"nmode{n}", mode_circuits[:n], options,
+            strategies=(MergeStrategy.WIRE_LENGTH,),
+        )
+    return results
+
+
+def test_nmode_speedup_rows(sweep):
+    print()
+    print("DCS speed-up vs mode count (small regex engines):")
+    for n, result in sweep.items():
+        s = result.speedup(MergeStrategy.WIRE_LENGTH)
+        print(f"  {n} modes: {s:.2f}x "
+              f"(region {result.arch.nx}x{result.arch.ny})")
+        assert s > 1.5, (n, s)
+
+
+def test_parameterized_lut_bits_grow_with_modes(sweep):
+    counts = {
+        n: result.dcs[
+            MergeStrategy.WIRE_LENGTH
+        ].tunable.n_parameterized_lut_bits()
+        for n, result in sweep.items()
+    }
+    print(f"\nparameterised LUT bits by mode count: {counts}")
+    assert counts[2] < counts[3] <= counts[4] * 1.5
+
+
+def test_area_is_max_not_sum(sweep, mode_circuits):
+    for n, result in sweep.items():
+        biggest = max(c.n_luts() for c in mode_circuits[:n])
+        total = sum(c.n_luts() for c in mode_circuits[:n])
+        clbs = result.arch.n_clbs
+        assert clbs >= biggest
+        if n >= 3:
+            # The region must be far below the sum of the modes.
+            assert clbs < total, (n, clbs, total)
+
+
+def test_every_mode_specializes(sweep, mode_circuits):
+    from repro.netlist.simulate import equivalent
+
+    for n, result in sweep.items():
+        tunable = result.dcs[MergeStrategy.WIRE_LENGTH].tunable
+        for mode in range(n):
+            assert equivalent(
+                mode_circuits[mode], tunable.specialize(mode)
+            ), (n, mode)
+
+
+def test_bench_three_mode_flow(benchmark, mode_circuits):
+    options = FlowOptions(seed=1, inner_num=0.1)
+
+    def run():
+        return implement_multi_mode(
+            "bench3", mode_circuits[:3], options,
+            strategies=(MergeStrategy.WIRE_LENGTH,),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.speedup(MergeStrategy.WIRE_LENGTH) > 1.0

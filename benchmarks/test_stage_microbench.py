@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the individual CAD stages.
+
+Not a paper artefact — these time the building blocks (technology
+mapper, placer, router, merge) on fixed small instances so performance
+regressions in the stack show up independently of the figure-level
+benchmarks.
+"""
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import build_rrg
+from repro.bench.mcnc import McncProfile, generate_mcnc_circuit, mcnc_network
+from repro.core.merge import merge_by_index
+from repro.place.annealing import AnnealingSchedule
+from repro.place.placer import place_circuit
+from repro.route.router import PathFinderRouter, RouteRequest
+from repro.route.troute import (
+    lut_circuit_connections,
+    requests_from_connections,
+    route_lut_circuit,
+)
+from repro.synth.optimize import optimize_network
+from repro.synth.techmap import tech_map
+
+PROFILE = McncProfile("bench_small", 10, 8, 120, 0.08, 40, 77)
+
+
+@pytest.fixture(scope="module")
+def small_circuit():
+    return generate_mcnc_circuit(PROFILE)
+
+
+@pytest.fixture(scope="module")
+def fabric(small_circuit):
+    side = 12
+    arch = FpgaArchitecture(
+        nx=side, ny=side, channel_width=10, fc_in=0.5, fc_out=0.5
+    )
+    return arch, build_rrg(arch)
+
+
+def test_bench_techmap(benchmark):
+    network = optimize_network(mcnc_network(PROFILE))
+    circuit = benchmark(tech_map, network, 4)
+    assert circuit.n_luts() > 0
+
+
+def test_bench_placer(benchmark, small_circuit, fabric):
+    arch, _rrg = fabric
+    placement = benchmark.pedantic(
+        place_circuit,
+        args=(small_circuit, arch),
+        kwargs={"seed": 3, "schedule": AnnealingSchedule(
+            inner_num=0.1)},
+        rounds=1, iterations=1,
+    )
+    assert placement.cost > 0
+
+
+def test_bench_router(benchmark, small_circuit, fabric):
+    arch, rrg = fabric
+    placement = place_circuit(
+        small_circuit, arch, seed=3,
+        schedule=AnnealingSchedule(inner_num=0.1),
+    )
+    requests = requests_from_connections(
+        rrg, lut_circuit_connections(small_circuit, placement)
+    )
+
+    def route_once():
+        return PathFinderRouter(rrg).route(requests)
+
+    result = benchmark.pedantic(route_once, rounds=1, iterations=1)
+    assert result.iterations >= 1
+
+
+def test_bench_rrg_build(benchmark):
+    arch = FpgaArchitecture(
+        nx=12, ny=12, channel_width=10, fc_in=0.5, fc_out=0.5
+    )
+    rrg = benchmark(build_rrg, arch)
+    assert rrg.n_bits > 0
+
+
+def test_bench_merge_by_index(benchmark, small_circuit):
+    other = generate_mcnc_circuit(
+        McncProfile("bench_small_b", 10, 8, 120, 0.08, 40, 78)
+    )
+    # Align IO names so pads merge.
+    rename = dict(zip(other.inputs, small_circuit.inputs))
+    rename.update(zip(other.outputs, small_circuit.outputs))
+    other = other.renamed(rename)
+    tunable = benchmark(
+        merge_by_index, "bench_merge", [small_circuit, other]
+    )
+    assert tunable.n_tunable_connections() > 0

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""General (MCNC-class) circuits as a multi-mode pair — and BLIF input.
+
+The paper's third experiment stresses the flow with *dissimilar*
+circuits from the MCNC suite.  This example:
+
+1. loads one mode from a BLIF description (the standard interchange
+   format the MCNC suite ships in) and generates a second, structurally
+   different MCNC-class circuit,
+2. maps both to 4-LUTs through the synthesis front-end,
+3. runs the DCS flow and shows how circuit dissimilarity affects the
+   wire-length penalty and the number of matched connections compared
+   to the similar-circuit suites.
+
+Any real MCNC ``.blif`` file can be passed as argv[1] to replace the
+embedded demo model.
+
+Run:  python examples/mcnc_multimode.py [circuit.blif]
+"""
+
+import sys
+
+from repro.bench.mcnc import McncProfile, generate_mcnc_circuit
+from repro.core.flow import FlowOptions, implement_multi_mode
+from repro.core.merge import MergeStrategy
+from repro.netlist.blif import parse_blif, read_blif_file
+from repro.netlist.simulate import equivalent
+from repro.synth.optimize import optimize_network
+from repro.synth.techmap import tech_map
+
+# A small sequential BLIF model (stands in for an MCNC circuit; pass a
+# real .blif path on the command line to use the genuine article).
+DEMO_BLIF = """\
+.model demo
+.inputs pi0 pi1 pi2 pi3 pi4 pi5 pi6 pi7
+.outputs po0 po1 po2
+.latch s0n s0 re clk 0
+.latch s1n s1 re clk 0
+.names pi0 pi1 s0 t0
+11- 1
+--1 1
+.names pi2 pi3 t1
+01 1
+10 1
+.names t0 t1 s1 s0n
+110 1
+011 1
+101 1
+.names pi4 pi5 t1 s1n
+111 1
+100 1
+.names s0 s1 po0
+10 1
+01 1
+.names t0 pi6 po1
+11 1
+.names s0n pi7 t1 po2
+1-1 1
+-11 1
+.end
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        print(f"Loading BLIF from {sys.argv[1]}")
+        network = read_blif_file(sys.argv[1])
+    else:
+        print("Using the embedded demo BLIF model "
+              "(pass a .blif path to use a real MCNC circuit)")
+        network = parse_blif(DEMO_BLIF)
+
+    print(f"  parsed: {network}")
+    mode0 = tech_map(optimize_network(network), k=4)
+    print(f"  mapped: {mode0}")
+    assert equivalent(network, mode0)
+    print("  mapping verified equivalent by simulation")
+
+    # Second mode: a synthetic MCNC-class circuit scaled to the same
+    # size ballpark, so the pair fits one region.
+    profile = McncProfile(
+        name="partner",
+        n_inputs=len(mode0.inputs),
+        n_outputs=len(mode0.outputs),
+        n_gates=max(12, int(mode0.n_luts() * 1.2)),
+        register_fraction=0.1,
+        locality=40,
+        seed=11,
+    )
+    mode1 = generate_mcnc_circuit(profile, k=4)
+    # Share the IO names so the pads merge (fixed chip pins).
+    rename = {}
+    for a, b in zip(mode1.inputs, mode0.inputs):
+        rename[a] = b
+    for a, b in zip(mode1.outputs, mode0.outputs):
+        rename[a] = b
+    mode1 = mode1.renamed(rename)
+    print(f"  partner mode: {mode1}")
+
+    print("\nImplementing the dissimilar pair (MDR vs DCS)...")
+    result = implement_multi_mode(
+        "mcnc_pair", [mode0, mode1], FlowOptions(inner_num=0.3),
+    )
+    for strategy in (
+        MergeStrategy.EDGE_MATCHING, MergeStrategy.WIRE_LENGTH,
+    ):
+        dcs = result.dcs[strategy]
+        tunable = dcs.tunable
+        print(
+            f"  DCS [{strategy.value}]: "
+            f"{tunable.n_shared_connections()}/"
+            f"{tunable.n_tunable_connections()} connections merged, "
+            f"speed-up {result.speedup(strategy):.2f}x, "
+            f"wire usage "
+            f"{100 * result.wirelength_ratio(strategy):.0f}% of MDR"
+        )
+    print(
+        "\nDissimilar circuits merge fewer connections than the "
+        "RegExp/FIR twins, which is exactly the spread the paper's "
+        "MCNC experiment shows (its Fig. 7 error bars)."
+    )
+
+    tunable = result.dcs[MergeStrategy.WIRE_LENGTH].tunable
+    for mode, original in enumerate((mode0, mode1)):
+        assert equivalent(tunable.specialize(mode), original)
+    print("Specialisation checks passed for both modes.")
+
+
+if __name__ == "__main__":
+    main()

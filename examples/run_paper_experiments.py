@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Drives :class:`repro.bench.harness.ExperimentHarness` over the three
+application suites (RegExp, FIR, MCNC) and prints Table I, Fig. 5,
+Fig. 6, Fig. 7 and the Section IV-C area numbers in the same
+rows/series the paper reports.
+
+Usage:
+    python examples/run_paper_experiments.py [--effort quick|default|paper]
+                                             [--seed N]
+
+``quick`` (default) runs 2 pairs per suite with light annealing — a few
+minutes, same code path.  ``paper`` runs the full 10 pairs per suite
+with VPR-strength annealing (hours in pure Python).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import ExperimentHarness
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--effort", default="quick",
+        choices=("quick", "default", "paper"),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    harness = ExperimentHarness(effort=args.effort, seed=args.seed)
+    print(
+        f"Running the paper's experiments "
+        f"(effort={args.effort}, seed={args.seed})\n"
+    )
+
+    t0 = time.time()
+    print(harness.print_table1(harness.table1()))
+    print()
+
+    outcomes = {}
+    for suite in ("RegExp", "FIR", "MCNC"):
+        print(f"Implementing {suite} multi-mode circuits...")
+        outcomes[suite] = harness.run_suite(suite, verbose=True)
+    print()
+
+    print(harness.print_figure5(harness.figure5(outcomes)))
+    print()
+    print(harness.print_figure6(harness.figure6(outcomes["RegExp"])))
+    print()
+    print(harness.print_figure7(harness.figure7(outcomes)))
+    print()
+    print(harness.print_area_table(harness.area_table()))
+    print()
+    print(harness.print_sta_table(harness.sta_table(outcomes)))
+    print(f"\ntotal runtime: {time.time() - t0:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

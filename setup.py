@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .`` via
+pyproject build isolation) cannot build the editable wheel.  This shim
+lets ``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,212 @@
+"""FPGA architecture description and geometry.
+
+The architecture mirrors VPR's ``4lut_sanitized.arch`` used in the
+paper: logic blocks with one K-input LUT and one flip-flop, IO pads on
+the perimeter, and routing channels whose wire segments span a single
+logic block.  Channel width and pad capacity are parameters.
+
+Coordinate system (VPR convention):
+
+* logic-block tiles at ``(x, y)`` with ``1 <= x <= nx``, ``1 <= y <= ny``;
+* IO pad locations on the perimeter ring (``x`` in ``{0, nx+1}`` or
+  ``y`` in ``{0, ny+1}``, corners excluded), each holding ``io_rat``
+  pad slots;
+* horizontal channel ``chanx(x, y)`` above row ``y`` (``0 <= y <= ny``),
+  vertical channel ``chany(x, y)`` right of column ``x``
+  (``0 <= x <= nx``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Site:
+    """One placement site: a logic-block tile or one IO pad slot."""
+
+    kind: str  # "clb" or "pad"
+    x: int
+    y: int
+    slot: int = 0  # pad slot index within the location (0 for CLBs)
+
+    def pos(self) -> Tuple[int, int]:
+        """Grid position used by wire-length estimation."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class FpgaArchitecture:
+    """Parameters and geometry of the island-style FPGA.
+
+    Parameters
+    ----------
+    nx, ny:
+        Logic-block grid dimensions.
+    k:
+        LUT input count (4 in the paper's architecture).
+    channel_width:
+        Tracks per routing channel (sized 20% above minimum in the
+        paper's methodology; see :func:`size_for_circuits`).
+    fc_in / fc_out:
+        Fraction of channel tracks each input/output pin can reach
+        through its connection block.
+    io_rat:
+        IO pad slots per perimeter location (VPR default 2).
+    """
+
+    nx: int
+    ny: int
+    k: int = 4
+    channel_width: int = 12
+    fc_in: float = 1.0
+    fc_out: float = 1.0
+    io_rat: int = 2
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid must be at least 1x1")
+        if self.channel_width < 1:
+            raise ValueError("channel width must be positive")
+        if not 0.0 < self.fc_in <= 1.0 or not 0.0 < self.fc_out <= 1.0:
+            raise ValueError("Fc fractions must be in (0, 1]")
+        if self.io_rat < 1:
+            raise ValueError("io_rat must be positive")
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def n_clbs(self) -> int:
+        """Number of logic-block tiles."""
+        return self.nx * self.ny
+
+    @property
+    def n_pad_locations(self) -> int:
+        """Perimeter IO locations (corners excluded)."""
+        return 2 * self.nx + 2 * self.ny
+
+    @property
+    def n_pads(self) -> int:
+        """Total IO pad slots."""
+        return self.n_pad_locations * self.io_rat
+
+    def lut_bits_per_clb(self) -> int:
+        """Configuration bits in one logic block.
+
+        ``2**k`` truth-table bits plus one bit selecting the registered
+        or combinational output (paper Section II-B).
+        """
+        return (1 << self.k) + 1
+
+    def total_lut_bits(self) -> int:
+        """LUT configuration bits of the whole reconfigurable region."""
+        return self.n_clbs * self.lut_bits_per_clb()
+
+    def tracks_for_pin(self, pin_index: int, fc: float) -> List[int]:
+        """Deterministic set of tracks a connection-block pin reaches.
+
+        Tracks are spread with a stride so different pins start at
+        different offsets (VPR's connection-block pattern).
+        """
+        w = self.channel_width
+        n_tracks = max(1, round(fc * w))
+        if n_tracks >= w:
+            return list(range(w))
+        stride = w / n_tracks
+        offset = (pin_index * 7) % w
+        return sorted({(offset + int(i * stride)) % w
+                       for i in range(n_tracks)})
+
+    # -- sites --------------------------------------------------------------
+
+    def clb_sites(self) -> List[Site]:
+        """All logic-block placement sites."""
+        return [
+            Site("clb", x, y)
+            for x in range(1, self.nx + 1)
+            for y in range(1, self.ny + 1)
+        ]
+
+    def pad_locations(self) -> List[Tuple[int, int]]:
+        """Perimeter IO locations in clockwise order."""
+        locations = []
+        for x in range(1, self.nx + 1):
+            locations.append((x, 0))
+            locations.append((x, self.ny + 1))
+        for y in range(1, self.ny + 1):
+            locations.append((0, y))
+            locations.append((self.nx + 1, y))
+        return locations
+
+    def pad_sites(self) -> List[Site]:
+        """All IO pad slots."""
+        return [
+            Site("pad", x, y, slot)
+            for (x, y) in self.pad_locations()
+            for slot in range(self.io_rat)
+        ]
+
+    def all_sites(self) -> List[Site]:
+        """All placement sites (CLBs then pads)."""
+        return self.clb_sites() + self.pad_sites()
+
+    def contains_clb(self, x: int, y: int) -> bool:
+        """True when (x, y) is a logic-block tile."""
+        return 1 <= x <= self.nx and 1 <= y <= self.ny
+
+    # -- channels -----------------------------------------------------------
+
+    def chanx_positions(self) -> Iterable[Tuple[int, int]]:
+        """(x, y) pairs of horizontal channel segments."""
+        for y in range(0, self.ny + 1):
+            for x in range(1, self.nx + 1):
+                yield (x, y)
+
+    def chany_positions(self) -> Iterable[Tuple[int, int]]:
+        """(x, y) pairs of vertical channel segments."""
+        for x in range(0, self.nx + 1):
+            for y in range(1, self.ny + 1):
+                yield (x, y)
+
+    def n_channel_segments(self) -> int:
+        """Total channel segments (both orientations)."""
+        n_chanx = self.nx * (self.ny + 1)
+        n_chany = self.ny * (self.nx + 1)
+        return n_chanx + n_chany
+
+
+def size_for_circuits(
+    n_blocks: int,
+    n_ios: int,
+    k: int = 4,
+    channel_width: int = 12,
+    slack: float = 1.2,
+    io_rat: int = 2,
+    fc_in: float = 1.0,
+    fc_out: float = 1.0,
+) -> FpgaArchitecture:
+    """Size a square FPGA for the given workload.
+
+    Follows the paper's methodology: the square area is chosen ``slack``
+    times (default 20% more than) the minimum needed for *n_blocks*
+    logic blocks; the perimeter must offer at least *n_ios* pads.  The
+    channel width is supplied by the caller (the experiment harness
+    derives it from the minimum routable width, again +20%).
+    """
+    if n_blocks < 1:
+        raise ValueError("need at least one block")
+    side = max(1, math.ceil(math.sqrt(n_blocks * slack)))
+    # Grow until IO capacity suffices as well.
+    while 4 * side * io_rat < n_ios:
+        side += 1
+    return FpgaArchitecture(
+        nx=side,
+        ny=side,
+        k=k,
+        channel_width=channel_width,
+        io_rat=io_rat,
+        fc_in=fc_in,
+        fc_out=fc_out,
+    )

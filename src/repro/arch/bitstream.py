@@ -1,0 +1,119 @@
+"""Configuration-memory model.
+
+A *configuration* is the full state of the reconfigurable region's
+configuration memory: per-logic-block LUT bits (truth table + output
+select) and one bit per programmable routing switch.  The paper's
+reconfiguration-time metric is "the number of bits that needs to be
+rewritten in the configuration memory"; this module provides the bit
+sets that every variant of that metric (MDR / Diff / DCS) is computed
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import RoutingResourceGraph
+
+
+@dataclass
+class Configuration:
+    """One mode's configuration of the region.
+
+    ``routing_bits`` is the set of switch bits that are *on*; all other
+    routing bits are zero (the FPGA's default pulled state).
+    ``lut_tables`` maps a CLB position to its truth-table bit mask and
+    register-select flag; unlisted CLBs hold the all-zero (unused) LUT.
+    """
+
+    arch: FpgaArchitecture
+    routing_bits: FrozenSet[int] = frozenset()
+    lut_tables: Dict[Tuple[int, int], Tuple[int, bool]] = field(
+        default_factory=dict
+    )
+
+    def lut_bit_vector(self, pos: Tuple[int, int]) -> List[bool]:
+        """All ``2**k + 1`` configuration bits of the block at *pos*."""
+        bits_per_lut = 1 << self.arch.k
+        table, registered = self.lut_tables.get(pos, (0, False))
+        vector = [bool(table >> i & 1) for i in range(bits_per_lut)]
+        vector.append(registered)
+        return vector
+
+    def routing_bit_count(self) -> int:
+        """Number of switch bits that are on."""
+        return len(self.routing_bits)
+
+
+def routing_bits_of_edges(
+    edges: Iterable[Tuple[int, int, int]]
+) -> FrozenSet[int]:
+    """Extract the on-bits from routed edges ``(src, dst, bit)``.
+
+    Internal (non-configurable) edges carry bit ``-1`` and are skipped.
+    """
+    return frozenset(bit for _src, _dst, bit in edges if bit >= 0)
+
+
+def differing_routing_bits(
+    configs: Sequence[Configuration],
+) -> Set[int]:
+    """Routing bits whose value is not constant across *configs*.
+
+    With all-off as the default state, a bit differs iff it is on in at
+    least one mode but not in all modes.
+    """
+    if not configs:
+        return set()
+    union: Set[int] = set()
+    intersection: Set[int] = set(configs[0].routing_bits)
+    for config in configs:
+        union |= config.routing_bits
+        intersection &= config.routing_bits
+    return union - intersection
+
+
+def differing_lut_bits(configs: Sequence[Configuration]) -> int:
+    """Count LUT configuration bits that differ across *configs*.
+
+    The paper always rewrites every LUT bit, but reports (Section
+    IV-C.1) that counting only differing LUT bits would make DCS look
+    even better; this function supports that analysis.
+    """
+    if not configs:
+        return 0
+    arch = configs[0].arch
+    positions: Set[Tuple[int, int]] = set()
+    for config in configs:
+        positions.update(config.lut_tables)
+    count = 0
+    for pos in positions:
+        vectors = [config.lut_bit_vector(pos) for config in configs]
+        for bit_values in zip(*vectors):
+            if len(set(bit_values)) > 1:
+                count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class RegionBitBudget:
+    """Static bit capacity of the reconfigurable region."""
+
+    lut_bits: int
+    routing_bits: int
+
+    @property
+    def total(self) -> int:
+        return self.lut_bits + self.routing_bits
+
+
+def region_budget(
+    arch: FpgaArchitecture, rrg: RoutingResourceGraph
+) -> RegionBitBudget:
+    """Bit capacity of the whole region (what MDR rewrites per switch)."""
+    return RegionBitBudget(
+        lut_bits=arch.total_lut_bits(),
+        routing_bits=rrg.n_bits,
+    )

@@ -1,0 +1,195 @@
+"""Frame-based configuration memory (the paper's stated next step).
+
+Commercial FPGAs rewrite configuration memory in *frames* — the paper
+(Section IV-C.1): "In current FPGAs, the reconfiguration granularity is
+a collection of bits called a frame.  LUTs and routing memory cells
+reside in different frames.  The next step in our research is to
+implement TRoute on a commercial FPGA to assess the reduction it will
+have in routing configuration frames ... We also plan to extend it to
+allocate the small number of parameterized bits in a limited amount of
+frames."
+
+This module implements that model:
+
+* routing bits are grouped into fixed-size frames laid out by fabric
+  column (Virtex-style), LUT bits into separate frames;
+* :func:`frames_touched` counts the frames a mode switch must rewrite
+  for any set of changed bits;
+* :class:`FrameAllocator` implements the paper's proposed optimisation:
+  re-allocate the parameterised bits into as few frames as possible
+  (a bin-packing over the free bit positions of each frame), giving
+  the projected frame-level speed-up (the paper expects "roughly
+  between 4x and 20x" for routing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import RoutingResourceGraph
+
+
+@dataclass(frozen=True)
+class FrameLayout:
+    """Assignment of configuration bits to frames.
+
+    ``frame_of_bit`` maps every routing bit id to a frame id; LUT
+    frames occupy ids ``>= n_routing_frames`` (they never mix with
+    routing bits, as on real devices).
+    """
+
+    frame_size: int
+    n_routing_frames: int
+    n_lut_frames: int
+    frame_of_bit: Dict[int, int]
+
+    @property
+    def n_frames(self) -> int:
+        return self.n_routing_frames + self.n_lut_frames
+
+    def routing_frames_for(self, bits: Iterable[int]) -> Set[int]:
+        """Frames containing any of the given routing bits."""
+        return {self.frame_of_bit[b] for b in bits}
+
+
+def build_frame_layout(
+    arch: FpgaArchitecture,
+    rrg: RoutingResourceGraph,
+    frame_size: int = 256,
+) -> FrameLayout:
+    """Group configuration bits into column-major frames.
+
+    Routing bits are sorted by the fabric x-coordinate of their
+    switch's source node (a proxy for the configuration column the
+    switch lives in on a real device) and packed ``frame_size`` bits
+    per frame.  LUT bits get ``ceil(column bits / frame_size)`` frames
+    per column.
+    """
+    if frame_size < 1:
+        raise ValueError("frame size must be positive")
+    # Collect each bit's column from the switch's source node.
+    column_of_bit: Dict[int, int] = {}
+    for src in range(rrg.n_nodes):
+        x = rrg.node_x[src]
+        for _dst, bit in rrg.adjacency[src]:
+            if bit >= 0 and bit not in column_of_bit:
+                column_of_bit[bit] = x
+    ordered = sorted(
+        column_of_bit, key=lambda b: (column_of_bit[b], b)
+    )
+    frame_of_bit = {
+        bit: index // frame_size for index, bit in enumerate(ordered)
+    }
+    n_routing_frames = (
+        (len(ordered) + frame_size - 1) // frame_size
+        if ordered
+        else 0
+    )
+    lut_bits_per_column = arch.ny * arch.lut_bits_per_clb()
+    lut_frames_per_column = max(
+        1, math.ceil(lut_bits_per_column / frame_size)
+    )
+    n_lut_frames = arch.nx * lut_frames_per_column
+    return FrameLayout(
+        frame_size=frame_size,
+        n_routing_frames=n_routing_frames,
+        n_lut_frames=n_lut_frames,
+        frame_of_bit=frame_of_bit,
+    )
+
+
+@dataclass(frozen=True)
+class FrameCost:
+    """Frames rewritten on one mode switch."""
+
+    lut_frames: int
+    routing_frames: int
+
+    @property
+    def total(self) -> int:
+        return self.lut_frames + self.routing_frames
+
+
+def mdr_frame_cost(layout: FrameLayout) -> FrameCost:
+    """MDR rewrites every frame of the region."""
+    return FrameCost(
+        lut_frames=layout.n_lut_frames,
+        routing_frames=layout.n_routing_frames,
+    )
+
+
+def dcs_frame_cost(
+    layout: FrameLayout, parameterized_bits: Set[int]
+) -> FrameCost:
+    """DCS rewrites all LUT frames + frames holding parameterised bits.
+
+    Matches the paper's accounting: all LUTs are rewritten; only the
+    routing frames containing at least one mode-dependent bit are
+    touched.
+    """
+    return FrameCost(
+        lut_frames=layout.n_lut_frames,
+        routing_frames=len(
+            layout.routing_frames_for(parameterized_bits)
+        ),
+    )
+
+
+class FrameAllocator:
+    """Pack parameterised bits into few frames (the paper's proposal).
+
+    On a real device the *placement* of configuration bits is fixed,
+    but the router has freedom in *which* switches it uses; the paper
+    proposes steering the parameterised bits into a limited number of
+    frames.  This class computes the idealised bound of that
+    optimisation: the minimum number of frames that could hold the
+    parameterised bits if the allocator had full freedom
+    (``ceil(n_bits / frame_size)``), and a *locality-constrained*
+    estimate where bits may only move within their fabric column
+    (switches cannot leave their physical column).
+    """
+
+    def __init__(self, layout: FrameLayout,
+                 rrg: RoutingResourceGraph) -> None:
+        self.layout = layout
+        self.rrg = rrg
+        self._column_of_bit: Dict[int, int] = {}
+        for src in range(rrg.n_nodes):
+            x = rrg.node_x[src]
+            for _dst, bit in rrg.adjacency[src]:
+                if bit >= 0 and bit not in self._column_of_bit:
+                    self._column_of_bit[bit] = x
+
+    def ideal_frames(self, parameterized_bits: Set[int]) -> int:
+        """Lower bound: full freedom to co-locate bits."""
+        return math.ceil(
+            len(parameterized_bits) / self.layout.frame_size
+        )
+
+    def column_constrained_frames(
+        self, parameterized_bits: Set[int]
+    ) -> int:
+        """Bits may only be packed within their own column."""
+        per_column: Dict[int, int] = {}
+        for bit in parameterized_bits:
+            column = self._column_of_bit[bit]
+            per_column[column] = per_column.get(column, 0) + 1
+        return sum(
+            math.ceil(count / self.layout.frame_size)
+            for count in per_column.values()
+        )
+
+    def report(self, parameterized_bits: Set[int]) -> Dict[str, int]:
+        """All three frame counts for one mode switch."""
+        return {
+            "as_routed": len(
+                self.layout.routing_frames_for(parameterized_bits)
+            ),
+            "column_packed": self.column_constrained_frames(
+                parameterized_bits
+            ),
+            "ideal": self.ideal_frames(parameterized_bits),
+        }

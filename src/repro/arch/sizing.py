@@ -1,0 +1,136 @@
+"""Minimum-channel-width search (the paper's sizing methodology).
+
+Paper Section IV-B: "the square area of the FPGA and the channel width
+were both chosen 20% bigger than the minimum needed.  This is done to
+allow relaxed routing."  Finding the minimum channel width is the
+classic VPR experiment: place once, then binary-search the narrowest
+channel the router can still complete.
+
+:func:`minimum_channel_width` runs that search for a set of mode
+circuits (each mode must route in the shared region, as both MDR and
+DCS require); :func:`paper_channel_width` adds the 20% slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import build_rrg
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.annealing import AnnealingSchedule
+from repro.place.placer import Placement, place_circuit
+from repro.route.router import RoutingError
+from repro.route.troute import route_lut_circuit
+
+
+@dataclass(frozen=True)
+class WidthSearchResult:
+    """Outcome of a minimum-channel-width search."""
+
+    minimum_width: int
+    attempts: Tuple[Tuple[int, bool], ...]  # (width, routable)
+
+    def n_routings(self) -> int:
+        return len(self.attempts)
+
+
+def _routable(
+    circuits: Sequence[LutCircuit],
+    placements: Sequence[Placement],
+    arch: FpgaArchitecture,
+    width: int,
+    max_iterations: int,
+) -> bool:
+    """Can every mode route in the region at *width* tracks?"""
+    trial = FpgaArchitecture(
+        nx=arch.nx, ny=arch.ny, k=arch.k,
+        channel_width=width,
+        fc_in=arch.fc_in, fc_out=arch.fc_out,
+        io_rat=arch.io_rat,
+    )
+    rrg = build_rrg(trial)
+    for circuit, placement in zip(circuits, placements):
+        # Re-bind the placement to the trial architecture: sites are
+        # grid positions, which do not depend on channel width.
+        rebound = Placement(
+            arch=trial, sites=placement.sites, cost=placement.cost
+        )
+        try:
+            route_lut_circuit(
+                circuit, rebound, rrg,
+                max_iterations=max_iterations,
+            )
+        except RoutingError:
+            return False
+    return True
+
+
+def minimum_channel_width(
+    circuits: Sequence[LutCircuit],
+    arch: FpgaArchitecture,
+    seed: int = 0,
+    schedule: Optional[AnnealingSchedule] = None,
+    max_width: int = 64,
+    router_max_iterations: int = 24,
+) -> WidthSearchResult:
+    """Binary-search the minimum routable channel width.
+
+    The circuits are placed once (at the grid of *arch*; placement is
+    channel-width independent in the VPR cost model), then routed at
+    candidate widths: doubling up from the architecture's width until
+    routable, then bisecting down.  Each mode must route separately in
+    the region, matching how both flows use it.
+    """
+    if not circuits:
+        raise ValueError("need at least one circuit")
+    schedule = schedule or AnnealingSchedule(inner_num=0.3)
+    placements = [
+        place_circuit(c, arch, seed=seed + i, schedule=schedule)
+        for i, c in enumerate(circuits)
+    ]
+    attempts: List[Tuple[int, bool]] = []
+
+    def try_width(width: int) -> bool:
+        ok = _routable(
+            circuits, placements, arch, width,
+            router_max_iterations,
+        )
+        attempts.append((width, ok))
+        return ok
+
+    # Find a routable upper bound.
+    hi = arch.channel_width
+    while not try_width(hi):
+        if hi >= max_width:
+            raise RoutingError(
+                f"unroutable even at channel width {max_width}"
+            )
+        hi = min(max_width, hi * 2)
+    # Find the narrowest failing width below it.
+    lo = 1
+    if try_width(lo):
+        return WidthSearchResult(1, tuple(attempts))
+    # Invariant: lo unroutable < minimum <= hi routable.
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if try_width(mid):
+            hi = mid
+        else:
+            lo = mid
+    return WidthSearchResult(hi, tuple(attempts))
+
+
+def paper_channel_width(
+    circuits: Sequence[LutCircuit],
+    arch: FpgaArchitecture,
+    slack: float = 1.2,
+    **search_kwargs,
+) -> int:
+    """The paper's rule: minimum channel width plus 20% slack."""
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1.0")
+    result = minimum_channel_width(circuits, arch, **search_kwargs)
+    return max(result.minimum_width + 1,
+               int(round(result.minimum_width * slack)))

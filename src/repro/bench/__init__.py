@@ -1,0 +1,28 @@
+"""Benchmark circuit generators and the experiment harness.
+
+The paper evaluates on three application suites; each has a generator
+here that produces the same class of LUT circuits from scratch:
+
+* :mod:`repro.bench.regex` — regular-expression matching engines
+  (regex -> Thompson NFA -> one-hot hardware matcher), standing in for
+  the VHDL generator of Sourdis et al.
+* :mod:`repro.bench.fir` — constant-coefficient FIR filters with all
+  constants propagated into shift-add networks (experiment 2).
+* :mod:`repro.bench.mcnc` — MCNC-class random logic circuits in the
+  paper's size window (experiment 3); real MCNC ``.blif`` files can be
+  substituted through :mod:`repro.netlist.blif`.
+* :mod:`repro.bench.harness` — suite assembly and the printers that
+  regenerate every table and figure of the evaluation section.
+"""
+
+from repro.bench.fir import generate_fir_circuit
+from repro.bench.mcnc import generate_mcnc_circuit
+from repro.bench.regex import compile_regex_circuit
+from repro.bench.similarity import similarity_report
+
+__all__ = [
+    "compile_regex_circuit",
+    "generate_fir_circuit",
+    "generate_mcnc_circuit",
+    "similarity_report",
+]

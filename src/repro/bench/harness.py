@@ -1,0 +1,546 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+The evaluation section has four artefacts, each with a method here:
+
+* **Table I** — min/avg/max LUT counts per suite
+  (:meth:`ExperimentHarness.table1`).
+* **Fig. 5** — reconfiguration speed-up of DCS (edge matching / wire
+  length) over MDR, averaged per suite with min/max error bars
+  (:meth:`ExperimentHarness.figure5`).
+* **Fig. 6** — relative contribution of LUT and routing bits for
+  RegExp-MDR / RegExp-Diff / RegExp-DCS
+  (:meth:`ExperimentHarness.figure6`).
+* **Fig. 7** — per-mode wire usage relative to MDR
+  (:meth:`ExperimentHarness.figure7`).
+* **Section IV-C area paragraph** — area of the multi-mode
+  implementation relative to static implementations
+  (:meth:`ExperimentHarness.area_table`).
+
+Effort profiles trade fidelity for runtime: ``paper`` runs the full 10
+pairs per suite with VPR-strength annealing; ``default`` and ``quick``
+run calibrated subsets through the *identical code path* (EXPERIMENTS.md
+records results per profile).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.fir import generate_fir_circuit
+from repro.bench.mcnc import DEFAULT_PROFILES, generate_mcnc_circuit
+from repro.bench.regex import DEFAULT_PATTERNS, compile_regex_circuit
+from repro.core.flow import (
+    FlowOptions,
+    MultiModeResult,
+    implement_multi_mode,
+)
+from repro.core.merge import MergeStrategy
+from repro.core.reconfig import BreakdownRow, breakdown_rows
+from repro.netlist.lutcircuit import LutCircuit
+
+SUITES = ("RegExp", "FIR", "MCNC")
+
+
+@dataclass(frozen=True)
+class EffortProfile:
+    """Runtime/fidelity trade-off of one harness run."""
+
+    name: str
+    pairs_per_suite: Optional[int]  # None = all pairs
+    inner_num: float
+    n_fir_filters: int  # filters per band (paper: 10)
+
+    def flow_options(self, seed: int) -> FlowOptions:
+        return FlowOptions(seed=seed, inner_num=self.inner_num)
+
+
+EFFORT_PROFILES = {
+    "quick": EffortProfile("quick", 2, 0.1, 2),
+    "default": EffortProfile("default", 4, 0.3, 4),
+    "paper": EffortProfile("paper", None, 1.0, 10),
+}
+
+
+@dataclass
+class PairOutcome:
+    """All metrics of one multi-mode circuit."""
+
+    suite: str
+    name: str
+    result: MultiModeResult
+
+    def speedup(self, strategy: MergeStrategy) -> float:
+        return self.result.speedup(strategy)
+
+    def wirelength_ratio(self, strategy: MergeStrategy) -> float:
+        return self.result.wirelength_ratio(strategy)
+
+
+def _aggregate(values: Sequence[float]) -> Tuple[float, float, float]:
+    """(min, mean, max) of a non-empty sequence."""
+    return (min(values), sum(values) / len(values), max(values))
+
+
+class ExperimentHarness:
+    """Builds the suites and runs the paper's experiments."""
+
+    def __init__(self, effort: str = "quick", seed: int = 0,
+                 k: int = 4) -> None:
+        if effort not in EFFORT_PROFILES:
+            raise ValueError(
+                f"effort must be one of {sorted(EFFORT_PROFILES)}"
+            )
+        self.profile = EFFORT_PROFILES[effort]
+        self.seed = seed
+        self.k = k
+        self._suite_cache: Dict[str, List[LutCircuit]] = {}
+        self._outcome_cache: Dict[str, List[PairOutcome]] = {}
+
+    # -- suite assembly ---------------------------------------------------
+
+    def regexp_circuits(self) -> List[LutCircuit]:
+        """The five compiled regex engines (experiment 1)."""
+        if "RegExp" not in self._suite_cache:
+            self._suite_cache["RegExp"] = [
+                compile_regex_circuit(p, name=f"regexp{i}", k=self.k)
+                for i, p in enumerate(DEFAULT_PATTERNS)
+            ]
+        return self._suite_cache["RegExp"]
+
+    def fir_circuits(self) -> Tuple[List[LutCircuit], List[LutCircuit]]:
+        """Low-pass and high-pass filter banks (experiment 2)."""
+        key = "FIR"
+        if key not in self._suite_cache:
+            n = self.profile.n_fir_filters
+            lowpass = [
+                generate_fir_circuit(
+                    "lowpass", seed=self.seed + i, k=self.k,
+                    name=f"fir_lp{i}",
+                )
+                for i in range(n)
+            ]
+            highpass = [
+                generate_fir_circuit(
+                    "highpass", seed=self.seed + i, k=self.k,
+                    name=f"fir_hp{i}",
+                )
+                for i in range(n)
+            ]
+            self._suite_cache[key] = lowpass + highpass
+        circuits = self._suite_cache[key]
+        half = len(circuits) // 2
+        return circuits[:half], circuits[half:]
+
+    def mcnc_circuits(self) -> List[LutCircuit]:
+        """The five MCNC-class circuits (experiment 3)."""
+        if "MCNC" not in self._suite_cache:
+            self._suite_cache["MCNC"] = [
+                generate_mcnc_circuit(profile, k=self.k)
+                for profile in DEFAULT_PROFILES
+            ]
+        return self._suite_cache["MCNC"]
+
+    def suite_pairs(self, suite: str) -> List[Tuple[str, List[LutCircuit]]]:
+        """The multi-mode circuits (mode pairs) of one suite.
+
+        RegExp and MCNC take all C(5,2)=10 combinations of their five
+        circuits; FIR pairs low-pass *i* with high-pass *i* (10 pairs in
+        the paper).  Effort profiles may truncate the list.
+        """
+        if suite == "RegExp":
+            circuits = self.regexp_circuits()
+            pairs = [
+                (f"regexp_{i}{j}", [circuits[i], circuits[j]])
+                for i, j in itertools.combinations(
+                    range(len(circuits)), 2
+                )
+            ]
+        elif suite == "FIR":
+            lowpass, highpass = self.fir_circuits()
+            pairs = [
+                (f"fir_{i}", [lp, hp])
+                for i, (lp, hp) in enumerate(zip(lowpass, highpass))
+            ]
+        elif suite == "MCNC":
+            circuits = self.mcnc_circuits()
+            pairs = [
+                (f"mcnc_{i}{j}", [circuits[i], circuits[j]])
+                for i, j in itertools.combinations(
+                    range(len(circuits)), 2
+                )
+            ]
+        else:
+            raise ValueError(f"unknown suite {suite}")
+        limit = self.profile.pairs_per_suite
+        if limit is not None:
+            pairs = pairs[:limit]
+        return pairs
+
+    # -- experiment execution ------------------------------------------------
+
+    def run_suite(self, suite: str,
+                  verbose: bool = False) -> List[PairOutcome]:
+        """Implement every multi-mode circuit of *suite* with both
+        flows; results are cached per harness instance."""
+        if suite in self._outcome_cache:
+            return self._outcome_cache[suite]
+        outcomes = []
+        for name, modes in self.suite_pairs(suite):
+            result = implement_multi_mode(
+                name, modes,
+                self.profile.flow_options(self.seed),
+            )
+            outcomes.append(PairOutcome(suite, name, result))
+            if verbose:
+                em = result.speedup(MergeStrategy.EDGE_MATCHING)
+                wl = result.speedup(MergeStrategy.WIRE_LENGTH)
+                print(
+                    f"  {name}: speedup EM {em:.2f}x WL {wl:.2f}x"
+                )
+        self._outcome_cache[suite] = outcomes
+        return outcomes
+
+    # -- Table I --------------------------------------------------------------
+
+    def table1(self) -> List[Dict[str, object]]:
+        """Size of the LUT circuits used in the experiments."""
+        rows = []
+        suite_circuits = {
+            "RegExp": self.regexp_circuits(),
+            "FIR": [c for bank in self.fir_circuits() for c in bank],
+            "MCNC": self.mcnc_circuits(),
+        }
+        for suite, circuits in suite_circuits.items():
+            sizes = [c.n_luts() for c in circuits]
+            low, mean, high = _aggregate([float(s) for s in sizes])
+            rows.append({
+                "suite": suite,
+                "minimum": int(low),
+                "average": round(mean),
+                "maximum": int(high),
+            })
+        return rows
+
+    @staticmethod
+    def print_table1(rows: Sequence[Dict[str, object]]) -> str:
+        lines = ["TABLE I: Size of the LUT circuits (4-LUT count)",
+                 f"{'':8s} {'Minimum':>8s} {'Average':>8s} "
+                 f"{'Maximum':>8s}"]
+        for row in rows:
+            lines.append(
+                f"{row['suite']:8s} {row['minimum']:8d} "
+                f"{row['average']:8d} {row['maximum']:8d}"
+            )
+        return "\n".join(lines)
+
+    # -- Fig. 5 ---------------------------------------------------------------
+
+    def figure5(
+        self, outcomes_by_suite: Dict[str, List[PairOutcome]]
+    ) -> List[Dict[str, object]]:
+        """Reconfiguration speed-up of DCS relative to MDR."""
+        rows = []
+        for suite, outcomes in outcomes_by_suite.items():
+            for strategy, label in (
+                (MergeStrategy.EDGE_MATCHING, "DCS-Edge matching"),
+                (MergeStrategy.WIRE_LENGTH, "DCS-Wire length"),
+            ):
+                values = [o.speedup(strategy) for o in outcomes]
+                low, mean, high = _aggregate(values)
+                rows.append({
+                    "suite": suite,
+                    "variant": label,
+                    "min": low,
+                    "mean": mean,
+                    "max": high,
+                })
+        return rows
+
+    @staticmethod
+    def print_figure5(rows: Sequence[Dict[str, object]]) -> str:
+        lines = [
+            "Fig. 5: Reconfiguration speed up of DCS compared to MDR",
+            f"{'suite':8s} {'variant':20s} "
+            f"{'mean':>6s} {'min':>6s} {'max':>6s}",
+            f"{'(all)':8s} {'MDR (base)':20s} "
+            f"{1.0:6.2f} {1.0:6.2f} {1.0:6.2f}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['suite']:8s} {row['variant']:20s} "
+                f"{row['mean']:6.2f} {row['min']:6.2f} "
+                f"{row['max']:6.2f}"
+            )
+        return "\n".join(lines)
+
+    # -- Fig. 6 ---------------------------------------------------------------
+
+    def figure6(
+        self, regexp_outcomes: Sequence[PairOutcome]
+    ) -> List[Dict[str, object]]:
+        """LUT/routing breakdown for RegExp-MDR / -Diff / -DCS.
+
+        Bits are averaged over the suite's multi-mode circuits and
+        normalised to the MDR total (the MDR bar is 100%).
+        """
+        mdr_lut = _mean(
+            [o.result.mdr.cost.lut_bits for o in regexp_outcomes]
+        )
+        mdr_route = _mean(
+            [o.result.mdr.cost.routing_bits for o in regexp_outcomes]
+        )
+        diff_route = _mean(
+            [o.result.mdr.diff.routing_bits for o in regexp_outcomes]
+        )
+        dcs_route = _mean(
+            [
+                o.result.dcs[MergeStrategy.WIRE_LENGTH]
+                .cost.routing_bits
+                for o in regexp_outcomes
+            ]
+        )
+        total = mdr_lut + mdr_route
+        rows = []
+        for label, lut, route in (
+            ("RegExp-MDR", mdr_lut, mdr_route),
+            ("RegExp-Diff", mdr_lut, diff_route),
+            ("RegExp-DCS", mdr_lut, dcs_route),
+        ):
+            rows.append({
+                "label": label,
+                "lut_bits": lut,
+                "routing_bits": route,
+                "lut_pct_of_mdr": 100.0 * lut / total,
+                "routing_pct_of_mdr": 100.0 * route / total,
+            })
+        return rows
+
+    @staticmethod
+    def print_figure6(rows: Sequence[Dict[str, object]]) -> str:
+        lines = [
+            "Fig. 6: Relative contribution of LUTs and routing in "
+            "reconfiguration time (MDR total = 100%)",
+            f"{'variant':14s} {'LUT %':>8s} {'routing %':>10s}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['label']:14s} {row['lut_pct_of_mdr']:8.1f} "
+                f"{row['routing_pct_of_mdr']:10.1f}"
+            )
+        mdr_route = rows[0]["routing_pct_of_mdr"]
+        diff_route = rows[1]["routing_pct_of_mdr"]
+        dcs_route = rows[2]["routing_pct_of_mdr"]
+        if dcs_route > 0 and diff_route > 0:
+            lines.append(
+                f"routing reduction: region effect "
+                f"{mdr_route / diff_route:.1f}x, merge effect "
+                f"{diff_route / dcs_route:.1f}x, combined "
+                f"{mdr_route / dcs_route:.1f}x"
+            )
+        return "\n".join(lines)
+
+    # -- Fig. 7 ---------------------------------------------------------------
+
+    def figure7(
+        self, outcomes_by_suite: Dict[str, List[PairOutcome]]
+    ) -> List[Dict[str, object]]:
+        """Per-mode wire usage relative to MDR (percent)."""
+        rows = []
+        for suite, outcomes in outcomes_by_suite.items():
+            for strategy, label in (
+                (MergeStrategy.EDGE_MATCHING, "DCS-Edge matching"),
+                (MergeStrategy.WIRE_LENGTH, "DCS-Wire length"),
+            ):
+                ratios = [
+                    100.0 * o.wirelength_ratio(strategy)
+                    for o in outcomes
+                ]
+                low, mean, high = _aggregate(ratios)
+                rows.append({
+                    "suite": suite,
+                    "variant": label,
+                    "min": low,
+                    "mean": mean,
+                    "max": high,
+                })
+        return rows
+
+    @staticmethod
+    def print_figure7(rows: Sequence[Dict[str, object]]) -> str:
+        lines = [
+            "Fig. 7: Number of wires relative to MDR (percent)",
+            f"{'suite':8s} {'variant':20s} "
+            f"{'mean':>7s} {'min':>7s} {'max':>7s}",
+            f"{'(all)':8s} {'MDR (base)':20s} "
+            f"{100.0:7.1f} {100.0:7.1f} {100.0:7.1f}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['suite']:8s} {row['variant']:20s} "
+                f"{row['mean']:7.1f} {row['min']:7.1f} "
+                f"{row['max']:7.1f}"
+            )
+        return "\n".join(lines)
+
+    # -- Section IV-C: area -----------------------------------------------------
+
+    def area_table(self) -> List[Dict[str, object]]:
+        """Area of the multi-mode region vs static implementations.
+
+        RegExp/MCNC: the region holds the biggest mode, so area
+        relative to implementing both modes statically is
+        ``max(a, b) / (a + b)`` (about 50% for similar sizes).
+        FIR: the specialised filters are compared against one *generic*
+        FIR (the paper's 33% figure), since a generic filter can play
+        both modes by reloading coefficients.
+        """
+        rows = []
+        for suite in ("RegExp", "MCNC"):
+            ratios = []
+            for _name, modes in self.suite_pairs(suite):
+                sizes = [c.n_luts() for c in modes]
+                ratios.append(max(sizes) / sum(sizes))
+            low, mean, high = _aggregate(ratios)
+            rows.append({
+                "suite": suite,
+                "baseline": "static both modes",
+                "area_pct": 100.0 * mean,
+                "min": 100.0 * low,
+                "max": 100.0 * high,
+            })
+        # FIR vs generic filter.
+        generic = generate_fir_circuit(
+            "lowpass", seed=self.seed, k=self.k, generic=True,
+            name="fir_generic",
+        )
+        ratios = []
+        for _name, modes in self.suite_pairs("FIR"):
+            biggest = max(c.n_luts() for c in modes)
+            ratios.append(biggest / generic.n_luts())
+        low, mean, high = _aggregate(ratios)
+        rows.append({
+            "suite": "FIR",
+            "baseline": "generic FIR filter",
+            "area_pct": 100.0 * mean,
+            "min": 100.0 * low,
+            "max": 100.0 * high,
+        })
+        return rows
+
+    @staticmethod
+    def print_area_table(rows: Sequence[Dict[str, object]]) -> str:
+        lines = [
+            "Section IV-C: multi-mode area relative to baseline",
+            f"{'suite':8s} {'baseline':22s} "
+            f"{'area %':>7s} {'min':>6s} {'max':>6s}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['suite']:8s} {row['baseline']:22s} "
+                f"{row['area_pct']:7.1f} {row['min']:6.1f} "
+                f"{row['max']:6.1f}"
+            )
+        return "\n".join(lines)
+
+    # -- extension: routed timing (abstract's performance claim) ----------------
+
+    def sta_table(
+        self, outcomes_by_suite: Dict[str, List[PairOutcome]]
+    ) -> List[Dict[str, object]]:
+        """Per-mode routed critical-path penalty of DCS vs MDR.
+
+        An extension beyond the paper's wire-length argument: static
+        timing analysis on the actual routed paths of both flows
+        ("without significant performance penalties", checked).
+        """
+        from repro.timing import (
+            dcs_arc_delays,
+            mdr_arc_delays,
+            routed_critical_path,
+            timing_comparison,
+        )
+
+        rows = []
+        for suite, outcomes in outcomes_by_suite.items():
+            for strategy, label in (
+                (MergeStrategy.EDGE_MATCHING, "DCS-Edge matching"),
+                (MergeStrategy.WIRE_LENGTH, "DCS-Wire length"),
+            ):
+                ratios = []
+                for outcome in outcomes:
+                    result = outcome.result
+                    pair = dict(self.suite_pairs(suite))[outcome.name]
+                    mdr_reports = [
+                        routed_critical_path(
+                            circuit,
+                            mdr_arc_delays(
+                                circuit, impl.placement, impl.routing
+                            ),
+                        )
+                        for circuit, impl in zip(
+                            pair, result.mdr.implementations
+                        )
+                    ]
+                    dcs = result.dcs[strategy]
+                    dcs_reports = [
+                        routed_critical_path(
+                            dcs.tunable.specialize(mode),
+                            dcs_arc_delays(
+                                dcs.tunable, dcs.routing, mode
+                            ),
+                        )
+                        for mode in range(len(pair))
+                    ]
+                    ratios.append(
+                        timing_comparison(
+                            mdr_reports, dcs_reports
+                        ).mean_ratio
+                    )
+                low, mean, high = _aggregate(ratios)
+                rows.append({
+                    "suite": suite,
+                    "variant": label,
+                    "min": low,
+                    "mean": mean,
+                    "max": high,
+                })
+        return rows
+
+    @staticmethod
+    def print_sta_table(rows: Sequence[Dict[str, object]]) -> str:
+        lines = [
+            "Extension: routed critical-path delay relative to MDR "
+            "(1.00 = no penalty)",
+            f"{'suite':8s} {'variant':20s} "
+            f"{'mean':>6s} {'min':>6s} {'max':>6s}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['suite']:8s} {row['variant']:20s} "
+                f"{row['mean']:6.2f} {row['min']:6.2f} "
+                f"{row['max']:6.2f}"
+            )
+        return "\n".join(lines)
+
+    # -- one-call driver --------------------------------------------------------
+
+    def run_all(self, verbose: bool = False) -> Dict[str, object]:
+        """Run every experiment; returns all rows keyed by artefact."""
+        outcomes = {
+            suite: self.run_suite(suite, verbose=verbose)
+            for suite in SUITES
+        }
+        return {
+            "table1": self.table1(),
+            "figure5": self.figure5(outcomes),
+            "figure6": self.figure6(outcomes["RegExp"]),
+            "figure7": self.figure7(outcomes),
+            "area": self.area_table(),
+            "sta": self.sta_table(outcomes),
+        }
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)

@@ -1,0 +1,454 @@
+r"""Regular-expression matching engines in hardware.
+
+The paper's first experiment uses circuits produced by the tool of
+Sourdis et al. ("Regular expression matching in reconfigurable
+hardware"): each regular expression becomes a hardware engine that
+consumes one input character per clock cycle and raises a match output.
+This module reimplements that construction:
+
+1. the regex is parsed into an AST (concatenation, alternation, ``*``,
+   ``+``, ``?``, character classes, escapes, ``.``),
+2. compiled to an NFA by Thompson's construction,
+3. realised as a *one-hot* NFA circuit: one flip-flop per NFA state,
+   next-state logic ORing the incoming transitions, character-class
+   decoders on the 8-bit input bus (exactly the decoder-sharing design
+   of the reconfigurable-hardware regex literature).
+
+The matcher semantics are *unanchored search*: the start state is
+re-armed every cycle, and ``match`` fires in the cycle after the last
+character of any substring matching the expression.
+
+The five default patterns are representative of Snort/Bleeding-Edge
+payload rules (the 2013 rule set itself is no longer distributable);
+any pattern in the supported syntax can be compiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.lutcircuit import LutCircuit
+from repro.synth.optimize import optimize_network
+from repro.synth.synthesis import WordBuilder
+from repro.synth.techmap import tech_map
+
+# Patterns in the flavour of Bleeding Edge / Snort content rules,
+# sized so the compiled engines land in the paper's Table I window
+# (224-261 4-LUTs; ours measure 222-253).
+DEFAULT_PATTERNS = [
+    r"GET /(admin|login|setup)\.(php|asp|cgi)\?(id|user|sess)=[0-9a-f]+x",
+    r"(cmd|command)\.exe( /c| /x)+ (dir|del|copy) [a-z]+\.(bat|dll)",
+    r"user=[a-z]+[0-9]+&pass=[a-f]+&go",
+    r"(root|toor|guest):[a-f0-9]+:[0-9]+:(bash|csh|sh):/home/u",
+    r"\x90+(shell|exec|payload)code(\x04|\xff)+[a-p0-7]+(call|jmp)xy",
+]
+
+
+class RegexSyntaxError(ValueError):
+    """Raised on unsupported or malformed pattern syntax."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ast:
+    kind: str  # "char", "concat", "alt", "star", "plus", "opt", "epsilon"
+    chars: FrozenSet[int] = frozenset()
+    children: Tuple["Ast", ...] = ()
+
+
+def _char_ast(chars: Set[int]) -> Ast:
+    if not chars:
+        raise RegexSyntaxError("empty character class")
+    return Ast("char", frozenset(chars))
+
+
+class _Parser:
+    """Recursive-descent parser for the supported regex subset."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def parse(self) -> Ast:
+        ast = self._alternation()
+        if self.pos != len(self.pattern):
+            raise RegexSyntaxError(
+                f"unexpected {self.pattern[self.pos]!r} at "
+                f"{self.pos}"
+            )
+        return ast
+
+    # -- grammar -----------------------------------------------------------
+
+    def _alternation(self) -> Ast:
+        branches = [self._concat()]
+        while self._peek() == "|":
+            self.pos += 1
+            branches.append(self._concat())
+        if len(branches) == 1:
+            return branches[0]
+        return Ast("alt", children=tuple(branches))
+
+    def _concat(self) -> Ast:
+        items: List[Ast] = []
+        while self._peek() not in ("", "|", ")"):
+            items.append(self._repeat())
+        if not items:
+            return Ast("epsilon")
+        if len(items) == 1:
+            return items[0]
+        return Ast("concat", children=tuple(items))
+
+    def _repeat(self) -> Ast:
+        atom = self._atom()
+        while True:
+            nxt = self._peek()
+            if nxt == "*":
+                self.pos += 1
+                atom = Ast("star", children=(atom,))
+            elif nxt == "+":
+                self.pos += 1
+                atom = Ast("plus", children=(atom,))
+            elif nxt == "?":
+                self.pos += 1
+                atom = Ast("opt", children=(atom,))
+            else:
+                return atom
+
+    def _atom(self) -> Ast:
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            inner = self._alternation()
+            if self._peek() != ")":
+                raise RegexSyntaxError("unbalanced parenthesis")
+            self.pos += 1
+            return inner
+        if ch == "[":
+            return _char_ast(self._char_class())
+        if ch == ".":
+            self.pos += 1
+            return _char_ast(set(range(256)))
+        if ch == "\\":
+            return _char_ast(self._escape())
+        if ch in ("*", "+", "?", ")", "|", ""):
+            raise RegexSyntaxError(f"unexpected {ch!r} at {self.pos}")
+        self.pos += 1
+        return _char_ast({ord(ch)})
+
+    # -- lexical helpers -------------------------------------------------
+
+    def _peek(self) -> str:
+        if self.pos >= len(self.pattern):
+            return ""
+        return self.pattern[self.pos]
+
+    def _escape(self) -> Set[int]:
+        assert self._peek() == "\\"
+        self.pos += 1
+        ch = self._peek()
+        if ch == "":
+            raise RegexSyntaxError("dangling escape")
+        self.pos += 1
+        if ch == "x":
+            hex_digits = self.pattern[self.pos:self.pos + 2]
+            if len(hex_digits) != 2:
+                raise RegexSyntaxError("bad \\x escape")
+            self.pos += 2
+            return {int(hex_digits, 16)}
+        if ch == "d":
+            return {ord(c) for c in "0123456789"}
+        if ch == "w":
+            import string
+
+            return {
+                ord(c)
+                for c in string.ascii_letters + string.digits + "_"
+            }
+        if ch == "s":
+            return {ord(c) for c in " \t\r\n\f\v"}
+        if ch == "n":
+            return {10}
+        if ch == "t":
+            return {9}
+        if ch == "r":
+            return {13}
+        return {ord(ch)}
+
+    def _char_class(self) -> Set[int]:
+        assert self._peek() == "["
+        self.pos += 1
+        negate = False
+        if self._peek() == "^":
+            negate = True
+            self.pos += 1
+        chars: Set[int] = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise RegexSyntaxError("unterminated character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            if ch == "\\":
+                chars |= self._escape()
+                continue
+            self.pos += 1
+            if (
+                self._peek() == "-"
+                and self.pos + 1 < len(self.pattern)
+                and self.pattern[self.pos + 1] != "]"
+            ):
+                self.pos += 1
+                hi = self._peek()
+                self.pos += 1
+                if ord(hi) < ord(ch):
+                    raise RegexSyntaxError("reversed range")
+                chars |= set(range(ord(ch), ord(hi) + 1))
+            else:
+                chars.add(ord(ch))
+        if negate:
+            chars = set(range(256)) - chars
+        return chars
+
+
+def parse_regex(pattern: str) -> Ast:
+    """Parse *pattern* into an AST (supported subset; see module doc)."""
+    return _Parser(pattern).parse()
+
+
+# ---------------------------------------------------------------------------
+# Thompson construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Nfa:
+    """NFA with character-class transitions and epsilon moves."""
+
+    n_states: int
+    start: int
+    accept: int
+    # (src, dst, chars); chars None = epsilon
+    transitions: List[Tuple[int, int, Optional[FrozenSet[int]]]] = field(
+        default_factory=list
+    )
+
+    def eps_closure(self, states: Set[int]) -> Set[int]:
+        result = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for src, dst, chars in self.transitions:
+                if src == s and chars is None and dst not in result:
+                    result.add(dst)
+                    stack.append(dst)
+        return result
+
+    def step(self, states: Set[int], char: int) -> Set[int]:
+        nxt = {
+            dst
+            for src, dst, chars in self.transitions
+            if src in states and chars is not None and char in chars
+        }
+        return self.eps_closure(nxt)
+
+    def search(self, data: bytes) -> List[int]:
+        """Unanchored match: positions (1-based, after the matching
+        char) where the accept state is reached.  Reference model for
+        the hardware."""
+        hits = []
+        start_closure = self.eps_closure({self.start})
+        current = set(start_closure)
+        for i, byte in enumerate(data):
+            current = self.step(current | start_closure, byte)
+            if self.accept in current:
+                hits.append(i + 1)
+        return hits
+
+
+def build_nfa(ast: Ast) -> Nfa:
+    """Thompson's construction."""
+    counter = [0]
+    transitions: List[Tuple[int, int, Optional[FrozenSet[int]]]] = []
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    def build(node: Ast) -> Tuple[int, int]:
+        if node.kind == "char":
+            s, t = fresh(), fresh()
+            transitions.append((s, t, node.chars))
+            return s, t
+        if node.kind == "epsilon":
+            s = fresh()
+            return s, s
+        if node.kind == "concat":
+            first_s, prev_t = build(node.children[0])
+            for child in node.children[1:]:
+                s, t = build(child)
+                transitions.append((prev_t, s, None))
+                prev_t = t
+            return first_s, prev_t
+        if node.kind == "alt":
+            s, t = fresh(), fresh()
+            for child in node.children:
+                cs, ct = build(child)
+                transitions.append((s, cs, None))
+                transitions.append((ct, t, None))
+            return s, t
+        if node.kind == "star":
+            s, t = fresh(), fresh()
+            cs, ct = build(node.children[0])
+            transitions.append((s, cs, None))
+            transitions.append((ct, t, None))
+            transitions.append((s, t, None))
+            transitions.append((ct, cs, None))
+            return s, t
+        if node.kind == "plus":
+            cs, ct = build(node.children[0])
+            transitions.append((ct, cs, None))
+            return cs, ct
+        if node.kind == "opt":
+            s, t = fresh(), fresh()
+            cs, ct = build(node.children[0])
+            transitions.append((s, cs, None))
+            transitions.append((ct, t, None))
+            transitions.append((s, t, None))
+            return s, t
+        raise AssertionError(node.kind)
+
+    start, accept = build(ast)
+    return Nfa(counter[0], start, accept, transitions)
+
+
+# ---------------------------------------------------------------------------
+# Hardware realisation
+# ---------------------------------------------------------------------------
+
+
+def _epsilon_free(nfa: Nfa) -> Dict[int, List[Tuple[int, FrozenSet[int]]]]:
+    """dst -> [(src, chars)] with epsilon moves folded away.
+
+    A character transition src --chars--> dst is realised for every
+    state in dst's forward epsilon closure; sources are expanded so a
+    state is "active" if any state in its backward closure is active.
+    Concretely we precompute: state q is reached after consuming char c
+    iff exists transition (s, d, chars) with c in chars, s'
+    epsilon-reaches s ... easier: next(q) = OR over char-transitions
+    (s, d, chars) with q in eps_closure({d}) of (active(s) and
+    decode(chars)).
+    """
+    incoming: Dict[int, List[Tuple[int, FrozenSet[int]]]] = {}
+    for src, dst, chars in nfa.transitions:
+        if chars is None:
+            continue
+        for q in sorted(nfa.eps_closure({dst})):
+            incoming.setdefault(q, []).append((src, chars))
+    return incoming
+
+
+def regex_to_network(
+    pattern: str, name: str = "regex"
+) -> LogicNetwork:
+    """Compile *pattern* into a sequential logic network.
+
+    Interface: 8-bit input bus ``ch[7:0]``, input ``valid`` (gates
+    state updates), output ``match``.
+    """
+    nfa = build_nfa(parse_regex(pattern))
+    incoming = _epsilon_free(nfa)
+
+    network = LogicNetwork(name)
+    wb = WordBuilder(network, prefix="_rx")
+    ch = wb.input_word("ch", 8)
+    valid = network.add_input("valid")
+
+    # Character-class decoders are shared across transitions.
+    decoder_cache: Dict[FrozenSet[int], str] = {}
+
+    def decode(chars: FrozenSet[int]) -> str:
+        cached = decoder_cache.get(chars)
+        if cached is not None:
+            return cached
+        if len(chars) == 256:
+            signal = wb.const_bit(True)
+        else:
+            minterms = [wb.equals_const(ch, c) for c in sorted(chars)]
+            signal = wb.gate_or(minterms) if minterms else (
+                wb.const_bit(False)
+            )
+        decoder_cache[chars] = signal
+        return signal
+
+    # Which NFA states can be active *before* consuming a character:
+    # the start closure is re-armed every cycle (unanchored search),
+    # all other states are registered.
+    start_closure = nfa.eps_closure({nfa.start})
+
+    state_ff: Dict[int, str] = {}
+    sources_needed: Set[int] = set()
+    for q, arcs in incoming.items():
+        for src, _chars in arcs:
+            sources_needed.add(src)
+
+    # active(s) = FF(s) or (s in start closure).
+    def active(src: int) -> str:
+        if src in start_closure:
+            return wb.const_bit(True)
+        return state_ff.get(src, wb.const_bit(False))
+
+    # Declare the flip-flops first (feedback), then their next-state
+    # logic.
+    needed_states = sorted(incoming)
+    for q in needed_states:
+        state_ff[q] = f"st{q}"
+    for q in needed_states:
+        network.add_latch(f"st{q}", f"st{q}$next")
+    for q in needed_states:
+        arcs = incoming[q]
+        terms = []
+        for src, chars in arcs:
+            terms.append(
+                wb.gate_and((active(src), decode(chars)))
+            )
+        fire = wb.gate_or(terms)
+        # Hold 0 when no valid character is presented this cycle.
+        network.add_and(f"st{q}$next", (fire, valid))
+
+    accept_signal = (
+        state_ff.get(nfa.accept)
+        if nfa.accept in state_ff
+        else wb.const_bit(False)
+    )
+    if accept_signal is None:  # pragma: no cover - accept always keyed
+        accept_signal = wb.const_bit(False)
+    network.add_buf("match", accept_signal)
+    network.add_output("match")
+    network.validate()
+    return network
+
+
+def compile_regex_circuit(
+    pattern: str,
+    name: str = "regex",
+    k: int = 4,
+) -> LutCircuit:
+    """Full front-end: pattern -> optimised, mapped K-LUT circuit."""
+    network = regex_to_network(pattern, name)
+    network = optimize_network(network)
+    return tech_map(network, k=k)
+
+
+def reference_match_positions(pattern: str, data: bytes) -> List[int]:
+    """Software oracle used by the tests (1-based end positions)."""
+    return build_nfa(parse_regex(pattern)).search(data)

@@ -1,0 +1,169 @@
+"""Structural similarity between mode circuits.
+
+The paper's MCNC discussion attributes the wider wire-length spread to
+circuit dissimilarity: "For the general MCNC circuits the wire-length
+depends more on the similarity between the circuits."  This module
+quantifies that similarity so experiments can report it next to the
+Fig. 7 numbers:
+
+* :func:`connection_match_bound` — an upper bound on the fraction of
+  connections a perfect merge could share, computed from a
+  label-refined greedy matching on the two circuits' connection graphs
+  (a light-weight Weisfeiler-Lehman-style colouring via networkx);
+* :func:`degree_profile_similarity` — cosine similarity of fanout
+  histograms (a placement-free first-order signal);
+* :func:`similarity_report` — both metrics plus size overlap.
+
+These are analysis tools; the flow itself never needs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.placer import pad_cell
+
+
+def circuit_graph(circuit: LutCircuit) -> "nx.DiGraph":
+    """Directed cell-level connection graph of a LUT circuit.
+
+    Nodes are blocks and IO pads with structural labels (kind,
+    registered flag, fanin count); edges follow signal flow.
+    """
+    graph = nx.DiGraph()
+    for signal in circuit.inputs:
+        graph.add_node(pad_cell(signal), kind="ipad", arity=0,
+                       registered=False)
+    for block in circuit.blocks.values():
+        graph.add_node(
+            block.name,
+            kind="lut",
+            arity=len(block.inputs),
+            registered=block.registered,
+        )
+    for out in circuit.outputs:
+        graph.add_node(f"opad:{out}", kind="opad", arity=1,
+                       registered=False)
+    for block in circuit.blocks.values():
+        for src in block.inputs:
+            src_cell = (
+                pad_cell(src) if src in circuit.inputs else src
+            )
+            graph.add_edge(src_cell, block.name)
+    for out in circuit.outputs:
+        src_cell = pad_cell(out) if out in circuit.inputs else out
+        graph.add_edge(src_cell, f"opad:{out}")
+    return graph
+
+
+def _wl_colors(graph: "nx.DiGraph", rounds: int = 2
+               ) -> Dict[str, int]:
+    """Weisfeiler-Lehman node colouring (structure fingerprints)."""
+    colors: Dict[str, Tuple] = {
+        node: (
+            data["kind"], data["arity"], data["registered"],
+            graph.out_degree(node),
+        )
+        for node, data in graph.nodes(data=True)
+    }
+    for _ in range(rounds):
+        new_colors = {}
+        for node in graph.nodes:
+            neighbourhood = sorted(
+                colors[p] for p in graph.predecessors(node)
+            )
+            new_colors[node] = (colors[node], tuple(neighbourhood))
+        colors = new_colors
+    # Compress to integers.
+    palette: Dict[Tuple, int] = {}
+    compressed = {}
+    for node, color in colors.items():
+        compressed[node] = palette.setdefault(color, len(palette))
+    return compressed
+
+
+def connection_match_bound(
+    a: LutCircuit, b: LutCircuit, rounds: int = 2
+) -> float:
+    """Upper-bound fraction of connections a merge could share.
+
+    Connections are labelled by the WL colours of their endpoints; two
+    connections of different modes can only end up with the same
+    physical source *and* sink if a placement maps their endpoint
+    pairs onto each other, so the multiset intersection of endpoint
+    labels bounds the matchable count.  Returned as a fraction of the
+    larger mode's connection count (1.0 = potentially fully shared).
+    """
+    ga, gb = circuit_graph(a), circuit_graph(b)
+
+    # Colour both graphs with the raw (uncompressed) WL labels so the
+    # two palettes agree without an explicit union graph.
+    def recolor(graph):
+        colors = {
+            node: (
+                data["kind"], data["arity"], data["registered"],
+                graph.out_degree(node),
+            )
+            for node, data in graph.nodes(data=True)
+        }
+        for _ in range(rounds):
+            colors = {
+                node: (
+                    colors[node],
+                    tuple(sorted(
+                        colors[p] for p in graph.predecessors(node)
+                    )),
+                )
+                for node in graph.nodes
+            }
+        return colors
+
+    raw_a, raw_b = recolor(ga), recolor(gb)
+    from collections import Counter
+
+    edges_a = Counter(
+        (raw_a[u], raw_a[v]) for u, v in ga.edges
+    )
+    edges_b = Counter(
+        (raw_b[u], raw_b[v]) for u, v in gb.edges
+    )
+    matchable = sum((edges_a & edges_b).values())
+    denominator = max(ga.number_of_edges(), gb.number_of_edges())
+    if denominator == 0:
+        return 1.0
+    return matchable / denominator
+
+
+def degree_profile_similarity(a: LutCircuit, b: LutCircuit) -> float:
+    """Cosine similarity of the two circuits' fanout histograms."""
+    import math
+
+    def histogram(circuit: LutCircuit) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for readers in circuit.fanouts().values():
+            counts[len(readers)] = counts.get(len(readers), 0) + 1
+        return counts
+
+    ha, hb = histogram(a), histogram(b)
+    keys = set(ha) | set(hb)
+    dot = sum(ha.get(k, 0) * hb.get(k, 0) for k in keys)
+    norm_a = math.sqrt(sum(v * v for v in ha.values()))
+    norm_b = math.sqrt(sum(v * v for v in hb.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def similarity_report(a: LutCircuit, b: LutCircuit) -> Dict[str, float]:
+    """All similarity metrics of a mode pair."""
+    size_ratio = min(a.n_luts(), b.n_luts()) / max(
+        a.n_luts(), b.n_luts()
+    )
+    return {
+        "size_ratio": size_ratio,
+        "match_bound": connection_match_bound(a, b),
+        "degree_similarity": degree_profile_similarity(a, b),
+    }

@@ -1,0 +1,288 @@
+"""Command-line interface for the multi-mode tool flow.
+
+Subcommands mirror the stages of the paper's flow:
+
+``repro map``
+    Map a BLIF circuit to K-LUTs and write the mapped BLIF.
+``repro implement``
+    Run the full multi-mode flow (MDR + DCS) on two or more BLIF mode
+    circuits and print the reconfiguration report.
+``repro experiments``
+    Regenerate the paper's tables and figures (same as
+    ``examples/run_paper_experiments.py``).
+``repro info``
+    Print statistics of a BLIF circuit (size before/after mapping).
+``repro export``
+    Implement one BLIF circuit in a reconfigurable region and write
+    the VPR-format artefacts (``.net``, ``.place``, ``.route``) plus
+    the architecture file.
+``repro report``
+    Run the multi-mode flow on BLIF mode circuits and write the
+    Markdown implementation report (optionally an SVG of the merged
+    routing).
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.flow import FlowOptions, implement_multi_mode
+from repro.core.merge import MergeStrategy
+from repro.netlist.blif import read_blif_file, write_lut_blif
+from repro.netlist.simulate import equivalent
+from repro.synth.optimize import optimize_network
+from repro.synth.techmap import tech_map
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    network = read_blif_file(args.input)
+    mapped = tech_map(optimize_network(network), k=args.k)
+    if args.verify and not equivalent(network, mapped):
+        print("ERROR: mapped circuit is not equivalent",
+              file=sys.stderr)
+        return 1
+    text = write_lut_blif(mapped)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"{args.input}: {mapped.n_luts()} {args.k}-LUTs "
+            f"-> {args.output}"
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network = read_blif_file(args.input)
+    stats = network.stats()
+    print(f"model:    {network.name}")
+    print(f"inputs:   {stats['inputs']}")
+    print(f"outputs:  {stats['outputs']}")
+    print(f"nodes:    {stats['nodes']}")
+    print(f"latches:  {stats['latches']}")
+    mapped = tech_map(optimize_network(network), k=args.k)
+    mstats = mapped.stats()
+    print(f"{args.k}-LUTs:   {mstats['luts']} "
+          f"(depth {mstats['depth']}, {mstats['ffs']} registered)")
+    return 0
+
+
+def _cmd_implement(args: argparse.Namespace) -> int:
+    modes = []
+    for path in args.modes:
+        network = read_blif_file(path)
+        modes.append(tech_map(optimize_network(network), k=args.k))
+        print(f"mode {len(modes) - 1}: {path} "
+              f"-> {modes[-1].n_luts()} LUTs")
+    options = FlowOptions(
+        seed=args.seed,
+        k=args.k,
+        inner_num=args.effort,
+        channel_width=args.channel_width,
+    )
+    strategies = tuple(
+        MergeStrategy(s) for s in args.strategies
+    )
+    result = implement_multi_mode(
+        "cli", modes, options, strategies=strategies
+    )
+    print(
+        f"\nregion: {result.arch.nx}x{result.arch.ny} CLBs, "
+        f"channel width {result.arch.channel_width}"
+    )
+    print(f"MDR rewrites {result.mdr.cost.total} bits per switch "
+          f"({result.mdr.cost.routing_bits} routing)")
+    print(f"differing routing bits (separate implementations): "
+          f"{result.mdr.diff.routing_bits}")
+    for strategy in strategies:
+        dcs = result.dcs[strategy]
+        print(
+            f"DCS [{strategy.value}]: {dcs.cost.total} bits "
+            f"({dcs.cost.routing_bits} parameterised), "
+            f"speed-up {result.speedup(strategy):.2f}x, "
+            f"wires {100 * result.wirelength_ratio(strategy):.0f}% "
+            f"of MDR"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.arch.architecture import size_for_circuits
+    from repro.arch.rrg import build_rrg
+    from repro.interop import (
+        DEFAULT_4LUT_ARCH,
+        write_net_file,
+        write_place_file,
+        write_route_file,
+    )
+    from repro.place.placer import place_circuit
+    from repro.route.troute import route_lut_circuit
+
+    network = read_blif_file(args.input)
+    circuit = tech_map(optimize_network(network), k=args.k)
+    io_count = len(circuit.inputs) + len(circuit.outputs)
+    arch = size_for_circuits(
+        circuit.n_luts(), io_count, k=args.k,
+        channel_width=args.channel_width,
+    )
+    placement = place_circuit(circuit, arch, seed=args.seed)
+    routing = route_lut_circuit(circuit, placement, build_rrg(arch))
+
+    os.makedirs(args.outdir, exist_ok=True)
+    base = os.path.join(args.outdir, circuit.name)
+    artefacts = {
+        f"{base}.arch": DEFAULT_4LUT_ARCH,
+        f"{base}.net": write_net_file(circuit),
+        f"{base}.place": write_place_file(
+            placement,
+            netlist_file=f"{circuit.name}.net",
+            arch_file=f"{circuit.name}.arch",
+        ),
+        f"{base}.route": write_route_file(routing),
+    }
+    for path, text in artefacts.items():
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.viz import implementation_report, routing_svg
+
+    modes = []
+    for path in args.modes:
+        network = read_blif_file(path)
+        modes.append(tech_map(optimize_network(network), k=args.k))
+    options = FlowOptions(
+        seed=args.seed, k=args.k, inner_num=args.effort
+    )
+    result = implement_multi_mode("report", modes, options)
+    text = implementation_report(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    if args.svg:
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(routing_svg(dcs.routing))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.harness import ExperimentHarness
+
+    harness = ExperimentHarness(effort=args.effort, seed=args.seed)
+    outcomes = {
+        suite: harness.run_suite(suite, verbose=True)
+        for suite in ("RegExp", "FIR", "MCNC")
+    }
+    print()
+    print(harness.print_table1(harness.table1()))
+    print()
+    print(harness.print_figure5(harness.figure5(outcomes)))
+    print()
+    print(harness.print_figure6(harness.figure6(outcomes["RegExp"])))
+    print()
+    print(harness.print_figure7(harness.figure7(outcomes)))
+    print()
+    print(harness.print_area_table(harness.area_table()))
+    print()
+    print(harness.print_sta_table(harness.sta_table(outcomes)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-mode circuit tool flow with Dynamic Circuit "
+            "Specialization (Al Farisi et al., DATE 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map BLIF to K-LUTs")
+    p_map.add_argument("input")
+    p_map.add_argument("-o", "--output")
+    p_map.add_argument("-k", type=int, default=4)
+    p_map.add_argument("--verify", action="store_true",
+                       help="simulation-check the mapping")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_info = sub.add_parser("info", help="circuit statistics")
+    p_info.add_argument("input")
+    p_info.add_argument("-k", type=int, default=4)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_impl = sub.add_parser(
+        "implement", help="run MDR + DCS on mode circuits"
+    )
+    p_impl.add_argument("modes", nargs="+",
+                        help="BLIF file per mode (>= 2)")
+    p_impl.add_argument("-k", type=int, default=4)
+    p_impl.add_argument("--seed", type=int, default=0)
+    p_impl.add_argument("--effort", type=float, default=0.3,
+                        help="annealing inner_num")
+    p_impl.add_argument("--channel-width", type=int, default=None)
+    p_impl.add_argument(
+        "--strategies", nargs="+",
+        default=["edge_matching", "wire_length"],
+        choices=[s.value for s in MergeStrategy],
+    )
+    p_impl.set_defaults(func=_cmd_implement)
+
+    p_export = sub.add_parser(
+        "export", help="write VPR .net/.place/.route artefacts"
+    )
+    p_export.add_argument("input", help="BLIF circuit")
+    p_export.add_argument("-o", "--outdir", default=".")
+    p_export.add_argument("-k", type=int, default=4)
+    p_export.add_argument("--seed", type=int, default=0)
+    p_export.add_argument("--channel-width", type=int, default=12)
+    p_export.set_defaults(func=_cmd_export)
+
+    p_report = sub.add_parser(
+        "report", help="write the Markdown implementation report"
+    )
+    p_report.add_argument("modes", nargs="+",
+                          help="BLIF file per mode (>= 2)")
+    p_report.add_argument("-o", "--output", default=None)
+    p_report.add_argument("--svg", default=None,
+                          help="also write an SVG of the routing")
+    p_report.add_argument("-k", type=int, default=4)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--effort", type=float, default=0.3)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables/figures"
+    )
+    p_exp.add_argument("--effort", default="quick",
+                       choices=("quick", "default", "paper"))
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: multi-mode merging with DCS.
+
+* :mod:`repro.core.modes` — binary mode encoding and Boolean products
+  over the mode bits (paper Section III).
+* :mod:`repro.core.activation` — activation functions of tunable
+  connections (sets of modes, rendered as minimised mode-bit
+  expressions).
+* :mod:`repro.core.tunable` — Tunable circuits: Tunable LUTs whose
+  configuration bits are Boolean functions of the mode, and Tunable
+  connections (paper Figs. 3 and 4).
+* :mod:`repro.core.merge` — merging per-mode LUT circuits into one
+  Tunable circuit, from a combined placement or by index.
+* :mod:`repro.core.combined_placement` — the simultaneous placement of
+  all modes with the circuit-edge-matching and wire-length cost
+  functions (paper Sections III-A/B), plus TPlace refinement.
+* :mod:`repro.core.reconfig` — reconfiguration-cost accounting (bits
+  rewritten for MDR / Diff / DCS).
+* :mod:`repro.core.flow` — the end-to-end MDR and DCS tool flows.
+* :mod:`repro.core.verilog_export` — parameterised Verilog of the
+  merged circuit (mode-multiplexed truth tables and connections).
+"""
+
+from repro.core.activation import ActivationFunction
+from repro.core.flow import DcsFlow, MdrFlow, MultiModeResult
+from repro.core.manager import (
+    ParameterizedConfiguration,
+    ReconfigurationManager,
+)
+from repro.core.merge import MergeStrategy
+from repro.core.modes import ModeEncoding
+from repro.core.tunable import TunableCircuit, TunableConnection, TunableLut
+from repro.core.verilog_export import write_tunable_verilog
+
+__all__ = [
+    "ActivationFunction",
+    "write_tunable_verilog",
+    "DcsFlow",
+    "MdrFlow",
+    "MultiModeResult",
+    "MergeStrategy",
+    "ModeEncoding",
+    "ParameterizedConfiguration",
+    "ReconfigurationManager",
+    "TunableCircuit",
+    "TunableConnection",
+    "TunableLut",
+]

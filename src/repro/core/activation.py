@@ -1,0 +1,83 @@
+"""Activation functions of Tunable connections.
+
+An activation function is a Boolean function of the mode bits that
+tells in which modes a tunable connection must be realised (paper
+Section II-B).  Because the flow enumerates modes explicitly, the
+canonical internal representation is simply the *set of active modes*;
+rendering to a minimised mode-bit expression is delegated to the
+Quine-McCluskey minimiser via :class:`~repro.core.modes.ModeEncoding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.core.modes import ModeEncoding
+
+
+@dataclass(frozen=True)
+class ActivationFunction:
+    """The set of modes in which a tunable connection is active."""
+
+    modes: FrozenSet[int]
+    n_modes: int
+
+    def __post_init__(self) -> None:
+        if not self.modes:
+            raise ValueError("activation function must cover >= 1 mode")
+        if max(self.modes) >= self.n_modes or min(self.modes) < 0:
+            raise ValueError("active mode out of range")
+
+    @classmethod
+    def of(cls, modes: Iterable[int], n_modes: int
+           ) -> "ActivationFunction":
+        return cls(frozenset(modes), n_modes)
+
+    @classmethod
+    def single(cls, mode: int, n_modes: int) -> "ActivationFunction":
+        """Activation of an unshared connection (one mode only)."""
+        return cls(frozenset((mode,)), n_modes)
+
+    @classmethod
+    def always(cls, n_modes: int) -> "ActivationFunction":
+        """Activation of a connection shared by every mode."""
+        return cls(frozenset(range(n_modes)), n_modes)
+
+    # -- algebra -----------------------------------------------------------
+
+    def __or__(self, other: "ActivationFunction") -> "ActivationFunction":
+        """Merging two connections ORs their activation functions."""
+        if self.n_modes != other.n_modes:
+            raise ValueError("mode counts differ")
+        return ActivationFunction(self.modes | other.modes, self.n_modes)
+
+    def is_always(self) -> bool:
+        """True when the connection is active in every mode.
+
+        Such connections need no parameterised routing bits: the
+        switches along them hold the same value in all modes.
+        """
+        return len(self.modes) == self.n_modes
+
+    def is_active(self, mode: int) -> bool:
+        return mode in self.modes
+
+    def __contains__(self, mode: int) -> bool:
+        return mode in self.modes
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self.modes))
+
+    def __len__(self) -> int:
+        return len(self.modes)
+
+    def expression(self, encoding: ModeEncoding = None) -> str:
+        """Minimised mode-bit expression, e.g. ``m0`` or ``1``."""
+        encoding = encoding or ModeEncoding(self.n_modes)
+        if encoding.n_modes != self.n_modes:
+            raise ValueError("encoding does not match n_modes")
+        return encoding.expression(self.modes)
+
+    def __str__(self) -> str:
+        return self.expression()

@@ -1,0 +1,380 @@
+"""End-to-end tool flows: MDR baseline and the paper's DCS flow.
+
+``MdrFlow`` implements Fig. 2(a): every mode is placed and routed
+separately in the same reconfigurable region; a mode switch rewrites
+the whole region.
+
+``DcsFlow`` implements Fig. 2(b): the per-mode LUT circuits are merged
+into one Tunable circuit via combined placement (edge-matching or
+wire-length cost), optionally refined by TPlace, and routed by TRoute;
+a mode switch rewrites the LUT bits plus only the parameterised routing
+bits.
+
+``implement_multi_mode`` drives both flows on a shared architecture
+(same grid, same channel width) so their bit counts are comparable, and
+retries with a wider channel when routing fails — mirroring the paper's
+"20% bigger than minimum" sizing rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.architecture import FpgaArchitecture, size_for_circuits
+from repro.arch.rrg import RoutingResourceGraph, build_rrg
+from repro.core.combined_placement import (
+    CombinedPlacementResult,
+    merge_with_combined_placement,
+    tplace,
+)
+from repro.core.merge import MergeStrategy, merge_by_index
+from repro.core.reconfig import (
+    ReconfigCost,
+    dcs_cost,
+    diff_cost,
+    mdr_cost,
+    speedup,
+)
+from repro.core.tunable import TunableCircuit
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.annealing import AnnealingSchedule
+from repro.place.placer import Placement, place_circuit
+from repro.route.router import RoutingError, RoutingResult
+from repro.route.troute import (
+    route_lut_circuit,
+    route_tunable_circuit,
+)
+
+
+@dataclass
+class FlowOptions:
+    """Knobs shared by both flows.
+
+    ``channel_width=None`` lets the driver estimate a width from
+    placement wire-length and grow it on routing failure; a fixed value
+    reproduces a specific experiment exactly.
+    """
+
+    seed: int = 0
+    k: int = 4
+    slack: float = 1.2
+    io_rat: int = 2
+    fc_in: float = 0.5
+    fc_out: float = 0.5
+    channel_width: Optional[int] = None
+    inner_num: float = 1.0
+    tplace_refine: bool = True
+    max_width_retries: int = 5
+    router_max_iterations: int = 40
+    #: Cross-mode wire-affinity of TRoute (< 1 steers a net's per-mode
+    #: branches onto shared wires; 1.0 disables the bias).
+    net_affinity: float = 0.5
+    #: Cross-mode switch-bit affinity of TRoute (< 1 steers connections
+    #: onto switches already on in the other modes, turning their bits
+    #: static; 1.0 disables the bias).
+    bit_affinity: float = 0.3
+    #: Extra TRoute sweeps after congestion is resolved that reroute
+    #: every net with the sharing discounts active, keeping the legal
+    #: result with the fewest parameterised bits.  Sweeps stop early
+    #: when a sweep no longer improves.
+    sharing_passes: int = 3
+    #: Channel sizing when ``channel_width`` is None: ``"estimate"``
+    #: derives a width from netlist statistics and grows it on routing
+    #: failure; ``"search"`` runs the paper's methodology exactly — a
+    #: binary search for the minimum routable width plus 20% slack
+    #: (slower: several trial routings).
+    sizing: str = "estimate"
+
+    def schedule(self) -> AnnealingSchedule:
+        return AnnealingSchedule(inner_num=self.inner_num)
+
+
+@dataclass
+class ModeImplementation:
+    """One mode's separate (MDR) implementation."""
+
+    mode: int
+    placement: Placement
+    routing: RoutingResult
+
+    def bits_on(self) -> Set[int]:
+        return self.routing.bits_on(0)
+
+    def wirelength(self) -> int:
+        return self.routing.total_wirelength(0)
+
+
+@dataclass
+class MdrResult:
+    """Outcome of the MDR flow on one multi-mode circuit."""
+
+    arch: FpgaArchitecture
+    implementations: List[ModeImplementation]
+    cost: ReconfigCost
+    diff: ReconfigCost
+
+    def per_mode_wirelength(self) -> List[int]:
+        return [impl.wirelength() for impl in self.implementations]
+
+    def mean_wirelength(self) -> float:
+        wl = self.per_mode_wirelength()
+        return sum(wl) / len(wl)
+
+
+@dataclass
+class DcsResult:
+    """Outcome of the DCS flow with one merge strategy."""
+
+    arch: FpgaArchitecture
+    strategy: MergeStrategy
+    tunable: TunableCircuit
+    routing: RoutingResult
+    cost: ReconfigCost
+    placement: Optional[CombinedPlacementResult] = None
+
+    def per_mode_wirelength(self) -> List[int]:
+        return [
+            self.routing.total_wirelength(m)
+            for m in range(self.tunable.n_modes)
+        ]
+
+    def mean_wirelength(self) -> float:
+        wl = self.per_mode_wirelength()
+        return sum(wl) / len(wl)
+
+
+@dataclass
+class MultiModeResult:
+    """Both flows on one multi-mode circuit, on a shared architecture."""
+
+    name: str
+    arch: FpgaArchitecture
+    mdr: MdrResult
+    dcs: Dict[MergeStrategy, DcsResult]
+
+    def speedup(self, strategy: MergeStrategy) -> float:
+        """Fig. 5: reconfiguration speed-up of DCS over MDR."""
+        return speedup(self.mdr.cost, self.dcs[strategy].cost)
+
+    def wirelength_ratio(self, strategy: MergeStrategy) -> float:
+        """Fig. 7: per-mode wires of DCS relative to MDR."""
+        return (
+            self.dcs[strategy].mean_wirelength()
+            / self.mdr.mean_wirelength()
+        )
+
+
+class MdrFlow:
+    """Modular Dynamic Reconfiguration: implement each mode separately."""
+
+    def __init__(self, options: Optional[FlowOptions] = None) -> None:
+        self.options = options or FlowOptions()
+
+    def run(
+        self,
+        mode_circuits: Sequence[LutCircuit],
+        arch: FpgaArchitecture,
+        rrg: Optional[RoutingResourceGraph] = None,
+    ) -> MdrResult:
+        """Place & route every mode independently in the region."""
+        options = self.options
+        rrg = rrg or build_rrg(arch)
+        implementations = []
+        for mode, circuit in enumerate(mode_circuits):
+            placement = place_circuit(
+                circuit,
+                arch,
+                seed=options.seed + mode,
+                schedule=options.schedule(),
+            )
+            routing = route_lut_circuit(
+                circuit,
+                placement,
+                rrg,
+                max_iterations=options.router_max_iterations,
+            )
+            implementations.append(
+                ModeImplementation(mode, placement, routing)
+            )
+        per_mode_bits = [impl.bits_on() for impl in implementations]
+        return MdrResult(
+            arch=arch,
+            implementations=implementations,
+            cost=mdr_cost(arch, rrg),
+            diff=diff_cost(arch, per_mode_bits),
+        )
+
+
+class DcsFlow:
+    """The paper's flow: merge + Dynamic Circuit Specialization."""
+
+    def __init__(self, options: Optional[FlowOptions] = None) -> None:
+        self.options = options or FlowOptions()
+
+    def run(
+        self,
+        name: str,
+        mode_circuits: Sequence[LutCircuit],
+        arch: FpgaArchitecture,
+        strategy: MergeStrategy = MergeStrategy.WIRE_LENGTH,
+        rrg: Optional[RoutingResourceGraph] = None,
+    ) -> DcsResult:
+        """Combined placement, merge, TPlace, TRoute, bit accounting."""
+        options = self.options
+        rrg = rrg or build_rrg(arch)
+        n_modes = len(mode_circuits)
+
+        placement_result: Optional[CombinedPlacementResult] = None
+        if strategy == MergeStrategy.BY_INDEX:
+            tunable = merge_by_index(name, mode_circuits)
+            tplace(
+                tunable,
+                arch,
+                seed=options.seed,
+                schedule=options.schedule(),
+                randomize=True,
+            )
+        else:
+            tunable, placement_result = merge_with_combined_placement(
+                name,
+                mode_circuits,
+                arch,
+                strategy=strategy,
+                seed=options.seed,
+                schedule=options.schedule(),
+            )
+            if options.tplace_refine:
+                tplace(
+                    tunable,
+                    arch,
+                    seed=options.seed,
+                    schedule=options.schedule(),
+                )
+        routing = route_tunable_circuit(
+            rrg,
+            tunable.site_connections(),
+            n_modes,
+            net_affinity=options.net_affinity,
+            bit_affinity=options.bit_affinity,
+            sharing_passes=options.sharing_passes,
+            max_iterations=options.router_max_iterations,
+        )
+        per_mode_bits = [
+            routing.bits_on(m) for m in range(n_modes)
+        ]
+        return DcsResult(
+            arch=arch,
+            strategy=strategy,
+            tunable=tunable,
+            routing=routing,
+            cost=dcs_cost(arch, per_mode_bits),
+            placement=placement_result,
+        )
+
+
+def estimate_channel_width(
+    mode_circuits: Sequence[LutCircuit],
+    arch: FpgaArchitecture,
+    utilization: float = 0.55,
+    slack: float = 1.2,
+    floor: int = 6,
+    ceiling: int = 48,
+) -> int:
+    """Estimate a routable channel width from netlist statistics.
+
+    Average wiring demand per channel segment is approximated from the
+    connection count and the mean Manhattan length of a random
+    placement (~ one third of the grid semi-perimeter); the estimate is
+    then inflated by ``1/utilization`` (peak-to-average) and the
+    paper's 20% slack.
+    """
+    n_segments = max(1, arch.n_channel_segments())
+    demand = 0.0
+    for circuit in mode_circuits:
+        n_conns = len(circuit.connections())
+        mean_length = (arch.nx + arch.ny) / 6.0
+        demand = max(demand, n_conns * mean_length)
+    width = int(demand / n_segments / utilization * slack) + 1
+    return max(floor, min(ceiling, width))
+
+
+def implement_multi_mode(
+    name: str,
+    mode_circuits: Sequence[LutCircuit],
+    options: Optional[FlowOptions] = None,
+    strategies: Sequence[MergeStrategy] = (
+        MergeStrategy.EDGE_MATCHING,
+        MergeStrategy.WIRE_LENGTH,
+    ),
+) -> MultiModeResult:
+    """Run MDR and DCS on a shared architecture; retry wider on failure.
+
+    This is the experiment driver: one call per multi-mode circuit
+    yields every quantity Figs. 5-7 need.
+    """
+    options = options or FlowOptions()
+    n_blocks = max(c.n_luts() for c in mode_circuits)
+    io_names = set()
+    for circuit in mode_circuits:
+        io_names.update(circuit.inputs)
+        io_names.update(circuit.outputs)
+
+    arch = size_for_circuits(
+        n_blocks,
+        len(io_names),
+        k=options.k,
+        channel_width=options.channel_width or 8,
+        slack=options.slack,
+        io_rat=options.io_rat,
+        fc_in=options.fc_in,
+        fc_out=options.fc_out,
+    )
+    if options.channel_width is not None:
+        width = options.channel_width
+    elif options.sizing == "search":
+        from repro.arch.sizing import paper_channel_width
+
+        width = paper_channel_width(
+            mode_circuits,
+            arch,
+            slack=options.slack,
+            seed=options.seed,
+            schedule=options.schedule(),
+            router_max_iterations=options.router_max_iterations,
+        )
+    elif options.sizing == "estimate":
+        width = estimate_channel_width(mode_circuits, arch)
+    else:
+        raise ValueError(
+            f"unknown sizing {options.sizing!r} "
+            f"(use 'estimate' or 'search')"
+        )
+
+    last_error: Optional[Exception] = None
+    for _attempt in range(options.max_width_retries):
+        arch = FpgaArchitecture(
+            nx=arch.nx,
+            ny=arch.ny,
+            k=arch.k,
+            channel_width=width,
+            fc_in=arch.fc_in,
+            fc_out=arch.fc_out,
+            io_rat=arch.io_rat,
+        )
+        rrg = build_rrg(arch)
+        try:
+            mdr = MdrFlow(options).run(mode_circuits, arch, rrg)
+            dcs: Dict[MergeStrategy, DcsResult] = {}
+            for strategy in strategies:
+                dcs[strategy] = DcsFlow(options).run(
+                    name, mode_circuits, arch, strategy, rrg
+                )
+            return MultiModeResult(name, arch, mdr, dcs)
+        except RoutingError as error:
+            last_error = error
+            width = max(width + 2, int(width * 1.25))
+    raise RoutingError(
+        f"{name}: unroutable even at channel width {width}: "
+        f"{last_error}"
+    )

@@ -1,0 +1,214 @@
+"""Merging per-mode LUT circuits into one Tunable circuit.
+
+The key step of the paper's tool flow (Section III, Fig. 3): decide
+which LUTs of different modes are implemented by the same Tunable LUT,
+then annotate all connections with activation functions and merge the
+ones with identical endpoints.
+
+Two groupings are provided:
+
+* :func:`merge_from_placement` — extract the Tunable circuit from a
+  *combined placement*: LUTs positioned on the same physical logic
+  block share a Tunable LUT (paper Section III-A).  This is the path
+  both optimisation options (edge matching / wire length) use.
+* :func:`merge_by_index` — the naive illustration of Fig. 3: the i-th
+  LUT of every mode shares a Tunable LUT.  Kept as an ablation baseline
+  and for placement-free unit tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.architecture import Site
+from repro.netlist.lutcircuit import LutCircuit
+from repro.core.tunable import TunableCircuit
+from repro.place.placer import pad_cell
+
+
+class MergeStrategy(enum.Enum):
+    """How the LUT grouping of the Tunable circuit is chosen."""
+
+    #: Naive Fig. 3 grouping: i-th LUT of every mode.
+    BY_INDEX = "by_index"
+    #: Combined placement optimising matched connections (prior art,
+    #: Rullmann & Merker).
+    EDGE_MATCHING = "edge_matching"
+    #: Combined placement optimising estimated wire length (the
+    #: paper's novel approach).
+    WIRE_LENGTH = "wire_length"
+
+
+def _io_direction(circuits: Sequence[LutCircuit], signal: str) -> str:
+    for circuit in circuits:
+        if signal in circuit.inputs:
+            return "in"
+        if signal in circuit.outputs:
+            return "out"
+    raise ValueError(f"{signal} is not a primary IO of any mode")
+
+
+def _check_modes(mode_circuits: Sequence[LutCircuit]) -> int:
+    if len(mode_circuits) < 2:
+        raise ValueError("a multi-mode circuit needs >= 2 modes")
+    k = mode_circuits[0].k
+    if any(c.k != k for c in mode_circuits):
+        raise ValueError("all modes must target the same LUT size")
+    return k
+
+
+def _pad_signals(circuit: LutCircuit) -> List[Tuple[str, str]]:
+    """(signal, direction) of every IO pad of one mode."""
+    return [(s, "in") for s in circuit.inputs] + [
+        (s, "out") for s in circuit.outputs
+    ]
+
+
+def _mode_cell_connections(
+    circuit: LutCircuit,
+    cell_of: Dict[str, str],
+) -> List[Tuple[str, str]]:
+    """Cell-level connections of one mode under the naming *cell_of*.
+
+    *cell_of* maps the mode's signal names (blocks, PIs) and output-pad
+    cells to tunable-cell names.
+    """
+    conns = []
+    for block in circuit.blocks.values():
+        sink = cell_of[block.name]
+        for src in block.inputs:
+            conns.append((cell_of[src], sink))
+    for out in circuit.outputs:
+        conns.append((cell_of[out], cell_of[pad_cell(out)]))
+    return conns
+
+
+def merge_from_placement(
+    name: str,
+    mode_circuits: Sequence[LutCircuit],
+    block_sites: Dict[Tuple[int, str], Site],
+    pad_sites: Dict[str, Site],
+) -> TunableCircuit:
+    """Extract the Tunable circuit from a combined placement.
+
+    ``block_sites`` maps ``(mode, block name)`` to the logic tile the
+    block occupies; ``pad_sites`` maps pad cells (``pad:<signal>``,
+    shared across modes by signal name) to pad slots.  LUTs of
+    different modes on the same tile become one Tunable LUT; the
+    resulting Tunable cells inherit their sites, so the circuit is
+    ready for TRoute (optionally after TPlace refinement).
+    """
+    k = _check_modes(mode_circuits)
+    n_modes = len(mode_circuits)
+    tc = TunableCircuit(name, k, n_modes)
+
+    # Tunable LUTs from co-located blocks.
+    tlut_of_site: Dict[Site, str] = {}
+    for mode, circuit in enumerate(mode_circuits):
+        for block in circuit.blocks.values():
+            site = block_sites[(mode, block.name)]
+            if site.kind != "clb":
+                raise ValueError(
+                    f"block {block.name} placed on non-CLB site"
+                )
+            tlut_name = tlut_of_site.get(site)
+            if tlut_name is None:
+                tlut_name = f"tl{site.x}_{site.y}"
+                tc.add_tlut(tlut_name, site=site)
+                tlut_of_site[site] = tlut_name
+            tc.tluts[tlut_name].add_member(mode, block)
+            tc.bind_signal(mode, block.name, tlut_name)
+
+    # Tunable pads (shared across modes by signal name).
+    pad_name_of_cell: Dict[str, str] = {}
+    for cell, site in pad_sites.items():
+        if site.kind != "pad":
+            raise ValueError(f"pad cell {cell} placed on non-pad site")
+        signal = cell.split(":", 1)[1]
+        direction = _io_direction(mode_circuits, signal)
+        pad_name = f"pad{site.x}_{site.y}_{site.slot}"
+        pad = tc.add_pad(pad_name, direction, site=site)
+        pad_name_of_cell[cell] = pad_name
+        for mode, circuit in enumerate(mode_circuits):
+            ios = (
+                circuit.inputs if direction == "in" else circuit.outputs
+            )
+            if signal in ios:
+                pad.signals[mode] = signal
+                if direction == "in":
+                    tc.bind_signal(mode, signal, pad_name)
+
+    # Connections.
+    per_mode: Dict[int, List[Tuple[str, str]]] = {}
+    for mode, circuit in enumerate(mode_circuits):
+        cell_of: Dict[str, str] = {}
+        for block in circuit.blocks.values():
+            cell_of[block.name] = tc.cell_of_signal[(mode, block.name)]
+        for signal in circuit.inputs:
+            cell_of[signal] = pad_name_of_cell[pad_cell(signal)]
+        for signal in circuit.outputs:
+            cell_of[pad_cell(signal)] = pad_name_of_cell[
+                pad_cell(signal)
+            ]
+        per_mode[mode] = _mode_cell_connections(circuit, cell_of)
+    tc.finalize_connections(per_mode)
+    return tc
+
+
+def merge_by_index(
+    name: str,
+    mode_circuits: Sequence[LutCircuit],
+) -> TunableCircuit:
+    """Naive merge: the i-th LUT of every mode shares a Tunable LUT.
+
+    IO pads are shared by signal name (same-named IOs of different
+    modes are the same physical pin).  No sites are assigned; run
+    TPlace before routing.
+    """
+    k = _check_modes(mode_circuits)
+    n_modes = len(mode_circuits)
+    tc = TunableCircuit(name, k, n_modes)
+
+    orders = [sorted(c.blocks) for c in mode_circuits]
+    n_tluts = max(len(order) for order in orders)
+    for i in range(n_tluts):
+        tc.add_tlut(f"tl{i}")
+    for mode, order in enumerate(orders):
+        for i, block_name in enumerate(order):
+            block = mode_circuits[mode].blocks[block_name]
+            tc.tluts[f"tl{i}"].add_member(mode, block)
+            tc.bind_signal(mode, block_name, f"tl{i}")
+
+    pad_name_of_cell: Dict[str, str] = {}
+    for mode, circuit in enumerate(mode_circuits):
+        for signal, direction in _pad_signals(circuit):
+            cell = pad_cell(signal)
+            pad_name = pad_name_of_cell.get(cell)
+            if pad_name is None:
+                pad_name = f"pad_{signal}"
+                tc.add_pad(pad_name, direction)
+                pad_name_of_cell[cell] = pad_name
+            pad = tc.pads[pad_name]
+            if pad.direction != direction:
+                raise ValueError(
+                    f"IO {signal} changes direction between modes"
+                )
+            pad.signals[mode] = signal
+            if direction == "in":
+                tc.bind_signal(mode, signal, pad_name)
+
+    per_mode: Dict[int, List[Tuple[str, str]]] = {}
+    for mode, circuit in enumerate(mode_circuits):
+        cell_of: Dict[str, str] = {}
+        for block in circuit.blocks.values():
+            cell_of[block.name] = tc.cell_of_signal[(mode, block.name)]
+        for signal in circuit.inputs:
+            cell_of[signal] = pad_name_of_cell[pad_cell(signal)]
+        for signal in circuit.outputs:
+            cell_of[pad_cell(signal)] = pad_name_of_cell[
+                pad_cell(signal)
+            ]
+        per_mode[mode] = _mode_cell_connections(circuit, cell_of)
+    tc.finalize_connections(per_mode)
+    return tc

@@ -1,0 +1,149 @@
+"""Mode numbering and Boolean products over mode bits.
+
+Paper Section III: "We first assume the mode circuits are numbered and
+express this number in a binary fashion.  If there are for example 3
+modes, we will need 2 bits m1m0 to express the mode."  Every mode then
+corresponds to a Boolean product of the mode bits that evaluates to
+True exactly for that mode's number (e.g. mode ``10`` -> ``m1.~m0``).
+
+Beyond the paper's binary numbering, two alternative mode-register
+encodings are provided (they change the rendered Boolean expressions
+and the mode-register write on a switch, not the parameterised-bit
+counts, which depend only on per-mode on/off sets):
+
+* ``gray`` — consecutive mode numbers differ in one register bit, so
+  cycling through modes flips a single mode-register bit per switch;
+* ``onehot`` — one register bit per mode; every activation product is
+  a single literal, which makes the reconfiguration manager's Boolean
+  evaluation trivial at the cost of a wider register.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.utils.qm import (
+    evaluate_terms,
+    expression_to_string,
+    minimize_boolean,
+    term_to_string,
+)
+
+#: Supported mode-register encodings.
+ENCODING_STYLES = ("binary", "gray", "onehot")
+
+#: Above this mode count the one-hot don't-care set (``2**n - n``
+#: codes) is too large to enumerate for minimisation; expressions fall
+#: back to exact covers, which are single literals anyway.
+_ONEHOT_DC_LIMIT = 12
+
+
+def gray_code(index: int) -> int:
+    """The *index*-th Gray code."""
+    return index ^ (index >> 1)
+
+
+@dataclass(frozen=True)
+class ModeEncoding:
+    """Encoding of *n_modes* mode circuits into a mode register."""
+
+    n_modes: int
+    style: str = "binary"
+
+    def __post_init__(self) -> None:
+        if self.n_modes < 1:
+            raise ValueError("need at least one mode")
+        if self.style not in ENCODING_STYLES:
+            raise ValueError(
+                f"style must be one of {ENCODING_STYLES}"
+            )
+
+    @property
+    def n_bits(self) -> int:
+        """Mode-register width.
+
+        ``ceil(log2(n_modes))`` (min 1) for binary and Gray; one bit
+        per mode for one-hot.
+        """
+        if self.style == "onehot":
+            return self.n_modes
+        return max(1, math.ceil(math.log2(self.n_modes)))
+
+    def code(self, mode: int) -> int:
+        """Mode-register value selecting *mode*."""
+        self._check(mode)
+        if self.style == "binary":
+            return mode
+        if self.style == "gray":
+            return gray_code(mode)
+        return 1 << mode
+
+    def bit_names(self) -> List[str]:
+        """Mode-bit names, index 0 = LSB = ``m0``."""
+        return [f"m{i}" for i in range(self.n_bits)]
+
+    def mode_product(self, mode: int) -> str:
+        """The Boolean product selecting *mode*, e.g. ``m1.~m0``."""
+        return term_to_string((self.code(mode), 0), self.n_bits)
+
+    def used_codes(self) -> List[int]:
+        """Register values that select a mode, in mode order."""
+        return [self.code(m) for m in range(self.n_modes)]
+
+    def unused_codes(self) -> List[int]:
+        """Bit patterns that encode no mode (don't-cares)."""
+        used = set(self.used_codes())
+        return [
+            c for c in range(1 << self.n_bits) if c not in used
+        ]
+
+    def expression(self, modes: Iterable[int]) -> str:
+        """Minimised sum-of-products that is True exactly on *modes*.
+
+        Unused codes are exploited as don't-cares, so with 2 modes the
+        set ``{0, 1}`` renders as constant ``1`` and ``{1}`` as ``m0``
+        (paper Fig. 3: ``~m0 + m0`` simplifies to True).
+        """
+        mode_list = sorted(set(modes))
+        for mode in mode_list:
+            self._check(mode)
+        if not mode_list:
+            return "0"
+        if len(mode_list) == self.n_modes:
+            return "1"
+        on_set = [self.code(m) for m in mode_list]
+        if self.style == "onehot" and self.n_modes > _ONEHOT_DC_LIMIT:
+            dc: List[int] = []
+        else:
+            dc = self.unused_codes()
+        terms = minimize_boolean(on_set + dc, self.n_bits)
+        # Terms may now cover unused codes; that is fine (don't-care),
+        # but the rendering must still reject other used modes — the
+        # QM cover guarantees it because used off-set codes were not in
+        # the on-set and QM covers are exact on cared-for points only
+        # when don't-cares are chosen. Verify defensively:
+        for mode in range(self.n_modes):
+            want = mode in mode_list
+            if evaluate_terms(terms, self.code(mode)) != want:
+                # Fall back to the exact (un-simplified) cover.
+                terms = minimize_boolean(on_set, self.n_bits)
+                break
+        return expression_to_string(terms, self.n_bits)
+
+    def evaluate_product(self, mode: int, assignment: int) -> bool:
+        """Evaluate *mode*'s product at a mode-register value."""
+        return assignment == self.code(mode)
+
+    def register_hamming(self, from_mode: int, to_mode: int) -> int:
+        """Mode-register bits flipped when switching modes."""
+        return bin(self.code(from_mode) ^ self.code(to_mode)).count(
+            "1"
+        )
+
+    def _check(self, mode: int) -> None:
+        if not 0 <= mode < self.n_modes:
+            raise ValueError(
+                f"mode {mode} out of range (n_modes={self.n_modes})"
+            )

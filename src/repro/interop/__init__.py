@@ -1,0 +1,48 @@
+"""Interoperability with the VPR (Versatile Place and Route) file
+formats.
+
+The paper's tooling is a Java port of VPR [10] driven by
+``4lut_sanitized.arch``; this subpackage reads and writes the
+corresponding text formats so circuits, placements and routings can be
+exchanged with VPR-based flows:
+
+* :mod:`repro.interop.archfile` — the classic (VPR 4.30) architecture
+  description, including a bundled ``4lut_sanitized``-equivalent;
+* :mod:`repro.interop.netfile` — the ``.net`` mapped-netlist format;
+* :mod:`repro.interop.placefile` — the ``.place`` placement format;
+* :mod:`repro.interop.routefile` — the ``.route`` routing format
+  (extended with a per-mode section header for multi-mode routings).
+
+Parsers are strict: malformed lines raise :class:`InteropError` with
+the offending line number rather than silently skipping content.
+"""
+
+from repro.interop.archfile import (
+    DEFAULT_4LUT_ARCH,
+    ArchSpec,
+    InteropError,
+    format_arch,
+    parse_arch,
+)
+from repro.interop.netfile import (
+    NetlistStructure,
+    parse_net_file,
+    write_net_file,
+)
+from repro.interop.placefile import parse_place_file, write_place_file
+from repro.interop.routefile import parse_route_file, write_route_file
+
+__all__ = [
+    "DEFAULT_4LUT_ARCH",
+    "ArchSpec",
+    "InteropError",
+    "NetlistStructure",
+    "format_arch",
+    "parse_arch",
+    "parse_net_file",
+    "parse_place_file",
+    "parse_route_file",
+    "write_net_file",
+    "write_place_file",
+    "write_route_file",
+]

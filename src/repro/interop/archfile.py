@@ -1,0 +1,233 @@
+"""Classic VPR architecture files.
+
+The format is the line-oriented description consumed by VPR 4.30 —
+the version the paper's Java port and ``4lut_sanitized.arch`` follow.
+Each non-comment line is a keyword followed by whitespace-separated
+operands; ``#`` starts a comment.
+
+Only the keywords that affect this reproduction's architecture model
+are interpreted (grid-independent parameters: LUT size, IO capacity,
+connection-block flexibility, switch-block style, segment length);
+everything else is preserved verbatim so a file can round-trip through
+:func:`parse_arch` / :func:`format_arch` without information loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.architecture import FpgaArchitecture
+
+
+class InteropError(ValueError):
+    """A VPR-format file could not be parsed."""
+
+
+#: A faithful stand-in for VPR's ``4lut_sanitized.arch``: one 4-LUT and
+#: one flip-flop per logic block, two pads per IO location, fully
+#: flexible connection blocks, unit-length segments.
+DEFAULT_4LUT_ARCH = """\
+# 4lut_sanitized-equivalent architecture (one 4-LUT + FF per block,
+# unit-length wire segments).
+io_rat 2
+chan_width_io 1
+chan_width_x uniform 1
+chan_width_y uniform 1
+outpin class: 1 top
+inpin class: 0 bottom
+inpin class: 0 left
+inpin class: 0 top
+inpin class: 0 right
+subblocks_per_clb 1
+subblock_lut_size 4
+Fc_type fractional
+Fc_output 1
+Fc_input 1
+Fc_pad 1
+switch_block_type subset
+segment frequency: 1 length: 1 wire_switch: 0 opin_switch: 0 \
+Frac_cb: 1. Frac_sb: 1. Rmetal: 1 Cmetal: 1e-15
+switch 0 buffered: yes R: 1 Cin: 1e-15 Cout: 1e-15 Tdel: 1e-10
+R_minW_nmos 1
+R_minW_pmos 1
+"""
+
+
+@dataclass
+class ArchSpec:
+    """Interpreted content of a VPR architecture file.
+
+    ``extra_lines`` holds every line the model does not interpret, in
+    file order, so formatting is lossless.
+    """
+
+    io_rat: int = 2
+    subblock_lut_size: int = 4
+    subblocks_per_clb: int = 1
+    fc_type: str = "fractional"
+    fc_output: float = 1.0
+    fc_input: float = 1.0
+    fc_pad: float = 1.0
+    switch_block_type: str = "subset"
+    segment_length: int = 1
+    inpin_classes: List[Tuple[int, str]] = field(default_factory=list)
+    outpin_classes: List[Tuple[int, str]] = field(default_factory=list)
+    extra_lines: List[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.io_rat < 1:
+            raise InteropError("io_rat must be >= 1")
+        if self.subblock_lut_size < 1:
+            raise InteropError("subblock_lut_size must be >= 1")
+        if self.subblocks_per_clb != 1:
+            raise InteropError(
+                "only subblocks_per_clb 1 is supported (the paper's "
+                "architecture has one LUT+FF per block)"
+            )
+        if self.fc_type not in ("fractional", "absolute"):
+            raise InteropError(
+                f"unknown Fc_type {self.fc_type!r}"
+            )
+        if self.segment_length != 1:
+            raise InteropError(
+                "only unit-length segments are supported (the paper: "
+                "'wire segments ... span one logic block')"
+            )
+
+    def to_architecture(
+        self, nx: int, ny: int, channel_width: int
+    ) -> FpgaArchitecture:
+        """Instantiate the grid-level architecture model.
+
+        VPR keeps the array size and channel width out of the
+        architecture file (they are tool inputs), hence the
+        parameters.  ``absolute`` Fc values are converted to fractions
+        of the channel width.
+        """
+        self.validate()
+        if self.fc_type == "fractional":
+            fc_in, fc_out = self.fc_input, self.fc_output
+        else:
+            fc_in = min(1.0, self.fc_input / channel_width)
+            fc_out = min(1.0, self.fc_output / channel_width)
+        return FpgaArchitecture(
+            nx=nx,
+            ny=ny,
+            k=self.subblock_lut_size,
+            channel_width=channel_width,
+            fc_in=fc_in,
+            fc_out=fc_out,
+            io_rat=self.io_rat,
+        )
+
+
+def _parse_pin_class(operands: List[str], line_no: int
+                     ) -> Tuple[int, str]:
+    # e.g. "class: 0 bottom"
+    if len(operands) < 3 or operands[0] != "class:":
+        raise InteropError(
+            f"line {line_no}: expected 'class: <n> <side>'"
+        )
+    try:
+        cls = int(operands[1])
+    except ValueError:
+        raise InteropError(
+            f"line {line_no}: pin class must be an integer"
+        ) from None
+    return cls, operands[2]
+
+
+def parse_arch(text: str) -> ArchSpec:
+    """Parse a VPR architecture file into an :class:`ArchSpec`."""
+    spec = ArchSpec()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword, operands = parts[0], parts[1:]
+
+        def one_operand(cast, name=keyword, ops=operands, no=line_no):
+            if len(ops) != 1:
+                raise InteropError(
+                    f"line {no}: {name} takes exactly one operand"
+                )
+            try:
+                return cast(ops[0])
+            except ValueError:
+                raise InteropError(
+                    f"line {no}: bad {name} operand {ops[0]!r}"
+                ) from None
+
+        if keyword == "io_rat":
+            spec.io_rat = one_operand(int)
+        elif keyword == "subblock_lut_size":
+            spec.subblock_lut_size = one_operand(int)
+        elif keyword == "subblocks_per_clb":
+            spec.subblocks_per_clb = one_operand(int)
+        elif keyword == "Fc_type":
+            spec.fc_type = one_operand(str).lower()
+        elif keyword == "Fc_output":
+            spec.fc_output = one_operand(float)
+        elif keyword == "Fc_input":
+            spec.fc_input = one_operand(float)
+        elif keyword == "Fc_pad":
+            spec.fc_pad = one_operand(float)
+        elif keyword == "switch_block_type":
+            spec.switch_block_type = one_operand(str).lower()
+        elif keyword == "inpin":
+            spec.inpin_classes.append(
+                _parse_pin_class(operands, line_no)
+            )
+        elif keyword == "outpin":
+            spec.outpin_classes.append(
+                _parse_pin_class(operands, line_no)
+            )
+        elif keyword == "segment":
+            for key, value in zip(operands, operands[1:]):
+                if key == "length:":
+                    try:
+                        spec.segment_length = int(value)
+                    except ValueError:
+                        raise InteropError(
+                            f"line {line_no}: bad segment length"
+                        ) from None
+            spec.extra_lines.append(line)
+        else:
+            spec.extra_lines.append(line)
+    spec.validate()
+    return spec
+
+
+def format_arch(spec: ArchSpec) -> str:
+    """Render an :class:`ArchSpec` back into VPR arch-file text.
+
+    ``parse_arch(format_arch(spec))`` reproduces the interpreted
+    fields; uninterpreted lines are carried through verbatim.
+    """
+    spec.validate()
+    lines = [
+        f"io_rat {spec.io_rat}",
+        f"subblocks_per_clb {spec.subblocks_per_clb}",
+        f"subblock_lut_size {spec.subblock_lut_size}",
+        f"Fc_type {spec.fc_type}",
+        f"Fc_output {_fc(spec.fc_output)}",
+        f"Fc_input {_fc(spec.fc_input)}",
+        f"Fc_pad {_fc(spec.fc_pad)}",
+        f"switch_block_type {spec.switch_block_type}",
+    ]
+    lines.extend(
+        f"inpin class: {cls} {side}"
+        for cls, side in spec.inpin_classes
+    )
+    lines.extend(
+        f"outpin class: {cls} {side}"
+        for cls, side in spec.outpin_classes
+    )
+    lines.extend(spec.extra_lines)
+    return "\n".join(lines) + "\n"
+
+
+def _fc(value: float) -> str:
+    return str(int(value)) if value == int(value) else str(value)

@@ -1,0 +1,183 @@
+"""VPR ``.net`` mapped-netlist files.
+
+Format (VPR 4.30)::
+
+    .global clk
+
+    .input a
+    pinlist: a
+
+    .output out:n3
+    pinlist: n3
+
+    .clb n3                      # one K-LUT + FF logic block
+    pinlist: a b open open n3 clk
+    subblock: n3 0 1 open open 4 5
+
+A ``.clb`` pinlist carries K input pins (``open`` for unused), the
+output pin, and the clock pin (``open`` for combinational blocks).
+
+The ``.net`` format describes *structure only* — LUT truth tables are
+not part of it (VPR reads logic content from the BLIF).  Parsing
+therefore yields a :class:`NetlistStructure`; pair it with the BLIF
+reader (:mod:`repro.netlist.blif`) when functions are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.interop.archfile import InteropError
+from repro.netlist.lutcircuit import LutCircuit
+
+_OPEN = "open"
+_CLOCK = "clk"
+
+
+@dataclass
+class NetlistStructure:
+    """Structure recovered from a ``.net`` file.
+
+    ``blocks`` maps a block name to ``(inputs, registered)``; signal
+    functions are not part of the format.
+    """
+
+    name: str
+    k: int
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    blocks: Dict[str, Tuple[Tuple[str, ...], bool]] = field(
+        default_factory=dict
+    )
+
+    def matches_circuit(self, circuit: LutCircuit) -> bool:
+        """Structural equality with a mapped LUT circuit."""
+        if set(self.inputs) != set(circuit.inputs):
+            return False
+        if set(self.outputs) != set(circuit.outputs):
+            return False
+        if set(self.blocks) != set(circuit.blocks):
+            return False
+        for name, (inputs, registered) in self.blocks.items():
+            block = circuit.blocks[name]
+            if tuple(block.inputs) != inputs:
+                return False
+            if block.registered != registered:
+                return False
+        return True
+
+
+def write_net_file(circuit: LutCircuit, name: Optional[str] = None
+                   ) -> str:
+    """Render a mapped LUT circuit in ``.net`` format."""
+    lines = [f"# netlist {name or circuit.name}", f".global {_CLOCK}",
+             ""]
+    for signal in circuit.inputs:
+        lines.append(f".input {signal}")
+        lines.append(f"pinlist: {signal}")
+        lines.append("")
+    for signal in circuit.outputs:
+        lines.append(f".output out:{signal}")
+        lines.append(f"pinlist: {signal}")
+        lines.append("")
+    any_registered = any(
+        b.registered for b in circuit.blocks.values()
+    )
+    for block in circuit.blocks.values():
+        pins = list(block.inputs)
+        pins += [_OPEN] * (circuit.k - len(pins))
+        clock = _CLOCK if block.registered else _OPEN
+        lines.append(f".clb {block.name}")
+        lines.append(
+            "pinlist: " + " ".join([*pins, block.name, clock])
+        )
+        # subblock line: name, K input pin indices (or open), output
+        # pin index, clock pin index (or open).
+        sub = [block.name]
+        sub += [
+            str(i) if i < len(block.inputs) else _OPEN
+            for i in range(circuit.k)
+        ]
+        sub.append(str(circuit.k))
+        sub.append(str(circuit.k + 1) if block.registered else _OPEN)
+        lines.append("subblock: " + " ".join(sub))
+        lines.append("")
+    if not any_registered:
+        # Keep the .global clk declaration meaningful anyway; VPR
+        # tolerates a clockless netlist.
+        pass
+    return "\n".join(lines)
+
+
+def parse_net_file(text: str, k: int, name: str = "netlist"
+                   ) -> NetlistStructure:
+    """Parse a ``.net`` file into a :class:`NetlistStructure`.
+
+    *k* must be the LUT size of the architecture the file was written
+    for (VPR takes it from the arch file, which is separate).
+    """
+    structure = NetlistStructure(name=name, k=k)
+    pending: Optional[Tuple[str, str]] = None  # (kind, name)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0]
+        if keyword == ".global":
+            continue
+        if keyword in (".input", ".output", ".clb"):
+            if len(parts) != 2:
+                raise InteropError(
+                    f"line {line_no}: {keyword} takes one name"
+                )
+            pending = (keyword, parts[1])
+            continue
+        if keyword == "pinlist:":
+            if pending is None:
+                raise InteropError(
+                    f"line {line_no}: pinlist outside a block"
+                )
+            kind, block_name = pending
+            pins = parts[1:]
+            if kind == ".input":
+                if len(pins) != 1:
+                    raise InteropError(
+                        f"line {line_no}: .input pinlist must have "
+                        f"one pin"
+                    )
+                structure.inputs.append(pins[0])
+            elif kind == ".output":
+                if len(pins) != 1:
+                    raise InteropError(
+                        f"line {line_no}: .output pinlist must have "
+                        f"one pin"
+                    )
+                structure.outputs.append(pins[0])
+            else:
+                if len(pins) != k + 2:
+                    raise InteropError(
+                        f"line {line_no}: .clb pinlist must have "
+                        f"{k + 2} pins (k inputs, output, clock)"
+                    )
+                inputs = tuple(
+                    p for p in pins[:k] if p != _OPEN
+                )
+                output, clock = pins[k], pins[k + 1]
+                if output != block_name:
+                    raise InteropError(
+                        f"line {line_no}: output pin {output!r} must "
+                        f"match block name {block_name!r}"
+                    )
+                structure.blocks[block_name] = (
+                    inputs, clock != _OPEN
+                )
+            continue
+        if keyword == "subblock:":
+            # Redundant with the pinlist for 1-subblock CLBs.
+            continue
+        raise InteropError(
+            f"line {line_no}: unknown keyword {keyword!r}"
+        )
+    return structure

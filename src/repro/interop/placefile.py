@@ -1,0 +1,133 @@
+"""VPR ``.place`` files.
+
+Format (VPR 4.30)::
+
+    Netlist file: circuit.net   Architecture file: 4lut_sanitized.arch
+    Array size: 8 x 8 logic blocks
+
+    #block name  x  y  subblk  block number
+    #----------  --  --  ------  ------------
+    some_cell    1   2   0       #0
+
+The ``subblk`` column is the pad slot for IO locations (always 0 for
+logic blocks).  Cell names follow this code base's convention: IO pad
+cells are named ``pad:<signal>`` (see
+:func:`repro.place.placer.pad_cell`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.architecture import FpgaArchitecture, Site
+from repro.interop.archfile import InteropError
+from repro.place.placer import Placement
+
+
+def write_place_file(
+    placement: Placement,
+    netlist_file: str = "circuit.net",
+    arch_file: str = "4lut_sanitized.arch",
+) -> str:
+    """Render *placement* in VPR ``.place`` format."""
+    arch = placement.arch
+    lines = [
+        f"Netlist file: {netlist_file}\t"
+        f"Architecture file: {arch_file}",
+        f"Array size: {arch.nx} x {arch.ny} logic blocks",
+        "",
+        "#block name\tx\ty\tsubblk\tblock number",
+        "#----------\t--\t--\t------\t------------",
+    ]
+    for number, (cell, site) in enumerate(
+        sorted(placement.sites.items())
+    ):
+        lines.append(
+            f"{cell}\t{site.x}\t{site.y}\t{site.slot}\t#{number}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_place_file(
+    text: str, arch: FpgaArchitecture
+) -> Placement:
+    """Parse a ``.place`` file back into a :class:`Placement`.
+
+    The declared array size must match *arch*; every placed cell must
+    land on a legal site of the architecture (pads on the perimeter,
+    logic blocks inside the grid).  The placement cost is not part of
+    the format and is returned as ``0.0``.
+    """
+    sites: Dict[str, Site] = {}
+    used: Dict[Site, str] = {}
+    array_seen = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("Netlist file:"):
+            continue
+        if line.startswith("Array size:"):
+            parts = line.split()
+            try:
+                nx, ny = int(parts[2]), int(parts[4])
+            except (IndexError, ValueError):
+                raise InteropError(
+                    f"line {line_no}: malformed array size"
+                ) from None
+            if (nx, ny) != (arch.nx, arch.ny):
+                raise InteropError(
+                    f"line {line_no}: array size {nx}x{ny} does not "
+                    f"match architecture {arch.nx}x{arch.ny}"
+                )
+            array_seen = True
+            continue
+        parts = line.split()
+        if len(parts) < 4:
+            raise InteropError(
+                f"line {line_no}: expected 'name x y subblk'"
+            )
+        cell = parts[0]
+        try:
+            x, y, slot = int(parts[1]), int(parts[2]), int(parts[3])
+        except ValueError:
+            raise InteropError(
+                f"line {line_no}: non-integer coordinates"
+            ) from None
+        site = _site_for(arch, x, y, slot, line_no)
+        if site in used:
+            raise InteropError(
+                f"line {line_no}: site ({x},{y}) slot {slot} already "
+                f"holds {used[site]!r}"
+            )
+        if cell in sites:
+            raise InteropError(
+                f"line {line_no}: cell {cell!r} placed twice"
+            )
+        used[site] = cell
+        sites[cell] = site
+    if not array_seen:
+        raise InteropError("missing 'Array size:' header")
+    return Placement(arch=arch, sites=sites, cost=0.0)
+
+
+def _site_for(
+    arch: FpgaArchitecture, x: int, y: int, slot: int, line_no: int
+) -> Site:
+    if arch.contains_clb(x, y):
+        if slot != 0:
+            raise InteropError(
+                f"line {line_no}: logic blocks have subblk 0"
+            )
+        return Site("clb", x, y)
+    if (x, y) in arch.pad_locations():
+        if not 0 <= slot < arch.io_rat:
+            raise InteropError(
+                f"line {line_no}: pad slot {slot} out of range "
+                f"(io_rat {arch.io_rat})"
+            )
+        return Site("pad", x, y, slot)
+    raise InteropError(
+        f"line {line_no}: ({x},{y}) is neither a logic tile nor a "
+        f"pad location"
+    )

@@ -1,0 +1,174 @@
+"""VPR ``.route`` files.
+
+Format (VPR 4.30)::
+
+    Routing:
+
+    Net 0 (some_net)
+
+      OPIN (1,2)  Pin: clb.out
+      CHANX (1,1)  Track: 3
+      IPIN (2,2)  Pin: clb.in1
+      SINK (2,2)  Class: clb.sink
+
+Multi-mode extension: a routing produced by TRoute realises a
+different wire set per mode, so the writer emits one ``Mode <m>:``
+section per mode, each a complete VPR-style net listing of that mode's
+active connections.  Single-mode routings produce exactly one section
+and stay close to plain VPR output.
+
+Pin/class annotations reuse the RRG node labels, which makes parsing
+lossless: :func:`parse_route_file` recovers the exact RRG node ids.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from repro.arch.rrg import (
+    IPIN,
+    OPIN,
+    SINK,
+    WIRE,
+    RoutingResourceGraph,
+)
+from repro.interop.archfile import InteropError
+from repro.route.router import RoutingResult
+
+_PAD_LABEL = re.compile(r"pad(\d+)\.(out|in|sink)")
+_CLB_IN = re.compile(r"clb\.in(\d+)")
+
+
+def _node_line(rrg: RoutingResourceGraph, node: int) -> str:
+    kind = rrg.node_kind[node]
+    x, y = rrg.node_x[node], rrg.node_y[node]
+    label = rrg.node_label[node]
+    if kind == WIRE:
+        orient = "CHANX" if label.startswith("chanx") else "CHANY"
+        track = label.split(".t", 1)[1]
+        return f"  {orient} ({x},{y})  Track: {track}"
+    if kind == OPIN:
+        return f"  OPIN ({x},{y})  Pin: {label}"
+    if kind == IPIN:
+        return f"  IPIN ({x},{y})  Pin: {label}"
+    return f"  SINK ({x},{y})  Class: {label}"
+
+
+def write_route_file(result: RoutingResult) -> str:
+    """Render a routing in (mode-sectioned) VPR ``.route`` format."""
+    rrg = result.rrg
+    lines = ["Routing:"]
+    for mode in range(result.n_modes):
+        lines.append("")
+        lines.append(f"Mode {mode}:")
+        by_net: Dict[str, List] = {}
+        for route in result.routes.values():
+            if mode in route.request.modes:
+                by_net.setdefault(route.request.net, []).append(route)
+        for index, net in enumerate(sorted(by_net)):
+            lines.append("")
+            lines.append(f"Net {index} ({net})")
+            lines.append("")
+            for route in sorted(
+                by_net[net], key=lambda r: r.request.conn_id
+            ):
+                for node in route.nodes():
+                    lines.append(_node_line(rrg, node))
+                lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def _node_from_line(
+    rrg: RoutingResourceGraph,
+    kind: str,
+    x: int,
+    y: int,
+    annotation: str,
+    line_no: int,
+) -> int:
+    try:
+        if kind == "CHANX":
+            return rrg.chanx[(x, y, int(annotation))]
+        if kind == "CHANY":
+            return rrg.chany[(x, y, int(annotation))]
+        pad = _PAD_LABEL.fullmatch(annotation)
+        if kind == "OPIN":
+            if pad:
+                return rrg.pad_opin[(x, y, int(pad.group(1)))]
+            return rrg.clb_opin[(x, y)]
+        if kind == "IPIN":
+            if pad:
+                return rrg.pad_ipin[(x, y, int(pad.group(1)))]
+            clb_in = _CLB_IN.fullmatch(annotation)
+            if clb_in is None:
+                raise KeyError(annotation)
+            return rrg.clb_ipin[(x, y, int(clb_in.group(1)))]
+        if kind == "SINK":
+            if pad:
+                return rrg.pad_sink[(x, y, int(pad.group(1)))]
+            return rrg.clb_sink[(x, y)]
+    except (KeyError, ValueError):
+        raise InteropError(
+            f"line {line_no}: no RRG node {kind} ({x},{y}) "
+            f"{annotation!r}"
+        ) from None
+    raise InteropError(f"line {line_no}: unknown node kind {kind!r}")
+
+
+_NODE_LINE = re.compile(
+    r"(CHANX|CHANY|OPIN|IPIN|SINK)\s+\((\d+),(\d+)\)\s+"
+    r"(?:Track|Pin|Class):\s+(\S+)"
+)
+_NET_LINE = re.compile(r"Net\s+\d+\s+\((.+)\)")
+_MODE_LINE = re.compile(r"Mode\s+(\d+):")
+
+
+def parse_route_file(
+    text: str, rrg: RoutingResourceGraph
+) -> Dict[int, Dict[str, Set[int]]]:
+    """Parse a ``.route`` file back to per-mode RRG node sets.
+
+    Returns ``mode -> net -> set of node ids``.  The edge structure is
+    not part of the format (VPR linearises the route tree); node sets
+    are sufficient for wire-length and occupancy accounting.
+    """
+    result: Dict[int, Dict[str, Set[int]]] = {}
+    mode: int = 0
+    net: str = ""
+    seen_header = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "Routing:":
+            seen_header = True
+            continue
+        mode_match = _MODE_LINE.fullmatch(line)
+        if mode_match:
+            mode = int(mode_match.group(1))
+            result.setdefault(mode, {})
+            continue
+        net_match = _NET_LINE.fullmatch(line)
+        if net_match:
+            net = net_match.group(1)
+            result.setdefault(mode, {}).setdefault(net, set())
+            continue
+        node_match = _NODE_LINE.fullmatch(line)
+        if node_match:
+            if not net:
+                raise InteropError(
+                    f"line {line_no}: node outside a net section"
+                )
+            kind, x, y, annotation = node_match.groups()
+            node = _node_from_line(
+                rrg, kind, int(x), int(y), annotation, line_no
+            )
+            result[mode][net].add(node)
+            continue
+        raise InteropError(
+            f"line {line_no}: unrecognised content {line!r}"
+        )
+    if not seen_header:
+        raise InteropError("missing 'Routing:' header")
+    return result

@@ -1,0 +1,29 @@
+"""Netlist representations: logic networks, truth tables, LUT circuits.
+
+This subpackage is the substrate every other layer builds on:
+
+* :mod:`repro.netlist.truthtable` — immutable truth tables (the contents
+  of LUTs and of technology-independent logic nodes).
+* :mod:`repro.netlist.logic` — a technology-independent logic network
+  (DAG of truth-table nodes plus latches), the output of synthesis and
+  the input of technology mapping.
+* :mod:`repro.netlist.lutcircuit` — the mapped netlist of K-LUT blocks
+  (one LUT + optional flip-flop per block), the representation that the
+  multi-mode merge and the place & route tools operate on.
+* :mod:`repro.netlist.blif` — Berkeley Logic Interchange Format I/O.
+* :mod:`repro.netlist.simulate` — cycle-accurate simulation used as the
+  functional-equivalence oracle throughout the test suite.
+"""
+
+from repro.netlist.lutcircuit import LutBlock, LutCircuit
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.truthtable import TruthTable
+from repro.netlist.verilog import write_verilog
+
+__all__ = [
+    "TruthTable",
+    "LogicNetwork",
+    "LutBlock",
+    "LutCircuit",
+    "write_verilog",
+]

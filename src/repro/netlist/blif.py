@@ -1,0 +1,303 @@
+"""Berkeley Logic Interchange Format (BLIF) reader and writer.
+
+The MCNC benchmark circuits used in the paper's third experiment are
+distributed as BLIF; this module lets real MCNC ``.blif`` files drop
+straight into the flow and also round-trips our own circuits.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(sum-of-products cover with ``0/1/-`` cubes, on-set and off-set covers),
+``.latch`` (with or without clock/type fields) and ``.end``.  Unsupported
+directives raise :class:`BlifError` rather than being silently skipped.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import (
+    TruthTable,
+    cube_to_minterms,
+    minterms_to_cubes,
+)
+
+
+class BlifError(ValueError):
+    """Raised on malformed or unsupported BLIF input."""
+
+
+def _logical_lines(stream: Iterable[str]) -> Iterable[Tuple[int, str]]:
+    """Yield (line_number, logical line) with continuations joined.
+
+    Comments (``#`` to end of line) are stripped; backslash line
+    continuations are folded; blank lines are skipped.
+    """
+    pending = ""
+    pending_no = 0
+    for no, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if pending:
+            line = pending + " " + line.lstrip()
+            no = pending_no
+            pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1].rstrip()
+            pending_no = no
+            continue
+        if line.strip():
+            yield no, line.strip()
+    if pending:
+        yield pending_no, pending
+
+
+def _parse_names_cover(
+    fanins: Sequence[str], rows: Sequence[Tuple[str, str]], where: str
+) -> TruthTable:
+    """Build a TruthTable from a ``.names`` cover.
+
+    *rows* are (input cube, output value) pairs.  BLIF requires all
+    output values in one cover to agree; a ``0`` output lists the
+    off-set.  A node with no rows is constant 0; a single row with an
+    empty cube sets the constant by its output value.
+    """
+    n = len(fanins)
+    if not rows:
+        return TruthTable.const(False, n)
+    out_values = {out for _, out in rows}
+    if len(out_values) != 1:
+        raise BlifError(f"{where}: mixed on-set/off-set cover")
+    out_value = rows[0][1]
+    bits = 0
+    for cube, _ in rows:
+        if len(cube) != n:
+            raise BlifError(
+                f"{where}: cube {cube!r} does not match "
+                f"{n} fanins"
+            )
+        for minterm in cube_to_minterms(cube):
+            bits |= 1 << minterm
+    table = TruthTable(n, bits)
+    if out_value == "0":
+        table = ~table
+    return table
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse BLIF *text* into a :class:`LogicNetwork`.
+
+    Only the first ``.model`` in the file is read (hierarchical BLIF via
+    ``.subckt`` is not supported by this flow).
+    """
+    return read_blif(io.StringIO(text))
+
+
+def read_blif(stream: TextIO) -> LogicNetwork:
+    """Parse BLIF from a file object; see :func:`parse_blif`."""
+    network: Optional[LogicNetwork] = None
+    # Node bodies are collected first and committed at .end so fanins
+    # declared later in the file resolve.
+    pending_nodes: List[Tuple[str, Tuple[str, ...], TruthTable]] = []
+    pending_latches: List[Tuple[str, str, bool]] = []
+    current: Optional[Tuple[Tuple[str, ...], str]] = None
+    current_rows: List[Tuple[str, str]] = []
+    ended = False
+
+    def commit_current() -> None:
+        nonlocal current, current_rows
+        if current is None:
+            return
+        fanins, output = current
+        table = _parse_names_cover(
+            fanins, current_rows, f".names {output}"
+        )
+        pending_nodes.append((output, fanins, table))
+        current = None
+        current_rows = []
+
+    for no, line in _logical_lines(stream):
+        if ended:
+            break
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            commit_current()
+            if directive == ".model":
+                if network is not None:
+                    raise BlifError(
+                        f"line {no}: multiple .model sections"
+                    )
+                network = LogicNetwork(
+                    parts[1] if len(parts) > 1 else "top"
+                )
+            elif directive == ".inputs":
+                _require_model(network, no)
+                for name in parts[1:]:
+                    network.add_input(name)
+            elif directive == ".outputs":
+                _require_model(network, no)
+                for name in parts[1:]:
+                    network.add_output(name)
+            elif directive == ".names":
+                _require_model(network, no)
+                if len(parts) < 2:
+                    raise BlifError(f"line {no}: .names needs an output")
+                current = (tuple(parts[1:-1]), parts[-1])
+                current_rows = []
+            elif directive == ".latch":
+                _require_model(network, no)
+                if len(parts) < 3:
+                    raise BlifError(
+                        f"line {no}: .latch needs input and output"
+                    )
+                data, out = parts[1], parts[2]
+                init = "0"
+                # Optional fields: [type control] [init]
+                tail = parts[3:]
+                if tail:
+                    init = tail[-1]
+                init_bool = init in ("1",)
+                pending_latches.append((out, data, init_bool))
+            elif directive == ".end":
+                ended = True
+            elif directive in (".exdc", ".subckt", ".gate", ".mlatch",
+                               ".clock"):
+                if directive == ".clock":
+                    continue  # single global clock; nothing to record
+                raise BlifError(
+                    f"line {no}: unsupported directive {directive}"
+                )
+            else:
+                raise BlifError(
+                    f"line {no}: unknown directive {directive}"
+                )
+        else:
+            if current is None:
+                raise BlifError(f"line {no}: cube outside .names")
+            parts = line.split()
+            fanins, _output = current
+            if len(fanins) == 0:
+                if len(parts) != 1:
+                    raise BlifError(f"line {no}: bad constant row")
+                current_rows.append(("", parts[0]))
+            else:
+                if len(parts) != 2:
+                    raise BlifError(f"line {no}: bad cover row")
+                current_rows.append((parts[0], parts[1]))
+
+    commit_current()
+    if network is None:
+        raise BlifError("no .model section found")
+    for out, data, init in pending_latches:
+        network.add_latch(out, data, init)
+    for name, fanins, table in pending_nodes:
+        network.add_node(name, fanins, table)
+    network.validate()
+    return network
+
+
+def _require_model(network: Optional[LogicNetwork], line_no: int) -> None:
+    if network is None:
+        raise BlifError(f"line {line_no}: directive before .model")
+
+
+def read_blif_file(path: str) -> LogicNetwork:
+    """Parse a BLIF file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_blif(handle)
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def write_logic_blif(network: LogicNetwork) -> str:
+    """Serialise a :class:`LogicNetwork` to BLIF text."""
+    out = io.StringIO()
+    out.write(f".model {network.name}\n")
+    _write_name_list(out, ".inputs", network.inputs)
+    _write_name_list(out, ".outputs", network.outputs)
+    for latch in network.latches.values():
+        out.write(
+            f".latch {latch.data} {latch.name} re clk "
+            f"{1 if latch.init else 0}\n"
+        )
+    for node in network.topological_nodes():
+        _write_names(out, node.name, node.fanins, node.table)
+    out.write(".end\n")
+    return out.getvalue()
+
+
+def write_lut_blif(circuit: LutCircuit) -> str:
+    """Serialise a :class:`LutCircuit` to BLIF text.
+
+    Registered blocks are emitted as a ``.names`` for the LUT feeding a
+    ``.latch``; the intermediate combinational signal is suffixed
+    ``$d``.
+    """
+    out = io.StringIO()
+    out.write(f".model {circuit.name}\n")
+    _write_name_list(out, ".inputs", circuit.inputs)
+    _write_name_list(out, ".outputs", circuit.outputs)
+    for block in circuit.blocks.values():
+        if block.registered:
+            out.write(
+                f".latch {block.name}$d {block.name} re clk "
+                f"{1 if block.init else 0}\n"
+            )
+    for block in circuit.topological_blocks():
+        target = block.name + "$d" if block.registered else block.name
+        _write_names(out, target, block.inputs, block.table)
+    out.write(".end\n")
+    return out.getvalue()
+
+
+def _write_name_list(
+    out: TextIO, directive: str, names: Sequence[str]
+) -> None:
+    out.write(directive)
+    for name in names:
+        out.write(f" {name}")
+    out.write("\n")
+
+
+def _write_names(
+    out: TextIO, output: str, fanins: Sequence[str], table: TruthTable
+) -> None:
+    out.write(".names")
+    for f in fanins:
+        out.write(f" {f}")
+    out.write(f" {output}\n")
+    if table.n_vars == 0:
+        if table.const_value():
+            out.write("1\n")
+        return
+    n_on = sum(table.values())
+    if n_on == 0:
+        return  # empty cover = constant 0
+    if n_on > table.n_entries // 2:
+        # Emit the (smaller) off-set cover.
+        for cube in minterms_to_cubes(~table):
+            out.write(f"{cube} 0\n")
+    else:
+        for cube in minterms_to_cubes(table):
+            out.write(f"{cube} 1\n")
+
+
+def logic_from_lut_circuit(circuit: LutCircuit) -> LogicNetwork:
+    """Lower a LUT circuit back into a logic network (for re-mapping)."""
+    network = LogicNetwork(circuit.name)
+    for name in circuit.inputs:
+        network.add_input(name)
+    for block in circuit.blocks.values():
+        if block.registered:
+            network.add_latch(block.name, block.name + "$d", block.init)
+    for block in circuit.blocks.values():
+        target = block.name + "$d" if block.registered else block.name
+        network.add_node(target, block.inputs, block.table)
+    for out in circuit.outputs:
+        network.add_output(out)
+    network.validate()
+    return network

@@ -1,0 +1,295 @@
+"""Technology-independent logic networks.
+
+A :class:`LogicNetwork` is a DAG of combinational nodes plus latches
+(D flip-flops).  Every combinational node carries a
+:class:`~repro.netlist.truthtable.TruthTable` over its fanins, which
+uniformly represents simple gates, BLIF ``.names`` functions and LUTs.
+
+This is the intermediate representation between synthesis and the
+technology mapper (paper Fig. 1: "logic network" between *Synthesis* and
+*Technology mapping*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class Node:
+    """One combinational node: a truth table over named fanins."""
+
+    name: str
+    fanins: Tuple[str, ...]
+    table: TruthTable
+
+    def __post_init__(self) -> None:
+        if self.table.n_vars != len(self.fanins):
+            raise ValueError(
+                f"node {self.name}: table arity {self.table.n_vars} "
+                f"!= {len(self.fanins)} fanins"
+            )
+
+
+@dataclass(frozen=True)
+class Latch:
+    """A D flip-flop: samples signal *data* every clock, drives *name*."""
+
+    name: str
+    data: str
+    init: bool = False
+
+
+class LogicNetwork:
+    """A named DAG of truth-table nodes and latches.
+
+    Signals are identified by name.  A signal is driven by exactly one
+    of: a primary input, a combinational node, or a latch output.
+    Primary outputs reference existing signals.
+    """
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.nodes: Dict[str, Node] = {}
+        self.latches: Dict[str, Latch] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input signal."""
+        self._check_fresh(name)
+        self.inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> None:
+        """Declare signal *name* as a primary output."""
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name}")
+        self.outputs.append(name)
+
+    def add_node(
+        self, name: str, fanins: Sequence[str], table: TruthTable
+    ) -> str:
+        """Add a combinational node driving signal *name*."""
+        self._check_fresh(name)
+        self.nodes[name] = Node(name, tuple(fanins), table)
+        return name
+
+    def add_latch(self, name: str, data: str, init: bool = False) -> str:
+        """Add a D flip-flop driving signal *name* from signal *data*."""
+        self._check_fresh(name)
+        self.latches[name] = Latch(name, data, init)
+        return name
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.nodes or name in self.latches or name in self.inputs:
+            raise ValueError(f"signal {name} already driven")
+
+    # -- gate-level sugar ---------------------------------------------------
+
+    def _gate(
+        self, name: str, fanins: Sequence[str], table: TruthTable
+    ) -> str:
+        return self.add_node(name, fanins, table)
+
+    def add_const(self, name: str, value: bool) -> str:
+        """Constant 0/1 driver."""
+        return self._gate(name, (), TruthTable.const(value, 0))
+
+    def add_buf(self, name: str, a: str) -> str:
+        """Buffer (identity)."""
+        return self._gate(name, (a,), TruthTable.var(0, 1))
+
+    def add_not(self, name: str, a: str) -> str:
+        """Inverter."""
+        return self._gate(name, (a,), ~TruthTable.var(0, 1))
+
+    def _nary(
+        self, name: str, fanins: Sequence[str], op: str
+    ) -> str:
+        n = len(fanins)
+        if n == 0:
+            raise ValueError(f"{op} gate needs at least one fanin")
+        acc = TruthTable.var(0, n)
+        for i in range(1, n):
+            v = TruthTable.var(i, n)
+            if op == "and":
+                acc = acc & v
+            elif op == "or":
+                acc = acc | v
+            elif op == "xor":
+                acc = acc ^ v
+            else:  # pragma: no cover - internal misuse
+                raise ValueError(op)
+        return self._gate(name, fanins, acc)
+
+    def add_and(self, name: str, fanins: Sequence[str]) -> str:
+        """N-ary AND."""
+        return self._nary(name, fanins, "and")
+
+    def add_or(self, name: str, fanins: Sequence[str]) -> str:
+        """N-ary OR."""
+        return self._nary(name, fanins, "or")
+
+    def add_xor(self, name: str, fanins: Sequence[str]) -> str:
+        """N-ary XOR (parity)."""
+        return self._nary(name, fanins, "xor")
+
+    def add_mux(self, name: str, sel: str, a: str, b: str) -> str:
+        """2:1 multiplexer: ``sel ? b : a``."""
+        table = TruthTable.from_function(
+            3, lambda s, x, y: y if s else x
+        )
+        return self._gate(name, (sel, a, b), table)
+
+    # -- queries ------------------------------------------------------------
+
+    def driver_kind(self, name: str) -> str:
+        """Return 'input', 'node' or 'latch' for signal *name*."""
+        if name in self.nodes:
+            return "node"
+        if name in self.latches:
+            return "latch"
+        if name in self.inputs:
+            return "input"
+        raise KeyError(f"signal {name} is not driven")
+
+    def signals(self) -> Set[str]:
+        """All driven signal names."""
+        return set(self.inputs) | set(self.nodes) | set(self.latches)
+
+    def fanouts(self) -> Dict[str, List[str]]:
+        """Map signal -> list of node/latch names reading it."""
+        result: Dict[str, List[str]] = {s: [] for s in self.signals()}
+        for node in self.nodes.values():
+            for f in node.fanins:
+                result[f].append(node.name)
+        for latch in self.latches.values():
+            result[latch.data].append(latch.name)
+        return result
+
+    def topological_nodes(self) -> List[Node]:
+        """Combinational nodes in topological order.
+
+        Latch outputs and primary inputs are sources.  Raises
+        ``ValueError`` on a combinational cycle or undriven fanin.
+        """
+        order: List[Node] = []
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        for start in self.nodes:
+            if start in state:
+                continue
+            stack: List[Tuple[str, int]] = [(start, 0)]
+            while stack:
+                name, phase = stack.pop()
+                if phase == 0:
+                    if state.get(name) == 1:
+                        continue
+                    if state.get(name) == 0:
+                        raise ValueError(
+                            f"combinational cycle through {name}"
+                        )
+                    state[name] = 0
+                    stack.append((name, 1))
+                    node = self.nodes[name]
+                    for f in node.fanins:
+                        if f in self.nodes and state.get(f) != 1:
+                            stack.append((f, 0))
+                        elif (
+                            f not in self.nodes
+                            and f not in self.latches
+                            and f not in self.inputs
+                        ):
+                            raise ValueError(
+                                f"node {name}: fanin {f} is undriven"
+                            )
+                else:
+                    state[name] = 1
+                    order.append(self.nodes[name])
+        return order
+
+    def validate(self) -> None:
+        """Check structural sanity (drivers exist, no cycles)."""
+        for out in self.outputs:
+            if out not in self.signals():
+                raise ValueError(f"output {out} is undriven")
+        for latch in self.latches.values():
+            if latch.data not in self.signals():
+                raise ValueError(
+                    f"latch {latch.name}: data {latch.data} undriven"
+                )
+        self.topological_nodes()
+
+    def stats(self) -> Dict[str, int]:
+        """Basic size statistics."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "nodes": len(self.nodes),
+            "latches": len(self.latches),
+            "max_fanin": max(
+                (len(n.fanins) for n in self.nodes.values()), default=0
+            ),
+        }
+
+    def copy(self, name: Optional[str] = None) -> "LogicNetwork":
+        """Shallow-structural copy (nodes are immutable, safe to share)."""
+        dup = LogicNetwork(name or self.name)
+        dup.inputs = list(self.inputs)
+        dup.outputs = list(self.outputs)
+        dup.nodes = dict(self.nodes)
+        dup.latches = dict(self.latches)
+        return dup
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"LogicNetwork({self.name!r}, {s['inputs']} in, "
+            f"{s['outputs']} out, {s['nodes']} nodes, "
+            f"{s['latches']} latches)"
+        )
+
+
+def fresh_namer(network: LogicNetwork, prefix: str) -> "_Namer":
+    """Return a callable generating names unused in *network*."""
+    return _Namer(network, prefix)
+
+
+class _Namer:
+    def __init__(self, network: LogicNetwork, prefix: str) -> None:
+        self._network = network
+        self._prefix = prefix
+        self._counter = 0
+
+    def __call__(self) -> str:
+        while True:
+            name = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if name not in self._network.signals():
+                return name
+
+
+def iter_cone(
+    network: LogicNetwork, roots: Iterable[str]
+) -> Set[str]:
+    """Signals in the transitive combinational fanin cone of *roots*.
+
+    The cone stops at primary inputs and latch outputs; those boundary
+    signals are included in the result.
+    """
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        if name in network.nodes:
+            stack.extend(network.nodes[name].fanins)
+    return seen

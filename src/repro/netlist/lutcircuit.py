@@ -1,0 +1,258 @@
+"""Mapped netlists of K-input LUT blocks.
+
+A :class:`LutCircuit` is the output of technology mapping and the input
+of the multi-mode merge and of place & route.  It matches the logic
+block of the paper's FPGA architecture (``4lut_sanitized.arch``): each
+block contains one K-input LUT and one flip-flop, with a configuration
+bit selecting the combinational or the registered output.
+
+Signals are identified by name; a block drives the signal of its own
+name.  Primary inputs and outputs become IO pads at placement time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class LutBlock:
+    """One logic block: a K-LUT plus an optional registered output.
+
+    ``inputs`` are the driving signal names (at most K of them; the
+    physical LUT pads unused pins).  ``table`` has arity
+    ``len(inputs)``.  When ``registered`` is True the block output is
+    the flip-flop output (the FF samples the LUT output each cycle).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    table: TruthTable
+    registered: bool = False
+    init: bool = False
+
+    def __post_init__(self) -> None:
+        if self.table.n_vars != len(self.inputs):
+            raise ValueError(
+                f"block {self.name}: table arity {self.table.n_vars} "
+                f"!= {len(self.inputs)} inputs"
+            )
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError(
+                f"block {self.name}: duplicate input signals"
+            )
+
+    def with_inputs(
+        self, inputs: Sequence[str], table: TruthTable
+    ) -> "LutBlock":
+        """Return a copy with a new input list / table pair."""
+        return replace(self, inputs=tuple(inputs), table=table)
+
+
+class LutCircuit:
+    """A netlist of :class:`LutBlock` plus primary IOs.
+
+    ``k`` is the LUT input count of the target architecture.  All blocks
+    must have at most ``k`` inputs.
+    """
+
+    def __init__(self, name: str, k: int = 4) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.name = name
+        self.k = k
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.blocks: Dict[str, LutBlock] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        self._check_fresh(name)
+        self.inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> None:
+        """Declare an existing signal as primary output."""
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name}")
+        self.outputs.append(name)
+
+    def add_block(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        table: TruthTable,
+        registered: bool = False,
+        init: bool = False,
+    ) -> str:
+        """Add a logic block driving signal *name*."""
+        self._check_fresh(name)
+        if len(inputs) > self.k:
+            raise ValueError(
+                f"block {name}: {len(inputs)} inputs exceeds k={self.k}"
+            )
+        self.blocks[name] = LutBlock(
+            name, tuple(inputs), table, registered, init
+        )
+        return name
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.blocks or name in self.inputs:
+            raise ValueError(f"signal {name} already driven")
+
+    # -- queries ------------------------------------------------------------
+
+    def signals(self) -> Set[str]:
+        """All driven signals (inputs + block outputs)."""
+        return set(self.inputs) | set(self.blocks)
+
+    def n_luts(self) -> int:
+        """Number of logic blocks (the paper's Table I metric)."""
+        return len(self.blocks)
+
+    def connections(self) -> List[Tuple[str, str, int]]:
+        """All (source signal, sink block, sink pin index) triples.
+
+        Primary-output taps are reported with sink ``"out:<name>"`` and
+        pin 0, so the whole routing workload of the circuit is visible.
+        """
+        conns: List[Tuple[str, str, int]] = []
+        for block in self.blocks.values():
+            for pin, src in enumerate(block.inputs):
+                conns.append((src, block.name, pin))
+        for out in self.outputs:
+            conns.append((out, f"out:{out}", 0))
+        return conns
+
+    def fanouts(self) -> Dict[str, List[str]]:
+        """Map signal -> block names reading it (outputs excluded)."""
+        result: Dict[str, List[str]] = {s: [] for s in self.signals()}
+        for block in self.blocks.values():
+            for src in block.inputs:
+                result[src].append(block.name)
+        return result
+
+    def topological_blocks(self) -> List[LutBlock]:
+        """Blocks in topological order over *combinational* edges.
+
+        Registered blocks break cycles: their outputs are treated as
+        sources (like primary inputs).
+        """
+        order: List[LutBlock] = []
+        state: Dict[str, int] = {}
+
+        def comb_fanins(block: LutBlock) -> Iterable[str]:
+            for src in block.inputs:
+                blk = self.blocks.get(src)
+                if blk is not None and not blk.registered:
+                    yield src
+
+        for start in self.blocks:
+            if state.get(start) == 1:
+                continue
+            stack: List[Tuple[str, int]] = [(start, 0)]
+            while stack:
+                name, phase = stack.pop()
+                block = self.blocks[name]
+                if phase == 0:
+                    if state.get(name) == 1:
+                        continue
+                    if state.get(name) == 0:
+                        raise ValueError(
+                            f"combinational cycle through {name}"
+                        )
+                    state[name] = 0
+                    stack.append((name, 1))
+                    for f in comb_fanins(block):
+                        if state.get(f) != 1:
+                            stack.append((f, 0))
+                else:
+                    state[name] = 1
+                    order.append(block)
+        return order
+
+    def validate(self) -> None:
+        """Check drivers exist, arity bounds hold, no comb. cycles."""
+        signals = self.signals()
+        for block in self.blocks.values():
+            if len(block.inputs) > self.k:
+                raise ValueError(
+                    f"block {block.name} exceeds k={self.k}"
+                )
+            for src in block.inputs:
+                if src not in signals:
+                    raise ValueError(
+                        f"block {block.name}: fanin {src} undriven"
+                    )
+        for out in self.outputs:
+            if out not in signals:
+                raise ValueError(f"output {out} undriven")
+        self.topological_blocks()
+
+    def depth(self) -> int:
+        """Longest combinational path length in LUT levels."""
+        level: Dict[str, int] = {}
+        best = 0
+        for block in self.topological_blocks():
+            lvl = 1
+            for src in block.inputs:
+                blk = self.blocks.get(src)
+                if blk is not None and not blk.registered:
+                    lvl = max(lvl, level[src] + 1)
+            level[block.name] = lvl
+            best = max(best, lvl)
+        return best
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics (LUT count, IOs, FFs, depth)."""
+        return {
+            "k": self.k,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "luts": len(self.blocks),
+            "ffs": sum(1 for b in self.blocks.values() if b.registered),
+            "depth": self.depth(),
+        }
+
+    def copy(self, name: Optional[str] = None) -> "LutCircuit":
+        """Structural copy (blocks are immutable, safe to share)."""
+        dup = LutCircuit(name or self.name, self.k)
+        dup.inputs = list(self.inputs)
+        dup.outputs = list(self.outputs)
+        dup.blocks = dict(self.blocks)
+        return dup
+
+    def renamed(self, mapping: Dict[str, str]) -> "LutCircuit":
+        """Return a copy with signals renamed through *mapping*.
+
+        Signals not in *mapping* keep their names.  Useful when giving
+        the modes of a multi-mode circuit disjoint namespaces.
+        """
+
+        def rn(s: str) -> str:
+            return mapping.get(s, s)
+
+        dup = LutCircuit(self.name, self.k)
+        dup.inputs = [rn(s) for s in self.inputs]
+        dup.outputs = [rn(s) for s in self.outputs]
+        for block in self.blocks.values():
+            dup.blocks[rn(block.name)] = LutBlock(
+                rn(block.name),
+                tuple(rn(s) for s in block.inputs),
+                block.table,
+                block.registered,
+                block.init,
+            )
+        return dup
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"LutCircuit({self.name!r}, k={self.k}, {s['luts']} LUTs, "
+            f"{s['inputs']} in, {s['outputs']} out, {s['ffs']} FFs)"
+        )

@@ -1,0 +1,313 @@
+"""Immutable truth tables over a small number of variables.
+
+A :class:`TruthTable` stores the on-set of an *n*-input Boolean function
+as an integer bit mask: bit *i* of :attr:`bits` is the function value for
+the input assignment whose binary encoding is *i* (input 0 is the least
+significant bit of the assignment).  This is exactly the layout of an
+FPGA LUT's configuration bits, which is what the DCS merge step
+manipulates (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+
+class TruthTable:
+    """An immutable Boolean function of ``n_vars`` inputs.
+
+    Construction checks that the bit mask fits ``2**n_vars`` entries.
+    Instances are hashable and compare by (n_vars, bits).
+    """
+
+    __slots__ = ("_n", "_bits")
+
+    def __init__(self, n_vars: int, bits: int) -> None:
+        if n_vars < 0:
+            raise ValueError("n_vars must be non-negative")
+        if n_vars > 16:
+            raise ValueError("truth tables above 16 vars are not supported")
+        size = 1 << (1 << n_vars)
+        if not 0 <= bits < size:
+            raise ValueError(
+                f"bits 0x{bits:x} out of range for {n_vars}-input table"
+            )
+        self._n = n_vars
+        self._bits = bits
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def const(cls, value: bool, n_vars: int = 0) -> "TruthTable":
+        """Constant True/False as an *n_vars*-input table."""
+        if value:
+            return cls(n_vars, (1 << (1 << n_vars)) - 1)
+        return cls(n_vars, 0)
+
+    @classmethod
+    def var(cls, index: int, n_vars: int) -> "TruthTable":
+        """Projection of input *index* among *n_vars* inputs."""
+        if not 0 <= index < n_vars:
+            raise ValueError("variable index out of range")
+        bits = 0
+        for assignment in range(1 << n_vars):
+            if assignment & (1 << index):
+                bits |= 1 << assignment
+        return cls(n_vars, bits)
+
+    @classmethod
+    def from_function(
+        cls, n_vars: int, fn: Callable[..., bool]
+    ) -> "TruthTable":
+        """Build from a Python predicate of *n_vars* boolean arguments."""
+        bits = 0
+        for assignment in range(1 << n_vars):
+            args = [bool(assignment & (1 << i)) for i in range(n_vars)]
+            if fn(*args):
+                bits |= 1 << assignment
+        return cls(n_vars, bits)
+
+    @classmethod
+    def from_values(cls, values: Sequence[bool]) -> "TruthTable":
+        """Build from the full output column (length must be a power of 2)."""
+        n_entries = len(values)
+        n_vars = n_entries.bit_length() - 1
+        if 1 << n_vars != n_entries:
+            raise ValueError("length must be a power of two")
+        bits = 0
+        for i, v in enumerate(values):
+            if v:
+                bits |= 1 << i
+        return cls(n_vars, bits)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def n_vars(self) -> int:
+        """Number of input variables."""
+        return self._n
+
+    @property
+    def bits(self) -> int:
+        """On-set as an integer bit mask (bit *i* = value at assignment *i*)."""
+        return self._bits
+
+    @property
+    def n_entries(self) -> int:
+        """Number of truth-table rows (= LUT configuration bits)."""
+        return 1 << self._n
+
+    def evaluate(self, inputs: Sequence[bool]) -> bool:
+        """Evaluate at the given input values (inputs[0] = variable 0)."""
+        if len(inputs) != self._n:
+            raise ValueError(
+                f"expected {self._n} inputs, got {len(inputs)}"
+            )
+        assignment = 0
+        for i, v in enumerate(inputs):
+            if v:
+                assignment |= 1 << i
+        return bool(self._bits >> assignment & 1)
+
+    def evaluate_index(self, assignment: int) -> bool:
+        """Evaluate at an integer-encoded assignment."""
+        if not 0 <= assignment < self.n_entries:
+            raise ValueError("assignment out of range")
+        return bool(self._bits >> assignment & 1)
+
+    def values(self) -> List[bool]:
+        """The full output column, assignment 0 first."""
+        return [bool(self._bits >> i & 1) for i in range(self.n_entries)]
+
+    def is_const(self) -> bool:
+        """True when the function is constant."""
+        return self._bits in (0, (1 << self.n_entries) - 1)
+
+    def const_value(self) -> bool:
+        """Value of a constant function (raises if not constant)."""
+        if self._bits == 0:
+            return False
+        if self._bits == (1 << self.n_entries) - 1:
+            return True
+        raise ValueError("truth table is not constant")
+
+    def support(self) -> List[int]:
+        """Indices of variables the function actually depends on."""
+        return [
+            i
+            for i in range(self._n)
+            if self.cofactor(i, False) != self.cofactor(i, True)
+        ]
+
+    # -- algebra ----------------------------------------------------------
+
+    def _binary(self, other: "TruthTable", op: Callable[[int, int], int]
+                ) -> "TruthTable":
+        if self._n != other._n:
+            raise ValueError("operand arities differ")
+        mask = (1 << self.n_entries) - 1
+        return TruthTable(self._n, op(self._bits, other._bits) & mask)
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, lambda a, b: a & b)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, lambda a, b: a | b)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, lambda a, b: a ^ b)
+
+    def __invert__(self) -> "TruthTable":
+        mask = (1 << self.n_entries) - 1
+        return TruthTable(self._n, ~self._bits & mask)
+
+    # -- structural operations ---------------------------------------------
+
+    def cofactor(self, var: int, value: bool) -> "TruthTable":
+        """Shannon cofactor: fix *var* to *value* (arity stays the same)."""
+        if not 0 <= var < self._n:
+            raise ValueError("variable index out of range")
+        bits = 0
+        vbit = 1 << var
+        for assignment in range(self.n_entries):
+            src = (assignment | vbit) if value else (assignment & ~vbit)
+            if self._bits >> src & 1:
+                bits |= 1 << assignment
+        return TruthTable(self._n, bits)
+
+    def restrict(self, var: int, value: bool) -> "TruthTable":
+        """Cofactor and *remove* the variable (arity drops by one)."""
+        if not 0 <= var < self._n:
+            raise ValueError("variable index out of range")
+        bits = 0
+        out_index = 0
+        vbit = 1 << var
+        low_mask = vbit - 1
+        for assignment in range(self.n_entries):
+            if bool(assignment & vbit) != value:
+                continue
+            if self._bits >> assignment & 1:
+                bits |= 1 << out_index
+            out_index += 1
+        del low_mask
+        return TruthTable(self._n - 1, bits)
+
+    def expand(self, positions: Sequence[int], new_n: int) -> "TruthTable":
+        """Re-express over *new_n* variables.
+
+        ``positions[i]`` gives the new index of old variable *i*.  The
+        function is independent of the added variables.
+        """
+        if len(positions) != self._n:
+            raise ValueError("positions must map every old variable")
+        if len(set(positions)) != len(positions):
+            raise ValueError("positions must be distinct")
+        if any(not 0 <= p < new_n for p in positions):
+            raise ValueError("position out of range")
+        bits = 0
+        for assignment in range(1 << new_n):
+            old = 0
+            for i, p in enumerate(positions):
+                if assignment & (1 << p):
+                    old |= 1 << i
+            if self._bits >> old & 1:
+                bits |= 1 << assignment
+        return TruthTable(new_n, bits)
+
+    def permute(self, order: Sequence[int]) -> "TruthTable":
+        """Reorder inputs: new variable ``order[i]`` is old variable *i*."""
+        return self.expand(order, self._n)
+
+    def compose(self, subs: Sequence["TruthTable"]) -> "TruthTable":
+        """Substitute each input by a function of a common variable set.
+
+        All tables in *subs* must share the same arity *m*; the result is
+        an *m*-input table ``f(g0(x), g1(x), ...)``.
+        """
+        if len(subs) != self._n:
+            raise ValueError("need one substitution per input")
+        if self._n == 0:
+            return TruthTable(0, self._bits)
+        m = subs[0].n_vars
+        if any(s.n_vars != m for s in subs):
+            raise ValueError("substitutions must share one arity")
+        bits = 0
+        for assignment in range(1 << m):
+            inner = 0
+            for i, g in enumerate(subs):
+                if g._bits >> assignment & 1:
+                    inner |= 1 << i
+            if self._bits >> inner & 1:
+                bits |= 1 << assignment
+        return TruthTable(m, bits)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self._n == other._n and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._bits))
+
+    def __repr__(self) -> str:
+        width = max(1, self.n_entries // 4)
+        return f"TruthTable({self._n}, 0x{self._bits:0{width}x})"
+
+
+def cube_to_minterms(cube: str) -> Iterable[int]:
+    """Expand a BLIF-style input cube (e.g. ``1-0``) into assignments.
+
+    Character *i* of the cube refers to variable *i* (BLIF order); ``-``
+    is a don't-care.  Yields integer assignments with variable 0 in the
+    least significant bit.
+    """
+    free: List[int] = []
+    base = 0
+    for i, ch in enumerate(cube):
+        if ch == "1":
+            base |= 1 << i
+        elif ch == "-":
+            free.append(i)
+        elif ch != "0":
+            raise ValueError(f"bad cube character {ch!r}")
+    for combo in range(1 << len(free)):
+        assignment = base
+        for j, var in enumerate(free):
+            if combo & (1 << j):
+                assignment |= 1 << var
+        yield assignment
+
+
+def minterms_to_cubes(table: TruthTable) -> List[str]:
+    """Render a table as a list of minterm cubes (one per on-set row)."""
+    cubes = []
+    for assignment in range(table.n_entries):
+        if table.evaluate_index(assignment):
+            cube = "".join(
+                "1" if assignment & (1 << i) else "0"
+                for i in range(table.n_vars)
+            )
+            cubes.append(cube)
+    return cubes
+
+
+def table_pair_merge_bits(
+    tables: Sequence[TruthTable],
+) -> List[Tuple[int, ...]]:
+    """Per-row tuple of values across *tables* (all same arity).
+
+    Convenience used by the Tunable-LUT generator (paper Fig. 4): row *r*
+    of the result is the vector of bit values the physical LUT must take
+    in each mode.
+    """
+    if not tables:
+        return []
+    n = tables[0].n_vars
+    if any(t.n_vars != n for t in tables):
+        raise ValueError("tables must share one arity")
+    return [
+        tuple(int(t.evaluate_index(r)) for t in tables)
+        for r in range(1 << n)
+    ]

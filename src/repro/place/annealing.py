@@ -1,0 +1,141 @@
+"""Adaptive simulated-annealing engine (VPR schedule).
+
+The engine is generic over a *problem* object so the conventional
+placer and the paper's combined placer share one schedule.  A problem
+must provide:
+
+``initial_cost() -> float``
+    Cost of the starting state.
+``propose(rlim, rng) -> move | None``
+    Generate a candidate move under the current range limit.  ``None``
+    means "no legal move found this attempt" (counted, not accepted).
+``delta_cost(move) -> float``
+    Cost change the move would cause.
+``commit(move) -> None`` / nothing on reject.
+``size() -> int``
+    Number of movable cells (drives moves-per-temperature).
+``n_nets() -> int``
+    Number of nets (drives the exit criterion).
+
+Schedule (Betz & Rose, "VPR: A New Packing, Placement and Routing Tool
+for FPGA Research"):
+
+* initial temperature = 20 × the standard deviation of the cost change
+  over ``size()`` random moves;
+* moves per temperature = ``inner_num * size() ** 4/3``;
+* temperature update factor chosen from the acceptance rate
+  (0.5 / 0.9 / 0.95 / 0.8 bands);
+* range limit follows the acceptance rate towards 44%;
+* exit when the temperature falls below a small fraction of the cost
+  per net.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class AnnealingSchedule:
+    """Tunable knobs of the annealing schedule.
+
+    ``inner_num`` scales effort: VPR's default is 10; pure-Python runs
+    use smaller values (the experiment harness maps effort levels onto
+    this knob).
+    """
+
+    inner_num: float = 1.0
+    init_temp_factor: float = 20.0
+    exit_ratio: float = 0.005
+    max_temperatures: int = 500
+    min_moves: int = 16
+
+
+@dataclass
+class AnnealingStats:
+    """Outcome statistics of one annealing run."""
+
+    initial_cost: float
+    final_cost: float
+    n_temperatures: int = 0
+    n_moves: int = 0
+    n_accepted: int = 0
+
+
+def anneal(problem, rng, schedule: Optional[AnnealingSchedule] = None
+           ) -> AnnealingStats:
+    """Run adaptive simulated annealing on *problem*; returns stats."""
+    schedule = schedule or AnnealingSchedule()
+    size = max(1, problem.size())
+    cost = problem.initial_cost()
+    stats = AnnealingStats(initial_cost=cost, final_cost=cost)
+
+    moves_per_temp = max(
+        schedule.min_moves, int(schedule.inner_num * size ** (4 / 3))
+    )
+
+    # Initial temperature: perturb the placement with `size` random
+    # moves (all accepted) and measure the cost-change deviation.
+    deltas = []
+    for _ in range(size):
+        move = problem.propose(rlim=float("inf"), rng=rng)
+        if move is None:
+            continue
+        delta = problem.delta_cost(move)
+        problem.commit(move)
+        cost += delta
+        deltas.append(delta)
+    if deltas:
+        mean = sum(deltas) / len(deltas)
+        variance = sum((d - mean) ** 2 for d in deltas) / len(deltas)
+        temperature = schedule.init_temp_factor * math.sqrt(variance)
+    else:
+        temperature = 1.0
+    if temperature <= 0.0:
+        temperature = 1.0
+
+    rlim = float(problem.max_rlim())
+
+    for _ in range(schedule.max_temperatures):
+        n_nets = max(1, problem.n_nets())
+        if temperature < schedule.exit_ratio * cost / n_nets:
+            break
+        accepted = 0
+        attempted = 0
+        for _ in range(moves_per_temp):
+            move = problem.propose(rlim=rlim, rng=rng)
+            if move is None:
+                continue
+            attempted += 1
+            delta = problem.delta_cost(move)
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / temperature
+            ):
+                problem.commit(move)
+                cost += delta
+                accepted += 1
+        stats.n_temperatures += 1
+        stats.n_moves += attempted
+        stats.n_accepted += accepted
+
+        r_accept = accepted / attempted if attempted else 0.0
+        if r_accept > 0.96:
+            alpha = 0.5
+        elif r_accept > 0.8:
+            alpha = 0.9
+        elif r_accept > 0.15:
+            alpha = 0.95
+        else:
+            alpha = 0.8
+        temperature *= alpha
+        rlim = min(
+            float(problem.max_rlim()),
+            max(1.0, rlim * (1.0 - 0.44 + r_accept)),
+        )
+        if cost <= 0:
+            break
+
+    stats.final_cost = cost
+    return stats

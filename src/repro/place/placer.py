@@ -1,0 +1,263 @@
+"""Conventional wire-length-driven placement (single circuit).
+
+This is the "Placement" box of the MDR tool flow (paper Fig. 2(a)): a
+VPR-style simulated-annealing placer that assigns every LUT block to a
+logic-block tile and every primary IO to a perimeter pad slot, while
+minimising the bounding-box wire-length estimate.
+
+The combined placer of the paper (``repro.core.combined_placement``)
+extends the same machinery to several mode circuits at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.architecture import FpgaArchitecture, Site
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.annealing import AnnealingSchedule, AnnealingStats, anneal
+from repro.place.cost import net_bounding_box_cost
+from repro.utils.rng import make_rng
+
+
+def pad_cell(signal: str) -> str:
+    """Cell name of the IO pad carrying primary IO *signal*."""
+    return f"pad:{signal}"
+
+
+@dataclass
+class Net:
+    """One placement net: a source cell and its sink cells."""
+
+    name: str
+    cells: List[str]  # source first, then sinks (duplicates removed)
+
+
+def circuit_nets(circuit: LutCircuit) -> List[Net]:
+    """Extract placement nets from a LUT circuit.
+
+    Each driven signal with at least one reader becomes a net.  Primary
+    inputs source from their pad cell; primary outputs add the pad cell
+    as a sink.
+    """
+    readers: Dict[str, List[str]] = {s: [] for s in circuit.signals()}
+    for block in circuit.blocks.values():
+        for src in block.inputs:
+            readers[src].append(block.name)
+    for out in circuit.outputs:
+        readers[out].append(pad_cell(out))
+
+    nets = []
+    for signal, sinks in readers.items():
+        if not sinks:
+            continue
+        source = (
+            pad_cell(signal) if signal in circuit.inputs else signal
+        )
+        seen: Set[str] = {source}
+        cells = [source]
+        for cell in sinks:
+            if cell not in seen:
+                seen.add(cell)
+                cells.append(cell)
+        if len(cells) >= 2:
+            nets.append(Net(signal, cells))
+    return nets
+
+
+def circuit_cells(circuit: LutCircuit) -> Tuple[List[str], List[str]]:
+    """(logic cells, pad cells) of a circuit."""
+    logic = list(circuit.blocks)
+    pads = [pad_cell(s) for s in circuit.inputs]
+    pads += [pad_cell(s) for s in circuit.outputs]
+    return logic, pads
+
+
+@dataclass
+class Placement:
+    """A finished placement: cell name -> site."""
+
+    arch: FpgaArchitecture
+    sites: Dict[str, Site]
+    cost: float
+    stats: Optional[AnnealingStats] = None
+
+    def position(self, cell: str) -> Tuple[int, int]:
+        return self.sites[cell].pos()
+
+
+class _SinglePlacementProblem:
+    """Annealing problem for one circuit; see repro.place.annealing."""
+
+    def __init__(
+        self,
+        arch: FpgaArchitecture,
+        logic_cells: Sequence[str],
+        pad_cells: Sequence[str],
+        nets: Sequence[Net],
+        rng,
+    ) -> None:
+        self.arch = arch
+        self.logic_cells = list(logic_cells)
+        self.pad_cells = list(pad_cells)
+        self.nets = list(nets)
+        clb_sites = arch.clb_sites()
+        pad_sites = arch.pad_sites()
+        if len(self.logic_cells) > len(clb_sites):
+            raise ValueError(
+                f"{len(self.logic_cells)} blocks exceed "
+                f"{len(clb_sites)} logic tiles"
+            )
+        if len(self.pad_cells) > len(pad_sites):
+            raise ValueError(
+                f"{len(self.pad_cells)} IOs exceed "
+                f"{len(pad_sites)} pad slots"
+            )
+        # Random legal initial placement.
+        self.site_of: Dict[str, Site] = {}
+        self.cell_at: Dict[Site, Optional[str]] = {}
+        shuffled_clb = list(clb_sites)
+        rng.shuffle(shuffled_clb)
+        for cell, site in zip(self.logic_cells, shuffled_clb):
+            self.site_of[cell] = site
+        self.free_clb = shuffled_clb[len(self.logic_cells):]
+        shuffled_pad = list(pad_sites)
+        rng.shuffle(shuffled_pad)
+        for cell, site in zip(self.pad_cells, shuffled_pad):
+            self.site_of[cell] = site
+        self.free_pad = shuffled_pad[len(self.pad_cells):]
+        for cell, site in self.site_of.items():
+            self.cell_at[site] = cell
+
+        self.all_clb_sites = clb_sites
+        self.all_pad_sites = pad_sites
+        self.nets_of_cell: Dict[str, List[int]] = {}
+        for i, net in enumerate(self.nets):
+            for cell in net.cells:
+                self.nets_of_cell.setdefault(cell, []).append(i)
+        self.net_cost: List[float] = [
+            self._compute_net_cost(net) for net in self.nets
+        ]
+
+    # -- cost helpers -----------------------------------------------------
+
+    def _compute_net_cost(self, net: Net) -> float:
+        positions = [self.site_of[c].pos() for c in net.cells]
+        return net_bounding_box_cost(positions)
+
+    def initial_cost(self) -> float:
+        return sum(self.net_cost)
+
+    def size(self) -> int:
+        return len(self.logic_cells) + len(self.pad_cells)
+
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    def max_rlim(self) -> int:
+        return max(self.arch.nx, self.arch.ny) + 2
+
+    # -- moves --------------------------------------------------------------
+
+    def propose(self, rlim: float, rng):
+        """Pick a random cell and a random target site within rlim."""
+        pool = (
+            self.logic_cells
+            if rng.random() < (
+                len(self.logic_cells) / max(1, self.size())
+            )
+            else self.pad_cells
+        )
+        if not pool:
+            pool = self.logic_cells or self.pad_cells
+        cell = pool[rng.randrange(len(pool))]
+        src_site = self.site_of[cell]
+        candidates = (
+            self.all_clb_sites
+            if src_site.kind == "clb"
+            else self.all_pad_sites
+        )
+        for _ in range(8):
+            dst_site = candidates[rng.randrange(len(candidates))]
+            if dst_site == src_site:
+                continue
+            if (
+                abs(dst_site.x - src_site.x) > rlim
+                or abs(dst_site.y - src_site.y) > rlim
+            ):
+                continue
+            return (cell, src_site, dst_site)
+        return None
+
+    def _affected_nets(self, cell_a: str, cell_b: Optional[str]
+                       ) -> List[int]:
+        nets = set(self.nets_of_cell.get(cell_a, ()))
+        if cell_b is not None:
+            nets.update(self.nets_of_cell.get(cell_b, ()))
+        return sorted(nets)
+
+    def delta_cost(self, move) -> float:
+        cell, src_site, dst_site = move
+        other = self.cell_at.get(dst_site)
+        affected = self._affected_nets(cell, other)
+        before = sum(self.net_cost[i] for i in affected)
+        # Tentatively move, evaluate, revert.
+        self.site_of[cell] = dst_site
+        if other is not None:
+            self.site_of[other] = src_site
+        after = sum(
+            self._compute_net_cost(self.nets[i]) for i in affected
+        )
+        self.site_of[cell] = src_site
+        if other is not None:
+            self.site_of[other] = dst_site
+        return after - before
+
+    def commit(self, move) -> None:
+        cell, src_site, dst_site = move
+        other = self.cell_at.get(dst_site)
+        self.site_of[cell] = dst_site
+        self.cell_at[dst_site] = cell
+        if other is not None:
+            self.site_of[other] = src_site
+            self.cell_at[src_site] = other
+        else:
+            self.cell_at[src_site] = None
+        for i in self._affected_nets(cell, other):
+            self.net_cost[i] = self._compute_net_cost(self.nets[i])
+
+
+def place_circuit(
+    circuit: LutCircuit,
+    arch: FpgaArchitecture,
+    seed: int = 0,
+    schedule: Optional[AnnealingSchedule] = None,
+) -> Placement:
+    """Place *circuit* on *arch*; returns the final placement."""
+    rng = make_rng(seed, f"place:{circuit.name}")
+    logic, pads = circuit_cells(circuit)
+    nets = circuit_nets(circuit)
+    problem = _SinglePlacementProblem(arch, logic, pads, nets, rng)
+    stats = anneal(problem, rng, schedule)
+    cost = sum(
+        net_bounding_box_cost(
+            [problem.site_of[c].pos() for c in net.cells]
+        )
+        for net in nets
+    )
+    return Placement(
+        arch=arch, sites=dict(problem.site_of), cost=cost, stats=stats
+    )
+
+
+def placement_wirelength(
+    placement: Placement, nets: Sequence[Net]
+) -> float:
+    """Re-evaluate the bounding-box wire length of *nets* under *placement*."""
+    return sum(
+        net_bounding_box_cost(
+            [placement.sites[c].pos() for c in net.cells]
+        )
+        for net in nets
+    )

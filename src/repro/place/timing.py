@@ -1,0 +1,151 @@
+"""Critical-path timing estimation.
+
+The paper's abstract claims the reconfiguration-time reduction comes
+"without significant performance penalties", and Section IV-C.2 argues
+through wire length because "it correlates with power usage and
+performance (maximum clock frequency)".  This module makes the claim
+directly checkable with a simple placement-level timing model:
+
+* each LUT contributes a fixed logic delay;
+* each connection contributes a wire delay proportional to the
+  Manhattan distance between its endpoints (unit-length segments, one
+  switch per tile crossed);
+* the critical path is the longest register-to-register /
+  input-to-output path under those delays.
+
+The same estimator runs on a conventional placement (MDR) and on a
+per-mode view of the merged circuit (DCS), so the per-mode clock
+penalty of the combined implementation can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.placer import Placement, pad_cell
+
+#: Delay of one LUT evaluation (arbitrary units).
+LUT_DELAY = 1.0
+#: Delay per tile of Manhattan wire distance.
+WIRE_DELAY_PER_TILE = 0.3
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Critical path of one placed mode circuit."""
+
+    critical_delay: float
+    n_paths: int
+
+    def frequency(self) -> float:
+        """Max clock frequency (1 / delay), arbitrary units."""
+        if self.critical_delay <= 0:
+            return float("inf")
+        return 1.0 / self.critical_delay
+
+
+def _wire_delay(a: Tuple[int, int], b: Tuple[int, int]) -> float:
+    return WIRE_DELAY_PER_TILE * (
+        abs(a[0] - b[0]) + abs(a[1] - b[1])
+    )
+
+
+def critical_path(
+    circuit: LutCircuit,
+    positions: Mapping[str, Tuple[int, int]],
+) -> TimingReport:
+    """Estimate the critical path of *circuit* at the given positions.
+
+    *positions* maps every cell (block names and ``pad:<signal>``
+    cells) to a grid position.  Registered blocks start and terminate
+    paths (their outputs launch at t=0, their inputs must settle
+    before the clock edge).
+    """
+    arrival: Dict[str, float] = {}
+
+    def position_of(signal: str) -> Tuple[int, int]:
+        if signal in circuit.blocks:
+            return positions[signal]
+        return positions[pad_cell(signal)]
+
+    def signal_arrival(signal: str) -> float:
+        # Launch points: primary inputs and FF outputs arrive at 0.
+        block = circuit.blocks.get(signal)
+        if block is None or block.registered:
+            return 0.0
+        return arrival[signal]
+
+    worst = 0.0
+    n_paths = 0
+    for block in circuit.topological_blocks():
+        sink_pos = positions[block.name]
+        t = 0.0
+        for src in block.inputs:
+            t = max(
+                t,
+                signal_arrival(src)
+                + _wire_delay(position_of(src), sink_pos),
+            )
+        t += LUT_DELAY
+        arrival[block.name] = t
+        if block.registered:
+            worst = max(worst, t)
+            n_paths += 1
+    for out in circuit.outputs:
+        t = signal_arrival(out) + _wire_delay(
+            position_of(out), positions[pad_cell(out)]
+        )
+        worst = max(worst, t)
+        n_paths += 1
+    return TimingReport(critical_delay=worst, n_paths=n_paths)
+
+
+def mdr_timing(
+    circuit: LutCircuit, placement: Placement
+) -> TimingReport:
+    """Timing of one mode implemented separately (MDR)."""
+    positions = {
+        cell: site.pos() for cell, site in placement.sites.items()
+    }
+    return critical_path(circuit, positions)
+
+
+def dcs_timing(tunable, mode: int) -> TimingReport:
+    """Timing of mode *mode* inside the merged Tunable circuit.
+
+    The specialised circuit is evaluated at the Tunable cells' sites,
+    so the penalty of the combined placement (LUTs pulled towards the
+    other mode's optima) is visible.
+    """
+    circuit = tunable.specialize(mode)
+    positions: Dict[str, Tuple[int, int]] = {}
+    for tlut in tunable.tluts.values():
+        member = tlut.members.get(mode)
+        if member is not None:
+            if tlut.site is None:
+                raise ValueError("tunable circuit has no sites")
+            positions[member.name] = tlut.site.pos()
+    for pad in tunable.pads.values():
+        signal = pad.signals.get(mode)
+        if signal is not None:
+            if pad.site is None:
+                raise ValueError("tunable circuit has no sites")
+            positions[pad_cell(signal)] = pad.site.pos()
+    return critical_path(circuit, positions)
+
+
+def timing_penalty(
+    mdr_reports: List[TimingReport],
+    dcs_reports: List[TimingReport],
+) -> float:
+    """Mean per-mode critical-delay ratio DCS/MDR (1.0 = no penalty)."""
+    if len(mdr_reports) != len(dcs_reports) or not mdr_reports:
+        raise ValueError("need one report per mode for both flows")
+    ratios = [
+        d.critical_delay / m.critical_delay
+        for m, d in zip(mdr_reports, dcs_reports)
+        if m.critical_delay > 0
+    ]
+    return sum(ratios) / len(ratios)

@@ -1,0 +1,604 @@
+"""Connection-based, mode-aware PathFinder router.
+
+PathFinder (McMurchie & Ebeling) negotiates congestion by repeatedly
+ripping up and re-routing connections whose resources are overused,
+with present-congestion and history costs steering later iterations
+away from contested nodes.
+
+Two extensions serve the multi-mode tool flow (both follow the
+connection router of Vansteenkiste et al. that TRoute builds on):
+
+* **Per-mode occupancy.**  Every connection carries an activation set
+  of modes.  A routing node conflicts only when two *different* nets
+  occupy it in the *same* mode — wires may be time-multiplexed between
+  modes, which is exactly what turns switch bits into Boolean functions
+  of the mode.
+* **Trunk sharing.**  Connections of the same net (same source signal)
+  may overlap freely; the search frontier is seeded with every node the
+  net already occupies in all modes of the connection being routed, so
+  per-net route trees form naturally even though routing is
+  connection-by-connection (this is VPR's multi-sink expansion applied
+  per connection).
+* **Bit sharing.**  A switch bit is *parameterised* only when it is on
+  in some modes and off in others.  With ``bit_affinity < 1`` the
+  search discounts edges whose bit is already on in every mode outside
+  the connection's activation set — taking such a switch turns its bit
+  into a static one instead of a parameterised bit, which is precisely
+  the quantity the paper's Fig. 6 merge effect measures.  After
+  congestion is resolved, optional ``sharing_passes`` sweeps rip up and
+  reroute every net with these discounts active, keeping the legal
+  solution with the fewest parameterised bits.
+
+The search is multi-source A* with an admissible Manhattan-distance
+heuristic: every node beyond the frontier costs at least its unit base
+cost, so the heuristic never overestimates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.rrg import IPIN, OPIN, SINK, WIRE, RoutingResourceGraph
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One tunable connection to route.
+
+    ``net`` identifies the source signal (connections of one net may
+    share wires); ``modes`` is the activation set — the connection only
+    exists in those modes.  ``source``/``sink`` are RRG node ids (an
+    OPIN and a SINK).
+    """
+
+    conn_id: int
+    net: str
+    source: int
+    sink: int
+    modes: FrozenSet[int]
+
+
+@dataclass
+class ConnectionRoute:
+    """Routed path of one connection: RRG edges source -> sink."""
+
+    request: RouteRequest
+    edges: List[Tuple[int, int, int]]  # (from, to, bit)
+
+    def nodes(self) -> List[int]:
+        if not self.edges:
+            return []
+        result = [self.edges[0][0]]
+        result.extend(edge[1] for edge in self.edges)
+        return result
+
+    def bits(self) -> Set[int]:
+        return {bit for _u, _v, bit in self.edges if bit >= 0}
+
+    def wire_nodes(self, rrg: RoutingResourceGraph) -> Set[int]:
+        return {
+            n for n in self.nodes() if rrg.node_kind[n] == WIRE
+        }
+
+
+class RoutingError(RuntimeError):
+    """Raised when the router cannot find a legal solution."""
+
+
+@dataclass
+class RoutingResult:
+    """All routed connections plus per-mode summaries."""
+
+    rrg: RoutingResourceGraph
+    routes: Dict[int, ConnectionRoute]
+    n_modes: int
+    iterations: int
+
+    def bits_on(self, mode: int) -> Set[int]:
+        """Switch bits that are *on* in *mode*."""
+        bits: Set[int] = set()
+        for route in self.routes.values():
+            if mode in route.request.modes:
+                bits |= route.bits()
+        return bits
+
+    def wires_used(self, mode: int) -> Set[int]:
+        """WIRE nodes used by *mode* (the paper's Fig. 7 metric)."""
+        wires: Set[int] = set()
+        for route in self.routes.values():
+            if mode in route.request.modes:
+                wires |= route.wire_nodes(self.rrg)
+        return wires
+
+    def total_wirelength(self, mode: int) -> int:
+        return len(self.wires_used(mode))
+
+
+def validate_routing(result: "RoutingResult") -> None:
+    """Check a finished routing for legality and connectivity.
+
+    Raises ``AssertionError`` when any invariant fails:
+
+    * per mode, no node carries more distinct nets than its capacity;
+    * every connection's edge list is a contiguous path ending at its
+      sink, using edges that exist in the RRG;
+    * every connection is electrically connected: its path starts at
+      the net's source or at a node another connection of the same net
+      (covering the same modes) drives.
+    """
+    rrg = result.rrg
+    # Per (mode, node): distinct nets.
+    users: Dict[Tuple[int, int], Set[str]] = {}
+    for route in result.routes.values():
+        for mode in route.request.modes:
+            for node in route.nodes():
+                users.setdefault((mode, node), set()).add(
+                    route.request.net
+                )
+    for (mode, node), nets in users.items():
+        assert len(nets) <= rrg.node_capacity[node], (
+            f"node {rrg.describe(node)} carries {len(nets)} nets "
+            f"in mode {mode}"
+        )
+    edge_set = {
+        (src, dst)
+        for src in range(rrg.n_nodes)
+        for dst, _bit in rrg.adjacency[src]
+    }
+    # Nodes reachable from each net's source, per mode, built
+    # incrementally (paths may chain through other connections).
+    for route in result.routes.values():
+        nodes = route.nodes()
+        if not nodes:
+            continue
+        for (u, v, _bit), a, b in zip(
+            route.edges, nodes, nodes[1:]
+        ):
+            assert (u, v) == (a, b), "edge list is not a path"
+            assert (u, v) in edge_set, "edge missing from RRG"
+        assert nodes[-1] == route.request.sink, "path misses sink"
+    for mode in range(result.n_modes):
+        # per net: grow reachable set from the source.
+        by_net: Dict[str, List[ConnectionRoute]] = {}
+        source_of: Dict[str, int] = {}
+        for route in result.routes.values():
+            if mode not in route.request.modes:
+                continue
+            by_net.setdefault(route.request.net, []).append(route)
+            source_of[route.request.net] = route.request.source
+        for net, routes in by_net.items():
+            reachable = {source_of[net]}
+            pending = list(routes)
+            progress = True
+            while pending and progress:
+                progress = False
+                remaining = []
+                for route in pending:
+                    nodes = route.nodes()
+                    if not nodes or nodes[0] in reachable:
+                        reachable.update(nodes)
+                        progress = True
+                    else:
+                        remaining.append(route)
+                pending = remaining
+            assert not pending, (
+                f"net {net}: {len(pending)} connections stranded "
+                f"from the source in mode {mode}"
+            )
+
+
+class PathFinderRouter:
+    """Negotiated-congestion router over a routing-resource graph."""
+
+    def __init__(
+        self,
+        rrg: RoutingResourceGraph,
+        n_modes: int = 1,
+        max_iterations: int = 40,
+        pres_fac_first: float = 0.6,
+        pres_fac_mult: float = 1.8,
+        acc_fac: float = 1.0,
+        astar_fac: float = 1.0,
+        net_affinity: float = 1.0,
+        bit_affinity: float = 1.0,
+        sharing_passes: int = 0,
+    ) -> None:
+        self.rrg = rrg
+        self.n_modes = n_modes
+        self.max_iterations = max_iterations
+        self.pres_fac_first = pres_fac_first
+        self.pres_fac_mult = pres_fac_mult
+        self.acc_fac = acc_fac
+        # net_affinity < 1 discounts nodes the same net already uses
+        # in *other* modes, steering a mode's connections onto the
+        # wires its sibling modes use: overlapping wires hold the same
+        # value in every overlapped mode, so their switch bits stop
+        # being mode-dependent.  The A* weight is capped at the
+        # affinity so the heuristic stays admissible.
+        if not 0.0 < net_affinity <= 1.0:
+            raise ValueError("net_affinity must be in (0, 1]")
+        # bit_affinity < 1 discounts switches whose bit is already on
+        # in every mode the connection is *not* active in: taking the
+        # switch makes its bit static-one rather than parameterised.
+        if not 0.0 < bit_affinity <= 1.0:
+            raise ValueError("bit_affinity must be in (0, 1]")
+        if sharing_passes < 0:
+            raise ValueError("sharing_passes must be >= 0")
+        self.net_affinity = net_affinity
+        self.bit_affinity = bit_affinity
+        self.sharing_passes = sharing_passes
+        # Both discounts can compound on one step, so the admissible
+        # per-node floor is their product.
+        self.astar_fac = min(astar_fac, net_affinity * bit_affinity)
+
+        n = rrg.n_nodes
+        # occupancy[mode][node] = number of distinct nets on the node.
+        self._occ = [[0] * n for _ in range(n_modes)]
+        self._hist = [0.0] * n
+        # (net, mode) -> node -> reference count.
+        self._net_mode_refs: Dict[Tuple[str, int], Dict[int, int]] = {}
+        # per mode: bit -> number of routes turning the bit on.
+        self._bit_refs: List[Dict[int, int]] = [
+            {} for _ in range(n_modes)
+        ]
+
+    # -- occupancy bookkeeping ---------------------------------------------
+
+    def _add_route(self, route: ConnectionRoute) -> None:
+        net = route.request.net
+        bits = route.bits()
+        for mode in route.request.modes:
+            refs = self._net_mode_refs.setdefault((net, mode), {})
+            for node in route.nodes():
+                count = refs.get(node, 0)
+                if count == 0:
+                    self._occ[mode][node] += 1
+                refs[node] = count + 1
+            bit_refs = self._bit_refs[mode]
+            for bit in bits:
+                bit_refs[bit] = bit_refs.get(bit, 0) + 1
+
+    def _remove_route(self, route: ConnectionRoute) -> None:
+        net = route.request.net
+        bits = route.bits()
+        for mode in route.request.modes:
+            refs = self._net_mode_refs[(net, mode)]
+            for node in route.nodes():
+                refs[node] -= 1
+                if refs[node] == 0:
+                    del refs[node]
+                    self._occ[mode][node] -= 1
+            bit_refs = self._bit_refs[mode]
+            for bit in bits:
+                bit_refs[bit] -= 1
+                if bit_refs[bit] == 0:
+                    del bit_refs[bit]
+
+    def _net_uses(self, net: str, mode: int, node: int) -> bool:
+        refs = self._net_mode_refs.get((net, mode))
+        return bool(refs) and node in refs
+
+    def _bit_becomes_static(
+        self, bit: int, modes: FrozenSet[int]
+    ) -> bool:
+        """True when turning *bit* on in *modes* leaves it on in every
+        mode, i.e. the bit ends up a static one instead of a
+        parameterised bit."""
+        for mode in range(self.n_modes):
+            if mode in modes:
+                continue
+            if not self._bit_refs[mode].get(bit):
+                return False
+        return True
+
+    # -- cost model --------------------------------------------------------
+
+    def _node_cost(
+        self, node: int, request: RouteRequest, pres_fac: float,
+        net_salt: int, bit: int = -1,
+    ) -> float:
+        rrg = self.rrg
+        cap = rrg.node_capacity[node]
+        kind = rrg.node_kind[node]
+        base = 0.0 if kind == SINK else 1.0
+        overuse = 0
+        for mode in request.modes:
+            already = self._net_uses(request.net, mode, node)
+            occ_after = self._occ[mode][node] + (0 if already else 1)
+            if occ_after > cap:
+                overuse += occ_after - cap
+        cost = (base + self._hist[node]) * (1.0 + pres_fac * overuse)
+        if self.net_affinity < 1.0 and kind == WIRE and overuse == 0:
+            # Cross-mode affinity: prefer wires the net already drives
+            # in some other mode (their bits become static).
+            for mode in range(self.n_modes):
+                if mode not in request.modes and self._net_uses(
+                    request.net, mode, node
+                ):
+                    cost *= self.net_affinity
+                    break
+        if (
+            self.bit_affinity < 1.0
+            and bit >= 0
+            and overuse == 0
+            and len(request.modes) < self.n_modes
+            and self._bit_becomes_static(bit, request.modes)
+        ):
+            # Bit-sharing affinity: a switch already on in all the
+            # other modes costs nothing extra to reconfigure.
+            cost *= self.bit_affinity
+        # Deterministic per-(net, node) jitter breaks the symmetric
+        # ties that otherwise let two equal-cost nets swap the same
+        # pair of resources forever (a PathFinder livelock).  The
+        # jitter is non-negative, so the heuristic stays admissible.
+        noise = ((net_salt ^ (node * 0x9E3779B9)) & 0xFFFF) / 0xFFFF
+        return cost + 0.01 * noise
+
+    def _trunk_nodes(self, request: RouteRequest) -> List[int]:
+        """Nodes the net already occupies in *every* mode of the
+        request — free starting points for the search (the net's
+        existing route tree, as in VPR's multi-sink routing)."""
+        modes = sorted(request.modes)
+        refs0 = self._net_mode_refs.get((request.net, modes[0]))
+        if not refs0:
+            return []
+        trunk = set(refs0)
+        for mode in modes[1:]:
+            refs = self._net_mode_refs.get((request.net, mode))
+            if not refs:
+                return []
+            trunk &= refs.keys()
+        return sorted(trunk)
+
+    # -- search --------------------------------------------------------------
+
+    def _route_connection(
+        self, request: RouteRequest, pres_fac: float
+    ) -> ConnectionRoute:
+        rrg = self.rrg
+        target = request.sink
+        tx, ty = rrg.node_x[target], rrg.node_y[target]
+        net_salt = zlib.crc32(request.net.encode())
+
+        def heuristic(node: int) -> float:
+            return self.astar_fac * (
+                abs(rrg.node_x[node] - tx) + abs(rrg.node_y[node] - ty)
+            )
+
+        # Multi-source A*: the net's existing route tree (nodes it
+        # occupies in every requested mode) is free to start from, so
+        # connections naturally branch off their net's trunk.  Beyond
+        # the frontier every node costs >= 1, which keeps the Manhattan
+        # heuristic admissible.
+        starts = {request.source}
+        starts.update(self._trunk_nodes(request))
+        dist: Dict[int, float] = {}
+        parent: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[float, float, int]] = []
+        for start in starts:
+            dist[start] = 0.0
+            heapq.heappush(heap, (heuristic(start), 0.0, start))
+        visited: Set[int] = set()
+        while heap:
+            _f, g, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == target:
+                break
+            for nxt, bit in rrg.adjacency[node]:
+                if nxt in visited:
+                    continue
+                kind = rrg.node_kind[nxt]
+                if kind == SINK and nxt != target:
+                    continue
+                ng = g + self._node_cost(
+                    nxt, request, pres_fac, net_salt, bit
+                )
+                if ng < dist.get(nxt, float("inf")):
+                    dist[nxt] = ng
+                    parent[nxt] = (node, bit)
+                    heapq.heappush(
+                        heap, (ng + heuristic(nxt), ng, nxt)
+                    )
+        if target not in parent and target not in starts:
+            raise RoutingError(
+                f"no path from {rrg.describe(request.source)} to "
+                f"{rrg.describe(request.sink)}"
+            )
+        edges: List[Tuple[int, int, int]] = []
+        node = target
+        while node not in starts:
+            prev, bit = parent[node]
+            edges.append((prev, node, bit))
+            node = prev
+        edges.reverse()
+        return ConnectionRoute(request, edges)
+
+    # -- main loop -----------------------------------------------------------
+
+    def route(
+        self, requests: Sequence[RouteRequest]
+    ) -> RoutingResult:
+        """Route all *requests*; raises :class:`RoutingError` on failure."""
+        for request in requests:
+            if max(request.modes, default=0) >= self.n_modes:
+                raise ValueError(
+                    "request mode exceeds router's n_modes"
+                )
+        # Group requests by net.  Rip-up and reroute happens at net
+        # granularity: later connections of a net branch off the tree
+        # built by its earlier connections (trunk seeding), so removing
+        # a single connection could strand the ones that grew from it.
+        # Rebuilding a whole net atomically keeps every tree sound.
+        by_net: Dict[str, List[RouteRequest]] = {}
+        for request in requests:
+            by_net.setdefault(request.net, []).append(request)
+        for net in by_net:
+            # Within one net: shared (multi-mode) connections first,
+            # then long before short, so the trunk is laid by the
+            # connections with the widest reach.
+            by_net[net].sort(
+                key=lambda r: (
+                    -len(r.modes),
+                    -self._manhattan(r),
+                    r.conn_id,
+                ),
+            )
+        net_order = sorted(
+            by_net,
+            key=lambda net: -max(
+                self._manhattan(r) for r in by_net[net]
+            ),
+        )
+
+        routes: Dict[int, ConnectionRoute] = {}
+        pres_fac = self.pres_fac_first
+        iteration = 0
+        to_route: List[str] = list(net_order)
+        while iteration < self.max_iterations:
+            iteration += 1
+            for net in to_route:
+                for request in by_net[net]:
+                    old = routes.pop(request.conn_id, None)
+                    if old is not None:
+                        self._remove_route(old)
+                for request in by_net[net]:
+                    route = self._route_connection(request, pres_fac)
+                    self._add_route(route)
+                    routes[request.conn_id] = route
+            congested = self._congested_nodes()
+            if not congested:
+                routes = self._improve_bit_sharing(
+                    routes, by_net, net_order, pres_fac
+                )
+                return RoutingResult(
+                    self.rrg, routes, self.n_modes, iteration
+                )
+            # Update history, raise present cost, reroute only the
+            # nets crossing congested nodes.
+            for node, overuse in congested.items():
+                self._hist[node] += self.acc_fac * overuse
+            pres_fac *= self.pres_fac_mult
+            congested_set = set(congested)
+            dirty = set()
+            for route in routes.values():
+                if congested_set.intersection(route.nodes()):
+                    dirty.add(route.request.net)
+            to_route = [net for net in net_order if net in dirty]
+            # Rotate the reroute order each iteration so two
+            # contending nets do not replay the exact same sequence
+            # of decisions forever.
+            if len(to_route) > 1:
+                shift = iteration % len(to_route)
+                to_route = to_route[shift:] + to_route[:shift]
+        raise RoutingError(
+            f"unroutable after {self.max_iterations} iterations "
+            f"({len(self._congested_nodes())} congested nodes)"
+        )
+
+    # -- bit-sharing improvement ---------------------------------------------
+
+    def _parameterized_bit_count(
+        self, routes: Dict[int, ConnectionRoute]
+    ) -> int:
+        """Bits on in some but not all modes (the Fig. 6 DCS metric)."""
+        per_mode: List[Set[int]] = [set() for _ in range(self.n_modes)]
+        for route in routes.values():
+            bits = route.bits()
+            for mode in route.request.modes:
+                per_mode[mode] |= bits
+        union: Set[int] = set()
+        intersection: Optional[Set[int]] = None
+        for bits in per_mode:
+            union |= bits
+            intersection = (
+                set(bits) if intersection is None
+                else intersection & bits
+            )
+        return len(union - (intersection or set()))
+
+    def _rebuild_state(
+        self, routes: Dict[int, ConnectionRoute]
+    ) -> None:
+        """Reset occupancy bookkeeping to exactly *routes*."""
+        for occ in self._occ:
+            for node in range(len(occ)):
+                occ[node] = 0
+        self._net_mode_refs.clear()
+        for refs in self._bit_refs:
+            refs.clear()
+        for route in routes.values():
+            self._add_route(route)
+
+    def _improve_bit_sharing(
+        self,
+        routes: Dict[int, ConnectionRoute],
+        by_net: Dict[str, List[RouteRequest]],
+        net_order: List[str],
+        pres_fac: float,
+    ) -> Dict[int, ConnectionRoute]:
+        """Post-convergence sweeps that reroute every net with the
+        bit-sharing discounts active.
+
+        Congestion-free routing is a precondition; each sweep rips up
+        and reroutes whole nets at the current present-cost level so
+        legality pressure stays on.  The sweep result is kept only when
+        it is still congestion-free and strictly reduces the number of
+        parameterised bits, otherwise the previous best is restored.
+        """
+        if (
+            self.sharing_passes <= 0
+            or self.n_modes <= 1
+            or self.bit_affinity >= 1.0
+        ):
+            return routes
+        best = dict(routes)
+        best_count = self._parameterized_bit_count(best)
+        current = dict(routes)
+        for _sweep in range(self.sharing_passes):
+            for net in net_order:
+                for request in by_net[net]:
+                    old = current.pop(request.conn_id, None)
+                    if old is not None:
+                        self._remove_route(old)
+                for request in by_net[net]:
+                    route = self._route_connection(request, pres_fac)
+                    self._add_route(route)
+                    current[request.conn_id] = route
+            if self._congested_nodes():
+                break
+            count = self._parameterized_bit_count(current)
+            if count < best_count:
+                best = dict(current)
+                best_count = count
+            else:
+                break
+        self._rebuild_state(best)
+        return best
+
+    def _manhattan(self, request: RouteRequest) -> int:
+        rrg = self.rrg
+        return abs(
+            rrg.node_x[request.source] - rrg.node_x[request.sink]
+        ) + abs(rrg.node_y[request.source] - rrg.node_y[request.sink])
+
+    def congestion(self) -> Dict[int, int]:
+        """Currently overused nodes -> total overuse (empty = legal)."""
+        return self._congested_nodes()
+
+    def _congested_nodes(self) -> Dict[int, int]:
+        """node -> total overuse across modes."""
+        result: Dict[int, int] = {}
+        cap = self.rrg.node_capacity
+        for mode in range(self.n_modes):
+            occ = self._occ[mode]
+            for node, occupancy in enumerate(occ):
+                if occupancy > cap[node]:
+                    result[node] = result.get(node, 0) + (
+                        occupancy - cap[node]
+                    )
+        return result

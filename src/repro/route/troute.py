@@ -1,0 +1,156 @@
+"""TRoute — routing workloads for LUT and Tunable circuits.
+
+This module turns placed netlists into :class:`RouteRequest` workloads
+and runs the PathFinder engine on them:
+
+* :func:`route_lut_circuit` — conventional single-mode routing of one
+  placed LUT circuit (the "Routing" box of the MDR flow).
+* :func:`route_tunable_circuit` — TRoute proper: routes the tunable
+  connections of a merged multi-mode circuit, honouring activation
+  functions (a connection is only realised — and only occupies wires —
+  in the modes where its activation function is True).
+
+Both return a :class:`~repro.route.router.RoutingResult`, from which
+per-mode configurations and the paper's bit/wire metrics are derived.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.rrg import RoutingResourceGraph
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.placer import Placement, pad_cell
+from repro.route.router import (
+    PathFinderRouter,
+    RouteRequest,
+    RoutingResult,
+)
+
+# A site-level connection: (net id, source site, sink site, modes).
+SiteConnection = Tuple[str, Site, Site, FrozenSet[int]]
+
+
+def lut_circuit_connections(
+    circuit: LutCircuit,
+    placement: Placement,
+    mode: int = 0,
+) -> List[SiteConnection]:
+    """Site-level connections of one placed LUT circuit.
+
+    Every block-input pin and every primary-output tap becomes one
+    connection, active only in *mode*.
+    """
+    modes = frozenset((mode,))
+    conns: List[SiteConnection] = []
+
+    def site_of_signal(signal: str) -> Site:
+        if signal in circuit.inputs:
+            return placement.sites[pad_cell(signal)]
+        return placement.sites[signal]
+
+    for block in circuit.blocks.values():
+        sink_site = placement.sites[block.name]
+        for src in block.inputs:
+            conns.append(
+                (f"m{mode}:{src}", site_of_signal(src), sink_site, modes)
+            )
+    for out in circuit.outputs:
+        conns.append(
+            (
+                f"m{mode}:{out}",
+                site_of_signal(out),
+                placement.sites[pad_cell(out)],
+                modes,
+            )
+        )
+    return conns
+
+
+def requests_from_connections(
+    rrg: RoutingResourceGraph,
+    connections: Iterable[SiteConnection],
+) -> List[RouteRequest]:
+    """Convert site-level connections into RRG route requests.
+
+    Connections sharing (source site, sink site, net) in several modes
+    must already be merged into a single entry with the union
+    activation set (the merge step does this); this function performs a
+    defensive merge as well so duplicate entries cannot inflate the
+    workload.
+    """
+    merged: Dict[Tuple[str, int, int], FrozenSet[int]] = {}
+    for net, src_site, sink_site, modes in connections:
+        source = rrg.source_node(src_site)
+        sink = rrg.sink_node(sink_site)
+        key = (net, source, sink)
+        merged[key] = merged.get(key, frozenset()) | modes
+    requests = []
+    for conn_id, ((net, source, sink), modes) in enumerate(
+        sorted(merged.items(), key=lambda item: item[0])
+    ):
+        requests.append(
+            RouteRequest(conn_id, net, source, sink, modes)
+        )
+    return requests
+
+
+def route_lut_circuit(
+    circuit: LutCircuit,
+    placement: Placement,
+    rrg: RoutingResourceGraph,
+    **router_kwargs,
+) -> RoutingResult:
+    """Route one placed LUT circuit (conventional, single mode)."""
+    conns = lut_circuit_connections(circuit, placement)
+    requests = requests_from_connections(rrg, conns)
+    router = PathFinderRouter(rrg, n_modes=1, **router_kwargs)
+    return router.route(requests)
+
+
+def route_tunable_circuit(
+    rrg: RoutingResourceGraph,
+    connections: Sequence[SiteConnection],
+    n_modes: int,
+    net_affinity: float = 0.5,
+    **router_kwargs,
+) -> RoutingResult:
+    """Route the tunable connections of a merged multi-mode circuit.
+
+    *connections* come from
+    :meth:`repro.core.tunable.TunableCircuit.site_connections`; each
+    carries its activation set.  Wires and switches are shared across
+    modes wherever profitable (``net_affinity`` steers a net's
+    per-mode branches onto common wires; ``bit_affinity`` and
+    ``sharing_passes``, passed through ``router_kwargs``, steer
+    connections onto switches already on in the other modes) — the
+    resulting per-mode bit differences are exactly the parameterised
+    routing bits of the paper.
+    """
+    requests = requests_from_connections(rrg, connections)
+    router = PathFinderRouter(
+        rrg, n_modes=n_modes, net_affinity=net_affinity,
+        **router_kwargs,
+    )
+    return router.route(requests)
+
+
+def parameterized_routing_bits(result: RoutingResult) -> set:
+    """Routing bits that are Boolean functions of the mode (not constant).
+
+    A bit is parameterised when it is on in some modes and off in
+    others; bits on in every mode are static ones, bits on in no mode
+    are static zeros.
+    """
+    union: set = set()
+    intersection: Optional[set] = None
+    for mode in range(result.n_modes):
+        bits = result.bits_on(mode)
+        union |= bits
+        intersection = (
+            set(bits) if intersection is None else intersection & bits
+        )
+    if intersection is None:
+        return set()
+    return union - intersection

@@ -1,0 +1,15 @@
+"""Synthesis front-end: netlist optimisation and K-LUT technology mapping.
+
+This subpackage replaces the commercial front-end the paper relies on:
+
+* :mod:`repro.synth.optimize` — technology-independent clean-up passes
+  (constant propagation, buffer sweeping, dead-node elimination).
+* :mod:`repro.synth.techmap` — structural decomposition into two-input
+  gates followed by cut-based, depth-oriented K-LUT mapping with area
+  recovery, producing the per-mode LUT circuits the merge consumes.
+"""
+
+from repro.synth.optimize import optimize_network
+from repro.synth.techmap import TechMapper, tech_map
+
+__all__ = ["optimize_network", "TechMapper", "tech_map"]

@@ -1,0 +1,186 @@
+"""Technology-independent optimisation passes.
+
+The FIR experiment in the paper depends on these: the filter
+coefficients are constants, and "after which all the constants were
+propagated" is what shrinks the specialised filter to a third of the
+generic one.  The passes here are classic netlist clean-ups:
+
+* constant propagation (a node whose table collapses under constant
+  fanins becomes a constant),
+* support reduction (drop fanins the function does not depend on),
+* buffer/inverter absorption into fanout tables,
+* dead-node elimination (cones not reachable from outputs or latches).
+
+All passes preserve sequential behaviour; the test-suite checks this
+with randomised simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.netlist.logic import LogicNetwork, Node
+from repro.netlist.truthtable import TruthTable
+
+
+def propagate_constants(network: LogicNetwork) -> LogicNetwork:
+    """Fold constants through the combinational logic.
+
+    Nodes with constant fanins are restricted; nodes that become
+    constant turn into constant drivers and propagate further.  Latches
+    fed by constants are left in place (their output still toggles at
+    cycle 0 if init differs), so sequential semantics are untouched.
+    """
+    result = LogicNetwork(network.name)
+    result.inputs = list(network.inputs)
+    result.latches = dict(network.latches)
+    result.outputs = list(network.outputs)
+
+    const_value: Dict[str, bool] = {}
+
+    for node in network.topological_nodes():
+        fanins = []
+        table = node.table
+        # Restrict away constant fanins (right-to-left keeps indices valid).
+        pairs = list(enumerate(node.fanins))
+        for index, src in reversed(pairs):
+            if src in const_value:
+                table = table.restrict(index, const_value[src])
+        fanins = [s for s in node.fanins if s not in const_value]
+        # Drop fanins outside the support.
+        support = table.support()
+        if len(support) != table.n_vars:
+            keep = sorted(support)
+            new_table = TruthTable.const(False, len(keep))
+            bits = 0
+            for assignment in range(1 << len(keep)):
+                full = 0
+                for j, var in enumerate(keep):
+                    if assignment & (1 << j):
+                        full |= 1 << var
+                if table.evaluate_index(full):
+                    bits |= 1 << assignment
+            new_table = TruthTable(len(keep), bits)
+            fanins = [fanins[i] for i in keep]
+            table = new_table
+        if table.is_const():
+            const_value[node.name] = table.const_value()
+            result.add_node(node.name, (), TruthTable.const(
+                table.const_value(), 0))
+        else:
+            result.add_node(node.name, fanins, table)
+    result.validate()
+    return result
+
+
+def sweep_buffers(network: LogicNetwork) -> LogicNetwork:
+    """Absorb single-input nodes (buffers/inverters) into their readers.
+
+    A buffer is replaced by its source; an inverter is folded into every
+    reading node's truth table.  Buffers/inverters that drive primary
+    outputs or latches directly are kept (the signal name is the
+    output).
+    """
+    # name -> (source, inverted)
+    alias: Dict[str, Tuple[str, bool]] = {}
+    protected: Set[str] = set(network.outputs)
+    for latch in network.latches.values():
+        protected.add(latch.data)
+
+    for node in network.topological_nodes():
+        if len(node.fanins) != 1 or node.name in protected:
+            continue
+        src = node.fanins[0]
+        if node.table == TruthTable.var(0, 1):
+            inverted = False
+        elif node.table == ~TruthTable.var(0, 1):
+            inverted = True
+        else:
+            continue  # constant via 1 input handled by const prop
+        base, base_inv = alias.get(src, (src, False))
+        alias[node.name] = (base, base_inv ^ inverted)
+
+    if not alias:
+        return network.copy()
+
+    result = LogicNetwork(network.name)
+    result.inputs = list(network.inputs)
+    result.outputs = list(network.outputs)
+    for name, latch in network.latches.items():
+        data, inverted = alias.get(latch.data, (latch.data, False))
+        if inverted:
+            # Cannot absorb inversion into a latch; keep the inverter.
+            data = latch.data
+            alias.pop(latch.data, None)
+        result.add_latch(name, data, latch.init)
+
+    for node in network.topological_nodes():
+        if node.name in alias:
+            continue
+        fanins = []
+        table = node.table
+        for index, src in enumerate(node.fanins):
+            base, inverted = alias.get(src, (src, False))
+            fanins.append(base)
+            if inverted:
+                subs = [
+                    ~TruthTable.var(j, table.n_vars)
+                    if j == index
+                    else TruthTable.var(j, table.n_vars)
+                    for j in range(table.n_vars)
+                ]
+                table = table.compose(subs)
+        result.add_node(node.name, fanins, table)
+    result.validate()
+    return result
+
+
+def remove_dead_nodes(network: LogicNetwork) -> LogicNetwork:
+    """Drop logic not reachable from outputs or latch data inputs."""
+    live: Set[str] = set(network.outputs)
+    changed = True
+    while changed:
+        changed = False
+        for latch in network.latches.values():
+            if latch.name in live and latch.data not in live:
+                live.add(latch.data)
+                changed = True
+        stack = [s for s in live]
+        while stack:
+            name = stack.pop()
+            node = network.nodes.get(name)
+            if node is None:
+                continue
+            for src in node.fanins:
+                if src not in live:
+                    live.add(src)
+                    stack.append(src)
+                    changed = True
+
+    result = LogicNetwork(network.name)
+    result.inputs = list(network.inputs)
+    result.outputs = list(network.outputs)
+    for name, latch in network.latches.items():
+        if name in live:
+            result.latches[name] = latch
+    for node in network.topological_nodes():
+        if node.name in live:
+            result.nodes[node.name] = node
+    result.validate()
+    return result
+
+
+def optimize_network(
+    network: LogicNetwork, max_rounds: int = 8
+) -> LogicNetwork:
+    """Run the clean-up passes to a fixed point (bounded by *max_rounds*)."""
+    current = network
+    for _ in range(max_rounds):
+        before = (len(current.nodes), len(current.latches))
+        current = propagate_constants(current)
+        current = sweep_buffers(current)
+        current = remove_dead_nodes(current)
+        after = (len(current.nodes), len(current.latches))
+        if after == before:
+            break
+    return current

@@ -1,0 +1,268 @@
+"""Word-level synthesis helpers.
+
+The paper's benchmark circuits come from HDL front-ends (VHDL regex
+engines, FIR filters).  This module provides the small structural-HDL
+layer our generators use instead: multi-bit buses, adders, shifters and
+comparators synthesised into a :class:`LogicNetwork` of simple gates.
+
+Words are little-endian lists of signal names (index 0 = LSB).  Every
+builder returns signal names so circuits compose naturally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.netlist.logic import LogicNetwork, fresh_namer
+from repro.netlist.truthtable import TruthTable
+
+
+class WordBuilder:
+    """Structural word-level circuit builder over a logic network."""
+
+    def __init__(self, network: LogicNetwork, prefix: str = "_w") -> None:
+        self.network = network
+        self._namer = fresh_namer(network, prefix)
+        self._const_cache: dict = {}
+
+    # -- scalars ----------------------------------------------------------
+
+    def const_bit(self, value: bool) -> str:
+        """A constant 0/1 signal (cached per network)."""
+        key = bool(value)
+        if key not in self._const_cache:
+            name = self._namer()
+            self.network.add_const(name, key)
+            self._const_cache[key] = name
+        return self._const_cache[key]
+
+    def gate_not(self, a: str) -> str:
+        name = self._namer()
+        return self.network.add_not(name, a)
+
+    # Wide gates are emitted as balanced trees: a single n-ary node
+    # would need a 2**n-entry truth table, which explodes for the
+    # 20+-input OR gates character-class decoders produce.
+    _MAX_GATE_ARITY = 4
+
+    def _tree_gate(self, fanins: Sequence[str], adder) -> str:
+        level = list(fanins)
+        if not level:
+            raise ValueError("gate needs at least one fanin")
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), self._MAX_GATE_ARITY):
+                chunk = level[i:i + self._MAX_GATE_ARITY]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                else:
+                    nxt.append(adder(self._namer(), chunk))
+            level = nxt
+        return level[0]
+
+    def gate_and(self, fanins: Sequence[str]) -> str:
+        return self._tree_gate(fanins, self.network.add_and)
+
+    def gate_or(self, fanins: Sequence[str]) -> str:
+        return self._tree_gate(fanins, self.network.add_or)
+
+    def gate_xor(self, a: str, b: str) -> str:
+        name = self._namer()
+        return self.network.add_xor(name, (a, b))
+
+    def gate_mux(self, sel: str, a: str, b: str) -> str:
+        """``sel ? b : a``."""
+        name = self._namer()
+        return self.network.add_mux(name, sel, a, b)
+
+    def flipflop(self, data: str, init: bool = False,
+                 name: Optional[str] = None) -> str:
+        """A D flip-flop sampling *data*."""
+        ff_name = name if name is not None else self._namer()
+        return self.network.add_latch(ff_name, data, init)
+
+    # -- words --------------------------------------------------------------
+
+    def const_word(self, value: int, width: int) -> List[str]:
+        """Little-endian constant word."""
+        if value < 0:
+            value &= (1 << width) - 1
+        return [
+            self.const_bit(bool(value >> i & 1)) for i in range(width)
+        ]
+
+    def input_word(self, base: str, width: int) -> List[str]:
+        """Declare primary-input bus ``base[0..width-1]``."""
+        return [
+            self.network.add_input(f"{base}[{i}]") for i in range(width)
+        ]
+
+    def output_word(self, base: str, bits: Sequence[str]) -> List[str]:
+        """Expose *bits* as primary outputs named ``base[i]``.
+
+        Inserts buffers so the outputs carry the requested names.
+        """
+        names = []
+        for i, bit in enumerate(bits):
+            name = f"{base}[{i}]"
+            self.network.add_buf(name, bit)
+            self.network.add_output(name)
+            names.append(name)
+        return names
+
+    def register_word(self, bits: Sequence[str],
+                      base: Optional[str] = None) -> List[str]:
+        """Register every bit of a word through flip-flops."""
+        out = []
+        for i, bit in enumerate(bits):
+            name = f"{base}[{i}]" if base is not None else None
+            out.append(self.flipflop(bit, name=name))
+        return out
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def half_adder(self, a: str, b: str) -> tuple:
+        """Returns (sum, carry)."""
+        return self.gate_xor(a, b), self.gate_and((a, b))
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple:
+        """Returns (sum, carry_out)."""
+        axb = self.gate_xor(a, b)
+        s = self.gate_xor(axb, cin)
+        carry = self.gate_or(
+            (self.gate_and((a, b)), self.gate_and((axb, cin)))
+        )
+        return s, carry
+
+    def adder(self, a: Sequence[str], b: Sequence[str],
+              cin: Optional[str] = None, width: Optional[int] = None
+              ) -> List[str]:
+        """Ripple-carry adder; result truncated/extended to *width*.
+
+        Shorter operands are zero-extended.  Returns ``width`` sum bits
+        (default: max operand width, carry-out dropped — modular
+        arithmetic, matching hardware datapath semantics).
+        """
+        width = width or max(len(a), len(b))
+        zero = self.const_bit(False)
+        aa = list(a) + [zero] * (width - len(a))
+        bb = list(b) + [zero] * (width - len(b))
+        carry = cin if cin is not None else zero
+        out = []
+        for i in range(width):
+            s, carry = self.full_adder(aa[i], bb[i], carry)
+            out.append(s)
+        return out
+
+    def negate(self, a: Sequence[str], width: Optional[int] = None
+               ) -> List[str]:
+        """Two's-complement negation."""
+        width = width or len(a)
+        zero = self.const_bit(False)
+        aa = list(a) + [zero] * (width - len(a))
+        inverted = [self.gate_not(bit) for bit in aa[:width]]
+        one = self.const_word(1, width)
+        return self.adder(inverted, one, width=width)
+
+    def subtract(self, a: Sequence[str], b: Sequence[str],
+                 width: Optional[int] = None) -> List[str]:
+        """Two's-complement subtraction ``a - b``."""
+        width = width or max(len(a), len(b))
+        zero = self.const_bit(False)
+        bb = list(b) + [zero] * (width - len(b))
+        inverted = [self.gate_not(bit) for bit in bb[:width]]
+        one = self.const_bit(True)
+        return self.adder(
+            list(a), inverted, cin=one, width=width
+        )
+
+    def shift_left_const(self, a: Sequence[str], amount: int,
+                         width: Optional[int] = None) -> List[str]:
+        """Constant left shift (zero fill), truncated to *width*."""
+        width = width or len(a) + amount
+        zero = self.const_bit(False)
+        shifted = [zero] * amount + list(a)
+        shifted += [zero] * (width - len(shifted))
+        return shifted[:width]
+
+    def mul_const(self, a: Sequence[str], coefficient: int,
+                  width: int) -> List[str]:
+        """Multiply a word by a signed constant via shift-and-add.
+
+        This is the constant propagation the paper's FIR experiment
+        performs: the generic multiplier disappears and only the
+        shift-add network for the particular coefficient remains (CSD
+        encoding keeps the adder count minimal).
+        """
+        if coefficient == 0:
+            return self.const_word(0, width)
+        negative = coefficient < 0
+        magnitude = -coefficient if negative else coefficient
+        terms = _csd_digits(magnitude)
+        acc: Optional[List[str]] = None
+        for shift, sign in terms:
+            term = self.shift_left_const(a, shift, width)
+            if acc is None:
+                acc = term if sign > 0 else self.negate(term, width)
+            elif sign > 0:
+                acc = self.adder(acc, term, width=width)
+            else:
+                acc = self.subtract(acc, term, width=width)
+        assert acc is not None
+        if negative:
+            acc = self.negate(acc, width)
+        return acc
+
+    def equals_const(self, a: Sequence[str], value: int) -> str:
+        """Single-bit comparison of word *a* against a constant."""
+        literals = []
+        for i, bit in enumerate(a):
+            if value >> i & 1:
+                literals.append(bit)
+            else:
+                literals.append(self.gate_not(bit))
+        return self.gate_and(literals)
+
+    def mux_word(self, sel: str, a: Sequence[str], b: Sequence[str]
+                 ) -> List[str]:
+        """Word-level 2:1 mux: ``sel ? b : a``."""
+        if len(a) != len(b):
+            raise ValueError("mux operands must share a width")
+        return [self.gate_mux(sel, x, y) for x, y in zip(a, b)]
+
+
+def _csd_digits(value: int) -> List[tuple]:
+    """Canonical signed-digit decomposition of a positive constant.
+
+    Returns (shift, sign) pairs with sign in {+1, -1} such that
+    ``value == sum(sign << shift)`` and no two shifts are adjacent.
+    """
+    digits: List[tuple] = []
+    shift = 0
+    while value:
+        if value & 1:
+            if value & 2:  # run of ones: use -1 here, carry up
+                digits.append((shift, -1))
+                value += 1
+            else:
+                digits.append((shift, 1))
+                value -= 1
+        value >>= 1
+        shift += 1
+    return digits
+
+
+def word_to_int(values: Sequence[bool]) -> int:
+    """Interpret simulated bit values as an unsigned little-endian word."""
+    total = 0
+    for i, v in enumerate(values):
+        if v:
+            total |= 1 << i
+    return total
+
+
+def int_to_inputs(base: str, width: int, value: int) -> dict:
+    """Input map assigning *value* to bus ``base[i]`` signals."""
+    return {
+        f"{base}[{i}]": bool(value >> i & 1) for i in range(width)
+    }

@@ -1,0 +1,465 @@
+"""Cut-based K-LUT technology mapping.
+
+This is the "Technology mapping" box of the conventional FPGA tool flow
+(paper Fig. 1(a)): it turns a technology-independent logic network into
+a netlist of K-input LUT blocks (one LUT + optional flip-flop each).
+
+Pipeline:
+
+1. **Decomposition** — every node is decomposed into two-input gates
+   (n-ary AND/OR/XOR become balanced trees; general functions are
+   Shannon-expanded), so cut enumeration sees a 2-bounded network.
+2. **Cut enumeration** — priority cuts: each node keeps the best
+   ``cut_limit`` K-feasible cuts, merged from its fanins' cuts.
+3. **Depth-oriented selection** — every node records its depth-optimal
+   cut; a second pass relaxes off-critical nodes to cheaper cuts (area
+   recovery under required-time slack).
+4. **Cover extraction & FF packing** — outputs and latch-data signals
+   seed the cover; each latch is packed with its driving LUT when that
+   LUT has no other fanout, matching the architecture's one-LUT+one-FF
+   logic block.
+
+The mapped circuit is functionally equivalent to the input network;
+``tests/test_techmap.py`` verifies this by randomised simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.logic import LogicNetwork, fresh_namer
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+
+Cut = FrozenSet[str]
+
+
+# ---------------------------------------------------------------------------
+# Step 1: decomposition into two-input gates
+# ---------------------------------------------------------------------------
+
+
+def _is_nary(table: TruthTable, op: str) -> Optional[List[bool]]:
+    """Detect n-ary AND/OR of possibly-inverted inputs.
+
+    Returns the per-input inversion flags when *table* is the n-ary
+    *op* of its (optionally inverted) inputs, else None.
+    """
+    n = table.n_vars
+    if n < 2:
+        return None
+    inversions: List[bool] = []
+    if op == "and":
+        on = [i for i in range(table.n_entries) if table.evaluate_index(i)]
+        if len(on) != 1:
+            return None
+        assignment = on[0]
+        for i in range(n):
+            inversions.append(not assignment & (1 << i))
+        return inversions
+    if op == "or":
+        inv = _is_nary(~table, "and")
+        if inv is None:
+            return None
+        return [not v for v in inv]
+    raise ValueError(op)
+
+
+def _is_parity(table: TruthTable) -> Optional[bool]:
+    """Detect n-ary XOR/XNOR. Returns the output inversion flag."""
+    n = table.n_vars
+    if n < 2:
+        return None
+    base = table.evaluate_index(0)
+    for assignment in range(table.n_entries):
+        parity = bin(assignment).count("1") & 1
+        if table.evaluate_index(assignment) != (bool(parity) ^ base):
+            return None
+    return base
+
+
+def decompose(network: LogicNetwork) -> LogicNetwork:
+    """Return an equivalent network whose nodes have fanin <= 2."""
+    result = LogicNetwork(network.name)
+    result.inputs = list(network.inputs)
+    result.outputs = list(network.outputs)
+    result.latches = dict(network.latches)
+    namer = fresh_namer(network, "_dec")
+
+    and2 = TruthTable.var(0, 2) & TruthTable.var(1, 2)
+    or2 = TruthTable.var(0, 2) | TruthTable.var(1, 2)
+    xor2 = TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+    not1 = ~TruthTable.var(0, 1)
+
+    def emit(fanins: Sequence[str], table: TruthTable,
+             name: Optional[str] = None) -> str:
+        node_name = name if name is not None else namer()
+        result.add_node(node_name, fanins, table)
+        return node_name
+
+    def emit_tree(signals: List[str], table2: TruthTable,
+                  name: Optional[str]) -> str:
+        """Balanced binary tree of the associative gate *table2*."""
+        level = list(signals)
+        while len(level) > 1:
+            nxt: List[str] = []
+            for i in range(0, len(level) - 1, 2):
+                final = len(level) == 2 and name is not None
+                nxt.append(
+                    emit((level[i], level[i + 1]), table2,
+                         name if final else None)
+                )
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        if name is not None and level[0] != name:
+            # Single signal but a name is required: emit a buffer.
+            return emit((level[0],), TruthTable.var(0, 1), name)
+        return level[0]
+
+    def build(table: TruthTable, fanins: Tuple[str, ...],
+              name: Optional[str]) -> str:
+        """Emit gates computing *table* over *fanins*; returns the root."""
+        n = table.n_vars
+        if n == 0:
+            return emit((), table, name)
+        if table.is_const():
+            return emit((), TruthTable.const(table.const_value(), 0),
+                        name)
+        support = table.support()
+        if len(support) < n:
+            keep = sorted(support)
+            bits = 0
+            for assignment in range(1 << len(keep)):
+                full = 0
+                for j, var in enumerate(keep):
+                    if assignment & (1 << j):
+                        full |= 1 << var
+                if table.evaluate_index(full):
+                    bits |= 1 << assignment
+            sub = TruthTable(len(keep), bits)
+            return build(sub, tuple(fanins[i] for i in keep), name)
+        if n <= 2:
+            return emit(fanins, table, name)
+        for op, table2 in (("and", and2), ("or", or2)):
+            inv = _is_nary(table, op)
+            if inv is not None:
+                legs = []
+                for i, flag in enumerate(inv):
+                    legs.append(
+                        emit((fanins[i],), not1) if flag else fanins[i]
+                    )
+                return emit_tree(legs, table2, name)
+        parity_inv = _is_parity(table)
+        if parity_inv is not None:
+            root = emit_tree(list(fanins), xor2,
+                             None if parity_inv else name)
+            if parity_inv:
+                return emit((root,), not1, name)
+            return root
+        # General case: Shannon expansion on the last variable.
+        var = n - 1
+        f0 = table.restrict(var, False)
+        f1 = table.restrict(var, True)
+        rest = fanins[:var] + fanins[var + 1:]
+        sel = fanins[var]
+        low = build(f0, rest, None)
+        high = build(f1, rest, None)
+        not_sel = emit((sel,), not1)
+        a = emit((not_sel, low), and2)
+        b = emit((sel, high), and2)
+        return emit((a, b), or2, name)
+
+    for node in network.topological_nodes():
+        build(node.table, node.fanins, node.name)
+    result.validate()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Steps 2-4: cut enumeration, selection, cover extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CutInfo:
+    cut: Cut
+    depth: int
+    area_flow: float
+
+
+class TechMapper:
+    """Configurable K-LUT mapper; see the module docstring.
+
+    Parameters
+    ----------
+    k:
+        LUT input count of the target architecture.
+    cut_limit:
+        Number of priority cuts kept per node.
+    area_rounds:
+        Number of area-recovery refinement passes after the
+        depth-oriented pass.
+    """
+
+    def __init__(self, k: int = 4, cut_limit: int = 8,
+                 area_rounds: int = 2) -> None:
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        self.k = k
+        self.cut_limit = cut_limit
+        self.area_rounds = area_rounds
+
+    # -- public API -------------------------------------------------------
+
+    def map(self, network: LogicNetwork) -> LutCircuit:
+        """Map *network* to a :class:`LutCircuit` of ``self.k``-LUTs."""
+        network = decompose(network)
+        order = network.topological_nodes()
+        sources = set(network.inputs) | set(network.latches)
+
+        cuts = self._enumerate_cuts(network, order, sources)
+        best = self._select_depth(network, order, sources, cuts)
+        for _ in range(self.area_rounds):
+            best = self._recover_area(network, order, sources, cuts, best)
+        return self._extract(network, sources, best)
+
+    # -- cut enumeration ----------------------------------------------------
+
+    def _enumerate_cuts(
+        self,
+        network: LogicNetwork,
+        order,
+        sources: Set[str],
+    ) -> Dict[str, List[Cut]]:
+        cuts: Dict[str, List[Cut]] = {
+            s: [frozenset((s,))] for s in sources
+        }
+        for node in order:
+            if not node.fanins:
+                cuts[node.name] = [frozenset()]
+                continue
+            merged: Set[Cut] = set()
+            fanin_cuts = [cuts[f] for f in node.fanins]
+            if len(fanin_cuts) == 1:
+                for c in fanin_cuts[0]:
+                    if len(c) <= self.k:
+                        merged.add(c)
+            else:
+                for ca in fanin_cuts[0]:
+                    for cb in fanin_cuts[1]:
+                        u = ca | cb
+                        if len(u) <= self.k:
+                            merged.add(u)
+            merged.add(frozenset((node.name,)))  # trivial cut
+            ranked = sorted(
+                merged, key=lambda c: (len(c), sorted(c))
+            )
+            cuts[node.name] = ranked[: self.cut_limit] + (
+                [frozenset((node.name,))]
+                if frozenset((node.name,)) not in ranked[: self.cut_limit]
+                else []
+            )
+        return cuts
+
+    # -- selection ------------------------------------------------------------
+
+    def _select_depth(
+        self, network, order, sources: Set[str],
+        cuts: Dict[str, List[Cut]],
+    ) -> Dict[str, Cut]:
+        """Choose the depth-optimal cut for every node."""
+        depth: Dict[str, int] = {s: 0 for s in sources}
+        best: Dict[str, Cut] = {}
+        for node in order:
+            best_cut: Optional[Cut] = None
+            best_key: Optional[Tuple[int, int]] = None
+            for cut in cuts[node.name]:
+                if cut == frozenset((node.name,)):
+                    continue
+                d = 1 + max((depth[leaf] for leaf in cut), default=0)
+                key = (d, len(cut))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_cut = cut
+            assert best_cut is not None
+            best[node.name] = best_cut
+            depth[node.name] = best_key[0]
+        return best
+
+    def _recover_area(
+        self, network, order, sources: Set[str],
+        cuts: Dict[str, List[Cut]], best: Dict[str, Cut],
+    ) -> Dict[str, Cut]:
+        """One pass of slack-aware area recovery.
+
+        Nodes keep their arrival time no worse than the global critical
+        depth allows; among cuts meeting the required time, the one
+        with the lowest area-flow is picked.
+        """
+        depth: Dict[str, int] = {s: 0 for s in sources}
+        area_flow: Dict[str, float] = {s: 0.0 for s in sources}
+        fanout_count = self._mapped_fanouts(network, best)
+
+        new_best: Dict[str, Cut] = {}
+        for node in order:
+            best_cut: Optional[Cut] = None
+            best_key = None
+            for cut in cuts[node.name]:
+                if cut == frozenset((node.name,)):
+                    continue
+                d = 1 + max((depth[leaf] for leaf in cut), default=0)
+                flow = 1.0 + sum(area_flow[leaf] for leaf in cut)
+                key = (d, flow, len(cut))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_cut = cut
+            assert best_cut is not None
+            new_best[node.name] = best_cut
+            depth[node.name] = best_key[0]
+            refs = max(1, fanout_count.get(node.name, 1))
+            area_flow[node.name] = best_key[1] / refs
+        return new_best
+
+    def _mapped_fanouts(
+        self, network, best: Dict[str, Cut]
+    ) -> Dict[str, int]:
+        refs: Dict[str, int] = {}
+        required = self._required_roots(network)
+        stack = [r for r in required if r in network.nodes]
+        visited: Set[str] = set()
+        while stack:
+            root = stack.pop()
+            if root in visited:
+                continue
+            visited.add(root)
+            for leaf in best[root]:
+                refs[leaf] = refs.get(leaf, 0) + 1
+                if leaf in network.nodes:
+                    stack.append(leaf)
+        return refs
+
+    @staticmethod
+    def _required_roots(network: LogicNetwork) -> Set[str]:
+        required = set(network.outputs)
+        for latch in network.latches.values():
+            required.add(latch.data)
+        return required
+
+    # -- cover extraction -------------------------------------------------
+
+    def _cone_table(
+        self, network: LogicNetwork, root: str, cut: Cut
+    ) -> Tuple[TruthTable, List[str]]:
+        """Truth table of *root* over the ordered leaves of *cut*."""
+        leaves = sorted(cut)
+        index = {leaf: i for i, leaf in enumerate(leaves)}
+        m = len(leaves)
+        memo: Dict[str, TruthTable] = {
+            leaf: TruthTable.var(i, m) for leaf, i in index.items()
+        }
+
+        def eval_signal(name: str) -> TruthTable:
+            if name in memo:
+                return memo[name]
+            node = network.nodes[name]
+            subs = [eval_signal(f) for f in node.fanins]
+            if subs:
+                table = node.table.compose(subs)
+            else:
+                table = TruthTable.const(node.table.const_value(), m)
+            memo[name] = table
+            return table
+
+        return eval_signal(root), leaves
+
+    def _extract(
+        self, network: LogicNetwork, sources: Set[str],
+        best: Dict[str, Cut],
+    ) -> LutCircuit:
+        circuit = LutCircuit(network.name, self.k)
+        for name in network.inputs:
+            circuit.add_input(name)
+
+        # Select the cover: roots needed for outputs and latch inputs.
+        required = self._required_roots(network)
+        roots: Set[str] = set()
+        stack = [r for r in required if r in network.nodes]
+        while stack:
+            root = stack.pop()
+            if root in roots:
+                continue
+            roots.add(root)
+            for leaf in best[root]:
+                if leaf in network.nodes and leaf not in roots:
+                    stack.append(leaf)
+
+        # How many consumers each root has (other LUTs + POs + latches).
+        root_refs: Dict[str, int] = {r: 0 for r in roots}
+        for root in roots:
+            for leaf in best[root]:
+                if leaf in root_refs:
+                    root_refs[leaf] += 1
+        for out in network.outputs:
+            if out in root_refs:
+                root_refs[out] += 1
+        for latch in network.latches.values():
+            if latch.data in root_refs:
+                root_refs[latch.data] += 1
+
+        # Latch packing: a latch absorbs its driving LUT only when that
+        # LUT has no consumer other than the latch itself (the packed
+        # signal name disappears from the mapped netlist).
+        packed: Dict[str, str] = {}  # data root -> latch name
+        for latch in network.latches.values():
+            data = latch.data
+            if (
+                data in roots
+                and root_refs.get(data, 0) == 1
+                and data not in network.outputs
+                and data not in packed
+            ):
+                packed[data] = latch.name
+
+        emitted: Set[str] = set()
+
+        def emit_root(root: str) -> None:
+            if root in emitted:
+                return
+            emitted.add(root)
+            table, leaves = self._cone_table(network, root, best[root])
+            # Leaves that are themselves packed roots refer to the LUT
+            # output of a registered block; but a packed root's signal
+            # name is consumed by its latch only, so leaves are either
+            # sources or unpacked roots - safe to reference directly.
+            if root in packed:
+                circuit.add_block(
+                    packed[root], leaves, table,
+                    registered=True,
+                    init=network.latches[packed[root]].init,
+                )
+            else:
+                circuit.add_block(root, leaves, table)
+
+        for root in sorted(roots):
+            emit_root(root)
+
+        # Latches that could not be packed get a feed-through LUT.
+        for latch in network.latches.values():
+            if packed.get(latch.data) == latch.name:
+                continue
+            circuit.add_block(
+                latch.name, (latch.data,), TruthTable.var(0, 1),
+                registered=True, init=latch.init,
+            )
+
+        for out in network.outputs:
+            circuit.add_output(out)
+        circuit.validate()
+        return circuit
+
+
+def tech_map(network: LogicNetwork, k: int = 4, **kwargs) -> LutCircuit:
+    """Convenience wrapper: map *network* onto *k*-input LUTs."""
+    return TechMapper(k=k, **kwargs).map(network)

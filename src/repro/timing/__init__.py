@@ -1,0 +1,41 @@
+"""Routed static timing analysis.
+
+The placement-level estimator in :mod:`repro.place.timing` bounds wire
+delay by Manhattan distance; this subpackage analyses the *actual
+routed paths*, so detours the router takes (congestion avoidance,
+cross-mode wire sharing) show up in the clock estimate.  It is the
+instrument behind the abstract's "without significant performance
+penalties" claim:
+
+* :class:`DelayModel` — per-resource delays (LUT, pin, wire segment,
+  programmable switch);
+* :func:`net_delay_tree` / :func:`connection_delays_for_mode` — signal
+  arrival along the routed route trees;
+* :func:`mdr_arc_delays` / :func:`dcs_arc_delays` — map routed delays
+  back onto logical connections of a mode circuit;
+* :func:`routed_critical_path` — longest register-to-register or
+  IO-to-IO path, with the cell trace of the worst path;
+* :func:`timing_comparison` — per-mode MDR vs DCS critical-path ratio.
+"""
+
+from repro.timing.delay import DelayModel
+from repro.timing.sta import (
+    StaReport,
+    connection_delays_for_mode,
+    dcs_arc_delays,
+    mdr_arc_delays,
+    net_delay_tree,
+    routed_critical_path,
+    timing_comparison,
+)
+
+__all__ = [
+    "DelayModel",
+    "StaReport",
+    "connection_delays_for_mode",
+    "dcs_arc_delays",
+    "mdr_arc_delays",
+    "net_delay_tree",
+    "routed_critical_path",
+    "timing_comparison",
+]

@@ -1,0 +1,329 @@
+"""Static timing analysis over routed circuits.
+
+Arrival times propagate along the *routed* paths: every net's routes
+(for the analysed mode) are united into a route tree and signal delay
+to each sink is the cheapest tree path from the net's source, under a
+:class:`~repro.timing.delay.DelayModel`.  The logical analysis then
+walks the mode circuit in topological order exactly like the
+placement-level estimator, but with real interconnect delays.
+
+Launch/capture points follow the usual FPGA STA convention: primary
+inputs and flip-flop outputs launch at t=0; flip-flop inputs and
+primary outputs are capture endpoints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.rrg import RoutingResourceGraph
+from repro.netlist.lutcircuit import LutCircuit
+from repro.place.placer import Placement, pad_cell
+from repro.route.router import RoutingResult
+from repro.timing.delay import DelayModel
+
+#: An arc key: (driving signal, sink cell).  The sink cell is a block
+#: name for block inputs or ``pad:<signal>`` for primary outputs.
+ArcKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class StaReport:
+    """Routed critical path of one mode circuit."""
+
+    critical_delay: float
+    n_endpoints: int
+    critical_path: Tuple[str, ...]
+
+    def frequency(self) -> float:
+        """Max clock frequency (1 / delay), arbitrary units."""
+        if self.critical_delay <= 0:
+            return float("inf")
+        return 1.0 / self.critical_delay
+
+
+def net_delay_tree(
+    routing: RoutingResult,
+    mode: int,
+    net: str,
+    model: Optional[DelayModel] = None,
+) -> Dict[int, float]:
+    """Delay from *net*'s source to every RRG node of its route tree.
+
+    All routes of the net that are active in *mode* are united; the
+    delay to a node is the cheapest path inside that union (Dijkstra),
+    which handles trunk-shared branches and the rare case of a node
+    reachable from two directions.
+    """
+    model = model or DelayModel()
+    edges: Dict[int, List[Tuple[int, int]]] = {}
+    source: Optional[int] = None
+    for route in routing.routes.values():
+        if route.request.net != net or mode not in route.request.modes:
+            continue
+        source = route.request.source
+        for u, v, bit in route.edges:
+            edges.setdefault(u, []).append((v, bit))
+    if source is None:
+        return {}
+    rrg = routing.rrg
+    dist: Dict[int, float] = {source: model.node_delay(rrg, source)}
+    heap: List[Tuple[float, int]] = [(dist[source], source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d > dist.get(node, float("inf")):
+            continue
+        for nxt, bit in edges.get(node, ()):
+            nd = d + model.edge_delay(rrg, nxt, bit)
+            if nd < dist.get(nxt, float("inf")):
+                dist[nxt] = nd
+                heapq.heappush(heap, (nd, nxt))
+    return dist
+
+
+def connection_delays_for_mode(
+    routing: RoutingResult,
+    mode: int,
+    model: Optional[DelayModel] = None,
+) -> Dict[Tuple[str, int], float]:
+    """Routed delay of every connection active in *mode*.
+
+    Returns ``(net, sink node) -> delay`` from the net's source to the
+    connection's sink, along the net's route tree.
+    """
+    model = model or DelayModel()
+    trees: Dict[str, Dict[int, float]] = {}
+    delays: Dict[Tuple[str, int], float] = {}
+    for route in routing.routes.values():
+        request = route.request
+        if mode not in request.modes:
+            continue
+        if request.net not in trees:
+            trees[request.net] = net_delay_tree(
+                routing, mode, request.net, model
+            )
+        tree = trees[request.net]
+        if request.sink not in tree:
+            raise ValueError(
+                f"net {request.net}: sink not reached by its route "
+                f"tree in mode {mode}"
+            )
+        delays[(request.net, request.sink)] = tree[request.sink]
+    return delays
+
+
+def mdr_arc_delays(
+    circuit: LutCircuit,
+    placement: Placement,
+    routing: RoutingResult,
+    model: Optional[DelayModel] = None,
+) -> Dict[ArcKey, float]:
+    """Arc delays of one separately implemented (MDR) mode.
+
+    The net naming follows
+    :func:`repro.route.troute.lut_circuit_connections` (single-mode
+    workloads are routed as mode 0).
+    """
+    from repro.route.troute import lut_circuit_connections
+
+    rrg = routing.rrg
+    model = model or DelayModel()
+    delays = connection_delays_for_mode(routing, 0, model)
+    arcs: Dict[ArcKey, float] = {}
+    for net, _src_site, sink_site, _modes in lut_circuit_connections(
+        circuit, placement
+    ):
+        sink_node = rrg.sink_node(sink_site)
+        signal = net.split(":", 1)[1]
+        sink_cells = [
+            block.name
+            for block in circuit.blocks.values()
+            if placement.sites[block.name] == sink_site
+            and signal in block.inputs
+        ]
+        if signal in circuit.outputs and sink_site == placement.sites[
+            pad_cell(signal)
+        ]:
+            sink_cells.append(pad_cell(signal))
+        for cell in sink_cells:
+            arcs[(signal, cell)] = delays[(net, sink_node)]
+    return arcs
+
+
+def dcs_arc_delays(
+    tunable,
+    routing: RoutingResult,
+    mode: int,
+    model: Optional[DelayModel] = None,
+) -> Dict[ArcKey, float]:
+    """Arc delays of mode *mode* inside the merged implementation.
+
+    Tunable connection endpoints (tunable cell names) are translated to
+    the specialised circuit's signals: a Tunable LUT stands for its
+    mode member, a pad for the mode's IO signal.
+    """
+    rrg = routing.rrg
+    model = model or DelayModel()
+    delays = connection_delays_for_mode(routing, mode, model)
+
+    def signal_of(cell: str) -> Optional[str]:
+        tlut = tunable.tluts.get(cell)
+        if tlut is not None:
+            member = tlut.members.get(mode)
+            return None if member is None else member.name
+        return tunable.pads[cell].signals.get(mode)
+
+    sites = {
+        name: tlut.site for name, tlut in tunable.tluts.items()
+    }
+    sites.update(
+        (name, pad.site) for name, pad in tunable.pads.items()
+    )
+    arcs: Dict[ArcKey, float] = {}
+    for conn in tunable.connections:
+        if mode not in conn.activation.modes:
+            continue
+        source_signal = signal_of(conn.source)
+        if source_signal is None:
+            continue
+        sink_node = rrg.sink_node(sites[conn.sink])
+        delay = delays[(conn.source, sink_node)]
+        sink_tlut = tunable.tluts.get(conn.sink)
+        if sink_tlut is not None:
+            member = sink_tlut.members.get(mode)
+            if member is not None and source_signal in member.inputs:
+                arcs[(source_signal, member.name)] = delay
+        else:
+            pad_signal = tunable.pads[conn.sink].signals.get(mode)
+            if pad_signal is not None:
+                arcs[(source_signal, pad_cell(pad_signal))] = delay
+    return arcs
+
+
+def routed_critical_path(
+    circuit: LutCircuit,
+    arcs: Mapping[ArcKey, float],
+    model: Optional[DelayModel] = None,
+) -> StaReport:
+    """Longest path of *circuit* under routed arc delays.
+
+    *arcs* must cover every connection of the circuit (block inputs
+    and primary-output taps); :func:`mdr_arc_delays` and
+    :func:`dcs_arc_delays` produce exactly that.
+    """
+    model = model or DelayModel()
+    arrival: Dict[str, float] = {}
+    best_pred: Dict[str, Optional[str]] = {}
+
+    def launch(signal: str) -> Optional[float]:
+        """Arrival of *signal* at its driver's output, or None when
+        the signal is combinationally driven (use ``arrival``)."""
+        block = circuit.blocks.get(signal)
+        if block is None or block.registered:
+            return 0.0
+        return None
+
+    def arc_delay(signal: str, sink_cell: str) -> float:
+        try:
+            return arcs[(signal, sink_cell)]
+        except KeyError:
+            raise KeyError(
+                f"no routed arc for connection {signal} -> {sink_cell}"
+            ) from None
+
+    worst = 0.0
+    worst_end: Optional[str] = None
+    worst_is_launch = False
+    n_endpoints = 0
+    for block in circuit.topological_blocks():
+        t = 0.0
+        pred: Optional[str] = None
+        for src in block.inputs:
+            base = launch(src)
+            if base is None:
+                base = arrival[src]
+            candidate = base + arc_delay(src, block.name)
+            if candidate > t:
+                t, pred = candidate, src
+        t += model.lut_delay
+        arrival[block.name] = t
+        best_pred[block.name] = pred
+        if block.registered:
+            n_endpoints += 1
+            if t > worst:
+                worst, worst_end = t, block.name
+                worst_is_launch = False
+    for out in circuit.outputs:
+        base = launch(out)
+        is_launch = base is not None
+        if base is None:
+            base = arrival[out]
+        t = base + arc_delay(out, pad_cell(out))
+        n_endpoints += 1
+        if t > worst:
+            # The trace starts at the driving cell; a registered or
+            # primary-input driver terminates the walk immediately.
+            worst, worst_end, worst_is_launch = t, out, is_launch
+
+    # Reconstruct the worst path by walking predecessors until a
+    # launch point (registered block or primary input).
+    path: List[str] = []
+    cell = worst_end
+    seen = set()
+    while cell is not None and cell not in seen:
+        seen.add(cell)
+        path.append(cell)
+        if worst_is_launch:
+            break
+        block = circuit.blocks.get(cell)
+        if block is None or block.registered and len(path) > 1:
+            break
+        cell = best_pred.get(cell)
+    path.reverse()
+    return StaReport(
+        critical_delay=worst,
+        n_endpoints=n_endpoints,
+        critical_path=tuple(path),
+    )
+
+
+@dataclass(frozen=True)
+class TimingComparison:
+    """Per-mode MDR vs DCS routed critical-path comparison."""
+
+    mdr_delays: Tuple[float, ...]
+    dcs_delays: Tuple[float, ...]
+
+    def ratios(self) -> Tuple[float, ...]:
+        return tuple(
+            d / m for m, d in zip(self.mdr_delays, self.dcs_delays)
+            if m > 0
+        )
+
+    @property
+    def mean_ratio(self) -> float:
+        ratios = self.ratios()
+        return sum(ratios) / len(ratios)
+
+    @property
+    def worst_ratio(self) -> float:
+        return max(self.ratios())
+
+
+def timing_comparison(
+    mdr_reports: Sequence[StaReport],
+    dcs_reports: Sequence[StaReport],
+) -> TimingComparison:
+    """Pair up per-mode reports of both flows (Fig. 7 companion).
+
+    A mean ratio near 1.0 substantiates the abstract's "without
+    significant performance penalties".
+    """
+    if len(mdr_reports) != len(dcs_reports) or not mdr_reports:
+        raise ValueError("need one report per mode for both flows")
+    return TimingComparison(
+        mdr_delays=tuple(r.critical_delay for r in mdr_reports),
+        dcs_delays=tuple(r.critical_delay for r in dcs_reports),
+    )

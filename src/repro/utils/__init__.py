@@ -1,0 +1,7 @@
+"""Small generic utilities shared across the CAD stack."""
+
+from repro.utils.disjoint_set import DisjointSet
+from repro.utils.qm import minimize_boolean, term_to_string
+from repro.utils.rng import make_rng
+
+__all__ = ["DisjointSet", "minimize_boolean", "term_to_string", "make_rng"]

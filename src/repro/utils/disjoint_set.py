@@ -1,0 +1,69 @@
+"""Union-find (disjoint set) with path compression and union by rank.
+
+Used when merging connections with identical endpoints into Tunable
+connections and for connectivity checks on routed trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class DisjointSet:
+    """Classic union-find over arbitrary hashable items.
+
+    Items are added lazily: :meth:`find` on an unseen item creates a
+    singleton set for it.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register *item* as a singleton set if it is not known yet."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of *item*'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets of *a* and *b*; return the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True when *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[List[Hashable]]:
+        """Return all sets as lists (order of sets is unspecified)."""
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent

@@ -1,0 +1,27 @@
+"""Visualisation and reporting of multi-mode implementations.
+
+Text-first tooling (no plotting dependencies):
+
+* :mod:`repro.viz.grid` — ASCII floorplans: per-mode occupancy of the
+  reconfigurable region and channel-utilisation heat maps;
+* :mod:`repro.viz.svg` — standalone SVG renderings of a placement and
+  of per-mode routed wires;
+* :mod:`repro.viz.report` — a full implementation report (region,
+  merge statistics, Fig. 5/6/7-style numbers) in Markdown.
+"""
+
+from repro.viz.grid import (
+    channel_heatmap,
+    placement_floorplan,
+    tunable_occupancy,
+)
+from repro.viz.report import implementation_report
+from repro.viz.svg import routing_svg
+
+__all__ = [
+    "channel_heatmap",
+    "implementation_report",
+    "placement_floorplan",
+    "routing_svg",
+    "tunable_occupancy",
+]

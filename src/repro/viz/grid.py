@@ -1,0 +1,138 @@
+"""ASCII floorplans and channel heat maps.
+
+Every renderer returns a plain string; rows are printed top-down with
+the VPR convention of y growing upwards (row ``ny`` first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.rrg import WIRE, RoutingResourceGraph
+from repro.place.placer import Placement
+from repro.route.router import RoutingResult
+
+#: Shade characters from empty to full.
+_SHADES = " .:-=+*#%@"
+
+
+def placement_floorplan(placement: Placement) -> str:
+    """One character per logic tile: ``.`` empty, ``#`` occupied.
+
+    Pads are drawn on the perimeter ring (``o`` for occupied pad
+    locations).
+    """
+    arch = placement.arch
+    occupied_clb: Set[tuple] = set()
+    occupied_pad: Set[tuple] = set()
+    for site in placement.sites.values():
+        if site.kind == "clb":
+            occupied_clb.add((site.x, site.y))
+        else:
+            occupied_pad.add((site.x, site.y))
+
+    lines = []
+    for y in range(arch.ny + 1, -1, -1):
+        row = []
+        for x in range(0, arch.nx + 2):
+            if arch.contains_clb(x, y):
+                row.append(
+                    "#" if (x, y) in occupied_clb else "."
+                )
+            elif (x, y) in set(arch.pad_locations()):
+                row.append("o" if (x, y) in occupied_pad else "-")
+            else:
+                row.append(" ")
+        lines.append("".join(row))
+    util = len(occupied_clb) / max(1, arch.n_clbs)
+    lines.append(
+        f"{arch.nx}x{arch.ny} CLBs, {len(occupied_clb)} used "
+        f"({100 * util:.0f}%)"
+    )
+    return "\n".join(lines)
+
+
+def tunable_occupancy(tunable) -> str:
+    """Per-tile member counts of a placed Tunable circuit.
+
+    Digits show how many modes occupy each Tunable LUT's tile — ``2``
+    marks the merged sites the combined placement aligned, ``1`` the
+    mode-exclusive ones.
+    """
+    counts: Dict[tuple, int] = {}
+    nx = ny = 0
+    for tlut in tunable.tluts.values():
+        if tlut.site is None:
+            raise ValueError("tunable circuit has no sites")
+        pos = (tlut.site.x, tlut.site.y)
+        counts[pos] = max(
+            counts.get(pos, 0), len(tlut.members)
+        )
+        nx, ny = max(nx, pos[0]), max(ny, pos[1])
+    lines = []
+    for y in range(ny, 0, -1):
+        row = []
+        for x in range(1, nx + 1):
+            count = counts.get((x, y), 0)
+            row.append(str(count) if count else ".")
+        lines.append("".join(row))
+    merged = sum(1 for c in counts.values() if c > 1)
+    lines.append(
+        f"{len(counts)} occupied tiles, {merged} carrying "
+        f"multiple modes"
+    )
+    return "\n".join(lines)
+
+
+def channel_heatmap(
+    routing: RoutingResult,
+    mode: int = 0,
+    orientation: str = "x",
+) -> str:
+    """Channel-utilisation heat map for one mode.
+
+    One cell per channel position; the shade encodes the fraction of
+    tracks carrying a wire of *mode* at that position.
+    """
+    if orientation not in ("x", "y"):
+        raise ValueError("orientation must be 'x' or 'y'")
+    rrg = routing.rrg
+    arch = rrg.arch
+    wires = routing.wires_used(mode)
+    table = rrg.chanx if orientation == "x" else rrg.chany
+    usage: Dict[tuple, int] = {}
+    for (x, y, _t), node in table.items():
+        if node in wires:
+            usage[(x, y)] = usage.get((x, y), 0) + 1
+    width = arch.channel_width
+
+    positions = (
+        arch.chanx_positions() if orientation == "x"
+        else arch.chany_positions()
+    )
+    xs = sorted({p[0] for p in positions})
+    ys = sorted(
+        {
+            p[1]
+            for p in (
+                arch.chanx_positions() if orientation == "x"
+                else arch.chany_positions()
+            )
+        }
+    )
+    lines = [f"chan{orientation} utilisation, mode {mode} "
+             f"(W={width}):"]
+    for y in reversed(ys):
+        row = []
+        for x in xs:
+            used = usage.get((x, y), 0)
+            shade = _SHADES[
+                min(len(_SHADES) - 1,
+                    int(round(used / width * (len(_SHADES) - 1))))
+            ]
+            row.append(shade)
+        lines.append("".join(row))
+    peak = max(usage.values(), default=0)
+    lines.append(f"peak {peak}/{width} tracks")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Markdown implementation reports.
+
+:func:`implementation_report` condenses one
+:class:`~repro.core.flow.MultiModeResult` into the numbers a user
+would check after a run: region and architecture, merge statistics,
+and the paper's three headline metrics (reconfiguration bits,
+LUT/routing breakdown, per-mode wire length).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.flow import MultiModeResult
+from repro.core.merge import MergeStrategy
+from repro.core.reconfig import breakdown_rows
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def implementation_report(result: MultiModeResult) -> str:
+    """Render a Markdown report of one multi-mode implementation."""
+    arch = result.arch
+    lines = [
+        f"# Multi-mode implementation report: {result.name}",
+        "",
+        "## Region",
+        "",
+        f"- grid: {arch.nx} x {arch.ny} logic blocks "
+        f"(K={arch.k} LUTs)",
+        f"- channel width: {arch.channel_width}",
+        f"- LUT configuration bits: {arch.total_lut_bits()}",
+        "",
+        "## Reconfiguration cost (bits rewritten per mode switch)",
+        "",
+    ]
+    rows = [[
+        "MDR (full region)",
+        str(result.mdr.cost.lut_bits),
+        str(result.mdr.cost.routing_bits),
+        str(result.mdr.cost.total),
+        "1.00x",
+    ]]
+    rows.append([
+        "Diff (differing bits)",
+        str(result.mdr.diff.lut_bits),
+        str(result.mdr.diff.routing_bits),
+        str(result.mdr.diff.total),
+        f"{result.mdr.cost.total / result.mdr.diff.total:.2f}x",
+    ])
+    for strategy, dcs in result.dcs.items():
+        rows.append([
+            f"DCS ({strategy.value})",
+            str(dcs.cost.lut_bits),
+            str(dcs.cost.routing_bits),
+            str(dcs.cost.total),
+            f"{result.speedup(strategy):.2f}x",
+        ])
+    lines.extend(_table(
+        ["variant", "LUT bits", "routing bits", "total", "speed-up"],
+        rows,
+    ))
+
+    lines.extend(["", "## Merged (Tunable) circuit", ""])
+    for strategy, dcs in result.dcs.items():
+        stats = dcs.tunable.stats()
+        lines.append(
+            f"- **{strategy.value}**: {stats['tluts']} Tunable LUTs, "
+            f"{stats['connections']} Tunable connections "
+            f"({stats['shared_connections']} always-on), "
+            f"{stats['parameterized_lut_bits']} parameterised LUT "
+            f"bits"
+        )
+
+    lines.extend(["", "## Per-mode wire usage", ""])
+    wl_rows = []
+    mdr_wl = result.mdr.per_mode_wirelength()
+    for mode, wires in enumerate(mdr_wl):
+        row = [f"mode {mode}", str(wires)]
+        for strategy, dcs in result.dcs.items():
+            dcs_wl = dcs.per_mode_wirelength()[mode]
+            row.append(
+                f"{dcs_wl} ({100 * dcs_wl / wires:.0f}%)"
+            )
+        wl_rows.append(row)
+    header = ["mode", "MDR wires"]
+    header.extend(
+        f"DCS {s.value}" for s in result.dcs
+    )
+    lines.extend(_table(header, wl_rows))
+    lines.append("")
+    return "\n".join(lines)

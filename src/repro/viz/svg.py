@@ -1,0 +1,129 @@
+"""Standalone SVG renderings of placements and routed wires.
+
+The generated documents are self-contained (no scripts, no external
+references) and small enough to diff in code review.  Geometry: one
+grid tile is ``TILE`` units; logic tiles are squares, channel wires
+are thin lines between them.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.rrg import WIRE, RoutingResourceGraph
+from repro.route.router import RoutingResult
+
+TILE = 20
+_MODE_COLORS = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f",
+)
+
+
+def _header(width: int, height: int, title: str) -> List[str]:
+    return [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def _tile_origin(x: int, y: int, ny: int) -> tuple:
+    """SVG origin of grid tile (x, y); SVG y grows downwards."""
+    return x * TILE, (ny + 1 - y) * TILE
+
+
+def routing_svg(
+    routing: RoutingResult,
+    modes: Optional[Sequence[int]] = None,
+    title: str = "multi-mode routing",
+) -> str:
+    """Render the fabric with each mode's wires in its own colour.
+
+    Wires used by several of the requested modes are drawn darker
+    (they are the shared, static-bit wires the merge is after).
+    """
+    rrg = routing.rrg
+    arch = rrg.arch
+    modes = list(range(routing.n_modes)) if modes is None else list(
+        modes
+    )
+    width = (arch.nx + 2) * TILE + TILE
+    height = (arch.ny + 2) * TILE + TILE
+    parts = _header(width, height, title)
+
+    # Logic tiles.
+    for x in range(1, arch.nx + 1):
+        for y in range(1, arch.ny + 1):
+            ox, oy = _tile_origin(x, y, arch.ny)
+            parts.append(
+                f'<rect x="{ox + 3}" y="{oy + 3}" '
+                f'width="{TILE - 6}" height="{TILE - 6}" '
+                f'fill="#eeeeee" stroke="#999999"/>'
+            )
+
+    # Wire usage per mode.
+    usage: Dict[int, List[int]] = {}
+    for mode in modes:
+        for node in routing.wires_used(mode):
+            usage.setdefault(node, []).append(mode)
+
+    for node, node_modes in usage.items():
+        x, y = rrg.node_x[node], rrg.node_y[node]
+        label = rrg.node_label[node]
+        track = int(label.split(".t", 1)[1])
+        shared = len(node_modes) > 1
+        color = (
+            "#222222" if shared
+            else _MODE_COLORS[node_modes[0] % len(_MODE_COLORS)]
+        )
+        w = arch.channel_width
+        offset = 3 + (track * (TILE - 6)) // max(1, w)
+        if label.startswith("chanx"):
+            # Horizontal wire above row y, spanning tile x.
+            ox, oy = _tile_origin(x, y, arch.ny)
+            line_y = oy - offset
+            parts.append(
+                f'<line x1="{ox}" y1="{line_y}" '
+                f'x2="{ox + TILE}" y2="{line_y}" '
+                f'stroke="{color}" stroke-width="1.2"/>'
+            )
+        else:
+            # Vertical wire right of column x, spanning tile y.
+            ox, oy = _tile_origin(x, y, arch.ny)
+            line_x = ox + TILE + offset - 3
+            parts.append(
+                f'<line x1="{line_x}" y1="{oy}" '
+                f'x2="{line_x}" y2="{oy + TILE}" '
+                f'stroke="{color}" stroke-width="1.2"/>'
+            )
+
+    # Legend.
+    legend_y = height - TILE // 2
+    legend_x = TILE
+    for mode in modes:
+        color = _MODE_COLORS[mode % len(_MODE_COLORS)]
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" '
+            f'font-size="10" font-family="monospace">mode '
+            f"{mode}</text>"
+        )
+        legend_x += 70
+    parts.append(
+        f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" '
+        f'height="10" fill="#222222"/>'
+    )
+    parts.append(
+        f'<text x="{legend_x + 14}" y="{legend_y}" font-size="10" '
+        f'font-family="monospace">shared</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

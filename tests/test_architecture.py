@@ -1,0 +1,97 @@
+"""Tests for the FPGA architecture model."""
+
+import pytest
+
+from repro.arch.architecture import (
+    FpgaArchitecture,
+    Site,
+    size_for_circuits,
+)
+
+
+class TestGeometry:
+    def test_counts(self):
+        arch = FpgaArchitecture(nx=4, ny=3)
+        assert arch.n_clbs == 12
+        assert arch.n_pad_locations == 14
+        assert arch.n_pads == 28
+
+    def test_clb_sites_cover_grid(self):
+        arch = FpgaArchitecture(nx=3, ny=3)
+        sites = arch.clb_sites()
+        assert len(sites) == 9
+        assert all(arch.contains_clb(s.x, s.y) for s in sites)
+
+    def test_pad_sites_on_perimeter(self):
+        arch = FpgaArchitecture(nx=2, ny=2, io_rat=3)
+        sites = arch.pad_sites()
+        assert len(sites) == 8 * 3
+        for s in sites:
+            assert not arch.contains_clb(s.x, s.y)
+            on_x_edge = s.x in (0, arch.nx + 1)
+            on_y_edge = s.y in (0, arch.ny + 1)
+            assert on_x_edge != on_y_edge  # corners excluded
+
+    def test_channel_segment_count(self):
+        arch = FpgaArchitecture(nx=3, ny=2)
+        # chanx: 3 * 3 rows; chany: 2 * 4 columns
+        assert arch.n_channel_segments() == 9 + 8
+        assert len(list(arch.chanx_positions())) == 9
+        assert len(list(arch.chany_positions())) == 8
+
+    def test_lut_bits(self):
+        arch = FpgaArchitecture(nx=2, ny=2, k=4)
+        assert arch.lut_bits_per_clb() == 17
+        assert arch.total_lut_bits() == 4 * 17
+
+
+class TestValidation:
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(nx=0, ny=2)
+
+    def test_bad_fc(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(nx=2, ny=2, fc_in=0.0)
+
+    def test_bad_channel_width(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(nx=2, ny=2, channel_width=0)
+
+
+class TestTracksForPin:
+    def test_full_fc_reaches_all_tracks(self):
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=8, fc_in=1.0)
+        assert arch.tracks_for_pin(0, 1.0) == list(range(8))
+
+    def test_fractional_fc_count(self):
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=8)
+        tracks = arch.tracks_for_pin(1, 0.5)
+        assert len(tracks) == 4
+        assert all(0 <= t < 8 for t in tracks)
+
+    def test_pins_get_different_offsets(self):
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=16)
+        t0 = arch.tracks_for_pin(0, 0.25)
+        t1 = arch.tracks_for_pin(1, 0.25)
+        assert t0 != t1
+
+
+class TestSizing:
+    def test_area_slack(self):
+        arch = size_for_circuits(100, 10, slack=1.2)
+        assert arch.nx == arch.ny
+        assert arch.n_clbs >= 100 * 1.2 * 0.9  # side rounding tolerance
+        assert arch.nx * arch.nx >= 100
+
+    def test_io_forces_growth(self):
+        arch = size_for_circuits(4, 200, io_rat=2)
+        assert arch.n_pads >= 200
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            size_for_circuits(0, 0)
+
+    def test_site_pos(self):
+        s = Site("clb", 3, 4)
+        assert s.pos() == (3, 4)

@@ -1,0 +1,84 @@
+"""Tests for the configuration-memory (bitstream) model."""
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.bitstream import (
+    Configuration,
+    RegionBitBudget,
+    differing_lut_bits,
+    differing_routing_bits,
+    region_budget,
+    routing_bits_of_edges,
+)
+from repro.arch.rrg import build_rrg
+
+ARCH = FpgaArchitecture(nx=2, ny=2, channel_width=4, k=4)
+
+
+class TestConfiguration:
+    def test_lut_bit_vector_default_zero(self):
+        config = Configuration(ARCH)
+        vector = config.lut_bit_vector((1, 1))
+        assert len(vector) == 17
+        assert not any(vector)
+
+    def test_lut_bit_vector_contents(self):
+        config = Configuration(
+            ARCH, lut_tables={(1, 1): (0b1010, True)}
+        )
+        vector = config.lut_bit_vector((1, 1))
+        assert vector[1] and vector[3]
+        assert not vector[0] and not vector[2]
+        assert vector[-1] is True  # register select
+
+    def test_routing_bit_count(self):
+        config = Configuration(ARCH, routing_bits=frozenset({1, 5}))
+        assert config.routing_bit_count() == 2
+
+
+class TestBitExtraction:
+    def test_routing_bits_of_edges_skips_internal(self):
+        edges = [(0, 1, 7), (1, 2, -1), (2, 3, 9)]
+        assert routing_bits_of_edges(edges) == {7, 9}
+
+    def test_differing_routing_bits(self):
+        a = Configuration(ARCH, routing_bits=frozenset({1, 2, 3}))
+        b = Configuration(ARCH, routing_bits=frozenset({3, 4}))
+        assert differing_routing_bits([a, b]) == {1, 2, 4}
+
+    def test_differing_routing_bits_empty(self):
+        assert differing_routing_bits([]) == set()
+
+    def test_differing_lut_bits_counts_rows(self):
+        a = Configuration(ARCH, lut_tables={(1, 1): (0b0001, False)})
+        b = Configuration(ARCH, lut_tables={(1, 1): (0b0010, False)})
+        # Rows 0 and 1 differ; register select equal.
+        assert differing_lut_bits([a, b]) == 2
+
+    def test_differing_lut_bits_register_select(self):
+        a = Configuration(ARCH, lut_tables={(1, 1): (0, True)})
+        b = Configuration(ARCH, lut_tables={(1, 1): (0, False)})
+        assert differing_lut_bits([a, b]) == 1
+
+    def test_differing_lut_bits_unused_position(self):
+        a = Configuration(ARCH, lut_tables={(1, 1): (0b1, False)})
+        b = Configuration(ARCH)  # (1,1) holds the all-zero LUT
+        assert differing_lut_bits([a, b]) == 1
+
+    def test_differing_lut_bits_empty(self):
+        assert differing_lut_bits([]) == 0
+
+
+class TestBudget:
+    def test_region_budget_matches_arch_and_rrg(self):
+        rrg = build_rrg(ARCH)
+        budget = region_budget(ARCH, rrg)
+        assert budget.lut_bits == ARCH.total_lut_bits()
+        assert budget.routing_bits == rrg.n_bits
+        assert budget.total == budget.lut_bits + budget.routing_bits
+
+    def test_budget_is_frozen(self):
+        budget = RegionBitBudget(10, 20)
+        with pytest.raises(AttributeError):
+            budget.lut_bits = 5

@@ -1,0 +1,185 @@
+"""Tests for BLIF parsing and writing."""
+
+import pytest
+
+from repro.netlist.blif import (
+    BlifError,
+    logic_from_lut_circuit,
+    parse_blif,
+    write_logic_blif,
+    write_lut_blif,
+)
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.simulate import equivalent
+from repro.netlist.truthtable import TruthTable
+
+SIMPLE = """\
+# a tiny combinational model
+.model tiny
+.inputs a b c
+.outputs y
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-1 1
+.end
+"""
+
+SEQUENTIAL = """\
+.model seq
+.inputs en
+.outputs q
+.latch d q re clk 0
+.names q en d
+10 1
+01 1
+.end
+"""
+
+
+class TestParsing:
+    def test_simple_structure(self):
+        n = parse_blif(SIMPLE)
+        assert n.name == "tiny"
+        assert n.inputs == ["a", "b", "c"]
+        assert n.outputs == ["y"]
+        assert set(n.nodes) == {"t1", "y"}
+
+    def test_simple_function(self):
+        n = parse_blif(SIMPLE)
+        assert n.nodes["t1"].table == TruthTable.from_function(
+            2, lambda a, b: a and b
+        )
+        assert n.nodes["y"].table == TruthTable.from_function(
+            2, lambda t, c: t or c
+        )
+
+    def test_latch_with_fields(self):
+        n = parse_blif(SEQUENTIAL)
+        assert "q" in n.latches
+        assert n.latches["q"].data == "d"
+        assert n.latches["q"].init is False
+
+    def test_latch_init_one(self):
+        text = SEQUENTIAL.replace("re clk 0", "re clk 1")
+        n = parse_blif(text)
+        assert n.latches["q"].init is True
+
+    def test_offset_cover(self):
+        text = """\
+.model offset
+.inputs a b
+.outputs y
+.names a b y
+00 0
+.end
+"""
+        n = parse_blif(text)
+        assert n.nodes["y"].table == TruthTable.from_function(
+            2, lambda a, b: a or b
+        )
+
+    def test_constant_one_node(self):
+        text = """\
+.model const
+.outputs y
+.names y
+1
+.end
+"""
+        n = parse_blif(text)
+        assert n.nodes["y"].table.const_value() is True
+
+    def test_constant_zero_node(self):
+        text = """\
+.model const
+.outputs y
+.names y
+.end
+"""
+        n = parse_blif(text)
+        assert n.nodes["y"].table.const_value() is False
+
+    def test_comment_and_continuation(self):
+        text = (
+            ".model c\n.inputs a \\\n b\n"
+            ".outputs y # output list\n"
+            ".names a b y\n11 1\n.end\n"
+        )
+        n = parse_blif(text)
+        assert n.inputs == ["a", "b"]
+
+    def test_forward_reference(self):
+        text = """\
+.model fwd
+.inputs a
+.outputs y
+.names t y
+1 1
+.names a t
+0 1
+.end
+"""
+        n = parse_blif(text)
+        assert set(n.nodes) == {"t", "y"}
+
+
+class TestErrors:
+    def test_missing_model(self):
+        with pytest.raises(BlifError):
+            parse_blif(".inputs a\n.end\n")
+
+    def test_unsupported_subckt(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.subckt foo a=b\n.end\n")
+
+    def test_mixed_cover_polarity(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_bad_cube_width(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_cube_outside_names(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n11 1\n.end\n")
+
+
+class TestRoundTrip:
+    def test_logic_roundtrip_equivalent(self):
+        n = parse_blif(SIMPLE)
+        text = write_logic_blif(n)
+        n2 = parse_blif(text)
+        assert equivalent(n, n2)
+
+    def test_sequential_roundtrip_equivalent(self):
+        n = parse_blif(SEQUENTIAL)
+        n2 = parse_blif(write_logic_blif(n))
+        assert equivalent(n, n2)
+
+    def test_lut_circuit_roundtrip(self):
+        c = LutCircuit("rt", k=4)
+        c.add_input("a")
+        c.add_input("b")
+        c.add_block(
+            "q", ("a", "q"),
+            TruthTable.var(0, 2) ^ TruthTable.var(1, 2),
+            registered=True,
+        )
+        c.add_block("y", ("q", "b"),
+                    TruthTable.var(0, 2) & TruthTable.var(1, 2))
+        c.add_output("y")
+        n = parse_blif(write_lut_blif(c))
+        assert equivalent(c, n)
+
+    def test_lut_to_logic_lowering(self):
+        c = LutCircuit("low", k=4)
+        c.add_input("a")
+        c.add_block("y", ("a",), ~TruthTable.var(0, 1))
+        c.add_output("y")
+        n = logic_from_lut_circuit(c)
+        assert equivalent(c, n)

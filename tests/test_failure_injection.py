@@ -1,0 +1,155 @@
+"""Failure-injection tests: every stage must fail loudly and early.
+
+EDA flows are long pipelines; a stage that silently absorbs an
+impossible input produces a wrong chip hours later.  These tests pin
+the error behaviour of each stage on malformed or infeasible inputs.
+"""
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import build_rrg
+from repro.core.activation import ActivationFunction
+from repro.core.merge import merge_by_index
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.place.placer import place_circuit
+from repro.route.router import (
+    PathFinderRouter,
+    RouteRequest,
+    RoutingError,
+)
+
+
+def _xor2():
+    return TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+
+def _chain(name, n, k=4):
+    c = LutCircuit(name, k)
+    c.add_input("a")
+    c.add_input("b")
+    prev = ("a", "b")
+    for i in range(n):
+        c.add_block(f"{name}n{i}", prev, _xor2())
+        prev = (f"{name}n{i}", "a" if i % 2 else "b")
+    c.add_output(f"{name}n{n - 1}")
+    return c
+
+
+class TestPlacementFailures:
+    def test_grid_too_small_for_blocks(self):
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=4, k=4)
+        with pytest.raises(ValueError, match="exceed"):
+            place_circuit(_chain("big", 9), arch, seed=0)
+
+    def test_pad_overflow(self):
+        arch = FpgaArchitecture(
+            nx=2, ny=2, channel_width=4, k=4, io_rat=1
+        )
+        c = LutCircuit("io_heavy", 4)
+        for i in range(20):
+            c.add_input(f"i{i}")
+        c.add_block("n0", ("i0", "i1"), _xor2())
+        c.add_output("n0")
+        # 21 IOs vs 8 pad locations * io_rat 1.
+        with pytest.raises(ValueError, match="exceed"):
+            place_circuit(c, arch, seed=0)
+
+
+class TestMergeFailures:
+    def test_single_mode_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 modes"):
+            merge_by_index("solo", [_chain("a", 3)])
+
+    def test_k_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same LUT size"):
+            merge_by_index(
+                "kk", [_chain("a", 3, k=4), _chain("b", 3, k=6)]
+            )
+
+    def test_empty_activation_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationFunction.of(set(), 2)
+
+    def test_activation_mode_out_of_range(self):
+        with pytest.raises(ValueError):
+            ActivationFunction.of({5}, 2)
+
+
+class TestRoutingFailures:
+    def test_zero_capacity_region_unroutable(self):
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=1, k=4)
+        g = build_rrg(arch)
+        # Saturate the single track with conflicting nets.
+        reqs = [
+            RouteRequest(i, f"n{i}", g.clb_opin[(1 + i % 2, 1)],
+                         g.clb_sink[(2 - i % 2, 2)],
+                         frozenset((0,)))
+            for i in range(4)
+        ]
+        router = PathFinderRouter(g, max_iterations=4)
+        with pytest.raises(RoutingError, match="unroutable"):
+            router.route(reqs)
+
+    def test_mode_out_of_router_range(self):
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=4, k=4)
+        g = build_rrg(arch)
+        req = RouteRequest(
+            0, "n", g.clb_opin[(1, 1)], g.clb_sink[(2, 2)],
+            frozenset((3,)),
+        )
+        with pytest.raises(ValueError, match="n_modes"):
+            PathFinderRouter(g, n_modes=2).route([req])
+
+
+class TestNetlistFailures:
+    def test_duplicate_block_rejected(self):
+        c = LutCircuit("dup", 4)
+        c.add_input("a")
+        c.add_block("n0", ("a",), TruthTable.var(0, 1))
+        with pytest.raises(ValueError):
+            c.add_block("n0", ("a",), TruthTable.var(0, 1))
+
+    def test_too_many_inputs_rejected(self):
+        c = LutCircuit("fat", 4)
+        for i in range(5):
+            c.add_input(f"i{i}")
+        with pytest.raises(ValueError):
+            c.add_block(
+                "n0", tuple(f"i{i}" for i in range(5)),
+                TruthTable.const(True, 5),
+            )
+
+    def test_undriven_output_fails_validation(self):
+        c = LutCircuit("dangling", 4)
+        c.add_input("a")
+        c.add_block("n0", ("a",), TruthTable.var(0, 1))
+        c.add_output("ghost")
+        with pytest.raises((ValueError, KeyError)):
+            c.validate()
+
+    def test_combinational_loop_detected(self):
+        c = LutCircuit("loop", 4)
+        c.add_input("a")
+        c.add_block("x", ("y", "a"), _xor2())
+        c.add_block("y", ("x", "a"), _xor2())
+        c.add_output("x")
+        with pytest.raises(ValueError, match="[Cc]ycl|loop"):
+            c.topological_blocks()
+
+
+class TestArchitectureFailures:
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(ValueError, match="grid"):
+            FpgaArchitecture(nx=0, ny=3, channel_width=4, k=4)
+
+    def test_zero_channel_rejected(self):
+        with pytest.raises(ValueError, match="channel"):
+            FpgaArchitecture(nx=2, ny=2, channel_width=0, k=4)
+
+    def test_fc_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="Fc"):
+            FpgaArchitecture(
+                nx=2, ny=2, channel_width=4, k=4, fc_in=0.0
+            )

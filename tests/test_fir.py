@@ -1,0 +1,157 @@
+"""Tests for the FIR benchmark generator."""
+
+import pytest
+
+from repro.bench.fir import (
+    FirSpec,
+    fir_coefficients,
+    fir_network,
+    fir_pair_specs,
+    generate_fir_circuit,
+)
+from repro.netlist.simulate import simulate_logic, simulate_lut
+from repro.synth.optimize import optimize_network
+from repro.synth.synthesis import int_to_inputs, word_to_int
+from repro.synth.techmap import tech_map
+
+
+def drive_filter(netlist, spec, samples, generic_coeffs=None):
+    """Simulate the datapath on a sample stream; returns outputs."""
+    width = spec.accumulator_width()
+    seq = []
+    for s in samples:
+        inputs = int_to_inputs("x", spec.data_width, s)
+        if generic_coeffs is not None:
+            for tap, coeff in enumerate(generic_coeffs):
+                inputs.update(
+                    int_to_inputs(
+                        f"c{tap}", spec.coeff_width,
+                        coeff & ((1 << spec.coeff_width) - 1),
+                    )
+                )
+        seq.append(inputs)
+    sim = (
+        simulate_lut if hasattr(netlist, "blocks") else simulate_logic
+    )
+    trace = sim(netlist, seq)
+    return [
+        word_to_int([t[f"y[{i}]"] for i in range(width)])
+        for t in trace
+    ]
+
+
+class TestCoefficients:
+    def test_lowpass_non_negative(self):
+        spec = fir_coefficients("lowpass", seed=3)
+        assert all(c >= 0 for c in spec.coefficients)
+        assert any(c > 0 for c in spec.coefficients)
+
+    def test_highpass_alternates_sign(self):
+        spec = fir_coefficients("highpass", seed=3)
+        nonzero = [c for c in spec.coefficients if c != 0]
+        signs = [1 if c > 0 else -1 for c in nonzero]
+        assert all(a != b for a, b in zip(signs, signs[1:]))
+
+    def test_sparsity(self):
+        spec = fir_coefficients("lowpass", n_taps=8, n_nonzero=3,
+                                seed=1)
+        assert sum(1 for c in spec.coefficients if c != 0) == 3
+
+    def test_deterministic(self):
+        assert fir_coefficients("lowpass", seed=5) == (
+            fir_coefficients("lowpass", seed=5)
+        )
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            fir_coefficients("bandpass")
+
+    def test_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            fir_coefficients("lowpass", n_taps=4, n_nonzero=5)
+
+
+class TestReferenceModel:
+    def test_impulse_response_is_coefficients(self):
+        spec = FirSpec("lowpass", (3, 0, 5, 1))
+        width = spec.accumulator_width()
+        out = spec.response([1, 0, 0, 0, 0])
+        assert out == [3, 0, 5, 1, 0]
+        del width
+
+    def test_step_response_accumulates(self):
+        spec = FirSpec("lowpass", (1, 1, 1))
+        assert spec.response([1, 1, 1, 1]) == [1, 2, 3, 3]
+
+    def test_negative_coefficients_modular(self):
+        spec = FirSpec("highpass", (1, -1))
+        width = spec.accumulator_width()
+        mask = (1 << width) - 1
+        assert spec.response([0, 5, 5]) == [0, 5, (5 - 5) & mask]
+
+
+class TestHardware:
+    @pytest.mark.parametrize("kind,seed", [
+        ("lowpass", 0), ("highpass", 0), ("lowpass", 7),
+    ])
+    def test_network_matches_reference(self, kind, seed):
+        spec = fir_coefficients(kind, n_taps=4, n_nonzero=3,
+                                seed=seed)
+        network = fir_network(spec)
+        samples = [1, 255, 7, 0, 128, 3, 99, 250]
+        assert drive_filter(network, spec, samples) == (
+            spec.response(samples)
+        )
+
+    def test_optimised_network_still_correct(self):
+        spec = fir_coefficients("highpass", n_taps=4, n_nonzero=2,
+                                seed=2)
+        network = optimize_network(fir_network(spec))
+        samples = [5, 0, 200, 11, 64, 9]
+        assert drive_filter(network, spec, samples) == (
+            spec.response(samples)
+        )
+
+    def test_mapped_circuit_correct(self):
+        spec = fir_coefficients("lowpass", n_taps=3, n_nonzero=2,
+                                seed=4)
+        circuit = tech_map(
+            optimize_network(fir_network(spec)), k=4
+        )
+        samples = [1, 2, 3, 4, 5]
+        assert drive_filter(circuit, spec, samples) == (
+            spec.response(samples)
+        )
+
+    def test_generic_filter_matches_with_port_coefficients(self):
+        spec = fir_coefficients("lowpass", n_taps=3, n_nonzero=2,
+                                seed=6)
+        network = fir_network(spec, generic=True)
+        samples = [0, 1, 10, 100, 30]
+        out = drive_filter(
+            network, spec, samples, generic_coeffs=spec.coefficients
+        )
+        assert out == spec.response(samples)
+
+    def test_specialised_smaller_than_generic(self):
+        """The paper: constant propagation makes the filter ~3x
+        smaller than the generic version."""
+        spec = fir_coefficients("lowpass", seed=0)
+        specialised = tech_map(
+            optimize_network(fir_network(spec)), k=4
+        )
+        generic = tech_map(
+            optimize_network(fir_network(spec, generic=True)), k=4
+        )
+        assert generic.n_luts() > 2 * specialised.n_luts()
+
+    def test_generate_fir_circuit_api(self):
+        c = generate_fir_circuit("lowpass", seed=1, n_taps=4,
+                                 n_nonzero=2)
+        assert c.n_luts() > 0
+        assert any(s.startswith("y[") for s in c.outputs)
+
+    def test_pair_specs(self):
+        lp, hp = fir_pair_specs(3)
+        assert lp.kind == "lowpass"
+        assert hp.kind == "highpass"

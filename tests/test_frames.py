@@ -1,0 +1,114 @@
+"""Tests for the frame-based configuration model."""
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.frames import (
+    FrameAllocator,
+    FrameLayout,
+    build_frame_layout,
+    dcs_frame_cost,
+    mdr_frame_cost,
+)
+from repro.arch.rrg import build_rrg
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    arch = FpgaArchitecture(nx=4, ny=4, channel_width=6)
+    return arch, build_rrg(arch)
+
+
+class TestLayout:
+    def test_every_routing_bit_assigned(self, fabric):
+        _arch, rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        assert set(layout.frame_of_bit) == set(range(rrg.n_bits))
+
+    def test_frame_sizes_respected(self, fabric):
+        _arch, rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        from collections import Counter
+
+        counts = Counter(layout.frame_of_bit.values())
+        assert all(c <= 64 for c in counts.values())
+        assert layout.n_routing_frames == len(counts)
+
+    def test_column_locality(self, fabric):
+        """Bits in one frame span a narrow column range."""
+        arch, rrg = fabric
+        layout = build_frame_layout(arch, rrg, frame_size=64)
+        column_of_bit = {}
+        for src in range(rrg.n_nodes):
+            for _dst, bit in rrg.adjacency[src]:
+                if bit >= 0 and bit not in column_of_bit:
+                    column_of_bit[bit] = rrg.node_x[src]
+        spans = {}
+        for bit, frame in layout.frame_of_bit.items():
+            x = column_of_bit[bit]
+            lo, hi = spans.get(frame, (x, x))
+            spans[frame] = (min(lo, x), max(hi, x))
+        assert all(hi - lo <= 1 for lo, hi in spans.values())
+
+    def test_lut_frames_counted(self, fabric):
+        arch, _rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        # 4 bits/clb*16 + ... : 4 columns, 4*17=68 bits/column -> 2
+        # frames per column at size 64.
+        assert layout.n_lut_frames == arch.nx * 2
+
+    def test_bad_frame_size(self, fabric):
+        with pytest.raises(ValueError):
+            build_frame_layout(*fabric, frame_size=0)
+
+
+class TestCosts:
+    def test_mdr_rewrites_all_frames(self, fabric):
+        layout = build_frame_layout(*fabric, frame_size=64)
+        cost = mdr_frame_cost(layout)
+        assert cost.total == layout.n_frames
+
+    def test_dcs_touches_only_param_frames(self, fabric):
+        _arch, rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        some_bits = set(range(0, 10))  # all land in frame 0-ish
+        cost = dcs_frame_cost(layout, some_bits)
+        assert cost.lut_frames == layout.n_lut_frames
+        assert 1 <= cost.routing_frames <= 10
+        assert cost.routing_frames < layout.n_routing_frames
+
+    def test_empty_param_set(self, fabric):
+        layout = build_frame_layout(*fabric, frame_size=64)
+        cost = dcs_frame_cost(layout, set())
+        assert cost.routing_frames == 0
+
+
+class TestAllocator:
+    def test_ideal_bound(self, fabric):
+        _arch, rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        allocator = FrameAllocator(layout, rrg)
+        bits = set(range(100))
+        assert allocator.ideal_frames(bits) == 2  # ceil(100/64)
+
+    def test_column_constrained_at_least_ideal(self, fabric):
+        _arch, rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        allocator = FrameAllocator(layout, rrg)
+        import random
+
+        rng = random.Random(3)
+        bits = set(rng.sample(range(rrg.n_bits), 200))
+        report = allocator.report(bits)
+        assert (
+            report["ideal"]
+            <= report["column_packed"]
+            <= report["as_routed"]
+        )
+
+    def test_report_keys(self, fabric):
+        _arch, rrg = fabric
+        layout = build_frame_layout(*fabric, frame_size=64)
+        allocator = FrameAllocator(layout, rrg)
+        report = allocator.report({0, 1, 2})
+        assert set(report) == {"as_routed", "column_packed", "ideal"}

@@ -1,0 +1,216 @@
+"""Tests for the experiment harness (suite assembly + aggregation).
+
+The heavy flow runs are covered by integration tests and the benchmark
+suite; here the aggregation, printers and suite construction are
+exercised with lightweight stand-ins.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import (
+    EFFORT_PROFILES,
+    ExperimentHarness,
+    PairOutcome,
+    _aggregate,
+)
+from repro.core.merge import MergeStrategy
+from repro.core.reconfig import ReconfigCost
+
+
+@dataclass
+class _FakeMdr:
+    cost: ReconfigCost
+    diff: ReconfigCost
+
+
+@dataclass
+class _FakeDcs:
+    cost: ReconfigCost
+
+
+class _FakeResult:
+    """Quacks like MultiModeResult for the aggregation methods."""
+
+    def __init__(self, mdr_total, dcs_totals, wl_ratios,
+                 lut_bits=100, diff_routing=50):
+        self.mdr = _FakeMdr(
+            ReconfigCost(lut_bits, mdr_total - lut_bits),
+            ReconfigCost(lut_bits, diff_routing),
+        )
+        self.dcs = {
+            s: _FakeDcs(ReconfigCost(lut_bits, t - lut_bits))
+            for s, t in dcs_totals.items()
+        }
+        self._wl = wl_ratios
+
+    def speedup(self, strategy):
+        return self.mdr.cost.total / self.dcs[strategy].cost.total
+
+    def wirelength_ratio(self, strategy):
+        return self._wl[strategy]
+
+
+def fake_outcomes(suite="RegExp"):
+    out = []
+    for i, (mdr_total, em_total, wl_total) in enumerate([
+        (1000, 220, 200), (1200, 220, 260), (900, 190, 170),
+    ]):
+        result = _FakeResult(
+            mdr_total,
+            {
+                MergeStrategy.EDGE_MATCHING: em_total,
+                MergeStrategy.WIRE_LENGTH: wl_total,
+            },
+            {
+                MergeStrategy.EDGE_MATCHING: 1.5 + 0.1 * i,
+                MergeStrategy.WIRE_LENGTH: 1.1 + 0.05 * i,
+            },
+        )
+        out.append(PairOutcome(suite, f"{suite.lower()}_{i}", result))
+    return out
+
+
+class TestAggregation:
+    def test_aggregate(self):
+        low, mean, high = _aggregate([3.0, 1.0, 2.0])
+        assert (low, high) == (1.0, 3.0)
+        assert mean == pytest.approx(2.0)
+
+    def test_figure5_rows(self):
+        harness = ExperimentHarness(effort="quick")
+        outcomes = {"RegExp": fake_outcomes()}
+        rows = harness.figure5(outcomes)
+        assert len(rows) == 2
+        wl = next(r for r in rows if "Wire" in r["variant"])
+        assert wl["min"] <= wl["mean"] <= wl["max"]
+        assert wl["mean"] > 1.0
+        text = harness.print_figure5(rows)
+        assert "MDR (base)" in text
+        assert "DCS-Wire length" in text
+
+    def test_figure7_rows(self):
+        harness = ExperimentHarness(effort="quick")
+        rows = harness.figure7({"FIR": fake_outcomes("FIR")})
+        wl = next(r for r in rows if "Wire" in r["variant"])
+        assert wl["mean"] == pytest.approx(
+            100 * (1.1 + 1.15 + 1.2) / 3
+        )
+        assert "100.0" in harness.print_figure7(rows)
+
+    def test_figure6_rows(self):
+        harness = ExperimentHarness(effort="quick")
+        rows = harness.figure6(fake_outcomes())
+        assert [r["label"] for r in rows] == [
+            "RegExp-MDR", "RegExp-Diff", "RegExp-DCS",
+        ]
+        mdr = rows[0]
+        assert mdr["lut_pct_of_mdr"] + mdr["routing_pct_of_mdr"] == (
+            pytest.approx(100.0)
+        )
+        # Diff routing bits (50) < MDR routing bits.
+        assert rows[1]["routing_bits"] < rows[0]["routing_bits"]
+        text = harness.print_figure6(rows)
+        assert "region effect" in text
+
+    def test_table1_printer(self):
+        harness = ExperimentHarness(effort="quick")
+        rows = [
+            {"suite": "RegExp", "minimum": 222, "average": 232,
+             "maximum": 253},
+        ]
+        text = harness.print_table1(rows)
+        assert "TABLE I" in text and "222" in text
+
+    def test_area_printer(self):
+        harness = ExperimentHarness(effort="quick")
+        rows = [{
+            "suite": "FIR", "baseline": "generic FIR filter",
+            "area_pct": 33.0, "min": 30.0, "max": 40.0,
+        }]
+        text = harness.print_area_table(rows)
+        assert "33.0" in text
+
+
+class TestSuiteAssembly:
+    def test_effort_profiles_exist(self):
+        assert {"quick", "default", "paper"} <= set(EFFORT_PROFILES)
+        assert EFFORT_PROFILES["paper"].pairs_per_suite is None
+
+    def test_bad_effort_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentHarness(effort="warp")
+
+    def test_pair_structure_regexp(self):
+        harness = ExperimentHarness(effort="quick")
+        pairs = harness.suite_pairs("RegExp")
+        assert len(pairs) == 2  # quick truncates C(5,2)=10 to 2
+        for name, modes in pairs:
+            assert name.startswith("regexp_")
+            assert len(modes) == 2
+            assert modes[0].name != modes[1].name
+
+    def test_pair_structure_fir(self):
+        harness = ExperimentHarness(effort="quick")
+        pairs = harness.suite_pairs("FIR")
+        for _name, (lp, hp) in pairs:
+            assert "lp" in lp.name and "hp" in hp.name
+            # Shared IO names so the pads merge.
+            assert set(lp.inputs) == set(hp.inputs)
+
+    def test_unknown_suite(self):
+        harness = ExperimentHarness(effort="quick")
+        with pytest.raises(ValueError):
+            harness.suite_pairs("Crypto")
+
+    def test_suites_are_cached(self):
+        harness = ExperimentHarness(effort="quick")
+        a = harness.regexp_circuits()
+        b = harness.regexp_circuits()
+        assert a is b
+
+    @pytest.mark.slow
+    def test_table1_real_sizes(self):
+        harness = ExperimentHarness(effort="quick")
+        rows = harness.table1()
+        by_suite = {r["suite"]: r for r in rows}
+        assert 190 <= by_suite["RegExp"]["minimum"]
+        assert by_suite["MCNC"]["maximum"] <= 465
+
+
+class TestStaTable:
+    def test_sta_table_rows(self):
+        from repro.bench.harness import ExperimentHarness
+
+        harness = ExperimentHarness(effort="quick", seed=0)
+        # Reuse one tiny synthetic pair instead of the full suite:
+        # monkey-patch the suite to keep this unit-level.
+        from repro.netlist.lutcircuit import LutCircuit
+        from repro.netlist.truthtable import TruthTable
+
+        def chain(name, n):
+            c = LutCircuit(name, 4)
+            c.add_input("a")
+            c.add_input("b")
+            prev = ("a", "b")
+            t = TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+            for i in range(n):
+                c.add_block(f"{name}n{i}", prev, t)
+                prev = (f"{name}n{i}", "a" if i % 2 else "b")
+            c.add_output(f"{name}n{n - 1}")
+            return c
+
+        pair = [chain("a", 5), chain("b", 7)]
+        harness.suite_pairs = lambda suite: [("tiny", pair)]
+        outcomes = {"RegExp": harness.run_suite("RegExp")}
+        rows = harness.sta_table(outcomes)
+        assert len(rows) == 2  # both strategies
+        for row in rows:
+            assert row["min"] <= row["mean"] <= row["max"]
+            assert 0.2 < row["mean"] < 5.0
+        text = harness.print_sta_table(rows)
+        assert "routed critical-path" in text
+        assert "DCS-Wire length" in text

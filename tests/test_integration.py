@@ -1,0 +1,151 @@
+"""Cross-module integration tests.
+
+These run the complete pipeline — generator front-end, synthesis,
+mapping, combined placement, merge, TRoute, bit accounting — on small
+workloads and check *functional* end-to-end properties, not just
+structural ones.
+"""
+
+import pytest
+
+from repro.bench.regex import (
+    compile_regex_circuit,
+    reference_match_positions,
+)
+from repro.core.flow import (
+    DcsFlow,
+    FlowOptions,
+    MdrFlow,
+    implement_multi_mode,
+)
+from repro.core.manager import (
+    ParameterizedConfiguration,
+    ReconfigurationManager,
+)
+from repro.core.merge import MergeStrategy
+from repro.netlist.simulate import simulate_lut
+from repro.route.router import validate_routing
+
+PATTERNS = [r"ab+c", r"(x|y)z"]
+TRAFFIC = b"zabbc xz yz abc"
+
+
+def run_matcher(circuit, data: bytes):
+    seq = []
+    for byte in data:
+        inputs = {f"ch[{i}]": bool(byte >> i & 1) for i in range(8)}
+        inputs["valid"] = True
+        seq.append(inputs)
+    seq.append({**{f"ch[{i}]": False for i in range(8)},
+                "valid": False})
+    trace = simulate_lut(circuit, seq)
+    return [i for i, out in enumerate(trace) if out["match"]]
+
+
+@pytest.fixture(scope="module")
+def regex_result():
+    modes = [
+        compile_regex_circuit(p, name=f"eng{i}")
+        for i, p in enumerate(PATTERNS)
+    ]
+    result = implement_multi_mode(
+        "int_regex", modes, FlowOptions(inner_num=0.2),
+    )
+    return modes, result
+
+
+class TestRegexEndToEnd:
+    def test_specialized_engines_match_traffic(self, regex_result):
+        """The merged circuit, specialised per mode, must behave
+        byte-for-byte like the software oracle."""
+        _modes, result = regex_result
+        tunable = result.dcs[MergeStrategy.WIRE_LENGTH].tunable
+        for mode, pattern in enumerate(PATTERNS):
+            expected = reference_match_positions(pattern, TRAFFIC)
+            got = run_matcher(tunable.specialize(mode), TRAFFIC)
+            assert got == expected
+
+    def test_routings_are_legal(self, regex_result):
+        _modes, result = regex_result
+        for impl in result.mdr.implementations:
+            validate_routing(impl.routing)
+        for dcs in result.dcs.values():
+            validate_routing(dcs.routing)
+
+    def test_manager_agrees_with_cost_model(self, regex_result):
+        _modes, result = regex_result
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        config = ParameterizedConfiguration.from_routing(
+            dcs.routing, result.mdr.cost.routing_bits
+        )
+        manager = ReconfigurationManager(config)
+        manager.load_initial(0)
+        record = manager.switch(1)
+        assert record.bits_written == dcs.cost.routing_bits
+        manager.verify()
+
+    def test_shared_connections_have_static_bits(self, regex_result):
+        """Every always-active tunable connection contributes no
+        parameterised bits (its path is identical in all modes)."""
+        _modes, result = regex_result
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        routing = dcs.routing
+        param = set()
+        bit_sets = [routing.bits_on(m) for m in range(2)]
+        param = bit_sets[0] ^ bit_sets[1]
+        for route in routing.routes.values():
+            if len(route.request.modes) == 2:
+                assert not (route.bits() & param & (
+                    bit_sets[0] - bit_sets[1]
+                ))
+
+    def test_determinism(self, regex_result):
+        modes, first = regex_result
+        second = implement_multi_mode(
+            "int_regex", modes, FlowOptions(inner_num=0.2),
+        )
+        assert (
+            first.mdr.cost.total == second.mdr.cost.total
+        )
+        for strategy in first.dcs:
+            assert (
+                first.dcs[strategy].cost.total
+                == second.dcs[strategy].cost.total
+            )
+
+
+class TestWidthRetry:
+    def test_flow_grows_width_until_routable(self):
+        """Force an absurdly small channel width; the driver must
+        retry wider instead of failing."""
+        modes = [
+            compile_regex_circuit(p, name=f"w{i}")
+            for i, p in enumerate((r"abc", r"xyz"))
+        ]
+        result = implement_multi_mode(
+            "narrow", modes,
+            FlowOptions(inner_num=0.2, channel_width=2,
+                        max_width_retries=6),
+            strategies=(MergeStrategy.WIRE_LENGTH,),
+        )
+        assert result.arch.channel_width > 2
+
+
+class TestFlowPieces:
+    def test_mdr_and_dcs_share_architecture(self):
+        from repro.arch.architecture import FpgaArchitecture
+        from repro.arch.rrg import build_rrg
+
+        modes = [
+            compile_regex_circuit(p, name=f"s{i}")
+            for i, p in enumerate((r"ab", r"cd"))
+        ]
+        arch = FpgaArchitecture(nx=6, ny=6, channel_width=8)
+        rrg = build_rrg(arch)
+        options = FlowOptions(inner_num=0.2)
+        mdr = MdrFlow(options).run(modes, arch, rrg)
+        dcs = DcsFlow(options).run(
+            "shared", modes, arch, MergeStrategy.WIRE_LENGTH, rrg
+        )
+        assert mdr.cost.lut_bits == dcs.cost.lut_bits
+        assert dcs.cost.routing_bits <= mdr.cost.routing_bits

@@ -1,0 +1,144 @@
+"""End-to-end integration of the extension modules.
+
+One small multi-mode pair flows through merge + TRoute, and then
+through every extension surface: VPR export/import, routed STA,
+visualisation, reporting, and the minimum-width sizing — checking the
+pieces agree with each other, not just work in isolation.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.arch.rrg import WIRE, build_rrg
+from repro.core.flow import FlowOptions, implement_multi_mode
+from repro.core.merge import MergeStrategy
+from repro.interop import (
+    parse_place_file,
+    parse_route_file,
+    write_place_file,
+    write_route_file,
+)
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.timing import (
+    dcs_arc_delays,
+    mdr_arc_delays,
+    routed_critical_path,
+    timing_comparison,
+)
+from repro.viz import implementation_report, routing_svg
+
+
+def _mode(name, n_blocks, twist):
+    c = LutCircuit(name, 4)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_input("c")
+    prev = ("a", "b")
+    t = TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+    for i in range(n_blocks):
+        c.add_block(f"{name}n{i}", prev, t,
+                    registered=(i % 4 == twist))
+        prev = (f"{name}n{i}", ("a", "b", "c")[i % 3])
+    c.add_output(f"{name}n{n_blocks - 1}")
+    return c
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    modes = [_mode("p", 10, 1), _mode("q", 13, 2)]
+    return modes, implement_multi_mode(
+        "integration", modes,
+        FlowOptions(seed=0, inner_num=0.2),
+        strategies=(MergeStrategy.WIRE_LENGTH,),
+    )
+
+
+class TestVprRoundtripAgreesWithMetrics:
+    def test_route_file_wire_counts_match(self, flow_result):
+        _modes, result = flow_result
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        rrg = dcs.routing.rrg
+        parsed = parse_route_file(
+            write_route_file(dcs.routing), rrg
+        )
+        for mode in range(2):
+            wires = {
+                n
+                for nets in parsed[mode].values()
+                for n in nets
+                if rrg.node_kind[n] == WIRE
+            }
+            assert wires == dcs.routing.wires_used(mode)
+            assert len(wires) == dcs.per_mode_wirelength()[mode]
+
+    def test_mdr_place_files_roundtrip(self, flow_result):
+        _modes, result = flow_result
+        for impl in result.mdr.implementations:
+            text = write_place_file(impl.placement)
+            parsed = parse_place_file(text, result.arch)
+            assert parsed.sites == impl.placement.sites
+
+
+class TestRoutedStaCoherence:
+    def test_dcs_penalty_is_finite_and_reported(self, flow_result):
+        modes, result = flow_result
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        mdr_reports = [
+            routed_critical_path(
+                circuit,
+                mdr_arc_delays(
+                    circuit, impl.placement, impl.routing
+                ),
+            )
+            for circuit, impl in zip(
+                modes, result.mdr.implementations
+            )
+        ]
+        dcs_reports = [
+            routed_critical_path(
+                dcs.tunable.specialize(mode),
+                dcs_arc_delays(dcs.tunable, dcs.routing, mode),
+            )
+            for mode in range(2)
+        ]
+        comp = timing_comparison(mdr_reports, dcs_reports)
+        assert 0.3 < comp.mean_ratio < 3.0
+        for report in mdr_reports + dcs_reports:
+            assert report.critical_delay > 0
+            assert report.critical_path
+
+    def test_sta_arcs_cover_specialized_connections(self,
+                                                    flow_result):
+        _modes, result = flow_result
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        for mode in range(2):
+            specialized = dcs.tunable.specialize(mode)
+            arcs = dcs_arc_delays(dcs.tunable, dcs.routing, mode)
+            for block in specialized.blocks.values():
+                for src in block.inputs:
+                    assert (src, block.name) in arcs, (
+                        mode, src, block.name,
+                    )
+
+
+class TestRenderings:
+    def test_svg_wire_count_matches_routing(self, flow_result):
+        _modes, result = flow_result
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        svg = routing_svg(dcs.routing)
+        ET.fromstring(svg)  # well-formed
+        all_wires = dcs.routing.wires_used(0) | dcs.routing.wires_used(
+            1
+        )
+        assert svg.count("<line") == len(all_wires)
+
+    def test_report_matches_result_numbers(self, flow_result):
+        _modes, result = flow_result
+        text = implementation_report(result)
+        assert str(result.mdr.cost.total) in text
+        assert (
+            f"{result.speedup(MergeStrategy.WIRE_LENGTH):.2f}x"
+            in text
+        )

@@ -1,0 +1,309 @@
+"""Tests for the VPR file-format interoperability layer."""
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.rrg import build_rrg
+from repro.interop import (
+    DEFAULT_4LUT_ARCH,
+    ArchSpec,
+    InteropError,
+    format_arch,
+    parse_arch,
+    parse_net_file,
+    parse_place_file,
+    parse_route_file,
+    write_net_file,
+    write_place_file,
+    write_route_file,
+)
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.place.placer import pad_cell, place_circuit
+from repro.route.troute import route_lut_circuit
+
+
+def _xor2():
+    return TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+
+def _circuit(registered=True):
+    c = LutCircuit("t", 4)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_block("n0", ("a", "b"), _xor2(), registered=registered)
+    c.add_block("n1", ("n0", "a"), _xor2())
+    c.add_output("n1")
+    return c
+
+
+class TestArchFile:
+    def test_default_arch_parses(self):
+        spec = parse_arch(DEFAULT_4LUT_ARCH)
+        assert spec.io_rat == 2
+        assert spec.subblock_lut_size == 4
+        assert spec.fc_type == "fractional"
+        assert spec.fc_input == 1.0
+        assert spec.switch_block_type == "subset"
+        assert spec.segment_length == 1
+        assert ("0", "bottom") != spec.inpin_classes[0]  # ints parsed
+        assert (0, "bottom") in spec.inpin_classes
+        assert (1, "top") in spec.outpin_classes
+
+    def test_roundtrip_preserves_interpretation(self):
+        spec = parse_arch(DEFAULT_4LUT_ARCH)
+        again = parse_arch(format_arch(spec))
+        assert again.io_rat == spec.io_rat
+        assert again.subblock_lut_size == spec.subblock_lut_size
+        assert again.fc_output == spec.fc_output
+        assert again.inpin_classes == spec.inpin_classes
+        assert again.extra_lines == spec.extra_lines
+
+    def test_to_architecture(self):
+        spec = parse_arch(DEFAULT_4LUT_ARCH)
+        arch = spec.to_architecture(6, 6, channel_width=10)
+        assert arch.k == 4
+        assert arch.nx == arch.ny == 6
+        assert arch.channel_width == 10
+        assert arch.io_rat == 2
+        assert arch.fc_in == 1.0
+
+    def test_absolute_fc_converted(self):
+        spec = parse_arch(
+            "Fc_type absolute\nFc_input 4\nFc_output 2\n"
+        )
+        arch = spec.to_architecture(4, 4, channel_width=8)
+        assert arch.fc_in == pytest.approx(0.5)
+        assert arch.fc_out == pytest.approx(0.25)
+
+    def test_comments_and_blank_lines_ignored(self):
+        spec = parse_arch("# hello\n\nio_rat 3  # trailing\n")
+        assert spec.io_rat == 3
+
+    def test_unknown_lines_preserved(self):
+        spec = parse_arch("R_minW_nmos 1\nio_rat 2\n")
+        assert "R_minW_nmos 1" in spec.extra_lines
+        assert "R_minW_nmos 1" in format_arch(spec)
+
+    def test_malformed_operand_raises(self):
+        with pytest.raises(InteropError, match="io_rat"):
+            parse_arch("io_rat many\n")
+
+    def test_multi_subblock_rejected(self):
+        with pytest.raises(InteropError, match="subblocks_per_clb"):
+            parse_arch("subblocks_per_clb 2\n")
+
+    def test_long_segments_rejected(self):
+        with pytest.raises(InteropError, match="unit-length"):
+            parse_arch("segment frequency: 1 length: 4\n")
+
+    def test_bad_pin_class_raises(self):
+        with pytest.raises(InteropError, match="class"):
+            parse_arch("inpin 0 bottom\n")
+
+
+class TestPlaceFile:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        arch = FpgaArchitecture(nx=4, ny=4, channel_width=6, k=4)
+        circuit = _circuit()
+        placement = place_circuit(circuit, arch, seed=2)
+        return arch, circuit, placement
+
+    def test_roundtrip(self, placed):
+        arch, _circuit_, placement = placed
+        text = write_place_file(placement)
+        parsed = parse_place_file(text, arch)
+        assert parsed.sites == placement.sites
+
+    def test_header_contents(self, placed):
+        _arch, _c, placement = placed
+        text = write_place_file(
+            placement, netlist_file="x.net", arch_file="a.arch"
+        )
+        assert "Netlist file: x.net" in text
+        assert (
+            f"Array size: {placement.arch.nx} x "
+            f"{placement.arch.ny} logic blocks" in text
+        )
+
+    def test_array_size_mismatch_raises(self, placed):
+        arch, _c, placement = placed
+        text = write_place_file(placement)
+        other = FpgaArchitecture(nx=5, ny=5, channel_width=6, k=4)
+        with pytest.raises(InteropError, match="array size"):
+            parse_place_file(text, other)
+
+    def test_duplicate_site_raises(self, placed):
+        arch, *_ = placed
+        text = (
+            "Array size: 4 x 4 logic blocks\n"
+            "cell_a 1 1 0\n"
+            "cell_b 1 1 0\n"
+        )
+        with pytest.raises(InteropError, match="already holds"):
+            parse_place_file(text, arch)
+
+    def test_duplicate_cell_raises(self, placed):
+        arch, *_ = placed
+        text = (
+            "Array size: 4 x 4 logic blocks\n"
+            "cell_a 1 1 0\n"
+            "cell_a 2 2 0\n"
+        )
+        with pytest.raises(InteropError, match="placed twice"):
+            parse_place_file(text, arch)
+
+    def test_off_grid_raises(self, placed):
+        arch, *_ = placed
+        text = (
+            "Array size: 4 x 4 logic blocks\n"
+            "cell_a 9 9 0\n"
+        )
+        with pytest.raises(InteropError, match="neither"):
+            parse_place_file(text, arch)
+
+    def test_pad_slot_range_checked(self, placed):
+        arch, *_ = placed
+        text = (
+            "Array size: 4 x 4 logic blocks\n"
+            "pad:a 0 2 7\n"
+        )
+        with pytest.raises(InteropError, match="slot"):
+            parse_place_file(text, arch)
+
+    def test_missing_header_raises(self, placed):
+        arch, *_ = placed
+        with pytest.raises(InteropError, match="Array size"):
+            parse_place_file("cell_a 1 1 0\n", arch)
+
+
+class TestNetFile:
+    def test_structure_roundtrip(self):
+        circuit = _circuit(registered=True)
+        text = write_net_file(circuit)
+        structure = parse_net_file(text, k=4)
+        assert structure.matches_circuit(circuit)
+
+    def test_combinational_blocks_have_open_clock(self):
+        circuit = _circuit(registered=False)
+        text = write_net_file(circuit)
+        structure = parse_net_file(text, k=4)
+        assert structure.blocks["n0"][1] is False
+        assert structure.matches_circuit(circuit)
+
+    def test_open_pins_for_narrow_luts(self):
+        circuit = _circuit()
+        text = write_net_file(circuit)
+        # n0 has 2 inputs on a 4-LUT: two opens in the pinlist.
+        clb_lines = [
+            line for line in text.splitlines()
+            if line.startswith("pinlist:") and "n0" in line
+        ]
+        assert any("open open" in line for line in clb_lines)
+
+    def test_mismatched_output_pin_raises(self):
+        text = ".clb n0\npinlist: a b open open WRONG open\n"
+        with pytest.raises(InteropError, match="match block name"):
+            parse_net_file(text, k=4)
+
+    def test_wrong_pinlist_arity_raises(self):
+        text = ".clb n0\npinlist: a n0 open\n"
+        with pytest.raises(InteropError, match="pinlist"):
+            parse_net_file(text, k=4)
+
+    def test_pinlist_outside_block_raises(self):
+        with pytest.raises(InteropError, match="outside"):
+            parse_net_file("pinlist: a\n", k=4)
+
+    def test_unknown_keyword_raises(self):
+        with pytest.raises(InteropError, match="unknown keyword"):
+            parse_net_file(".frob x\n", k=4)
+
+    def test_structure_detects_mismatch(self):
+        circuit = _circuit()
+        structure = parse_net_file(write_net_file(circuit), k=4)
+        other = _circuit()
+        block = other.blocks["n0"]
+        other.blocks["n0"] = block.with_inputs(
+            ("b", "a"), block.table
+        )
+        assert not structure.matches_circuit(other)
+
+
+class TestRouteFile:
+    @pytest.fixture(scope="class")
+    def routed(self):
+        arch = FpgaArchitecture(nx=4, ny=4, channel_width=6, k=4)
+        circuit = _circuit()
+        placement = place_circuit(circuit, arch, seed=2)
+        rrg = build_rrg(arch)
+        routing = route_lut_circuit(circuit, placement, rrg)
+        return rrg, routing
+
+    def test_roundtrip_node_sets(self, routed):
+        rrg, routing = routed
+        text = write_route_file(routing)
+        parsed = parse_route_file(text, rrg)
+        assert set(parsed) == {0}
+        for route in routing.routes.values():
+            net = route.request.net
+            assert set(route.nodes()) <= parsed[0][net]
+
+    def test_wire_usage_preserved(self, routed):
+        rrg, routing = routed
+        parsed = parse_route_file(write_route_file(routing), rrg)
+        from repro.arch.rrg import WIRE
+
+        wires = {
+            n
+            for nets in parsed[0].values()
+            for n in nets
+            if rrg.node_kind[n] == WIRE
+        }
+        assert wires == routing.wires_used(0)
+
+    def test_multi_mode_sections(self, routed):
+        rrg, _routing = routed
+        from repro.route.router import (
+            PathFinderRouter,
+            RouteRequest,
+        )
+
+        reqs = [
+            RouteRequest(0, "a", rrg.clb_opin[(1, 1)],
+                         rrg.clb_sink[(3, 3)], frozenset((0,))),
+            RouteRequest(1, "b", rrg.clb_opin[(2, 2)],
+                         rrg.clb_sink[(4, 4)], frozenset((1,))),
+        ]
+        result = PathFinderRouter(rrg, n_modes=2).route(reqs)
+        text = write_route_file(result)
+        assert "Mode 0:" in text and "Mode 1:" in text
+        parsed = parse_route_file(text, rrg)
+        assert "a" in parsed[0] and "a" not in parsed[1]
+        assert "b" in parsed[1] and "b" not in parsed[0]
+
+    def test_missing_header_raises(self, routed):
+        rrg, _routing = routed
+        with pytest.raises(InteropError, match="Routing"):
+            parse_route_file("Net 0 (x)\n", rrg)
+
+    def test_node_outside_net_raises(self, routed):
+        rrg, _routing = routed
+        text = "Routing:\nMode 0:\n  CHANX (1,1)  Track: 0\n"
+        with pytest.raises(InteropError, match="outside"):
+            parse_route_file(text, rrg)
+
+    def test_unknown_node_raises(self, routed):
+        rrg, _routing = routed
+        text = (
+            "Routing:\nMode 0:\nNet 0 (x)\n"
+            "  CHANX (99,99)  Track: 0\n"
+        )
+        with pytest.raises(InteropError, match="no RRG node"):
+            parse_route_file(text, rrg)
+
+    def test_garbage_line_raises(self, routed):
+        rrg, _routing = routed
+        with pytest.raises(InteropError, match="unrecognised"):
+            parse_route_file("Routing:\nwat\n", rrg)

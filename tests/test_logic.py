@@ -1,0 +1,139 @@
+"""Tests for the logic-network representation."""
+
+import pytest
+
+from repro.netlist.logic import LogicNetwork, fresh_namer, iter_cone
+from repro.netlist.truthtable import TruthTable
+
+
+def small_network():
+    n = LogicNetwork("small")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_and("g1", ("a", "b"))
+    n.add_not("g2", "g1")
+    n.add_output("g2")
+    return n
+
+
+class TestConstruction:
+    def test_duplicate_signal_rejected(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        with pytest.raises(ValueError):
+            n.add_node("a", (), TruthTable.const(True, 0))
+
+    def test_duplicate_output_rejected(self):
+        n = small_network()
+        with pytest.raises(ValueError):
+            n.add_output("g2")
+
+    def test_arity_mismatch_rejected(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        with pytest.raises(ValueError):
+            n.add_node("g", ("a",), TruthTable.const(True, 2))
+
+    def test_mux_semantics(self):
+        n = LogicNetwork()
+        for name in ("s", "x", "y"):
+            n.add_input(name)
+        n.add_mux("m", "s", "x", "y")
+        table = n.nodes["m"].table
+        # sel=0 -> x, sel=1 -> y (fanins are (sel, x, y)).
+        assert table.evaluate([False, True, False])
+        assert not table.evaluate([False, False, True])
+        assert table.evaluate([True, False, True])
+
+    def test_nary_gates(self):
+        n = LogicNetwork()
+        for name in "abc":
+            n.add_input(name)
+        n.add_and("and3", ("a", "b", "c"))
+        n.add_or("or3", ("a", "b", "c"))
+        n.add_xor("xor3", ("a", "b", "c"))
+        assert n.nodes["and3"].table.evaluate([True, True, True])
+        assert not n.nodes["and3"].table.evaluate([True, True, False])
+        assert n.nodes["or3"].table.evaluate([False, False, True])
+        assert n.nodes["xor3"].table.evaluate([True, True, True])
+        assert not n.nodes["xor3"].table.evaluate([True, True, False])
+
+
+class TestTopology:
+    def test_topological_order_respects_deps(self):
+        n = small_network()
+        order = [node.name for node in n.topological_nodes()]
+        assert order.index("g1") < order.index("g2")
+
+    def test_cycle_detected(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_node("x", ("y", "a"),
+                   TruthTable.var(0, 2) & TruthTable.var(1, 2))
+        n.add_node("y", ("x",), TruthTable.var(0, 1))
+        with pytest.raises(ValueError):
+            n.topological_nodes()
+
+    def test_latch_breaks_cycle(self):
+        n = LogicNetwork()
+        n.add_input("en")
+        n.add_latch("q", "d")
+        n.add_xor("d", ("q", "en"))
+        n.add_output("q")
+        n.validate()  # toggling FF: no combinational cycle
+
+    def test_undriven_fanin_detected(self):
+        n = LogicNetwork()
+        n.add_node("g", ("ghost",), TruthTable.var(0, 1))
+        with pytest.raises(ValueError):
+            n.topological_nodes()
+
+    def test_undriven_output_detected(self):
+        n = LogicNetwork()
+        n.add_output("nothing")
+        with pytest.raises(ValueError):
+            n.validate()
+
+    def test_fanouts(self):
+        n = small_network()
+        fo = n.fanouts()
+        assert fo["a"] == ["g1"]
+        assert fo["g1"] == ["g2"]
+        assert fo["g2"] == []
+
+    def test_iter_cone_stops_at_inputs(self):
+        n = small_network()
+        cone = iter_cone(n, ["g2"])
+        assert cone == {"a", "b", "g1", "g2"}
+
+    def test_stats(self):
+        n = small_network()
+        s = n.stats()
+        assert s["inputs"] == 2
+        assert s["nodes"] == 2
+        assert s["max_fanin"] == 2
+
+
+class TestUtilities:
+    def test_fresh_namer_avoids_existing(self):
+        n = LogicNetwork()
+        n.add_input("_t0")
+        namer = fresh_namer(n, "_t")
+        assert namer() == "_t1"
+
+    def test_copy_is_independent(self):
+        n = small_network()
+        dup = n.copy()
+        dup.add_input("c")
+        assert "c" not in n.inputs
+
+    def test_driver_kind(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_latch("q", "a")
+        n.add_buf("b", "a")
+        assert n.driver_kind("a") == "input"
+        assert n.driver_kind("q") == "latch"
+        assert n.driver_kind("b") == "node"
+        with pytest.raises(KeyError):
+            n.driver_kind("zz")

@@ -1,0 +1,146 @@
+"""Tests for the parameterised configuration and the
+reconfiguration manager."""
+
+import pytest
+
+from repro.core.manager import (
+    ParameterizedConfiguration,
+    ReconfigurationManager,
+)
+
+
+def small_config():
+    """3 static-on bits, 3 parameterised bits over 2 modes."""
+    return ParameterizedConfiguration(
+        n_modes=2,
+        n_bits_total=100,
+        static_on=frozenset({10, 11, 12}),
+        parameterized={
+            20: frozenset({0}),       # on only in mode 0
+            21: frozenset({1}),       # on only in mode 1
+            22: frozenset({0, 1}),    # would be static; kept to test
+        },
+    )
+
+
+class TestParameterizedConfiguration:
+    def test_bit_values(self):
+        config = small_config()
+        assert config.bit_value(10, 0) and config.bit_value(10, 1)
+        assert config.bit_value(20, 0) and not config.bit_value(20, 1)
+        assert not config.bit_value(99, 0)  # static zero
+
+    def test_bits_on(self):
+        config = small_config()
+        assert config.bits_on(0) == {10, 11, 12, 20, 22}
+        assert config.bits_on(1) == {10, 11, 12, 21, 22}
+
+    def test_expressions(self):
+        config = small_config()
+        assert config.bit_expression(10) == "1"
+        assert config.bit_expression(99) == "0"
+        assert config.bit_expression(20) == "~m0"
+        assert config.bit_expression(21) == "m0"
+        assert config.bit_expression(22) == "1"
+
+    def test_from_routing(self):
+        from repro.arch.architecture import FpgaArchitecture
+        from repro.arch.rrg import build_rrg
+        from repro.route.router import PathFinderRouter, RouteRequest
+
+        arch = FpgaArchitecture(nx=3, ny=3, channel_width=4)
+        rrg = build_rrg(arch)
+        reqs = [
+            RouteRequest(0, "a", rrg.clb_opin[(1, 1)],
+                         rrg.clb_sink[(3, 3)], frozenset((0, 1))),
+            RouteRequest(1, "b", rrg.clb_opin[(1, 3)],
+                         rrg.clb_sink[(3, 1)], frozenset((0,))),
+        ]
+        result = PathFinderRouter(rrg, n_modes=2).route(reqs)
+        config = ParameterizedConfiguration.from_routing(
+            result, rrg.n_bits
+        )
+        # Connection "a" is static-on, "b" parameterised.
+        assert config.static_on
+        assert config.n_parameterized() > 0
+        assert config.bits_on(0) == result.bits_on(0)
+        assert config.bits_on(1) == result.bits_on(1)
+
+
+class TestManager:
+    def test_initial_load_writes_everything(self):
+        manager = ReconfigurationManager(small_config())
+        record = manager.load_initial(0)
+        assert record.bits_written == 100
+        manager.verify()
+
+    def test_switch_writes_parameterized_only(self):
+        manager = ReconfigurationManager(small_config())
+        manager.load_initial(0)
+        record = manager.switch(1)
+        # evaluate policy: all 3 parameterised bits rewritten.
+        assert record.bits_written == 3
+        manager.verify()
+
+    def test_minimal_policy_writes_changes_only(self):
+        manager = ReconfigurationManager(
+            small_config(), policy="minimal"
+        )
+        manager.load_initial(0)
+        record = manager.switch(1)
+        # Bits 20 and 21 change; bit 22 is one in both modes.
+        assert record.bits_written == 2
+        manager.verify()
+
+    def test_switch_sequence_stays_consistent(self):
+        manager = ReconfigurationManager(small_config())
+        manager.load_initial(1)
+        for mode in (0, 1, 1, 0, 0, 1):
+            manager.switch(mode)
+            manager.verify()
+        assert len(manager.history) == 7
+
+    def test_first_switch_is_full_load(self):
+        manager = ReconfigurationManager(small_config())
+        record = manager.switch(1)
+        assert record.from_mode is None
+        assert record.bits_written == 100
+
+    def test_mode_out_of_range(self):
+        manager = ReconfigurationManager(small_config())
+        with pytest.raises(ValueError):
+            manager.switch(5)
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            ReconfigurationManager(small_config(), policy="magic")
+
+    def test_verify_detects_corruption(self):
+        manager = ReconfigurationManager(small_config())
+        manager.load_initial(0)
+        manager.memory.discard(10)
+        with pytest.raises(AssertionError):
+            manager.verify()
+
+    def test_end_to_end_with_flow_result(self):
+        """Manager replay must agree with the flow's DCS bit count."""
+        from repro.core.flow import FlowOptions, implement_multi_mode
+        from repro.core.merge import MergeStrategy
+        from tests.test_tunable import two_mode_circuits
+
+        m0, m1 = two_mode_circuits()
+        result = implement_multi_mode(
+            "mgr", [m0, m1],
+            FlowOptions(inner_num=0.3, channel_width=6),
+            strategies=(MergeStrategy.WIRE_LENGTH,),
+        )
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        config = ParameterizedConfiguration.from_routing(
+            dcs.routing, result.mdr.cost.routing_bits
+        )
+        assert config.n_parameterized() == dcs.cost.routing_bits
+        manager = ReconfigurationManager(config)
+        manager.load_initial(0)
+        record = manager.switch(1)
+        assert record.bits_written == dcs.cost.routing_bits
+        manager.verify()

@@ -1,0 +1,74 @@
+"""Tests for the MCNC-class synthetic circuit generator."""
+
+import pytest
+
+from repro.bench.mcnc import (
+    DEFAULT_PROFILES,
+    McncProfile,
+    generate_mcnc_circuit,
+    mcnc_network,
+)
+from repro.netlist.simulate import equivalent
+
+SMALL = McncProfile("small_like", 8, 6, 80, 0.1, 30, 7)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = mcnc_network(SMALL)
+        b = mcnc_network(SMALL)
+        assert a.nodes.keys() == b.nodes.keys()
+        assert all(
+            a.nodes[n].fanins == b.nodes[n].fanins for n in a.nodes
+        )
+
+    def test_profile_shape(self):
+        n = mcnc_network(SMALL)
+        assert len(n.inputs) == SMALL.n_inputs
+        assert len(n.outputs) == SMALL.n_outputs
+        assert len(n.nodes) == SMALL.n_gates
+
+    def test_registers_present_when_requested(self):
+        n = mcnc_network(SMALL)
+        assert len(n.latches) > 0
+
+    def test_combinational_profile_has_no_latches(self):
+        profile = McncProfile("comb", 8, 4, 60, 0.0, 30, 9)
+        assert len(mcnc_network(profile).latches) == 0
+
+    def test_network_validates(self):
+        mcnc_network(SMALL).validate()
+
+    def test_mapping_preserves_function(self):
+        network = mcnc_network(SMALL)
+        circuit = generate_mcnc_circuit(SMALL)
+        assert equivalent(network, circuit, n_cycles=16, n_runs=2)
+
+    def test_different_seeds_differ(self):
+        other = McncProfile("small_like", 8, 6, 80, 0.1, 30, 8)
+        a = generate_mcnc_circuit(SMALL)
+        b = generate_mcnc_circuit(other)
+        tables_a = sorted(
+            blk.table.bits for blk in a.blocks.values()
+        )
+        tables_b = sorted(
+            blk.table.bits for blk in b.blocks.values()
+        )
+        assert tables_a != tables_b
+
+
+class TestDefaultSuite:
+    def test_five_distinct_profiles(self):
+        names = [p.name for p in DEFAULT_PROFILES]
+        assert len(names) == 5
+        assert len(set(names)) == 5
+
+    @pytest.mark.slow
+    def test_default_sizes_in_table1_window(self):
+        """Mapped sizes must land in the paper's Table I window for
+        the MCNC suite (264-404 LUTs), with tolerance."""
+        for profile in DEFAULT_PROFILES:
+            c = generate_mcnc_circuit(profile)
+            assert 220 <= c.n_luts() <= 450, (
+                profile.name, c.n_luts()
+            )

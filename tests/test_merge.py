@@ -1,0 +1,128 @@
+"""Tests for merging LUT circuits into Tunable circuits."""
+
+import pytest
+
+from repro.arch.architecture import Site
+from repro.core.merge import (
+    MergeStrategy,
+    merge_by_index,
+    merge_from_placement,
+)
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.simulate import equivalent
+from repro.netlist.truthtable import TruthTable
+
+from tests.test_tunable import two_mode_circuits
+
+
+class TestMergeByIndex:
+    def test_tlut_count_is_max_mode_size(self):
+        m0, m1 = two_mode_circuits()
+        tc = merge_by_index("mm", [m0, m1])
+        assert len(tc.tluts) == max(m0.n_luts(), m1.n_luts())
+
+    def test_shared_pads_merged_by_name(self):
+        m0, m1 = two_mode_circuits()
+        tc = merge_by_index("mm", [m0, m1])
+        # i0 and i1 shared; outputs v and z distinct -> 4 pads.
+        assert len(tc.pads) == 4
+        in_pads = [p for p in tc.pads.values() if p.direction == "in"]
+        assert all(len(p.signals) == 2 for p in in_pads)
+
+    def test_specialization_is_equivalent(self):
+        """The core correctness invariant: specialising the merged
+        circuit at each mode reproduces that mode's circuit."""
+        m0, m1 = two_mode_circuits()
+        tc = merge_by_index("mm", [m0, m1])
+        assert equivalent(tc.specialize(0), m0)
+        assert equivalent(tc.specialize(1), m1)
+
+    def test_single_mode_rejected(self):
+        m0, _ = two_mode_circuits()
+        with pytest.raises(ValueError):
+            merge_by_index("mm", [m0])
+
+    def test_mixed_k_rejected(self):
+        m0, m1 = two_mode_circuits()
+        m1.k = 5
+        with pytest.raises(ValueError):
+            merge_by_index("mm", [m0, m1])
+
+
+class TestMergeFromPlacement:
+    def _placed(self):
+        m0, m1 = two_mode_circuits()
+        # Co-locate u/w on (1,1), v/z on (2,1).
+        block_sites = {
+            (0, "u"): Site("clb", 1, 1),
+            (0, "v"): Site("clb", 2, 1),
+            (1, "w"): Site("clb", 1, 1),
+            (1, "z"): Site("clb", 2, 1),
+        }
+        pad_sites = {
+            "pad:i0": Site("pad", 0, 1, 0),
+            "pad:i1": Site("pad", 0, 2, 0),
+            "pad:v": Site("pad", 3, 0, 0),
+            "pad:z": Site("pad", 3, 3, 0),
+        }
+        return m0, m1, block_sites, pad_sites
+
+    def test_colocated_blocks_share_tlut(self):
+        m0, m1, bs, ps = self._placed()
+        tc = merge_from_placement("mm", [m0, m1], bs, ps)
+        assert len(tc.tluts) == 2
+        t = tc.tluts["tl1_1"]
+        assert t.members[0].name == "u"
+        assert t.members[1].name == "w"
+        assert t.site == Site("clb", 1, 1)
+
+    def test_connection_merging(self):
+        """Connections with the same physical endpoints merge and get
+        activation 1; mode-specific ones keep their mode product."""
+        m0, m1, bs, ps = self._placed()
+        tc = merge_from_placement("mm", [m0, m1], bs, ps)
+        by_endpoints = {
+            (c.source, c.sink): c.activation for c in tc.connections
+        }
+        # i0 -> tl1_1 exists in both modes: merged, always active.
+        act = by_endpoints[("pad0_1_0", "tl1_1")]
+        assert act.is_always()
+        # i1 -> tl2_1 only exists in mode 0 (v reads i1, z does not).
+        act = by_endpoints[("pad0_2_0", "tl2_1")]
+        assert set(act.modes) == {0}
+
+    def test_specialization_after_placement_merge(self):
+        m0, m1, bs, ps = self._placed()
+        tc = merge_from_placement("mm", [m0, m1], bs, ps)
+        assert equivalent(tc.specialize(0), m0)
+        assert equivalent(tc.specialize(1), m1)
+
+    def test_site_connections_carry_activations(self):
+        m0, m1, bs, ps = self._placed()
+        tc = merge_from_placement("mm", [m0, m1], bs, ps)
+        conns = tc.site_connections()
+        assert all(len(c) == 4 for c in conns)
+        modes_seen = {c[3] for c in conns}
+        assert frozenset((0, 1)) in modes_seen
+
+    def test_same_mode_collision_rejected(self):
+        """Two blocks of the same mode cannot share a tile."""
+        m0, m1, bs, ps = self._placed()
+        bs[(0, "v")] = Site("clb", 1, 1)  # collide with (0, "u")
+        with pytest.raises(ValueError):
+            merge_from_placement("mm", [m0, m1], bs, ps)
+
+    def test_block_on_pad_site_rejected(self):
+        m0, m1, bs, ps = self._placed()
+        bs[(0, "u")] = Site("pad", 0, 1, 1)
+        with pytest.raises(ValueError):
+            merge_from_placement("mm", [m0, m1], bs, ps)
+
+
+class TestMergeStrategyEnum:
+    def test_values(self):
+        assert MergeStrategy("wire_length") is MergeStrategy.WIRE_LENGTH
+        assert MergeStrategy("edge_matching") is (
+            MergeStrategy.EDGE_MATCHING
+        )
+        assert MergeStrategy("by_index") is MergeStrategy.BY_INDEX

@@ -1,0 +1,188 @@
+"""Tests for mode encoding and activation functions."""
+
+import pytest
+
+from repro.core.activation import ActivationFunction
+from repro.core.modes import ModeEncoding
+
+
+class TestModeEncoding:
+    def test_bit_counts(self):
+        assert ModeEncoding(2).n_bits == 1
+        assert ModeEncoding(3).n_bits == 2
+        assert ModeEncoding(4).n_bits == 2
+        assert ModeEncoding(5).n_bits == 3
+
+    def test_single_mode_edge_case(self):
+        enc = ModeEncoding(1)
+        assert enc.n_bits == 1
+        assert enc.expression([0]) == "1"
+
+    def test_mode_products_two_modes(self):
+        enc = ModeEncoding(2)
+        assert enc.mode_product(0) == "~m0"
+        assert enc.mode_product(1) == "m0"
+
+    def test_mode_products_three_modes(self):
+        enc = ModeEncoding(3)
+        assert enc.mode_product(2) == "m1.~m0"
+
+    def test_unused_codes(self):
+        assert ModeEncoding(3).unused_codes() == [3]
+        assert ModeEncoding(4).unused_codes() == []
+
+    def test_expression_simplifies_full_set(self):
+        # Paper Fig. 3: m0 + ~m0 simplifies to 1.
+        enc = ModeEncoding(2)
+        assert enc.expression([0, 1]) == "1"
+
+    def test_expression_single(self):
+        enc = ModeEncoding(2)
+        assert enc.expression([1]) == "m0"
+
+    def test_expression_uses_dont_cares(self):
+        # 3 modes: {1} should not need the m1 literal excluded by the
+        # unused code 3: on={1}, dc={3} -> m0 covers 1 and 3 and no
+        # other used mode.
+        enc = ModeEncoding(3)
+        assert enc.expression([1]) == "m0"
+
+    def test_expression_correct_on_all_modes(self):
+        enc = ModeEncoding(3)
+        from repro.utils.qm import evaluate_terms  # noqa: F401
+
+        expr_modes = [0, 2]
+        text = enc.expression(expr_modes)
+        assert text not in ("0", "1")
+
+    def test_out_of_range(self):
+        enc = ModeEncoding(2)
+        with pytest.raises(ValueError):
+            enc.mode_product(2)
+        with pytest.raises(ValueError):
+            enc.expression([5])
+
+    def test_rejects_zero_modes(self):
+        with pytest.raises(ValueError):
+            ModeEncoding(0)
+
+
+class TestActivation:
+    def test_or_merges(self):
+        a = ActivationFunction.single(0, 2)
+        b = ActivationFunction.single(1, 2)
+        merged = a | b
+        assert merged.is_always()
+        assert merged.expression() == "1"
+
+    def test_single_expression(self):
+        assert ActivationFunction.single(1, 2).expression() == "m0"
+
+    def test_membership(self):
+        act = ActivationFunction.of([0, 2], 3)
+        assert 0 in act and 2 in act and 1 not in act
+        assert list(act) == [0, 2]
+        assert len(act) == 2
+
+    def test_always(self):
+        act = ActivationFunction.always(3)
+        assert act.is_always()
+        assert act.is_active(2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationFunction.of([], 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationFunction.of([2], 2)
+
+    def test_mismatched_or_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationFunction.single(0, 2) | ActivationFunction.single(
+                0, 3
+            )
+
+    def test_str_is_expression(self):
+        assert str(ActivationFunction.single(1, 2)) == "m0"
+
+
+class TestEncodingStyles:
+    def test_gray_codes_adjacent_differ_one_bit(self):
+        from repro.core.modes import gray_code
+
+        enc = ModeEncoding(8, style="gray")
+        for m in range(7):
+            assert enc.register_hamming(m, m + 1) == 1
+        assert gray_code(0) == 0
+
+    def test_gray_width_matches_binary(self):
+        assert ModeEncoding(5, style="gray").n_bits == 3
+        assert ModeEncoding(5, style="binary").n_bits == 3
+
+    def test_onehot_width_is_mode_count(self):
+        assert ModeEncoding(5, style="onehot").n_bits == 5
+
+    def test_onehot_products_single_literal(self):
+        enc = ModeEncoding(3, style="onehot")
+        for m in range(3):
+            product = enc.mode_product(m)
+            # one positive literal + (n-1) negated ones
+            assert f"m{m}" in product
+
+    def test_codes_are_distinct(self):
+        for style in ("binary", "gray", "onehot"):
+            enc = ModeEncoding(6, style=style)
+            codes = enc.used_codes()
+            assert len(set(codes)) == 6
+
+    def test_expression_correct_for_all_styles(self):
+        for style in ("binary", "gray", "onehot"):
+            enc = ModeEncoding(4, style=style)
+            for subset in ({0}, {1, 2}, {0, 3}, {1, 2, 3}):
+                expr = enc.expression(subset)
+                # Exercise the defensive evaluation path indirectly:
+                # the rendered expression must accept exactly `subset`.
+                from repro.utils.qm import (
+                    evaluate_terms,
+                    minimize_boolean,
+                )
+
+                for mode in range(4):
+                    code = enc.code(mode)
+                    # Recompute the cover the expression came from.
+                    on = [enc.code(m) for m in subset]
+                    terms = minimize_boolean(
+                        on + enc.unused_codes(), enc.n_bits
+                    )
+                    if evaluate_terms(terms, code) != (
+                        mode in subset
+                    ):
+                        terms = minimize_boolean(on, enc.n_bits)
+                    assert evaluate_terms(terms, code) == (
+                        mode in subset
+                    )
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="style"):
+            ModeEncoding(2, style="thermometer")
+
+    def test_evaluate_product_uses_code(self):
+        enc = ModeEncoding(4, style="gray")
+        for m in range(4):
+            assert enc.evaluate_product(m, enc.code(m))
+            assert not enc.evaluate_product(m, enc.code((m + 1) % 4))
+
+    def test_register_hamming_binary_vs_gray(self):
+        binary = ModeEncoding(4, style="binary")
+        gray = ModeEncoding(4, style="gray")
+        # Binary 1 -> 2 flips two bits; Gray flips one.
+        assert binary.register_hamming(1, 2) == 2
+        assert gray.register_hamming(1, 2) == 1
+
+    def test_onehot_hamming_always_two(self):
+        enc = ModeEncoding(5, style="onehot")
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    assert enc.register_hamming(a, b) == 2

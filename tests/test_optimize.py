@@ -1,0 +1,153 @@
+"""Tests for technology-independent optimisation passes."""
+
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.simulate import equivalent
+from repro.netlist.truthtable import TruthTable
+from repro.synth.optimize import (
+    optimize_network,
+    propagate_constants,
+    remove_dead_nodes,
+    sweep_buffers,
+)
+
+
+def _check_preserves(network, pass_fn):
+    out = pass_fn(network)
+    assert equivalent(network, out)
+    return out
+
+
+class TestConstantPropagation:
+    def test_and_with_zero_collapses(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_const("zero", False)
+        n.add_and("y", ("a", "zero"))
+        n.add_output("y")
+        out = _check_preserves(n, propagate_constants)
+        assert out.nodes["y"].table.is_const()
+        assert out.nodes["y"].fanins == ()
+
+    def test_and_with_one_simplifies_to_wire(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_const("one", True)
+        n.add_and("y", ("a", "one"))
+        n.add_output("y")
+        out = _check_preserves(n, propagate_constants)
+        assert out.nodes["y"].fanins == ("a",)
+
+    def test_chain_propagation(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_const("one", True)
+        n.add_and("t", ("a", "one"))
+        n.add_const("zero", False)
+        n.add_or("u", ("t", "zero"))
+        n.add_xor("y", ("u", "zero"))
+        n.add_output("y")
+        out = _check_preserves(n, propagate_constants)
+        assert out.nodes["y"].fanins == ("u",)
+
+    def test_dead_support_removed(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_input("b")
+        # f(a, b) = a regardless of b.
+        table = TruthTable.var(0, 2)
+        n.add_node("y", ("a", "b"), table)
+        n.add_output("y")
+        out = _check_preserves(n, propagate_constants)
+        assert out.nodes["y"].fanins == ("a",)
+
+
+class TestBufferSweep:
+    def test_buffer_absorbed(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_buf("buf", "a")
+        n.add_and("y", ("buf", "b"))
+        n.add_output("y")
+        out = _check_preserves(n, sweep_buffers)
+        assert "buf" not in out.nodes
+        assert out.nodes["y"].fanins == ("a", "b")
+
+    def test_inverter_folded_into_reader(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_not("inv", "a")
+        n.add_and("y", ("inv", "b"))
+        n.add_output("y")
+        out = _check_preserves(n, sweep_buffers)
+        assert "inv" not in out.nodes
+        assert out.nodes["y"].table == TruthTable.from_function(
+            2, lambda a, b: (not a) and b
+        )
+
+    def test_inverter_chain_collapses(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_not("i1", "a")
+        n.add_not("i2", "i1")
+        n.add_buf("y", "i2")
+        n.add_output("y")
+        out = _check_preserves(n, sweep_buffers)
+        assert out.nodes["y"].fanins == ("a",)
+
+    def test_output_buffer_kept(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_buf("y", "a")
+        n.add_output("y")
+        out = _check_preserves(n, sweep_buffers)
+        assert "y" in out.nodes
+
+
+class TestDeadNodeRemoval:
+    def test_unreachable_cone_removed(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_and("dead", ("a", "b"))
+        n.add_or("y", ("a", "b"))
+        n.add_output("y")
+        out = _check_preserves(n, remove_dead_nodes)
+        assert "dead" not in out.nodes
+
+    def test_latch_kept_through_feedback(self):
+        n = LogicNetwork()
+        n.add_input("en")
+        n.add_latch("q", "d")
+        n.add_xor("d", ("q", "en"))
+        n.add_output("q")
+        out = _check_preserves(n, remove_dead_nodes)
+        assert "q" in out.latches
+        assert "d" in out.nodes
+
+    def test_dead_latch_removed(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_latch("unused", "a")
+        n.add_buf("y", "a")
+        n.add_output("y")
+        out = _check_preserves(n, remove_dead_nodes)
+        assert "unused" not in out.latches
+
+
+class TestFixedPoint:
+    def test_optimize_network_runs_all_passes(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_const("one", True)
+        n.add_and("t", ("a", "one"))  # becomes a buffer
+        n.add_buf("u", "t")
+        n.add_and("dead", ("a", "u"))
+        n.add_or("y", ("u", "u"))
+        n.add_output("y")
+        out = optimize_network(n)
+        assert equivalent(n, out)
+        assert "dead" not in out.nodes
+        # Everything should fold down to y (+ possibly one buffer).
+        assert len(out.nodes) <= 2

@@ -1,0 +1,193 @@
+"""Tests for the annealing engine and the single-circuit placer."""
+
+import random
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.place.annealing import AnnealingSchedule, anneal
+from repro.place.cost import (
+    bounding_box,
+    net_bounding_box_cost,
+    q_factor,
+)
+from repro.place.placer import (
+    circuit_cells,
+    circuit_nets,
+    pad_cell,
+    place_circuit,
+)
+from repro.utils.rng import make_rng
+
+
+def chain_circuit(n_blocks=12, k=4):
+    """A LUT chain: in -> b0 -> b1 -> ... -> out."""
+    c = LutCircuit("chain", k)
+    c.add_input("in")
+    prev = "in"
+    for i in range(n_blocks):
+        c.add_block(f"b{i}", (prev,), TruthTable.var(0, 1))
+        prev = f"b{i}"
+    c.add_output(prev)
+    return c
+
+
+class TestCost:
+    def test_q_factor_monotone(self):
+        values = [q_factor(i) for i in range(1, 80)]
+        assert values == sorted(values)
+
+    def test_q_factor_small_nets(self):
+        assert q_factor(2) == 1.0
+        assert q_factor(3) == 1.0
+        assert q_factor(4) > 1.0
+
+    def test_bounding_box(self):
+        assert bounding_box([(1, 5), (3, 2)]) == (1, 2, 3, 5)
+
+    def test_two_terminal_cost_is_half_perimeter(self):
+        assert net_bounding_box_cost([(0, 0), (3, 4)]) == 7.0
+
+    def test_single_terminal_is_free(self):
+        assert net_bounding_box_cost([(2, 2)]) == 0.0
+
+
+class TestNets:
+    def test_chain_nets(self):
+        c = chain_circuit(3)
+        nets = circuit_nets(c)
+        by_name = {n.name: n.cells for n in nets}
+        assert by_name["in"] == [pad_cell("in"), "b0"]
+        assert by_name["b2"] == ["b2", pad_cell("b2")]
+
+    def test_fanout_net_deduplicated(self):
+        c = LutCircuit("fan", 4)
+        c.add_input("a")
+        c.add_block("x", ("a",), TruthTable.var(0, 1))
+        c.add_block(
+            "y", ("a", "x"),
+            TruthTable.var(0, 2) & TruthTable.var(1, 2),
+        )
+        c.add_output("y")
+        nets = {n.name: n.cells for n in circuit_nets(c)}
+        assert nets["a"] == [pad_cell("a"), "x", "y"]
+
+    def test_cells(self):
+        c = chain_circuit(2)
+        logic, pads = circuit_cells(c)
+        assert logic == ["b0", "b1"]
+        assert set(pads) == {pad_cell("in"), pad_cell("b1")}
+
+
+class TestPlacer:
+    def test_legal_placement(self):
+        c = chain_circuit(10)
+        arch = FpgaArchitecture(nx=5, ny=5, channel_width=4)
+        placement = place_circuit(c, arch, seed=1)
+        # Every cell placed, no overlaps, right site kinds.
+        sites = list(placement.sites.values())
+        assert len(sites) == len(set(sites))
+        for cell, site in placement.sites.items():
+            if cell.startswith("pad:"):
+                assert site.kind == "pad"
+            else:
+                assert site.kind == "clb"
+
+    def test_improves_over_random(self):
+        c = chain_circuit(16)
+        arch = FpgaArchitecture(nx=6, ny=6, channel_width=4)
+        placement = place_circuit(
+            c, arch, seed=3,
+            schedule=AnnealingSchedule(inner_num=1.0),
+        )
+        assert placement.stats is not None
+        assert placement.cost <= placement.stats.initial_cost
+
+    def test_chain_cost_near_optimal(self):
+        """A 12-LUT chain should place with cost close to its length."""
+        c = chain_circuit(12)
+        arch = FpgaArchitecture(nx=5, ny=5, channel_width=4)
+        placement = place_circuit(
+            c, arch, seed=7,
+            schedule=AnnealingSchedule(inner_num=2.0),
+        )
+        # 13 two-terminal nets; perfect snake = cost 13. Accept 3x.
+        assert placement.cost <= 39
+
+    def test_deterministic_for_seed(self):
+        c = chain_circuit(8)
+        arch = FpgaArchitecture(nx=4, ny=4, channel_width=4)
+        p1 = place_circuit(c, arch, seed=42)
+        p2 = place_circuit(c, arch, seed=42)
+        assert p1.sites == p2.sites
+
+    def test_too_big_rejected(self):
+        c = chain_circuit(30)
+        arch = FpgaArchitecture(nx=3, ny=3, channel_width=4)
+        with pytest.raises(ValueError):
+            place_circuit(c, arch)
+
+
+class TestAnnealingEngine:
+    def test_anneal_reduces_simple_problem(self):
+        """Toy problem: cells on a line, cost = sum of pair distances."""
+
+        class LineProblem:
+            def __init__(self, rng):
+                self.pos = list(range(20))
+                rng.shuffle(self.pos)
+
+            def initial_cost(self):
+                return float(
+                    sum(
+                        abs(self.pos[i] - self.pos[i + 1])
+                        for i in range(19)
+                    )
+                )
+
+            def size(self):
+                return 20
+
+            def n_nets(self):
+                return 19
+
+            def max_rlim(self):
+                return 20
+
+            def propose(self, rlim, rng):
+                i = rng.randrange(20)
+                j = rng.randrange(20)
+                if i == j:
+                    return None
+                return (i, j)
+
+            def _cost_around(self, idx):
+                total = 0.0
+                for i in (idx - 1, idx):
+                    if 0 <= i < 19:
+                        total += abs(self.pos[i] - self.pos[i + 1])
+                return total
+
+            def delta_cost(self, move):
+                i, j = move
+                before = self._cost_around(i) + self._cost_around(j)
+                self.pos[i], self.pos[j] = self.pos[j], self.pos[i]
+                after = self._cost_around(i) + self._cost_around(j)
+                self.pos[i], self.pos[j] = self.pos[j], self.pos[i]
+                return after - before
+
+            def commit(self, move):
+                i, j = move
+                self.pos[i], self.pos[j] = self.pos[j], self.pos[i]
+
+        rng = make_rng(5)
+        problem = LineProblem(rng)
+        stats = anneal(
+            problem, rng, AnnealingSchedule(inner_num=3.0)
+        )
+        assert stats.final_cost < stats.initial_cost
+        assert stats.n_temperatures > 0
+        # delta bookkeeping must agree with a from-scratch recompute
+        assert abs(problem.initial_cost() - stats.final_cost) < 1e-9

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on the core flow invariants.
+
+These generate random mode circuits and check the invariants the whole
+tool flow rests on:
+
+* Fig. 4 bit algebra: the Tunable LUT's parameterised bits evaluated at
+  any mode value reproduce that mode's member LUT exactly;
+* merge correctness: specialising a merged Tunable circuit at mode *i*
+  is simulation-equivalent to mode *i*'s input circuit;
+* activation algebra: merged connections are active exactly in the
+  union of their constituents' modes;
+* the synthesis pipeline (optimise + map) preserves functionality.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merge import merge_by_index
+from repro.core.modes import ModeEncoding
+from repro.core.tunable import TunableLut
+from repro.netlist.lutcircuit import LutBlock, LutCircuit
+from repro.netlist.simulate import equivalent
+from repro.netlist.truthtable import TruthTable
+from repro.synth.optimize import optimize_network
+from repro.synth.techmap import tech_map
+from repro.utils.qm import evaluate_terms, minimize_boolean
+
+
+def random_lut_circuit(rng: random.Random, name: str,
+                       io_names=None) -> LutCircuit:
+    """A random small LUT circuit (shared IO names across modes)."""
+    k = 4
+    c = LutCircuit(name, k)
+    n_inputs = 3
+    inputs = io_names[0] if io_names else [
+        f"i{j}" for j in range(n_inputs)
+    ]
+    for s in inputs:
+        c.add_input(s)
+    signals = list(inputs)
+    n_blocks = rng.randint(2, 7)
+    for b in range(n_blocks):
+        arity = rng.randint(1, min(3, len(signals)))
+        fanins = rng.sample(signals, arity)
+        bits = rng.getrandbits(1 << arity)
+        registered = rng.random() < 0.3
+        name_b = f"{name}_b{b}"
+        c.add_block(
+            name_b, fanins, TruthTable(arity, bits),
+            registered=registered,
+        )
+        signals.append(name_b)
+    out_names = io_names[1] if io_names else ["o0"]
+    # Buffer blocks give the outputs mode-independent names.
+    for i, out in enumerate(out_names):
+        src = signals[-(i + 1)] if len(signals) > i else signals[-1]
+        c.add_block(out, (src,), TruthTable.var(0, 1))
+        c.add_output(out)
+    return c
+
+
+class TestTunableLutAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 4),  # n_modes
+        st.integers(0, 2**32 - 1),
+    )
+    def test_specialize_recovers_every_member(self, n_modes, seed):
+        rng = random.Random(seed)
+        k = rng.randint(2, 4)
+        tlut = TunableLut("t", k, n_modes)
+        members = {}
+        for mode in range(n_modes):
+            if rng.random() < 0.25 and members:
+                continue  # leave some modes unoccupied
+            arity = rng.randint(1, k)
+            table = TruthTable(arity, rng.getrandbits(1 << arity))
+            block = LutBlock(
+                f"m{mode}",
+                tuple(f"s{mode}_{j}" for j in range(arity)),
+                table,
+                registered=rng.random() < 0.5,
+            )
+            tlut.add_member(mode, block)
+            members[mode] = block
+        for mode in range(n_modes):
+            bits, registered = tlut.specialize(mode)
+            if mode in members:
+                block = members[mode]
+                aligned = block.table.expand(
+                    list(range(block.table.n_vars)), k
+                )
+                assert TruthTable(k, bits) == aligned
+                assert registered == block.registered
+            else:
+                assert bits == 0 and registered is False
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 4), st.integers(0, 2**32 - 1))
+    def test_bit_expressions_evaluate_to_bits(self, n_modes, seed):
+        """Rendering through QM and evaluating at the mode register
+        value must agree with the raw bit sets (Fig. 4)."""
+        rng = random.Random(seed)
+        tlut = TunableLut("t", 2, n_modes)
+        for mode in range(n_modes):
+            tlut.add_member(
+                mode,
+                LutBlock(
+                    f"m{mode}", ("a", "b"),
+                    TruthTable(2, rng.getrandbits(4)),
+                ),
+            )
+        encoding = ModeEncoding(n_modes)
+        bit_modes = tlut.bit_modes()
+        for row, modes in enumerate(bit_modes):
+            terms = minimize_boolean(
+                sorted(modes) + encoding.unused_codes(),
+                encoding.n_bits,
+            ) if modes else []
+            for mode in range(n_modes):
+                assert evaluate_terms(terms, mode) == (
+                    mode in modes
+                ), (row, mode)
+
+
+class TestMergeProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 3))
+    def test_merge_by_index_specialization(self, seed, n_modes):
+        rng = random.Random(seed)
+        io_names = ([f"i{j}" for j in range(3)], ["o0"])
+        modes = [
+            random_lut_circuit(rng, f"m{i}", io_names)
+            for i in range(n_modes)
+        ]
+        tunable = merge_by_index("prop", modes)
+        for i, circuit in enumerate(modes):
+            assert equivalent(
+                tunable.specialize(i), circuit,
+                n_cycles=12, n_runs=2,
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_activation_union(self, seed):
+        rng = random.Random(seed)
+        io_names = ([f"i{j}" for j in range(3)], ["o0"])
+        modes = [
+            random_lut_circuit(rng, f"m{i}", io_names)
+            for i in range(2)
+        ]
+        tunable = merge_by_index("prop", modes)
+        # Rebuild the expected per-mode cell connection sets.
+        for conn in tunable.connections:
+            for mode in range(2):
+                # activation says mode active <=> the connection
+                # exists in that mode's cell-level netlist.
+                exists = _connection_exists(
+                    tunable, modes[mode], mode,
+                    conn.source, conn.sink,
+                )
+                assert conn.activation.is_active(mode) == exists
+
+
+def _connection_exists(tunable, circuit, mode, source, sink) -> bool:
+    from repro.place.placer import pad_cell
+
+    def cell_of(signal: str) -> str:
+        key = (mode, signal)
+        if key in tunable.cell_of_signal:
+            return tunable.cell_of_signal[key]
+        return ""
+
+    for block in circuit.blocks.values():
+        sink_cell = cell_of(block.name)
+        for src in block.inputs:
+            if cell_of(src) == source and sink_cell == sink:
+                return True
+    for out in circuit.outputs:
+        for pad in tunable.pads.values():
+            if pad.signals.get(mode) == out and (
+                pad.direction == "out"
+            ):
+                if cell_of(out) == source and pad.name == sink:
+                    return True
+    return False
+
+
+class TestSynthesisPipelineProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_optimize_plus_map_preserve_function(self, seed):
+        from repro.netlist.blif import logic_from_lut_circuit
+
+        rng = random.Random(seed)
+        circuit = random_lut_circuit(rng, "s")
+        network = logic_from_lut_circuit(circuit)
+        mapped = tech_map(optimize_network(network), k=4)
+        assert equivalent(
+            network, mapped, n_cycles=12, n_runs=2
+        )

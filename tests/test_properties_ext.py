@@ -1,0 +1,123 @@
+"""Property-based tests for the extension modules.
+
+Covers the mode-register encodings, the routed delay model, the
+minimum-width search contract, and the VPR interop round-trips.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.rrg import build_rrg
+from repro.core.modes import ENCODING_STYLES, ModeEncoding, gray_code
+from repro.interop import parse_place_file, write_place_file
+from repro.place.placer import Placement
+from repro.timing import DelayModel
+
+_styles = st.sampled_from(ENCODING_STYLES)
+
+
+class TestEncodingProperties:
+    @given(n=st.integers(1, 10), style=_styles)
+    @settings(max_examples=60, deadline=None)
+    def test_codes_distinct_and_in_range(self, n, style):
+        enc = ModeEncoding(n, style=style)
+        codes = enc.used_codes()
+        assert len(set(codes)) == n
+        assert all(0 <= c < (1 << enc.n_bits) for c in codes)
+
+    @given(n=st.integers(2, 10), style=_styles,
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_products_select_exactly_one_mode(self, n, style, data):
+        enc = ModeEncoding(n, style=style)
+        mode = data.draw(st.integers(0, n - 1))
+        for other in range(n):
+            assert enc.evaluate_product(
+                mode, enc.code(other)
+            ) == (other == mode)
+
+    @given(n=st.integers(2, 10), style=_styles, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_register_hamming_is_metric_like(self, n, style, data):
+        enc = ModeEncoding(n, style=style)
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        assert enc.register_hamming(a, b) == enc.register_hamming(
+            b, a
+        )
+        assert (enc.register_hamming(a, b) == 0) == (a == b)
+
+    @given(k=st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_gray_code_bijective_and_adjacent(self, k):
+        codes = [gray_code(i) for i in range(1 << k)]
+        assert len(set(codes)) == len(codes)
+        for a, b in zip(codes, codes[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+
+class TestDelayModelProperties:
+    @given(
+        wire=st.floats(0, 2), switch=st.floats(0, 2),
+        pin=st.floats(0, 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_path_delay_monotone_in_parameters(self, wire, switch,
+                                               pin):
+        arch = FpgaArchitecture(nx=3, ny=3, channel_width=4, k=4)
+        rrg = build_rrg(arch)
+        # A deterministic path: OPIN -> wire -> IPIN -> SINK.
+        opin = rrg.clb_opin[(1, 1)]
+        wire_node, bit0 = rrg.adjacency[opin][0]
+        ipin = next(
+            (dst, b) for dst, b in rrg.adjacency[wire_node]
+            if rrg.node_kind[dst] == 1
+        )
+        edges = [
+            (opin, wire_node, bit0),
+            (wire_node, ipin[0], ipin[1]),
+        ]
+        base = DelayModel(
+            wire_delay=wire, switch_delay=switch, pin_delay=pin
+        )
+        bumped = DelayModel(
+            wire_delay=wire + 0.1, switch_delay=switch + 0.1,
+            pin_delay=pin + 0.1,
+        )
+        assert base.path_delay(rrg, edges) >= 0
+        assert bumped.path_delay(rrg, edges) > base.path_delay(
+            rrg, edges
+        )
+
+    @given(st.floats(min_value=-10, max_value=-0.01))
+    @settings(max_examples=10, deadline=None)
+    def test_negative_delays_rejected(self, bad):
+        with pytest.raises(ValueError):
+            DelayModel(wire_delay=bad).validate()
+
+
+class TestPlaceFileProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_placement_roundtrip(self, seed):
+        rng = random.Random(seed)
+        arch = FpgaArchitecture(nx=4, ny=4, channel_width=6, k=4)
+        clb_sites = arch.clb_sites()
+        pad_sites = arch.pad_sites()
+        rng.shuffle(clb_sites)
+        rng.shuffle(pad_sites)
+        n_cells = rng.randint(1, len(clb_sites))
+        n_pads = rng.randint(1, min(6, len(pad_sites)))
+        sites = {}
+        for i in range(n_cells):
+            sites[f"c{i}"] = clb_sites[i]
+        for i in range(n_pads):
+            sites[f"pad:s{i}"] = pad_sites[i]
+        placement = Placement(arch=arch, sites=sites, cost=0.0)
+        parsed = parse_place_file(
+            write_place_file(placement), arch
+        )
+        assert parsed.sites == placement.sites

@@ -1,0 +1,92 @@
+"""Tests for the Quine-McCluskey minimiser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.qm import (
+    evaluate_terms,
+    expression_to_string,
+    minimize_boolean,
+    prime_implicants,
+    term_to_string,
+)
+
+
+class TestMinimize:
+    def test_empty_onset_is_false(self):
+        assert minimize_boolean([], 2) == []
+
+    def test_full_onset_is_true(self):
+        terms = minimize_boolean([0, 1, 2, 3], 2)
+        assert terms == [(0, 3)]
+        assert term_to_string(terms[0], 2) == "1"
+
+    def test_single_variable(self):
+        # Paper Fig. 4: m0.1 + ~m0.0 simplifies to m0.
+        terms = minimize_boolean([1, 3], 2)  # on where bit0 set
+        assert expression_to_string(terms, 2) == "m0"
+
+    def test_two_products(self):
+        # on-set {0, 3} over 2 vars: ~m1.~m0 + m1.m0
+        terms = minimize_boolean([0, 3], 2)
+        rendered = expression_to_string(terms, 2)
+        assert "+" in rendered
+        assert evaluate_terms(terms, 0)
+        assert evaluate_terms(terms, 3)
+        assert not evaluate_terms(terms, 1)
+        assert not evaluate_terms(terms, 2)
+
+    def test_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            minimize_boolean([4], 2)
+
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.sets(st.integers(0, (1 << n) - 1)),
+            )
+        )
+    )
+    def test_cover_is_exact(self, case):
+        """The minimised expression equals the original on-set."""
+        n, onset = case
+        terms = minimize_boolean(sorted(onset), n)
+        for assignment in range(1 << n):
+            assert evaluate_terms(terms, assignment) == (
+                assignment in onset
+            )
+
+    @given(
+        st.integers(1, 3).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.sets(
+                    st.integers(0, (1 << n) - 1), min_size=1
+                ),
+            )
+        )
+    )
+    def test_primes_cover_each_minterm(self, case):
+        n, onset = case
+        primes = prime_implicants(sorted(onset), n)
+        for m in onset:
+            assert any(
+                (m & ~mask) == (value & ~mask)
+                for value, mask in primes
+            )
+
+
+class TestRendering:
+    def test_negative_literal(self):
+        assert term_to_string((0, 0), 1) == "~m0"
+
+    def test_positive_literal_with_names(self):
+        assert term_to_string((1, 0), 1, names=["sel"]) == "sel"
+
+    def test_msb_first_ordering(self):
+        # value 0b10 over 2 vars, no don't-cares: m1.~m0
+        assert term_to_string((2, 0), 2) == "m1.~m0"
+
+    def test_constant_false_expression(self):
+        assert expression_to_string([], 2) == "0"

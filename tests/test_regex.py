@@ -1,0 +1,127 @@
+"""Tests for the regex-to-hardware compiler."""
+
+import pytest
+
+from repro.bench.regex import (
+    DEFAULT_PATTERNS,
+    RegexSyntaxError,
+    build_nfa,
+    compile_regex_circuit,
+    parse_regex,
+    reference_match_positions,
+    regex_to_network,
+)
+from repro.netlist.simulate import simulate_logic, simulate_lut
+
+
+def run_matcher(netlist, data: bytes):
+    """Feed bytes through a compiled matcher; return match positions."""
+    seq = []
+    for byte in data:
+        inputs = {f"ch[{i}]": bool(byte >> i & 1) for i in range(8)}
+        inputs["valid"] = True
+        seq.append(inputs)
+    # One flush cycle: the accept FF registers the final character's
+    # match at the end of the last data cycle, visible one cycle later.
+    seq.append({**{f"ch[{i}]": False for i in range(8)},
+                "valid": False})
+    sim = (
+        simulate_lut if hasattr(netlist, "blocks") else simulate_logic
+    )
+    trace = sim(netlist, seq)
+    # match observed in cycle i refers to the character consumed in
+    # cycle i-1, i.e. 1-based text position i.
+    hits = []
+    for i, out in enumerate(trace):
+        if out["match"]:
+            hits.append(i)
+    return hits
+
+
+class TestParser:
+    def test_literal(self):
+        ast = parse_regex("ab")
+        assert ast.kind == "concat"
+
+    def test_alternation_and_groups(self):
+        ast = parse_regex("a(b|c)d")
+        assert ast.kind == "concat"
+
+    def test_char_class_range(self):
+        ast = parse_regex("[a-c]")
+        assert ast.chars == frozenset({97, 98, 99})
+
+    def test_negated_class(self):
+        ast = parse_regex("[^a]")
+        assert 97 not in ast.chars
+        assert 98 in ast.chars
+        assert len(ast.chars) == 255
+
+    def test_escapes(self):
+        assert parse_regex(r"\x41").chars == frozenset({0x41})
+        assert parse_regex(r"\d").chars == frozenset(
+            ord(c) for c in "0123456789"
+        )
+        assert parse_regex(r"\.").chars == frozenset({ord(".")})
+
+    def test_dot(self):
+        assert len(parse_regex(".").chars) == 256
+
+    def test_errors(self):
+        for bad in ("a(", "[", "a)", "*a", "a|*", r"\x4"):
+            with pytest.raises(RegexSyntaxError):
+                parse_regex(bad)
+
+
+class TestNfaOracle:
+    @pytest.mark.parametrize("pattern,text,expected", [
+        ("abc", b"xxabcx", [5]),
+        ("abc", b"abcabc", [3, 6]),
+        ("a+", b"caaab", [2, 3, 4]),
+        ("a*b", b"aab", [3]),
+        ("(ab|cd)e", b"zcde", [4]),
+        ("colou?r", b"color colour", [5, 12]),
+    ])
+    def test_search(self, pattern, text, expected):
+        assert reference_match_positions(pattern, text) == expected
+
+    def test_no_match(self):
+        assert reference_match_positions("xyz", b"abcabc") == []
+
+
+class TestHardwareMatcher:
+    @pytest.mark.parametrize("pattern,text", [
+        ("abc", b"xxabcxabc"),
+        ("a+b", b"aaab aab b"),
+        ("(ab|cd)+e", b"ababe cde xx"),
+        ("[0-9]+x", b"12x 9x ax"),
+        ("colou?r", b"color colour"),
+    ])
+    def test_network_matches_oracle(self, pattern, text):
+        network = regex_to_network(pattern)
+        expected = reference_match_positions(pattern, text)
+        assert run_matcher(network, text) == expected
+
+    def test_mapped_circuit_matches_oracle(self):
+        pattern = "(ab|cd)+e"
+        text = b"abcde ababe!"
+        circuit = compile_regex_circuit(pattern)
+        expected = reference_match_positions(pattern, text)
+        assert run_matcher(circuit, text) == expected
+
+    def test_valid_low_freezes_matcher(self):
+        network = regex_to_network("ab")
+        seq = [
+            {"valid": True, **{f"ch[{i}]": bool(ord("a") >> i & 1)
+                               for i in range(8)}},
+            {"valid": False, **{f"ch[{i}]": bool(ord("b") >> i & 1)
+                                for i in range(8)}},
+        ]
+        trace = simulate_logic(network, seq)
+        assert not any(t["match"] for t in trace)
+
+    def test_default_patterns_compile(self):
+        for pattern in DEFAULT_PATTERNS:
+            circuit = compile_regex_circuit(pattern)
+            assert circuit.n_luts() > 0
+            assert "match" in circuit.outputs

@@ -1,0 +1,102 @@
+"""Property-based tests on the router: random feasible workloads must
+route legally and validate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import build_rrg
+from repro.route.router import (
+    PathFinderRouter,
+    RouteRequest,
+    validate_routing,
+)
+
+ARCH = FpgaArchitecture(nx=5, ny=5, channel_width=5, fc_in=0.5,
+                        fc_out=0.5)
+RRG = build_rrg(ARCH)
+
+
+def feasible_workload(seed: int, n_modes: int):
+    """Random workload respecting netlist realities: one net per
+    source block, per-(sink, mode) demand within sink capacity."""
+    rng = random.Random(seed)
+    sources = {
+        f"net_{x}_{y}": RRG.clb_opin[(x, y)]
+        for x in range(1, 6)
+        for y in range(1, 6)
+    }
+    names = sorted(sources)
+    demand = {}
+    requests = []
+    cid = 0
+    for _ in range(rng.randint(5, 30)):
+        net = names[rng.randrange(len(names))]
+        tx, ty = rng.randint(1, 5), rng.randint(1, 5)
+        sink = RRG.clb_sink[(tx, ty)]
+        modes = frozenset(
+            rng.sample(range(n_modes), rng.randint(1, n_modes))
+        )
+        if any(
+            len(demand.get((sink, m), set()) | {net}) > ARCH.k
+            for m in modes
+        ):
+            continue
+        if any(
+            r.net == net and r.sink == sink for r in requests
+        ):
+            continue
+        for m in modes:
+            demand.setdefault((sink, m), set()).add(net)
+        requests.append(
+            RouteRequest(cid, net, sources[net], sink, modes)
+        )
+        cid += 1
+    return requests
+
+
+class TestRouterProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_single_mode_workloads_route_and_validate(self, seed):
+        requests = feasible_workload(seed, n_modes=1)
+        router = PathFinderRouter(RRG, n_modes=1, max_iterations=30)
+        result = router.route(requests)
+        assert not router.congestion()
+        validate_routing(result)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_two_mode_workloads_route_and_validate(self, seed):
+        requests = feasible_workload(seed, n_modes=2)
+        router = PathFinderRouter(
+            RRG, n_modes=2, max_iterations=30, net_affinity=0.5
+        )
+        result = router.route(requests)
+        assert not router.congestion()
+        validate_routing(result)
+        # Bit accounting identities.
+        bits0, bits1 = result.bits_on(0), result.bits_on(1)
+        static_on = bits0 & bits1
+        for route in result.routes.values():
+            if route.request.modes == frozenset((0, 1)):
+                assert route.bits() <= static_on
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_occupancy_bookkeeping_consistent(self, seed):
+        """occ[m][node] must equal the number of distinct nets whose
+        refcounts cover the node after routing."""
+        requests = feasible_workload(seed, n_modes=2)
+        router = PathFinderRouter(RRG, n_modes=2, max_iterations=30)
+        router.route(requests)
+        expected = {}
+        for (net, mode), refs in router._net_mode_refs.items():
+            for node, count in refs.items():
+                assert count > 0
+                expected.setdefault((mode, node), set()).add(net)
+        for mode in range(2):
+            for node in range(RRG.n_nodes):
+                want = len(expected.get((mode, node), ()))
+                assert router._occ[mode][node] == want

@@ -1,0 +1,126 @@
+"""Tests for the circuit-similarity analysis module."""
+
+import pytest
+
+from repro.bench.similarity import (
+    circuit_graph,
+    connection_match_bound,
+    degree_profile_similarity,
+    similarity_report,
+)
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+
+
+def small(name="c", xor_variant=False):
+    c = LutCircuit(name, 4)
+    c.add_input("a")
+    c.add_input("b")
+    table = (
+        TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+        if xor_variant
+        else TruthTable.var(0, 2) & TruthTable.var(1, 2)
+    )
+    c.add_block("u", ("a", "b"), table)
+    c.add_block("v", ("u", "a"),
+                TruthTable.var(0, 2) | TruthTable.var(1, 2))
+    c.add_output("v")
+    return c
+
+
+def dissimilar(name="d"):
+    """A deeper, register-heavy circuit with different IO shape."""
+    c = LutCircuit(name, 4)
+    c.add_input("a")
+    c.add_input("b")
+    prev = "a"
+    for i in range(6):
+        c.add_block(
+            f"r{i}", (prev,), TruthTable.var(0, 1),
+            registered=True,
+        )
+        prev = f"r{i}"
+    c.add_block("o", (prev, "b"),
+                TruthTable.var(0, 2) & TruthTable.var(1, 2))
+    c.add_output("o")
+    return c
+
+
+class TestCircuitGraph:
+    def test_node_inventory(self):
+        g = circuit_graph(small())
+        kinds = [d["kind"] for _n, d in g.nodes(data=True)]
+        assert kinds.count("ipad") == 2
+        assert kinds.count("lut") == 2
+        assert kinds.count("opad") == 1
+
+    def test_edges_follow_signal_flow(self):
+        g = circuit_graph(small())
+        assert g.has_edge("pad:a", "u")
+        assert g.has_edge("u", "v")
+        assert g.has_edge("v", "opad:v")
+
+
+class TestMatchBound:
+    def test_identical_circuits_fully_matchable(self):
+        a, b = small("a"), small("b")
+        assert connection_match_bound(a, b) == pytest.approx(1.0)
+
+    def test_bound_in_unit_interval(self):
+        a, b = small(), dissimilar()
+        bound = connection_match_bound(a, b)
+        assert 0.0 <= bound <= 1.0
+
+    def test_dissimilar_below_identical(self):
+        identical = connection_match_bound(small("a"), small("b"))
+        different = connection_match_bound(small(), dissimilar())
+        assert different < identical
+
+    def test_function_variant_same_structure(self):
+        """WL colours ignore the LUT function (the truth table is
+        parameterised anyway), so AND vs XOR variants stay fully
+        matchable."""
+        bound = connection_match_bound(
+            small("a"), small("b", xor_variant=True)
+        )
+        assert bound == pytest.approx(1.0)
+
+
+class TestDegreeSimilarity:
+    def test_self_similarity(self):
+        assert degree_profile_similarity(
+            small("a"), small("b")
+        ) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a, b = small(), dissimilar()
+        assert degree_profile_similarity(a, b) == pytest.approx(
+            degree_profile_similarity(b, a)
+        )
+
+    def test_range(self):
+        value = degree_profile_similarity(small(), dissimilar())
+        assert 0.0 <= value <= 1.0
+
+
+class TestReport:
+    def test_keys_and_ranges(self):
+        report = similarity_report(small(), dissimilar())
+        assert set(report) == {
+            "size_ratio", "match_bound", "degree_similarity",
+        }
+        for value in report.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_fir_pair_more_similar_than_random(self):
+        """The paper's narrative: FIR lp/hp twins are structurally
+        close; dissimilar circuits are not."""
+        from repro.bench.fir import generate_fir_circuit
+
+        lp = generate_fir_circuit("lowpass", seed=0, n_taps=4,
+                                  n_nonzero=2)
+        hp = generate_fir_circuit("highpass", seed=0, n_taps=4,
+                                  n_nonzero=2)
+        twins = similarity_report(lp, hp)
+        odd = similarity_report(lp, dissimilar())
+        assert twins["degree_similarity"] > odd["degree_similarity"]

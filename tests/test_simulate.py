@@ -1,0 +1,122 @@
+"""Tests for the netlist simulators."""
+
+import random
+
+import pytest
+
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.simulate import (
+    equivalent,
+    random_vectors,
+    simulate_logic,
+    simulate_lut,
+)
+from repro.netlist.truthtable import TruthTable
+
+
+def toggle_network():
+    """A T-flip-flop: q toggles when en is high."""
+    n = LogicNetwork("toggle")
+    n.add_input("en")
+    n.add_latch("q", "d")
+    n.add_xor("d", ("q", "en"))
+    n.add_output("q")
+    return n
+
+
+def toggle_lut_circuit():
+    c = LutCircuit("toggle", k=4)
+    c.add_input("en")
+    c.add_block(
+        "q", ("q", "en"),
+        TruthTable.var(0, 2) ^ TruthTable.var(1, 2),
+        registered=True,
+    )
+    c.add_output("q")
+    return c
+
+
+class TestLogicSimulation:
+    def test_combinational(self):
+        n = LogicNetwork()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_and("y", ("a", "b"))
+        n.add_output("y")
+        trace = simulate_logic(
+            n, [{"a": True, "b": True}, {"a": True, "b": False}]
+        )
+        assert trace == [{"y": True}, {"y": False}]
+
+    def test_sequential_toggle(self):
+        n = toggle_network()
+        trace = simulate_logic(n, [{"en": True}] * 4)
+        assert [t["q"] for t in trace] == [False, True, False, True]
+
+    def test_latch_init_value(self):
+        n = LogicNetwork()
+        n.add_input("d")
+        n.add_latch("q", "d", init=True)
+        n.add_output("q")
+        trace = simulate_logic(n, [{"d": False}, {"d": False}])
+        assert [t["q"] for t in trace] == [True, False]
+
+    def test_missing_input_raises(self):
+        n = toggle_network()
+        with pytest.raises(KeyError):
+            simulate_logic(n, [{}])
+
+
+class TestLutSimulation:
+    def test_sequential_toggle(self):
+        c = toggle_lut_circuit()
+        trace = simulate_lut(c, [{"en": True}] * 4)
+        assert [t["q"] for t in trace] == [False, True, False, True]
+
+    def test_enable_low_holds_state(self):
+        c = toggle_lut_circuit()
+        trace = simulate_lut(
+            c, [{"en": True}, {"en": False}, {"en": False}]
+        )
+        assert [t["q"] for t in trace] == [False, True, True]
+
+    def test_combinational_block(self):
+        c = LutCircuit("comb")
+        c.add_input("a")
+        c.add_block("y", ("a",), ~TruthTable.var(0, 1))
+        c.add_output("y")
+        assert simulate_lut(c, [{"a": False}]) == [{"y": True}]
+
+
+class TestEquivalence:
+    def test_logic_vs_lut_equivalent(self):
+        assert equivalent(toggle_network(), toggle_lut_circuit())
+
+    def test_detects_difference(self):
+        n = toggle_network()
+        c = toggle_lut_circuit()
+        # Sabotage: make the LUT an OR instead of XOR.
+        c2 = LutCircuit("toggle", k=4)
+        c2.add_input("en")
+        c2.add_block(
+            "q", ("q", "en"),
+            TruthTable.var(0, 2) | TruthTable.var(1, 2),
+            registered=True,
+        )
+        c2.add_output("q")
+        assert not equivalent(n, c2)
+        assert equivalent(n, c)
+
+    def test_mismatched_interfaces_raise(self):
+        n = toggle_network()
+        c = LutCircuit("other")
+        c.add_input("x")
+        with pytest.raises(ValueError):
+            equivalent(n, c)
+
+    def test_random_vectors_shape(self):
+        rng = random.Random(1)
+        vecs = random_vectors(["a", "b"], 5, rng)
+        assert len(vecs) == 5
+        assert all(set(v) == {"a", "b"} for v in vecs)

@@ -1,0 +1,147 @@
+"""Tests for the word-level synthesis helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.simulate import simulate_logic
+from repro.synth.synthesis import (
+    WordBuilder,
+    _csd_digits,
+    int_to_inputs,
+    word_to_int,
+)
+
+
+def eval_comb(network, inputs):
+    return simulate_logic(network, [inputs])[0]
+
+
+def out_word(values, base, width):
+    return word_to_int(
+        [values[f"{base}[{i}]"] for i in range(width)]
+    )
+
+
+class TestCsd:
+    @given(st.integers(1, 10**6))
+    def test_csd_reconstructs_value(self, value):
+        total = sum(sign << shift for shift, sign in _csd_digits(value))
+        assert total == value
+
+    @given(st.integers(1, 10**6))
+    def test_csd_no_adjacent_digits(self, value):
+        shifts = sorted(s for s, _ in _csd_digits(value))
+        assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (15, 1), (9, 9)])
+    def test_adder(self, a, b):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 4)
+        wbits = wb.input_word("b", 4)
+        s = wb.adder(wa, wbits, width=5)
+        wb.output_word("s", s)
+        inputs = {**int_to_inputs("a", 4, a), **int_to_inputs("b", 4, b)}
+        values = eval_comb(n, inputs)
+        assert out_word(values, "s", 5) == a + b
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (3, 5), (0, 1), (15, 15)])
+    def test_subtract_modular(self, a, b):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 4)
+        wbits = wb.input_word("b", 4)
+        d = wb.subtract(wa, wbits, width=4)
+        wb.output_word("d", d)
+        inputs = {**int_to_inputs("a", 4, a), **int_to_inputs("b", 4, b)}
+        values = eval_comb(n, inputs)
+        assert out_word(values, "d", 4) == (a - b) % 16
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_negate(self, a):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 8)
+        neg = wb.negate(wa)
+        wb.output_word("n", neg)
+        values = eval_comb(n, int_to_inputs("a", 8, a))
+        assert out_word(values, "n", 8) == (-a) % 256
+
+    @pytest.mark.parametrize("coeff", [0, 1, -1, 3, 5, -7, 11, 100])
+    def test_mul_const(self, coeff):
+        width = 12
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 4)
+        p = wb.mul_const(wa, coeff, width)
+        wb.output_word("p", p)
+        for a in (0, 1, 7, 15):
+            values = eval_comb(n, int_to_inputs("a", 4, a))
+            assert out_word(values, "p", width) == (a * coeff) % (1 << width)
+
+    def test_equals_const(self):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 4)
+        eq = wb.equals_const(wa, 9)
+        n.add_buf("hit", eq)
+        n.add_output("hit")
+        assert eval_comb(n, int_to_inputs("a", 4, 9))["hit"]
+        assert not eval_comb(n, int_to_inputs("a", 4, 8))["hit"]
+
+    def test_mux_word(self):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        sel = n.add_input("sel")
+        wa = wb.input_word("a", 3)
+        wbits = wb.input_word("b", 3)
+        m = wb.mux_word(sel, wa, wbits)
+        wb.output_word("m", m)
+        inputs = {
+            **int_to_inputs("a", 3, 5),
+            **int_to_inputs("b", 3, 2),
+        }
+        assert out_word(
+            eval_comb(n, {**inputs, "sel": False}), "m", 3
+        ) == 5
+        assert out_word(
+            eval_comb(n, {**inputs, "sel": True}), "m", 3
+        ) == 2
+
+    def test_mux_word_width_mismatch(self):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        sel = n.add_input("sel")
+        with pytest.raises(ValueError):
+            wb.mux_word(sel, wb.const_word(0, 2), wb.const_word(0, 3))
+
+
+class TestStructure:
+    def test_const_bit_cached(self):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        assert wb.const_bit(True) == wb.const_bit(True)
+        assert wb.const_bit(True) != wb.const_bit(False)
+
+    def test_register_word_names(self):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 2)
+        regs = wb.register_word(wa, base="r")
+        assert regs == ["r[0]", "r[1]"]
+        assert set(regs) <= set(n.latches)
+
+    def test_shift_left_const(self):
+        n = LogicNetwork()
+        wb = WordBuilder(n)
+        wa = wb.input_word("a", 3)
+        s = wb.shift_left_const(wa, 2, width=5)
+        wb.output_word("s", s)
+        values = eval_comb(n, int_to_inputs("a", 3, 5))
+        assert out_word(values, "s", 5) == 20

@@ -1,0 +1,201 @@
+"""Tests for decomposition and K-LUT technology mapping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.blif import parse_blif
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.simulate import equivalent
+from repro.netlist.truthtable import TruthTable
+from repro.synth.techmap import TechMapper, decompose, tech_map
+
+
+def adder_network(width=4):
+    """Ripple-carry adder built from wide gates."""
+    from repro.synth.synthesis import WordBuilder
+
+    n = LogicNetwork("adder")
+    wb = WordBuilder(n)
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    s = wb.adder(a, b, width=width)
+    wb.output_word("sum", s)
+    return n
+
+
+def wide_gate_network():
+    n = LogicNetwork("wide")
+    sigs = [n.add_input(f"i{j}") for j in range(6)]
+    n.add_and("wide_and", sigs)
+    n.add_xor("wide_xor", sigs)
+    n.add_or("y", ("wide_and", "wide_xor"))
+    n.add_output("y")
+    return n
+
+
+class TestDecompose:
+    def test_fanin_bound(self):
+        out = decompose(wide_gate_network())
+        assert all(len(node.fanins) <= 2 for node in out.nodes.values())
+
+    def test_preserves_function(self):
+        n = wide_gate_network()
+        assert equivalent(n, decompose(n))
+
+    def test_named_roots_survive(self):
+        n = wide_gate_network()
+        out = decompose(n)
+        assert "y" in out.nodes
+        assert "wide_and" in out.nodes
+
+    def test_general_function_shannon(self):
+        n = LogicNetwork()
+        sigs = [n.add_input(f"i{j}") for j in range(4)]
+        # A random-ish 4-input function that is not AND/OR/XOR.
+        table = TruthTable(4, 0x1BE7)
+        n.add_node("y", sigs, table)
+        n.add_output("y")
+        out = decompose(n)
+        assert equivalent(n, out)
+        assert all(len(node.fanins) <= 2 for node in out.nodes.values())
+
+    def test_sequential_preserved(self):
+        n = LogicNetwork()
+        n.add_input("en")
+        n.add_input("x")
+        n.add_latch("q", "d")
+        n.add_node(
+            "d", ("q", "en", "x"),
+            TruthTable.from_function(
+                3, lambda q, en, x: (q ^ en) or x
+            ),
+        )
+        n.add_output("q")
+        assert equivalent(n, decompose(n))
+
+
+class TestMapping:
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_adder_maps_equivalent(self, k):
+        n = adder_network()
+        c = tech_map(n, k=k)
+        assert c.k == k
+        assert all(len(b.inputs) <= k for b in c.blocks.values())
+        assert equivalent(n, c)
+
+    def test_wide_gates_map_equivalent(self):
+        n = wide_gate_network()
+        c = tech_map(n, k=4)
+        assert equivalent(n, c)
+
+    def test_sequential_maps_equivalent(self):
+        n = LogicNetwork("seq")
+        n.add_input("en")
+        n.add_latch("q0", "d0")
+        n.add_latch("q1", "d1")
+        n.add_xor("d0", ("q0", "en"))
+        n.add_and("d1", ("q1", "q0"))
+        n.add_or("y", ("q0", "q1"))
+        n.add_output("y")
+        c = tech_map(n, k=4)
+        assert equivalent(n, c)
+
+    def test_latch_packing_single_fanout(self):
+        n = LogicNetwork("pack")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_and("d", ("a", "b"))
+        n.add_latch("q", "d")
+        n.add_output("q")
+        c = tech_map(n, k=4)
+        # The AND should be packed into the registered block "q".
+        assert c.blocks["q"].registered
+        assert c.n_luts() == 1
+
+    def test_latch_with_shared_data_not_packed_twice(self):
+        n = LogicNetwork("share")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_and("d", ("a", "b"))
+        n.add_latch("q0", "d")
+        n.add_latch("q1", "d")
+        n.add_or("y", ("q0", "q1"))
+        n.add_output("y")
+        c = tech_map(n, k=4)
+        assert equivalent(n, c)
+
+    def test_output_also_feeding_latch(self):
+        n = LogicNetwork("outlatch")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_and("y", ("a", "b"))
+        n.add_latch("q", "y")
+        n.add_output("y")
+        n.add_output("q")
+        c = tech_map(n, k=4)
+        assert equivalent(n, c)
+
+    def test_constant_node_maps(self):
+        n = LogicNetwork("const")
+        n.add_input("a")
+        n.add_const("one", True)
+        n.add_and("y", ("a", "one"))
+        n.add_output("y")
+        c = tech_map(n, k=4)
+        assert equivalent(n, c)
+
+    def test_depth_reduction_vs_naive(self):
+        """Mapping a 16-input AND tree into 4-LUTs gives depth 2."""
+        n = LogicNetwork("tree")
+        sigs = [n.add_input(f"i{j}") for j in range(16)]
+        n.add_and("y", sigs)
+        n.add_output("y")
+        c = tech_map(n, k=4)
+        assert c.depth() == 2
+        assert equivalent(n, c)
+
+    def test_blif_circuit_end_to_end(self):
+        text = """\
+.model mix
+.inputs a b c d e
+.outputs y z
+.latch t q re clk 0
+.names a b c d e t
+11--- 1
+--111 1
+.names t q z
+10 1
+01 1
+.names a q y
+11 1
+.end
+"""
+        n = parse_blif(text)
+        c = tech_map(n, k=4)
+        assert equivalent(n, c)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TechMapper(k=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(3, 5))
+    def test_random_networks_map_equivalent(self, seed, k):
+        """Property: mapping preserves function on random DAGs."""
+        rng = random.Random(seed)
+        n = LogicNetwork("rand")
+        signals = [n.add_input(f"i{j}") for j in range(4)]
+        for j in range(10):
+            arity = rng.randint(1, 3)
+            fanins = rng.sample(signals, min(arity, len(signals)))
+            table = TruthTable(
+                len(fanins),
+                rng.getrandbits(1 << len(fanins)),
+            )
+            signals.append(n.add_node(f"n{j}", fanins, table))
+        n.add_output(signals[-1])
+        n.add_output(signals[-2])
+        c = tech_map(n, k=k)
+        assert equivalent(n, c)

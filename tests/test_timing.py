@@ -1,0 +1,116 @@
+"""Tests for the critical-path timing estimator."""
+
+import pytest
+
+from repro.arch.architecture import Site
+from repro.core.merge import merge_from_placement
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.place.timing import (
+    LUT_DELAY,
+    WIRE_DELAY_PER_TILE,
+    TimingReport,
+    critical_path,
+    dcs_timing,
+    timing_penalty,
+)
+
+
+def chain(n=3):
+    """in -> b0 -> ... -> b(n-1) -> out, combinational."""
+    c = LutCircuit("chain", 4)
+    c.add_input("in")
+    prev = "in"
+    for i in range(n):
+        c.add_block(f"b{i}", (prev,), TruthTable.var(0, 1))
+        prev = f"b{i}"
+    c.add_output(prev)
+    return c
+
+
+def linear_positions(circuit):
+    positions = {"pad:in": (0, 0)}
+    for i, name in enumerate(sorted(circuit.blocks)):
+        positions[name] = (i + 1, 0)
+    out = circuit.outputs[0]
+    positions[f"pad:{out}"] = (len(circuit.blocks) + 1, 0)
+    return positions
+
+
+class TestCriticalPath:
+    def test_chain_delay(self):
+        c = chain(3)
+        report = critical_path(c, linear_positions(c))
+        # 3 LUTs + 4 unit wire hops.
+        expected = 3 * LUT_DELAY + 4 * WIRE_DELAY_PER_TILE
+        assert report.critical_delay == pytest.approx(expected)
+
+    def test_registers_cut_paths(self):
+        c = LutCircuit("cut", 4)
+        c.add_input("in")
+        c.add_block("a", ("in",), TruthTable.var(0, 1))
+        c.add_block("r", ("a",), TruthTable.var(0, 1),
+                    registered=True)
+        c.add_block("b", ("r",), TruthTable.var(0, 1))
+        c.add_output("b")
+        positions = {
+            "pad:in": (0, 0), "a": (1, 0), "r": (2, 0),
+            "b": (3, 0), "pad:b": (4, 0),
+        }
+        report = critical_path(c, positions)
+        # Longest segment: two LUTs + two hops (in->a->r or r->b->out).
+        expected = 2 * LUT_DELAY + 2 * WIRE_DELAY_PER_TILE
+        assert report.critical_delay == pytest.approx(expected)
+
+    def test_long_wire_dominates(self):
+        c = chain(1)
+        positions = {
+            "pad:in": (0, 0), "b0": (10, 0), "pad:b0": (10, 5),
+        }
+        report = critical_path(c, positions)
+        expected = LUT_DELAY + 15 * WIRE_DELAY_PER_TILE
+        assert report.critical_delay == pytest.approx(expected)
+
+    def test_frequency_inverse(self):
+        report = TimingReport(critical_delay=2.0, n_paths=1)
+        assert report.frequency() == pytest.approx(0.5)
+
+
+class TestDcsTiming:
+    def test_dcs_timing_uses_tunable_sites(self):
+        m0 = LutCircuit("m0", 4)
+        m0.add_input("i")
+        m0.add_block("x", ("i",), TruthTable.var(0, 1))
+        m0.add_output("x")
+        m1 = LutCircuit("m1", 4)
+        m1.add_input("i")
+        m1.add_block("y", ("i",), ~TruthTable.var(0, 1))
+        m1.add_output("y")
+        block_sites = {
+            (0, "x"): Site("clb", 3, 1),
+            (1, "y"): Site("clb", 3, 1),
+        }
+        pad_sites = {
+            "pad:i": Site("pad", 0, 1, 0),
+            "pad:x": Site("pad", 5, 0, 0),
+            "pad:y": Site("pad", 0, 2, 0),
+        }
+        tunable = merge_from_placement(
+            "t", [m0, m1], block_sites, pad_sites
+        )
+        report0 = dcs_timing(tunable, 0)
+        # pad(0,1) -> clb(3,1): 3 hops; clb -> pad(5,0): 3 hops.
+        expected = LUT_DELAY + 6 * WIRE_DELAY_PER_TILE
+        assert report0.critical_delay == pytest.approx(expected)
+        report1 = dcs_timing(tunable, 1)
+        assert report1.critical_delay > 0
+
+    def test_penalty_ratio(self):
+        mdr = [TimingReport(2.0, 1), TimingReport(4.0, 1)]
+        dcs = [TimingReport(2.5, 1), TimingReport(4.5, 1)]
+        penalty = timing_penalty(mdr, dcs)
+        assert penalty == pytest.approx((2.5 / 2 + 4.5 / 4) / 2)
+
+    def test_penalty_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            timing_penalty([TimingReport(1.0, 1)], [])

@@ -1,0 +1,180 @@
+"""Unit and property tests for repro.netlist.truthtable."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.truthtable import (
+    TruthTable,
+    cube_to_minterms,
+    minterms_to_cubes,
+    table_pair_merge_bits,
+)
+
+
+def tables(max_vars=4):
+    return st.integers(0, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable,
+            st.just(n),
+            st.integers(0, (1 << (1 << n)) - 1),
+        )
+    )
+
+
+class TestConstruction:
+    def test_const_false(self):
+        t = TruthTable.const(False, 3)
+        assert all(not v for v in t.values())
+
+    def test_const_true(self):
+        t = TruthTable.const(True, 2)
+        assert all(t.values())
+
+    def test_var_projection(self):
+        t = TruthTable.var(1, 3)
+        for a in range(8):
+            assert t.evaluate_index(a) == bool(a & 2)
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(3, 3)
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 16)
+
+    def test_from_function_majority(self):
+        maj = TruthTable.from_function(
+            3, lambda a, b, c: (a + b + c) >= 2
+        )
+        assert maj.evaluate([True, True, False])
+        assert not maj.evaluate([True, False, False])
+
+    def test_from_values_roundtrip(self):
+        vals = [True, False, False, True]
+        t = TruthTable.from_values(vals)
+        assert t.values() == vals
+
+    def test_from_values_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([True, False, True])
+
+
+class TestQueries:
+    def test_evaluate_wrong_arity(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).evaluate([True])
+
+    def test_is_const(self):
+        assert TruthTable.const(True, 2).is_const()
+        assert not TruthTable.var(0, 2).is_const()
+
+    def test_const_value_raises_on_nonconst(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 1).const_value()
+
+    def test_support_detects_dead_var(self):
+        # f(a, b) = a: support is {0} only.
+        t = TruthTable.var(0, 2)
+        assert t.support() == [0]
+
+    def test_support_full(self):
+        t = TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+        assert t.support() == [0, 1]
+
+
+class TestAlgebra:
+    def test_and_or_de_morgan(self):
+        a = TruthTable.var(0, 2)
+        b = TruthTable.var(1, 2)
+        assert ~(a & b) == (~a | ~b)
+
+    def test_xor_self_is_zero(self):
+        a = TruthTable.var(0, 3)
+        assert (a ^ a) == TruthTable.const(False, 3)
+
+    def test_mixed_arity_raises(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2) & TruthTable.var(0, 3)
+
+    @given(tables(3))
+    def test_double_negation(self, t):
+        assert ~~t == t
+
+    @given(tables(3))
+    def test_or_with_complement_is_true(self, t):
+        assert (t | ~t) == TruthTable.const(True, t.n_vars)
+
+
+class TestStructural:
+    def test_cofactor_fixes_variable(self):
+        t = TruthTable.from_function(2, lambda a, b: a and b)
+        assert t.cofactor(0, True) == TruthTable.var(1, 2)
+
+    def test_restrict_drops_variable(self):
+        t = TruthTable.from_function(2, lambda a, b: a and b)
+        r = t.restrict(0, True)
+        assert r.n_vars == 1
+        assert r == TruthTable.var(0, 1)
+
+    def test_permute_swap(self):
+        t = TruthTable.from_function(2, lambda a, b: a and not b)
+        swapped = t.permute([1, 0])
+        assert swapped == TruthTable.from_function(
+            2, lambda a, b: b and not a
+        )
+
+    def test_expand_is_independent_of_new_vars(self):
+        t = TruthTable.var(0, 1)
+        e = t.expand([2], 3)
+        assert e.support() == [2]
+
+    def test_compose_identity(self):
+        t = TruthTable.from_function(2, lambda a, b: a ^ b)
+        subs = [TruthTable.var(0, 2), TruthTable.var(1, 2)]
+        assert t.compose(subs) == t
+
+    def test_compose_constants(self):
+        t = TruthTable.from_function(2, lambda a, b: a and b)
+        subs = [TruthTable.const(True, 1), TruthTable.var(0, 1)]
+        assert t.compose(subs) == TruthTable.var(0, 1)
+
+    @given(tables(3), st.integers(0, 2), st.booleans())
+    def test_shannon_expansion(self, t, var, value):
+        if var >= t.n_vars:
+            return
+        # f = x.f_x + ~x.f_~x
+        x = TruthTable.var(var, t.n_vars)
+        recomposed = (x & t.cofactor(var, True)) | (
+            ~x & t.cofactor(var, False)
+        )
+        assert recomposed == t
+
+
+class TestCubes:
+    def test_cube_expansion(self):
+        assert sorted(cube_to_minterms("1-")) == [1, 3]
+
+    def test_cube_bad_char(self):
+        with pytest.raises(ValueError):
+            list(cube_to_minterms("1x"))
+
+    def test_minterms_to_cubes_roundtrip(self):
+        t = TruthTable.from_function(2, lambda a, b: a or b)
+        cubes = minterms_to_cubes(t)
+        minterms = set()
+        for c in cubes:
+            minterms.update(cube_to_minterms(c))
+        assert minterms == {1, 2, 3}
+
+    def test_merge_bits_rows(self):
+        a = TruthTable.var(0, 1)
+        b = ~TruthTable.var(0, 1)
+        rows = table_pair_merge_bits([a, b])
+        assert rows == [(0, 1), (1, 0)]
+
+    def test_merge_bits_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            table_pair_merge_bits(
+                [TruthTable.var(0, 1), TruthTable.var(0, 2)]
+            )

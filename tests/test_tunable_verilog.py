@@ -1,0 +1,103 @@
+"""Tests for the parameterised (Tunable) Verilog export."""
+
+import re
+
+import pytest
+
+from repro.core.merge import merge_by_index
+from repro.core.modes import ModeEncoding
+from repro.core.verilog_export import write_tunable_verilog
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+
+
+def _xor2():
+    return TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+
+def _mode(name, registered=False):
+    c = LutCircuit(name, 4)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_block(f"{name}_n0", ("a", "b"), _xor2(),
+                registered=registered)
+    c.add_block(f"{name}_n1", (f"{name}_n0", "a"),
+                TruthTable.var(0, 2) & TruthTable.var(1, 2))
+    c.add_output(f"{name}_n1")
+    return c
+
+
+@pytest.fixture(scope="module")
+def merged():
+    return merge_by_index("vx", [_mode("p"), _mode("q", True)])
+
+
+class TestTunableVerilog:
+    def test_module_structure(self, merged):
+        text = write_tunable_verilog(merged)
+        assert text.count("module ") == 1
+        assert text.count("endmodule") == 1
+        assert "input [0:0] mode" in text
+        assert "input clk" in text  # mode q has a register
+
+    def test_one_case_per_tlut(self, merged):
+        text = write_tunable_verilog(merged)
+        assert text.count("always @(*) case (mode)") == len(
+            merged.tluts
+        )
+
+    def test_init_constants_match_aligned_tables(self, merged):
+        text = write_tunable_verilog(merged)
+        pattern = re.compile(
+            r"1'd(\d+): begin (\w+)_init = 16'h([0-9a-f]+);"
+        )
+        found = 0
+        by_wire = {}
+        for code, wire, bits in pattern.findall(text):
+            by_wire.setdefault(wire, {})[int(code)] = int(bits, 16)
+            found += 1
+        assert found >= 2  # at least both modes of one TLUT
+        # Names are sanitised, so compare the multiset of all INIT
+        # constants against the multiset of all aligned tables.
+        all_inits = sorted(
+            bits
+            for inits in by_wire.values()
+            for bits in inits.values()
+        )
+        expected = sorted(
+            tlut.aligned_table(mode).bits
+            for tlut in merged.tluts.values()
+            for mode in tlut.members
+        )
+        assert all_inits == expected
+
+    def test_outputs_assigned(self, merged):
+        text = write_tunable_verilog(merged)
+        assert text.count("assign ") == len(
+            [p for p in merged.pads.values() if p.direction == "out"]
+        )
+
+    def test_registered_member_gets_select(self, merged):
+        text = write_tunable_verilog(merged)
+        # Mode q's n0 is registered: a case arm sets _sel = 1'b1.
+        assert "_sel = 1'b1" in text
+        assert "always @(posedge clk)" in text
+
+    def test_encoding_mismatch_rejected(self, merged):
+        with pytest.raises(ValueError, match="mode count"):
+            write_tunable_verilog(merged, ModeEncoding(3))
+
+    def test_onehot_encoding_widens_port(self, merged):
+        text = write_tunable_verilog(
+            merged, ModeEncoding(2, style="onehot")
+        )
+        assert "input [1:0] mode" in text
+        assert "2'd1" in text and "2'd2" in text
+
+    def test_combinational_pair_has_no_clk(self):
+        merged = merge_by_index(
+            "comb", [_mode("p"), _mode("r")]
+        )
+        text = write_tunable_verilog(merged)
+        assert "input clk" not in text
+        assert "posedge" not in text

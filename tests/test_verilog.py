@@ -1,0 +1,92 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.netlist.verilog import write_verilog
+
+
+def sample_circuit():
+    c = LutCircuit("top[0]", k=4)
+    c.add_input("in[0]")
+    c.add_input("in[1]")
+    c.add_block(
+        "and$1", ("in[0]", "in[1]"),
+        TruthTable.var(0, 2) & TruthTable.var(1, 2),
+    )
+    c.add_block(
+        "state", ("state", "and$1"),
+        TruthTable.var(0, 2) ^ TruthTable.var(1, 2),
+        registered=True, init=True,
+    )
+    c.add_block("const1", (), TruthTable.const(True, 0))
+    c.add_block(
+        "y", ("state", "const1"),
+        TruthTable.var(0, 2) | TruthTable.var(1, 2),
+    )
+    c.add_output("y")
+    return c
+
+
+class TestVerilogWriter:
+    def test_module_structure(self):
+        text = write_verilog(sample_circuit())
+        assert text.count("module ") >= 3  # top + LUTs + DFF
+        assert "module top_0" in text
+        assert "endmodule" in text
+
+    def test_identifiers_sanitised(self):
+        text = write_verilog(sample_circuit())
+        assert "in[0]" not in text
+        assert "and$1" not in text
+        assert "in_0_" in text or "in_0" in text
+
+    def test_lut_instances(self):
+        text = write_verilog(sample_circuit())
+        instances = re.findall(
+            r"^    LUT\d #\(", text, flags=re.MULTILINE
+        )
+        assert len(instances) == 4
+        assert "DFF #(" in text
+
+    def test_registered_block_gets_dff_and_init(self):
+        text = write_verilog(sample_circuit())
+        assert ".INIT(1'b1)" in text
+        assert "state_ff" in text
+        assert "state_d" in text
+
+    def test_clk_port_only_when_sequential(self):
+        c = LutCircuit("comb", k=4)
+        c.add_input("a")
+        c.add_block("y", ("a",), ~TruthTable.var(0, 1))
+        c.add_output("y")
+        text = write_verilog(c)
+        assert "input clk" not in text
+
+    def test_init_parameters_match_tables(self):
+        c = LutCircuit("init", k=4)
+        c.add_input("a")
+        c.add_input("b")
+        table = TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        c.add_block("y", ("a", "b"), table)
+        c.add_output("y")
+        text = write_verilog(c)
+        assert f"4'h{table.bits:x}" in text
+
+    def test_constant_block_uses_zero_wire(self):
+        text = write_verilog(sample_circuit())
+        assert "const_zero" in text
+
+    def test_name_collision_resolved(self):
+        c = LutCircuit("col", k=4)
+        c.add_input("a$b")
+        c.add_input("a_b")
+        c.add_block(
+            "y", ("a$b", "a_b"),
+            TruthTable.var(0, 2) | TruthTable.var(1, 2),
+        )
+        c.add_output("y")
+        text = write_verilog(c)
+        # Both inputs must appear as distinct identifiers.
+        assert "a_b" in text and "a_b_1" in text

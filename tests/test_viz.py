@@ -1,0 +1,191 @@
+"""Tests for the visualisation / reporting module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.arch.architecture import FpgaArchitecture
+from repro.arch.rrg import build_rrg
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.place.placer import place_circuit
+from repro.route.router import PathFinderRouter, RouteRequest
+from repro.route.troute import route_lut_circuit
+from repro.viz import (
+    channel_heatmap,
+    implementation_report,
+    placement_floorplan,
+    routing_svg,
+    tunable_occupancy,
+)
+
+
+def _xor2():
+    return TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+
+def _circuit(n_blocks=6):
+    c = LutCircuit("viz", 4)
+    c.add_input("a")
+    c.add_input("b")
+    prev = ("a", "b")
+    for i in range(n_blocks):
+        c.add_block(f"n{i}", prev, _xor2())
+        prev = (f"n{i}", "a" if i % 2 else "b")
+    c.add_output(f"n{n_blocks - 1}")
+    return c
+
+
+@pytest.fixture(scope="module")
+def implemented():
+    arch = FpgaArchitecture(nx=4, ny=4, channel_width=6, k=4)
+    circuit = _circuit()
+    placement = place_circuit(circuit, arch, seed=4)
+    rrg = build_rrg(arch)
+    routing = route_lut_circuit(circuit, placement, rrg)
+    return arch, circuit, placement, rrg, routing
+
+
+class TestFloorplan:
+    def test_dimensions(self, implemented):
+        arch, _c, placement, *_ = implemented
+        art = placement_floorplan(placement)
+        grid_lines = art.splitlines()[:-1]
+        assert len(grid_lines) == arch.ny + 2
+        assert all(len(line) == arch.nx + 2 for line in grid_lines)
+
+    def test_occupancy_count(self, implemented):
+        _arch, circuit, placement, *_ = implemented
+        art = placement_floorplan(placement)
+        assert art.count("#") == circuit.n_luts()
+        assert f"{circuit.n_luts()} used" in art
+
+    def test_pads_drawn_on_perimeter(self, implemented):
+        _arch, circuit, placement, *_ = implemented
+        art = placement_floorplan(placement)
+        n_ios = len(circuit.inputs) + len(circuit.outputs)
+        assert art.count("o") >= 1
+        # Pad markers can share locations (io_rat 2), so at least
+        # ceil(n_ios / io_rat) marks appear.
+        assert art.count("o") >= (n_ios + 1) // 2
+
+
+class TestTunableOccupancy:
+    def test_merged_tiles_marked(self):
+        from repro.core.combined_placement import (
+            merge_with_combined_placement,
+        )
+        from repro.core.merge import MergeStrategy
+
+        modes = [_circuit(5), _circuit(7)]
+        modes[1] = modes[1].copy(name="viz2")
+        arch = FpgaArchitecture(nx=4, ny=4, channel_width=8, k=4)
+        tunable, _ = merge_with_combined_placement(
+            "occ", modes, arch,
+            strategy=MergeStrategy.WIRE_LENGTH, seed=0,
+        )
+        art = tunable_occupancy(tunable)
+        assert "2" in art  # at least one merged tile
+        assert "carrying" in art
+
+    def test_unplaced_rejected(self):
+        from repro.core.merge import merge_by_index
+
+        modes = [_circuit(3), _circuit(4).copy(name="viz2")]
+        tunable = merge_by_index("x", modes)
+        with pytest.raises(ValueError, match="no sites"):
+            tunable_occupancy(tunable)
+
+
+class TestHeatmap:
+    def test_shape_and_peak(self, implemented):
+        arch, _c, _p, _rrg, routing = implemented
+        art = channel_heatmap(routing, 0, "x")
+        lines = art.splitlines()
+        assert lines[0].startswith("chanx utilisation")
+        # chanx rows: ny+1 y-positions.
+        assert len(lines) == 1 + (arch.ny + 1) + 1
+        assert "peak" in lines[-1]
+
+    def test_orientation_validated(self, implemented):
+        *_rest, routing = implemented
+        with pytest.raises(ValueError, match="orientation"):
+            channel_heatmap(routing, 0, "diagonal")
+
+    def test_unused_mode_is_blank(self, implemented):
+        _arch, _c, _p, rrg, _routing = implemented
+        reqs = [RouteRequest(
+            0, "n", rrg.clb_opin[(1, 1)], rrg.clb_sink[(2, 2)],
+            frozenset((0,)),
+        )]
+        result = PathFinderRouter(rrg, n_modes=2).route(reqs)
+        art = channel_heatmap(result, 1, "x")
+        assert art.splitlines()[-1] == "peak 0/6 tracks"
+
+
+class TestRoutingSvg:
+    def test_well_formed_xml(self, implemented):
+        *_rest, routing = implemented
+        svg = routing_svg(routing)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_wires_and_legend(self, implemented):
+        *_rest, routing = implemented
+        svg = routing_svg(routing, title="t&lt;")
+        assert svg.count("<line") == len(routing.wires_used(0))
+        assert "mode 0" in svg
+        assert "shared" in svg
+
+    def test_shared_wires_darker(self, implemented):
+        _arch, _c, _p, rrg, _routing = implemented
+        reqs = [
+            RouteRequest(0, "a", rrg.clb_opin[(1, 1)],
+                         rrg.clb_sink[(4, 4)], frozenset((0, 1))),
+        ]
+        result = PathFinderRouter(rrg, n_modes=2).route(reqs)
+        svg = routing_svg(result)
+        assert '#222222' in svg  # wires shared by both modes
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core.flow import (
+            FlowOptions,
+            implement_multi_mode,
+        )
+        from repro.core.merge import MergeStrategy
+
+        modes = [_circuit(5), _circuit(7).copy(name="viz2")]
+        return implement_multi_mode(
+            "report", modes,
+            FlowOptions(seed=0, inner_num=0.1),
+            strategies=(MergeStrategy.WIRE_LENGTH,),
+        )
+
+    def test_report_sections(self, result):
+        text = implementation_report(result)
+        for heading in (
+            "# Multi-mode implementation report",
+            "## Region",
+            "## Reconfiguration cost",
+            "## Merged (Tunable) circuit",
+            "## Per-mode wire usage",
+        ):
+            assert heading in text
+
+    def test_report_numbers_consistent(self, result):
+        from repro.core.merge import MergeStrategy
+
+        text = implementation_report(result)
+        assert str(result.mdr.cost.total) in text
+        dcs = result.dcs[MergeStrategy.WIRE_LENGTH]
+        assert str(dcs.cost.total) in text
+        speedup = result.speedup(MergeStrategy.WIRE_LENGTH)
+        assert f"{speedup:.2f}x" in text
+
+    def test_tables_are_markdown(self, result):
+        text = implementation_report(result)
+        assert "| variant | LUT bits |" in text
+        assert "|---|" in text
