@@ -8,18 +8,22 @@ rows/series the paper reports.
 
 Usage:
     python examples/run_paper_experiments.py [--effort quick|default|paper]
-                                             [--seed N]
+                                             [--seed N] [--workers N]
+                                             [--cache-dir DIR | --no-cache]
 
 ``quick`` (default) runs 2 pairs per suite with light annealing — a few
 minutes, same code path.  ``paper`` runs the full 10 pairs per suite
-with VPR-strength annealing (hours in pure Python).
+with VPR-strength annealing (hours in pure Python).  ``--workers`` fans
+the independent multi-mode pairs over a process pool and the stage
+cache makes reruns near-instant; results are bit-identical either way.
 """
 
 import argparse
 import sys
 import time
 
-from repro.bench.harness import ExperimentHarness
+from repro.bench.harness import SUITES, ExperimentHarness
+from repro.exec import StageCache
 
 
 def main(argv=None) -> int:
@@ -29,9 +33,15 @@ def main(argv=None) -> int:
         choices=("quick", "default", "paper"),
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args(argv)
 
-    harness = ExperimentHarness(effort=args.effort, seed=args.seed)
+    harness = ExperimentHarness(
+        effort=args.effort, seed=args.seed, workers=args.workers,
+        cache=StageCache(args.cache_dir, enabled=not args.no_cache),
+    )
     print(
         f"Running the paper's experiments "
         f"(effort={args.effort}, seed={args.seed})\n"
@@ -41,10 +51,8 @@ def main(argv=None) -> int:
     print(harness.print_table1(harness.table1()))
     print()
 
-    outcomes = {}
-    for suite in ("RegExp", "FIR", "MCNC"):
-        print(f"Implementing {suite} multi-mode circuits...")
-        outcomes[suite] = harness.run_suite(suite, verbose=True)
+    print("Implementing multi-mode circuits (all suites)...")
+    outcomes = harness.run_suites(SUITES, verbose=True)
     print()
 
     print(harness.print_figure5(harness.figure5(outcomes)))

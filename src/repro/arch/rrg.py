@@ -57,6 +57,16 @@ class RoutingResourceGraph:
     pad_sink: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
     chanx: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
     chany: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    # Lazily built flat views of the graph for the router's inner loop
+    # (the graph is immutable once build_rrg returns, so they are
+    # built at most once).  Excluded from comparison; pickling them is
+    # harmless but pointless, so __getstate__ drops them.
+    _csr: Optional[Tuple[List[int], List[int], List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _base_cost: Optional[List[float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- construction helpers ----------------------------------------------
 
@@ -118,6 +128,47 @@ class RoutingResourceGraph:
             f"({self.node_x[node]},{self.node_y[node]})"
             f"[{self.node_label[node]}]"
         )
+
+    # -- flat views for the router's inner loop -----------------------------
+
+    def neighbor_arrays(
+        self,
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """CSR form of the adjacency: ``(row_ptr, edge_dst, edge_bit)``.
+
+        Node *n*'s out-edges are ``edge_dst[row_ptr[n]:row_ptr[n+1]]``
+        (same order as ``adjacency[n]``, so searches over either view
+        make identical tie-breaking decisions).  Scanning flat lists
+        avoids a tuple unpack per edge in PathFinder's relaxation loop.
+        """
+        if self._csr is None:
+            row_ptr = [0]
+            edge_dst: List[int] = []
+            edge_bit: List[int] = []
+            for neighbors in self.adjacency:
+                for dst, bit in neighbors:
+                    edge_dst.append(dst)
+                    edge_bit.append(bit)
+                row_ptr.append(len(edge_dst))
+            self._csr = (row_ptr, edge_dst, edge_bit)
+        return self._csr
+
+    def base_cost_array(self) -> List[float]:
+        """Per-node intrinsic cost (the unit-delay model): 0 for SINKs,
+        1 for every real resource — precomputed so the router never
+        branches on node kind to price a node."""
+        if self._base_cost is None:
+            self._base_cost = [
+                0.0 if kind == SINK else 1.0
+                for kind in self.node_kind
+            ]
+        return self._base_cost
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_csr"] = None
+        state["_base_cost"] = None
+        return state
 
 
 def build_rrg(arch: FpgaArchitecture) -> RoutingResourceGraph:

@@ -35,12 +35,50 @@ from repro.core.flow import (
     FlowOptions,
     MultiModeResult,
     implement_multi_mode,
+    pack_result,
+    unpack_result,
 )
 from repro.core.merge import MergeStrategy
 from repro.core.reconfig import BreakdownRow, breakdown_rows
+from repro.exec.cache import StageCache
+from repro.exec.progress import ProgressLog, StageRecord
+from repro.exec.scheduler import Scheduler, Task
 from repro.netlist.lutcircuit import LutCircuit
 
 SUITES = ("RegExp", "FIR", "MCNC")
+
+
+def _pair_worker(
+    name: str,
+    mode_circuits: Tuple[LutCircuit, ...],
+    options: FlowOptions,
+    cache_root: Optional[str],
+    cache_enabled: bool,
+) -> Tuple[MultiModeResult, List[StageRecord]]:
+    """Implement one multi-mode pair (scheduler task; runs in workers).
+
+    Pairs fan out at this granularity, so within one pair the flow runs
+    serially (``workers=1``) — the harness never nests process pools.
+    The result travels back RRG-free; the parent reattaches the graph.
+    """
+    import time
+
+    cache = StageCache(cache_root, enabled=cache_enabled)
+    progress = ProgressLog()
+    start = time.perf_counter()
+    result = implement_multi_mode(
+        name, mode_circuits, options, workers=1,
+        cache=cache, progress=progress,
+    )
+    records = list(progress.records)
+    if not any(r.stage == "multimode" for r in records):
+        records.append(
+            StageRecord(
+                "multimode", name,
+                time.perf_counter() - start, cache_hit=False,
+            )
+        )
+    return pack_result(result), records
 
 
 @dataclass(frozen=True)
@@ -87,7 +125,9 @@ class ExperimentHarness:
     """Builds the suites and runs the paper's experiments."""
 
     def __init__(self, effort: str = "quick", seed: int = 0,
-                 k: int = 4) -> None:
+                 k: int = 4, workers: Optional[int] = None,
+                 cache: Optional[StageCache] = None,
+                 progress: Optional[ProgressLog] = None) -> None:
         if effort not in EFFORT_PROFILES:
             raise ValueError(
                 f"effort must be one of {sorted(EFFORT_PROFILES)}"
@@ -95,6 +135,9 @@ class ExperimentHarness:
         self.profile = EFFORT_PROFILES[effort]
         self.seed = seed
         self.k = k
+        self.scheduler = Scheduler(workers)
+        self.cache = cache or StageCache(enabled=False)
+        self.progress = progress or ProgressLog()
         self._suite_cache: Dict[str, List[LutCircuit]] = {}
         self._outcome_cache: Dict[str, List[PairOutcome]] = {}
 
@@ -184,23 +227,59 @@ class ExperimentHarness:
                   verbose: bool = False) -> List[PairOutcome]:
         """Implement every multi-mode circuit of *suite* with both
         flows; results are cached per harness instance."""
-        if suite in self._outcome_cache:
-            return self._outcome_cache[suite]
-        outcomes = []
-        for name, modes in self.suite_pairs(suite):
-            result = implement_multi_mode(
-                name, modes,
-                self.profile.flow_options(self.seed),
+        return self.run_suites([suite], verbose=verbose)[suite]
+
+    def run_suites(
+        self, suites: Sequence[str], verbose: bool = False
+    ) -> Dict[str, List[PairOutcome]]:
+        """Implement the pairs of several suites as one task batch.
+
+        Every (suite, pair) is an independent flow run, so the whole
+        cross-suite workload fans out over the harness scheduler at
+        once — with ``workers=N`` the slowest suite no longer gates
+        the others.  Results come back in deterministic (submission)
+        order whatever the completion order was.
+        """
+        pending = [s for s in suites if s not in self._outcome_cache]
+        workload: List[Tuple[str, str, List[LutCircuit]]] = []
+        for suite in pending:
+            for name, modes in self.suite_pairs(suite):
+                workload.append((suite, name, modes))
+        options = self.profile.flow_options(self.seed)
+        cache_root = (
+            str(self.cache.root) if self.cache.enabled else None
+        )
+        tasks = [
+            Task(
+                _pair_worker,
+                (
+                    name, tuple(modes), options,
+                    cache_root, self.cache.enabled,
+                ),
+                name=f"{suite}/{name}",
             )
-            outcomes.append(PairOutcome(suite, name, result))
+            for suite, name, modes in workload
+        ]
+        results = self.scheduler.run(tasks)
+        by_suite: Dict[str, List[PairOutcome]] = {
+            suite: [] for suite in pending
+        }
+        for (suite, name, _modes), (packed, records) in zip(
+            workload, results
+        ):
+            self.progress.extend(records)
+            result = unpack_result(packed)
+            by_suite[suite].append(PairOutcome(suite, name, result))
             if verbose:
                 em = result.speedup(MergeStrategy.EDGE_MATCHING)
                 wl = result.speedup(MergeStrategy.WIRE_LENGTH)
                 print(
                     f"  {name}: speedup EM {em:.2f}x WL {wl:.2f}x"
                 )
-        self._outcome_cache[suite] = outcomes
-        return outcomes
+        self._outcome_cache.update(by_suite)
+        return {
+            suite: self._outcome_cache[suite] for suite in suites
+        }
 
     # -- Table I --------------------------------------------------------------
 
@@ -528,10 +607,7 @@ class ExperimentHarness:
 
     def run_all(self, verbose: bool = False) -> Dict[str, object]:
         """Run every experiment; returns all rows keyed by artefact."""
-        outcomes = {
-            suite: self.run_suite(suite, verbose=verbose)
-            for suite in SUITES
-        }
+        outcomes = self.run_suites(SUITES, verbose=verbose)
         return {
             "table1": self.table1(),
             "figure5": self.figure5(outcomes),

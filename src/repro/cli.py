@@ -20,6 +20,16 @@ Subcommands mirror the stages of the paper's flow:
     Run the multi-mode flow on BLIF mode circuits and write the
     Markdown implementation report (optionally an SVG of the merged
     routing).
+``repro bench-exec``
+    Benchmark the execution subsystem (serial vs parallel vs warm
+    cache) and write the machine-readable ``BENCH_exec.json``.
+``repro cache``
+    Inspect or clear the persistent stage cache.
+
+Flow-running subcommands accept ``--workers N`` (process-pool fan-out
+of independent stages; results are bit-identical to serial) and
+``--cache-dir``/``--no-cache`` (persistent stage memoization; see
+``repro.exec``).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -32,10 +42,33 @@ from typing import List, Optional
 
 from repro.core.flow import FlowOptions, implement_multi_mode
 from repro.core.merge import MergeStrategy
+from repro.exec import ProgressLog, StageCache
 from repro.netlist.blif import read_blif_file, write_lut_blif
 from repro.netlist.simulate import equivalent
 from repro.synth.optimize import optimize_network
 from repro.synth.techmap import tech_map
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-subsystem knobs shared by flow-running subcommands."""
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for independent flow stages "
+             "(default: REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="stage-cache directory (default: REPRO_CACHE_DIR or "
+             "~/.cache/repro/stages)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent stage cache",
+    )
+
+
+def _exec_cache(args: argparse.Namespace) -> StageCache:
+    return StageCache(args.cache_dir, enabled=not args.no_cache)
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -90,7 +123,9 @@ def _cmd_implement(args: argparse.Namespace) -> int:
         MergeStrategy(s) for s in args.strategies
     )
     result = implement_multi_mode(
-        "cli", modes, options, strategies=strategies
+        "cli", modes, options, strategies=strategies,
+        workers=args.workers, cache=_exec_cache(args),
+        progress=ProgressLog(verbose=True),
     )
     print(
         f"\nregion: {result.arch.nx}x{result.arch.ny} CLBs, "
@@ -165,7 +200,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     options = FlowOptions(
         seed=args.seed, k=args.k, inner_num=args.effort
     )
-    result = implement_multi_mode("report", modes, options)
+    result = implement_multi_mode(
+        "report", modes, options,
+        workers=args.workers, cache=_exec_cache(args),
+    )
     text = implementation_report(result)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -182,13 +220,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.bench.harness import ExperimentHarness
+    from repro.bench.harness import SUITES, ExperimentHarness
 
-    harness = ExperimentHarness(effort=args.effort, seed=args.seed)
-    outcomes = {
-        suite: harness.run_suite(suite, verbose=True)
-        for suite in ("RegExp", "FIR", "MCNC")
-    }
+    harness = ExperimentHarness(
+        effort=args.effort, seed=args.seed,
+        workers=args.workers, cache=_exec_cache(args),
+    )
+    outcomes = harness.run_suites(SUITES, verbose=True)
     print()
     print(harness.print_table1(harness.table1()))
     print()
@@ -201,6 +239,42 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     print(harness.print_area_table(harness.area_table()))
     print()
     print(harness.print_sta_table(harness.sta_table(outcomes)))
+    return 0
+
+
+def _cmd_bench_exec(args: argparse.Namespace) -> int:
+    from repro.bench.exec_bench import run_exec_bench, write_bench_json
+
+    report = run_exec_bench(
+        workers=args.workers or 4,
+        n_pairs=args.pairs,
+        inner_num=args.effort,
+        cache_dir=args.cache_dir,
+        verbose=True,
+        n_taps=args.taps,
+        baseline_src=args.baseline_src,
+    )
+    write_bench_json(report, args.output)
+    print(f"wrote {args.output}")
+    cold = report["parallel_cold"]["seconds"]
+    serial = report["serial_cold"]["seconds"]
+    warm = report["parallel_warm"]["seconds"]
+    print(
+        f"serial {serial:.1f}s, cold x{report['workers']} workers "
+        f"{cold:.1f}s ({serial / cold:.2f}x), warm {warm:.1f}s "
+        f"({100 * warm / cold:.1f}% of cold)"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = StageCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+    else:
+        print(f"cache root: {cache.root}")
+        print(f"entries:    {cache.n_entries()}")
     return 0
 
 
@@ -242,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["edge_matching", "wire_length"],
         choices=[s.value for s in MergeStrategy],
     )
+    _add_exec_args(p_impl)
     p_impl.set_defaults(func=_cmd_implement)
 
     p_export = sub.add_parser(
@@ -265,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-k", type=int, default=4)
     p_report.add_argument("--seed", type=int, default=0)
     p_report.add_argument("--effort", type=float, default=0.3)
+    _add_exec_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_exp = sub.add_parser(
@@ -273,7 +349,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--effort", default="quick",
                        choices=("quick", "default", "paper"))
     p_exp.add_argument("--seed", type=int, default=0)
+    _add_exec_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench-exec",
+        help="benchmark parallel execution + stage cache, write "
+             "BENCH_exec.json",
+    )
+    p_bench.add_argument("-o", "--output", default="BENCH_exec.json")
+    p_bench.add_argument("--pairs", type=int, default=4,
+                         help="independent multi-mode pairs to run")
+    p_bench.add_argument("--taps", type=int, default=4,
+                         help="FIR taps per mode (8 = harness size)")
+    p_bench.add_argument(
+        "--baseline-src", default=None,
+        help="path to an older source tree to time the same workload "
+             "against (serial), e.g. a checkout of the seed commit",
+    )
+    p_bench.add_argument("--effort", type=float, default=0.1,
+                         help="annealing inner_num of the workload")
+    p_bench.add_argument("--workers", type=int, default=4)
+    p_bench.add_argument(
+        "--cache-dir", default=None,
+        help="cache dir (default: fresh temp dir; a given dir gets "
+             "an exec-bench subdirectory, which the cold phase "
+             "clears)",
+    )
+    p_bench.set_defaults(func=_cmd_bench_exec)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent stage cache"
+    )
+    p_cache.add_argument("--cache-dir", default=None)
+    p_cache.add_argument("--clear", action="store_true")
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 

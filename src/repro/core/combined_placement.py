@@ -35,7 +35,7 @@ from repro.core.merge import MergeStrategy, merge_from_placement
 from repro.core.tunable import TunableCircuit
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.annealing import AnnealingSchedule, AnnealingStats, anneal
-from repro.place.cost import net_bounding_box_cost
+from repro.place.cost import net_bounding_box_cost, q_factor
 from repro.place.placer import Net, circuit_nets, pad_cell
 from repro.utils.rng import make_rng
 
@@ -133,6 +133,13 @@ class CombinedPlacementProblem:
             for cell in net.cells:
                 key = self._cell_key(mode, cell)
                 self.nets_of_cell.setdefault(key, []).append(i)
+        # Cell keys per net, resolved once: the signal->key mapping is
+        # placement-independent and _compute_net_cost is the move
+        # loop's hottest callee.
+        self._net_keys: List[List[CellKey]] = [
+            [self._cell_key(mode, cell) for cell in net.cells]
+            for mode, net in self.mode_nets
+        ]
         self.net_cost: List[float] = [
             self._compute_net_cost(i) for i in range(len(self.mode_nets))
         ]
@@ -183,12 +190,30 @@ class CombinedPlacementProblem:
         return self.site_of[key].pos()
 
     def _compute_net_cost(self, index: int) -> float:
-        mode, net = self.mode_nets[index]
-        positions = [
-            self._position(self._cell_key(mode, cell))
-            for cell in net.cells
-        ]
-        return net_bounding_box_cost(positions)
+        # Single-pass bounding box straight over the sites — same
+        # arithmetic as net_bounding_box_cost, minus the per-call
+        # position-tuple list.
+        keys = self._net_keys[index]
+        n = len(keys)
+        if n < 2:
+            return 0.0
+        site_of = self.site_of
+        site = site_of[keys[0]]
+        xmin = xmax = site.x
+        ymin = ymax = site.y
+        for key in keys:
+            site = site_of[key]
+            x = site.x
+            y = site.y
+            if x < xmin:
+                xmin = x
+            elif x > xmax:
+                xmax = x
+            if y < ymin:
+                ymin = y
+            elif y > ymax:
+                ymax = y
+        return q_factor(n) * ((xmax - xmin) + (ymax - ymin))
 
     def _conn_site_key(self, index: int) -> Tuple:
         _mode, src, sink = self.mode_conns[index]
@@ -277,16 +302,24 @@ class CombinedPlacementProblem:
     def delta_cost(self, move) -> float:
         displaced = self._move_cells(move)
         keys = [d[0] for d in displaced]
+        self._pending = None
         if self.strategy == MergeStrategy.WIRE_LENGTH:
             affected: Set[int] = set()
             for key in keys:
                 affected.update(self.nets_of_cell.get(key, ()))
             before = sum(self.net_cost[i] for i in affected)
             self._apply(displaced)
-            after = sum(
-                self._compute_net_cost(i) for i in affected
-            )
+            # Remember the evaluated after-costs: the annealer commits
+            # the very move it just priced, so commit() can reuse them
+            # instead of recomputing (identical floats, same order).
+            evaluated: Dict[int, float] = {}
+            after = 0.0
+            for i in affected:
+                cost = self._compute_net_cost(i)
+                evaluated[i] = cost
+                after += cost
             self._revert(displaced)
+            self._pending = (move, evaluated)
             return after - before
         # Edge matching: track distinct site-level connection count.
         affected_conns: Set[int] = set()
@@ -349,13 +382,25 @@ class CombinedPlacementProblem:
             for key, _from, to_site in displaced:
                 self.pad_at[to_site] = key
         self._apply(displaced)
-        # Refresh caches.
+        # Refresh caches (reusing the costs delta_cost just evaluated
+        # for this same move when available).
+        pending = getattr(self, "_pending", None)
+        evaluated = (
+            pending[1]
+            if pending is not None and pending[0] == move
+            else None
+        )
+        self._pending = None
         keys = [d[0] for d in displaced]
         affected_nets: Set[int] = set()
         for key in keys:
             affected_nets.update(self.nets_of_cell.get(key, ()))
         for i in affected_nets:
-            self.net_cost[i] = self._compute_net_cost(i)
+            self.net_cost[i] = (
+                evaluated[i]
+                if evaluated is not None and i in evaluated
+                else self._compute_net_cost(i)
+            )
         affected_conns: Set[int] = set()
         for key in keys:
             affected_conns.update(self.conns_of_cell.get(key, ()))
@@ -506,10 +551,28 @@ class TunablePlacementProblem:
         ]
 
     def _compute_net_cost(self, index: int) -> float:
-        positions = [
-            self.site_of[c].pos() for c in self.nets[index]
-        ]
-        return net_bounding_box_cost(positions)
+        # Same single-pass inline as the combined problem's.
+        cells = self.nets[index]
+        n = len(cells)
+        if n < 2:
+            return 0.0
+        site_of = self.site_of
+        site = site_of[cells[0]]
+        xmin = xmax = site.x
+        ymin = ymax = site.y
+        for cell in cells:
+            site = site_of[cell]
+            x = site.x
+            y = site.y
+            if x < xmin:
+                xmin = x
+            elif x > xmax:
+                xmax = x
+            if y < ymin:
+                ymin = y
+            elif y > ymax:
+                ymax = y
+        return q_factor(n) * ((xmax - xmin) + (ymax - ymin))
 
     def initial_cost(self) -> float:
         return sum(self.net_cost)
@@ -557,10 +620,18 @@ class TunablePlacementProblem:
         self.site_of[cell] = dst_site
         if other is not None:
             self.site_of[other] = src_site
-        after = sum(self._compute_net_cost(i) for i in affected)
+        # Remember the after-costs for commit() of this same move
+        # (identical floats, same order).
+        evaluated: Dict[int, float] = {}
+        after = 0.0
+        for i in affected:
+            cost = self._compute_net_cost(i)
+            evaluated[i] = cost
+            after += cost
         self.site_of[cell] = src_site
         if other is not None:
             self.site_of[other] = dst_site
+        self._pending = (move, evaluated)
         return after - before
 
     def commit(self, move) -> None:
@@ -573,11 +644,22 @@ class TunablePlacementProblem:
             self.cell_at[src_site] = other
         else:
             del self.cell_at[src_site]
+        pending = getattr(self, "_pending", None)
+        evaluated = (
+            pending[1]
+            if pending is not None and pending[0] == move
+            else None
+        )
+        self._pending = None
         affected: Set[int] = set(self.nets_of_cell.get(cell, ()))
         if other is not None:
             affected.update(self.nets_of_cell.get(other, ()))
         for i in affected:
-            self.net_cost[i] = self._compute_net_cost(i)
+            self.net_cost[i] = (
+                evaluated[i]
+                if evaluated is not None and i in evaluated
+                else self._compute_net_cost(i)
+            )
 
     def apply_to_tunable(self) -> None:
         """Write the refined sites back into the Tunable circuit."""

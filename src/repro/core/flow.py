@@ -18,11 +18,14 @@ retries with a wider channel when routing fails — mirroring the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.architecture import FpgaArchitecture, size_for_circuits
 from repro.arch.rrg import RoutingResourceGraph, build_rrg
+from repro.exec.cache import StageCache
+from repro.exec.progress import ProgressLog, StageRecord, timed_call
+from repro.exec.scheduler import Scheduler, Task
 from repro.core.combined_placement import (
     CombinedPlacementResult,
     merge_with_combined_placement,
@@ -165,52 +168,324 @@ class MultiModeResult:
         )
 
 
-class MdrFlow:
-    """Modular Dynamic Reconfiguration: implement each mode separately."""
+@dataclass
+class PackedRouting:
+    """A :class:`RoutingResult` with the RRG detached.
 
-    def __init__(self, options: Optional[FlowOptions] = None) -> None:
+    The RRG is deterministic from the architecture, so cached and
+    inter-process payloads carry only the routes and rebuild (or
+    reattach) the graph on arrival — entries stay small and never pin
+    a stale graph object.
+    """
+
+    routes: Dict[int, "ConnectionRoute"]
+    n_modes: int
+    iterations: int
+
+
+def pack_routing(routing: RoutingResult) -> PackedRouting:
+    return PackedRouting(
+        routes=routing.routes,
+        n_modes=routing.n_modes,
+        iterations=routing.iterations,
+    )
+
+
+def restore_routing(
+    packed: PackedRouting, rrg: RoutingResourceGraph
+) -> RoutingResult:
+    return RoutingResult(
+        rrg=rrg,
+        routes=packed.routes,
+        n_modes=packed.n_modes,
+        iterations=packed.iterations,
+    )
+
+
+def pack_result(result: "MultiModeResult") -> "MultiModeResult":
+    """Detach every RRG reference for caching / IPC transport."""
+    mdr = replace(
+        result.mdr,
+        implementations=[
+            replace(impl, routing=pack_routing(impl.routing))
+            for impl in result.mdr.implementations
+        ],
+    )
+    dcs = {
+        strategy: replace(d, routing=pack_routing(d.routing))
+        for strategy, d in result.dcs.items()
+    }
+    return MultiModeResult(result.name, result.arch, mdr, dcs)
+
+
+def unpack_result(packed: "MultiModeResult") -> "MultiModeResult":
+    """Rebuild the RRG once and reattach it to every routing."""
+    rrg = build_rrg(packed.arch)
+    mdr = replace(
+        packed.mdr,
+        implementations=[
+            replace(impl, routing=restore_routing(impl.routing, rrg))
+            for impl in packed.mdr.implementations
+        ],
+    )
+    dcs = {
+        strategy: replace(d, routing=restore_routing(d.routing, rrg))
+        for strategy, d in packed.dcs.items()
+    }
+    return MultiModeResult(packed.name, packed.arch, mdr, dcs)
+
+
+def _stage_cache(cache_root: Optional[str],
+                 cache_enabled: bool) -> StageCache:
+    return StageCache(cache_root, enabled=cache_enabled)
+
+
+def _mdr_mode_stage(
+    label: str,
+    mode: int,
+    circuit: LutCircuit,
+    arch: FpgaArchitecture,
+    options: FlowOptions,
+    cache_root: Optional[str],
+    cache_enabled: bool,
+    rrg: Optional[RoutingResourceGraph] = None,
+) -> Tuple[int, Placement, PackedRouting, List[StageRecord]]:
+    """Place & route one MDR mode (scheduler task; runs in workers).
+
+    Placement and routing are memoized independently, so a placement
+    survives router-option changes and vice versa.
+    """
+    cache = _stage_cache(cache_root, cache_enabled)
+    records: List[StageRecord] = []
+    item = f"{label}/mode{mode}"
+
+    def compute_placement() -> Placement:
+        return place_circuit(
+            circuit,
+            arch,
+            seed=options.seed + mode,
+            schedule=options.schedule(),
+        )
+
+    # Keyed by exactly the inputs that reach place_circuit, so cached
+    # placements survive changes to unrelated (e.g. router) options.
+    (placement, place_hit), record = timed_call(
+        "place", item, cache.memoize,
+        "place",
+        (circuit, arch, options.seed + mode, options.schedule()),
+        compute_placement,
+    )
+    records.append(replace(record, cache_hit=place_hit))
+
+    def compute_routing() -> PackedRouting:
+        graph = rrg if rrg is not None else build_rrg(arch)
+        return pack_routing(
+            route_lut_circuit(
+                circuit,
+                placement,
+                graph,
+                max_iterations=options.router_max_iterations,
+            )
+        )
+
+    (packed, route_hit), record = timed_call(
+        "route_lut", item, cache.memoize,
+        "route_lut",
+        (circuit, placement, arch, options.router_max_iterations),
+        compute_routing,
+    )
+    records.append(replace(record, cache_hit=route_hit))
+    return mode, placement, packed, records
+
+
+def _dcs_stage(
+    label: str,
+    name: str,
+    strategy_value: str,
+    mode_circuits: Tuple[LutCircuit, ...],
+    arch: FpgaArchitecture,
+    options: FlowOptions,
+    cache_root: Optional[str],
+    cache_enabled: bool,
+    rrg: Optional[RoutingResourceGraph] = None,
+) -> Tuple[str, DcsResult, List[StageRecord]]:
+    """Merge + TPlace + TRoute for one strategy (scheduler task).
+
+    The returned :class:`DcsResult` carries a :class:`PackedRouting`
+    in place of its routing; the parent reattaches the RRG.
+    """
+    cache = _stage_cache(cache_root, cache_enabled)
+    strategy = MergeStrategy(strategy_value)
+    item = f"{label}/dcs-{strategy_value}"
+
+    def compute() -> DcsResult:
+        graph = rrg if rrg is not None else build_rrg(arch)
+        result = _run_dcs(
+            name, mode_circuits, arch, strategy, options, graph
+        )
+        return replace(result, routing=pack_routing(result.routing))
+
+    # Keyed by the inputs the DCS pipeline actually consumes (merge,
+    # TPlace, TRoute) rather than the whole options object.
+    dcs_inputs = (
+        name, mode_circuits, arch, strategy,
+        options.seed, options.schedule(), options.tplace_refine,
+        options.net_affinity, options.bit_affinity,
+        options.sharing_passes, options.router_max_iterations,
+    )
+    (packed, hit), record = timed_call(
+        "dcs", item, cache.memoize, "dcs", dcs_inputs, compute,
+    )
+    return strategy_value, packed, [replace(record, cache_hit=hit)]
+
+
+def _run_dcs(
+    name: str,
+    mode_circuits: Sequence[LutCircuit],
+    arch: FpgaArchitecture,
+    strategy: MergeStrategy,
+    options: FlowOptions,
+    rrg: RoutingResourceGraph,
+) -> DcsResult:
+    """The DCS flow proper: merge, (T)place, TRoute, bit accounting."""
+    n_modes = len(mode_circuits)
+    placement_result: Optional[CombinedPlacementResult] = None
+    if strategy == MergeStrategy.BY_INDEX:
+        tunable = merge_by_index(name, mode_circuits)
+        tplace(
+            tunable,
+            arch,
+            seed=options.seed,
+            schedule=options.schedule(),
+            randomize=True,
+        )
+    else:
+        tunable, placement_result = merge_with_combined_placement(
+            name,
+            mode_circuits,
+            arch,
+            strategy=strategy,
+            seed=options.seed,
+            schedule=options.schedule(),
+        )
+        if options.tplace_refine:
+            tplace(
+                tunable,
+                arch,
+                seed=options.seed,
+                schedule=options.schedule(),
+            )
+    routing = route_tunable_circuit(
+        rrg,
+        tunable.site_connections(),
+        n_modes,
+        net_affinity=options.net_affinity,
+        bit_affinity=options.bit_affinity,
+        sharing_passes=options.sharing_passes,
+        max_iterations=options.router_max_iterations,
+    )
+    per_mode_bits = [
+        routing.bits_on(m) for m in range(n_modes)
+    ]
+    return DcsResult(
+        arch=arch,
+        strategy=strategy,
+        tunable=tunable,
+        routing=routing,
+        cost=dcs_cost(arch, per_mode_bits),
+        placement=placement_result,
+    )
+
+
+class MdrFlow:
+    """Modular Dynamic Reconfiguration: implement each mode separately.
+
+    Modes are independent synth→place→route runs, so they are submitted
+    as one scheduler batch: serial when ``workers <= 1`` (bit-identical
+    to the historical loop), fanned over a process pool otherwise.
+    """
+
+    def __init__(
+        self,
+        options: Optional[FlowOptions] = None,
+        workers: Optional[int] = None,
+        cache: Optional[StageCache] = None,
+        progress: Optional[ProgressLog] = None,
+    ) -> None:
         self.options = options or FlowOptions()
+        self.scheduler = Scheduler(workers)
+        self.cache = cache or StageCache(enabled=False)
+        self.progress = progress or ProgressLog()
 
     def run(
         self,
         mode_circuits: Sequence[LutCircuit],
         arch: FpgaArchitecture,
         rrg: Optional[RoutingResourceGraph] = None,
+        label: str = "mdr",
     ) -> MdrResult:
         """Place & route every mode independently in the region."""
-        options = self.options
         rrg = rrg or build_rrg(arch)
-        implementations = []
-        for mode, circuit in enumerate(mode_circuits):
-            placement = place_circuit(
-                circuit,
-                arch,
-                seed=options.seed + mode,
-                schedule=options.schedule(),
-            )
-            routing = route_lut_circuit(
-                circuit,
-                placement,
-                rrg,
-                max_iterations=options.router_max_iterations,
-            )
-            implementations.append(
-                ModeImplementation(mode, placement, routing)
-            )
-        per_mode_bits = [impl.bits_on() for impl in implementations]
-        return MdrResult(
-            arch=arch,
-            implementations=implementations,
-            cost=mdr_cost(arch, rrg),
-            diff=diff_cost(arch, per_mode_bits),
+        inline = (
+            self.scheduler.effective_workers(len(mode_circuits)) <= 1
         )
+        tasks = [
+            Task(
+                _mdr_mode_stage,
+                (
+                    label, mode, circuit, arch, self.options,
+                    _cache_root_arg(self.cache), self.cache.enabled,
+                    rrg if inline else None,
+                ),
+                name=f"{label}/mode{mode}",
+            )
+            for mode, circuit in enumerate(mode_circuits)
+        ]
+        outcomes = self.scheduler.run(tasks)
+        return _assemble_mdr(arch, rrg, outcomes, self.progress)
+
+
+def _cache_root_arg(cache: StageCache) -> Optional[str]:
+    return str(cache.root) if cache.enabled else None
+
+
+def _assemble_mdr(
+    arch: FpgaArchitecture,
+    rrg: RoutingResourceGraph,
+    outcomes: Sequence[Tuple[int, Placement, PackedRouting,
+                             List[StageRecord]]],
+    progress: ProgressLog,
+) -> MdrResult:
+    implementations = []
+    for mode, placement, packed, records in outcomes:
+        progress.extend(records)
+        implementations.append(
+            ModeImplementation(
+                mode, placement, restore_routing(packed, rrg)
+            )
+        )
+    implementations.sort(key=lambda impl: impl.mode)
+    per_mode_bits = [impl.bits_on() for impl in implementations]
+    return MdrResult(
+        arch=arch,
+        implementations=implementations,
+        cost=mdr_cost(arch, rrg),
+        diff=diff_cost(arch, per_mode_bits),
+    )
 
 
 class DcsFlow:
     """The paper's flow: merge + Dynamic Circuit Specialization."""
 
-    def __init__(self, options: Optional[FlowOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[FlowOptions] = None,
+        cache: Optional[StageCache] = None,
+        progress: Optional[ProgressLog] = None,
+    ) -> None:
         self.options = options or FlowOptions()
+        self.cache = cache or StageCache(enabled=False)
+        self.progress = progress or ProgressLog()
 
     def run(
         self,
@@ -221,55 +496,15 @@ class DcsFlow:
         rrg: Optional[RoutingResourceGraph] = None,
     ) -> DcsResult:
         """Combined placement, merge, TPlace, TRoute, bit accounting."""
-        options = self.options
         rrg = rrg or build_rrg(arch)
-        n_modes = len(mode_circuits)
-
-        placement_result: Optional[CombinedPlacementResult] = None
-        if strategy == MergeStrategy.BY_INDEX:
-            tunable = merge_by_index(name, mode_circuits)
-            tplace(
-                tunable,
-                arch,
-                seed=options.seed,
-                schedule=options.schedule(),
-                randomize=True,
-            )
-        else:
-            tunable, placement_result = merge_with_combined_placement(
-                name,
-                mode_circuits,
-                arch,
-                strategy=strategy,
-                seed=options.seed,
-                schedule=options.schedule(),
-            )
-            if options.tplace_refine:
-                tplace(
-                    tunable,
-                    arch,
-                    seed=options.seed,
-                    schedule=options.schedule(),
-                )
-        routing = route_tunable_circuit(
-            rrg,
-            tunable.site_connections(),
-            n_modes,
-            net_affinity=options.net_affinity,
-            bit_affinity=options.bit_affinity,
-            sharing_passes=options.sharing_passes,
-            max_iterations=options.router_max_iterations,
+        _value, packed, records = _dcs_stage(
+            name, name, strategy.value, tuple(mode_circuits), arch,
+            self.options, _cache_root_arg(self.cache),
+            self.cache.enabled, rrg,
         )
-        per_mode_bits = [
-            routing.bits_on(m) for m in range(n_modes)
-        ]
-        return DcsResult(
-            arch=arch,
-            strategy=strategy,
-            tunable=tunable,
-            routing=routing,
-            cost=dcs_cost(arch, per_mode_bits),
-            placement=placement_result,
+        self.progress.extend(records)
+        return replace(
+            packed, routing=restore_routing(packed.routing, rrg)
         )
 
 
@@ -307,13 +542,40 @@ def implement_multi_mode(
         MergeStrategy.EDGE_MATCHING,
         MergeStrategy.WIRE_LENGTH,
     ),
+    workers: Optional[int] = None,
+    cache: Optional[StageCache] = None,
+    progress: Optional[ProgressLog] = None,
 ) -> MultiModeResult:
     """Run MDR and DCS on a shared architecture; retry wider on failure.
 
     This is the experiment driver: one call per multi-mode circuit
     yields every quantity Figs. 5-7 need.
+
+    The per-mode MDR runs and the per-strategy DCS runs are mutually
+    independent, so they are submitted as *one* scheduler batch
+    (``workers`` processes; ``<= 1`` = serial, bit-identical results).
+    With a ``cache``, the whole result is memoized against the inputs
+    — a warm rerun deserialises one entry — and on a miss every stage
+    (placement, LUT routing, DCS merge+route) is memoized separately.
     """
     options = options or FlowOptions()
+    cache = cache or StageCache(enabled=False)
+    progress = progress or ProgressLog()
+    scheduler = Scheduler(workers)
+
+    pair_key = None
+    if cache.enabled:
+        pair_key = cache.key(
+            "multimode", name, tuple(mode_circuits), options,
+            tuple(strategies),
+        )
+        hit, packed = cache.get("multimode", pair_key)
+        if hit:
+            progress.add(
+                StageRecord("multimode", name, 0.0, cache_hit=True)
+            )
+            return unpack_result(packed)
+
     n_blocks = max(c.n_luts() for c in mode_circuits)
     io_names = set()
     for circuit in mode_circuits:
@@ -351,6 +613,7 @@ def implement_multi_mode(
             f"(use 'estimate' or 'search')"
         )
 
+    cache_root = _cache_root_arg(cache)
     last_error: Optional[Exception] = None
     for _attempt in range(options.max_width_retries):
         arch = FpgaArchitecture(
@@ -362,18 +625,55 @@ def implement_multi_mode(
             fc_out=arch.fc_out,
             io_rat=arch.io_rat,
         )
+        # Serial/inline execution routes everything over one shared
+        # graph; pool workers rebuild it locally instead of
+        # deserialising it.
+        n_tasks = len(mode_circuits) + len(strategies)
+        serial = scheduler.effective_workers(n_tasks) <= 1
         rrg = build_rrg(arch)
+        shipped_rrg = rrg if serial else None
+        tasks = [
+            Task(
+                _mdr_mode_stage,
+                (
+                    name, mode, circuit, arch, options,
+                    cache_root, cache.enabled, shipped_rrg,
+                ),
+                name=f"{name}/mode{mode}",
+            )
+            for mode, circuit in enumerate(mode_circuits)
+        ]
+        tasks += [
+            Task(
+                _dcs_stage,
+                (
+                    name, name, strategy.value, tuple(mode_circuits),
+                    arch, options, cache_root, cache.enabled,
+                    shipped_rrg,
+                ),
+                name=f"{name}/dcs-{strategy.value}",
+            )
+            for strategy in strategies
+        ]
         try:
-            mdr = MdrFlow(options).run(mode_circuits, arch, rrg)
-            dcs: Dict[MergeStrategy, DcsResult] = {}
-            for strategy in strategies:
-                dcs[strategy] = DcsFlow(options).run(
-                    name, mode_circuits, arch, strategy, rrg
-                )
-            return MultiModeResult(name, arch, mdr, dcs)
+            outcomes = scheduler.run(tasks)
         except RoutingError as error:
             last_error = error
             width = max(width + 2, int(width * 1.25))
+            continue
+        n_modes = len(mode_circuits)
+        mdr = _assemble_mdr(arch, rrg, outcomes[:n_modes], progress)
+        dcs: Dict[MergeStrategy, DcsResult] = {}
+        for value, packed_dcs, records in outcomes[n_modes:]:
+            progress.extend(records)
+            dcs[MergeStrategy(value)] = replace(
+                packed_dcs,
+                routing=restore_routing(packed_dcs.routing, rrg),
+            )
+        result = MultiModeResult(name, arch, mdr, dcs)
+        if pair_key is not None:
+            cache.put("multimode", pair_key, pack_result(result))
+        return result
     raise RoutingError(
         f"{name}: unroutable even at channel width {width}: "
         f"{last_error}"

@@ -1,0 +1,41 @@
+"""Parallel flow execution with persistent stage caching.
+
+The ``repro.exec`` subsystem is the machinery that lets the tool flow
+scale to the paper's full experiment sweeps (Figs. 5-7, Table 1) and
+beyond:
+
+* :mod:`repro.exec.fingerprint` — stable content hashes of every stage
+  input (LUT circuits, architectures, flow options), so a stage result
+  is addressed by *what* produced it, not *when*.
+* :mod:`repro.exec.cache` — an on-disk, hash-addressed memo of stage
+  results (placements, routings, merged tunable circuits, whole
+  multi-mode results) with atomic writes and corruption tolerance.
+* :mod:`repro.exec.scheduler` — deterministic fan-out of independent
+  stage tasks over a ``ProcessPoolExecutor`` (results are returned in
+  submission order regardless of completion order).
+* :mod:`repro.exec.progress` — wall-clock accounting per stage, merged
+  across worker processes, feeding ``BENCH_exec.json``.
+
+The cache key of a stage is ``sha256(version, stage name, canonical
+serialisation of every input)``; see :func:`repro.exec.fingerprint.fingerprint`
+for the canonicalisation rules and ``ARCHITECTURE.md`` for the cache
+layout and invalidation rules.
+"""
+
+from repro.exec.cache import CacheStats, StageCache, default_cache_dir
+from repro.exec.fingerprint import FINGERPRINT_VERSION, fingerprint
+from repro.exec.progress import ProgressLog, StageRecord
+from repro.exec.scheduler import Scheduler, Task, default_workers
+
+__all__ = [
+    "CacheStats",
+    "StageCache",
+    "default_cache_dir",
+    "FINGERPRINT_VERSION",
+    "fingerprint",
+    "ProgressLog",
+    "StageRecord",
+    "Scheduler",
+    "Task",
+    "default_workers",
+]

@@ -1,0 +1,205 @@
+"""On-disk, hash-addressed memoization of flow-stage results.
+
+Layout: ``<root>/<stage>/<key[:2]>/<key>.pkl`` where ``key`` is the
+SHA-256 fingerprint of the stage's inputs (including the global
+:data:`~repro.exec.fingerprint.FINGERPRINT_VERSION`).  One file per
+entry keeps eviction and concurrent access trivial: writers write to a
+temporary file in the same directory and ``os.replace`` it into place,
+so readers never observe a torn entry, and two processes computing the
+same entry simply race to an identical result.
+
+Invalidation is purely key-driven — a changed circuit, architecture,
+option, seed, or fingerprint version produces a different key and the
+stale entry is never touched again.  ``clear()`` (or removing the
+directory) is the only explicit invalidation.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro/stages``);
+* ``REPRO_CACHE_DISABLE=1`` — turn every lookup into a miss and every
+  store into a no-op (useful to A/B a cold path).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple
+
+from repro.exec.fingerprint import code_fingerprint, fingerprint
+
+
+def default_cache_dir() -> Path:
+    """Cache root honouring ``REPRO_CACHE_DIR``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "stages"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`StageCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.errors += other.errors
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class StageCache:
+    """Persistent stage-result store addressed by input fingerprint.
+
+    ``root=None`` uses :func:`default_cache_dir`; ``enabled=False`` (or
+    ``REPRO_CACHE_DISABLE=1`` in the environment) makes the cache a
+    transparent no-op so every call site can pass a cache
+    unconditionally.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled and not os.environ.get(
+            "REPRO_CACHE_DISABLE"
+        )
+        self.stats = CacheStats()
+
+    # -- keys and paths -----------------------------------------------------
+
+    @staticmethod
+    def key(stage: str, *inputs: Any) -> str:
+        """Cache key of *stage* applied to *inputs*.
+
+        The package's own source digest participates, so editing any
+        ``repro`` module invalidates every previously cached result —
+        a stale entry can never masquerade as the current code's
+        output.
+        """
+        return fingerprint(code_fingerprint(), stage, *inputs)
+
+    def path(self, stage: str, key: str) -> Path:
+        return self.root / stage / key[:2] / f"{key}.pkl"
+
+    # -- primitive operations -------------------------------------------------
+
+    def get(self, stage: str, key: str) -> Tuple[bool, Any]:
+        """(hit, value); corrupt entries count as misses and are removed."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return False, None
+        path = self.path(stage, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # Torn write from a crashed run or an entry pickled against
+            # a module that has since changed shape: drop it.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, stage: str, key: str, value: Any) -> None:
+        """Atomically store *value*; IO errors are swallowed (the cache
+        is an accelerator, never a correctness dependency)."""
+        if not self.enabled:
+            return
+        path = self.path(stage, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        value, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+        except (OSError, pickle.PicklingError, TypeError,
+                AttributeError):
+            # Unpicklable values degrade to "not cached", same as IO
+            # errors — a failed store must never fail the flow.
+            self.stats.errors += 1
+
+    # -- memoization ----------------------------------------------------------
+
+    def memoize(
+        self,
+        stage: str,
+        inputs: Tuple[Any, ...],
+        compute: Callable[[], Any],
+    ) -> Tuple[Any, bool]:
+        """Return ``(result, cache_hit)`` of *stage* on *inputs*.
+
+        On a miss, *compute* runs and its result is stored before being
+        returned, so a subsequent identical call is a hit.
+        """
+        if not self.enabled:
+            # Skip the input fingerprinting entirely — hashing whole
+            # circuits/placements is wasted work when nothing is kept.
+            self.stats.misses += 1
+            return compute(), False
+        key = self.key(stage, *inputs)
+        hit, value = self.get(stage, key)
+        if hit:
+            return value, True
+        value = compute()
+        self.put(stage, key, value)
+        return value, False
+
+    # -- maintenance ------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def n_entries(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))

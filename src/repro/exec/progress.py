@@ -1,0 +1,102 @@
+"""Per-stage wall-clock accounting across worker processes.
+
+Every flow stage records a :class:`StageRecord`; records produced
+inside worker processes travel back with the task result and are merged
+into the parent's :class:`ProgressLog`.  The aggregated per-stage
+breakdown is what ``BENCH_exec.json`` reports, so later PRs can track
+where the time goes as the system scales.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One timed execution (or cache hit) of one flow stage."""
+
+    stage: str  # e.g. "place", "route_lut", "dcs", "multimode"
+    name: str  # workload item, e.g. "regexp_01/mode0"
+    seconds: float
+    cache_hit: bool = False
+
+
+@dataclass
+class ProgressLog:
+    """Collects stage records; optionally narrates them to a stream."""
+
+    verbose: bool = False
+    stream: object = None
+    records: List[StageRecord] = field(default_factory=list)
+
+    def add(self, record: StageRecord) -> None:
+        self.records.append(record)
+        if self.verbose:
+            stream = self.stream or sys.stderr
+            tag = "cached" if record.cache_hit else (
+                f"{record.seconds:.2f}s"
+            )
+            print(
+                f"  [{record.stage}] {record.name}: {tag}",
+                file=stream,
+            )
+
+    def extend(self, records: Iterable[StageRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    @contextmanager
+    def timed(
+        self, stage: str, name: str, cache_hit: bool = False
+    ) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(
+                StageRecord(
+                    stage, name, time.perf_counter() - start, cache_hit
+                )
+            )
+
+    # -- aggregation ----------------------------------------------------------
+
+    def breakdown(self) -> Dict[str, Dict[str, object]]:
+        """Per-stage totals: count, cache hits, summed seconds."""
+        result: Dict[str, Dict[str, object]] = {}
+        for record in self.records:
+            row = result.setdefault(
+                record.stage,
+                {"count": 0, "cache_hits": 0, "seconds": 0.0},
+            )
+            row["count"] += 1
+            row["cache_hits"] += int(record.cache_hit)
+            row["seconds"] = float(row["seconds"]) + record.seconds
+        for row in result.values():
+            row["seconds"] = round(float(row["seconds"]), 6)
+        return result
+
+    def total_seconds(self) -> float:
+        """Summed stage time (CPU-side; exceeds wall clock when
+        stages ran in parallel)."""
+        return sum(r.seconds for r in self.records)
+
+
+def timed_call(stage: str, name: str, fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)``; returns ``(result, StageRecord)``.
+
+    The worker-process counterpart of :meth:`ProgressLog.timed` — the
+    record is returned instead of logged so it can be shipped back to
+    the parent process with the result.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    record = StageRecord(
+        stage, name, time.perf_counter() - start, False
+    )
+    return result, record

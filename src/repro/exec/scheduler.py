@@ -1,0 +1,108 @@
+"""Deterministic fan-out of independent flow-stage tasks.
+
+The unit of work is a :class:`Task`: a picklable module-level function
+plus positional arguments.  :meth:`Scheduler.run` executes a batch and
+returns the results **in submission order**, whatever the completion
+order was — parallel runs are therefore bit-for-bit interchangeable
+with serial runs as long as the tasks themselves are independent and
+deterministic, which every flow stage is (they are seeded and share no
+mutable state).
+
+``workers <= 1`` executes inline in the calling process: no pool, no
+pickling, identical code path for tests and for nested calls (a task
+running inside a worker process never spawns its own pool).
+
+Failure semantics: the first task (by submission order) that raised
+propagates its original exception; later tasks are cancelled when
+still pending but never silently dropped — callers relying on the
+flow's ``RoutingError``-driven channel-width retry see exactly the
+exception the serial path would have raised.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+def default_workers() -> int:
+    """Worker count honouring ``REPRO_WORKERS`` (default: serial).
+
+    Serial-by-default keeps unit tests and library callers free of
+    process-pool surprises; the CLI and the experiment harness opt in
+    explicitly.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of schedulable work.
+
+    ``fn`` must be an importable module-level callable (the process
+    pool pickles it by reference); ``args`` must be picklable.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    name: str = ""
+
+
+class Scheduler:
+    """Runs task batches serially or over a process pool."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = default_workers() if workers is None else max(
+            1, int(workers)
+        )
+
+    def effective_workers(self, n_tasks: int) -> int:
+        """Pool size a batch of *n_tasks* would actually run with.
+
+        Never more processes than there is work or hardware:
+        oversubscribing cores only adds context-switch and memory
+        pressure (results are order-locked, so this cannot change
+        them).  ``1`` means the batch executes inline; callers use
+        this to decide whether to ship shared objects or let workers
+        rebuild them.
+        """
+        return max(1, min(self.workers, n_tasks, os.cpu_count() or 1))
+
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        """Execute *tasks*; results in submission order."""
+        if not tasks:
+            return []
+        n_workers = self.effective_workers(len(tasks))
+        if n_workers <= 1:
+            return [task.fn(*task.args) for task in tasks]
+        results: List[Any] = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(task.fn, *task.args) for task in tasks
+            ]
+            error: Optional[BaseException] = None
+            for index, future in enumerate(futures):
+                if error is not None:
+                    future.cancel()
+                    continue
+                try:
+                    results[index] = future.result()
+                except BaseException as exc:  # first failure wins
+                    error = exc
+            if error is not None:
+                raise error
+        return results
+
+    def map(
+        self, fn: Callable[..., Any], args_list: Sequence[Tuple]
+    ) -> List[Any]:
+        """Convenience: one task per argument tuple."""
+        return self.run([Task(fn, tuple(args)) for args in args_list])

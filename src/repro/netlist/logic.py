@@ -165,7 +165,11 @@ class LogicNetwork:
 
     def fanouts(self) -> Dict[str, List[str]]:
         """Map signal -> list of node/latch names reading it."""
-        result: Dict[str, List[str]] = {s: [] for s in self.signals()}
+        # Sorted: signals() is a string set, whose iteration order is
+        # salted per process; callers must see a stable mapping order.
+        result: Dict[str, List[str]] = {
+            s: [] for s in sorted(self.signals())
+        }
         for node in self.nodes.values():
             for f in node.fanins:
                 result[f].append(node.name)

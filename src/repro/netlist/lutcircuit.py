@@ -131,7 +131,11 @@ class LutCircuit:
 
     def fanouts(self) -> Dict[str, List[str]]:
         """Map signal -> block names reading it (outputs excluded)."""
-        result: Dict[str, List[str]] = {s: [] for s in self.signals()}
+        # Sorted: signals() is a string set, whose iteration order is
+        # salted per process; callers must see a stable mapping order.
+        result: Dict[str, List[str]] = {
+            s: [] for s in sorted(self.signals())
+        }
         for block in self.blocks.values():
             for src in block.inputs:
                 result[src].append(block.name)

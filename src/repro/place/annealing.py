@@ -98,6 +98,16 @@ def anneal(problem, rng, schedule: Optional[AnnealingSchedule] = None
 
     rlim = float(problem.max_rlim())
 
+    # The move loop runs inner_num * size^(4/3) times per temperature
+    # and dominates placement wall-clock; bind every per-move callable
+    # once per temperature (the RNG call sequence — and therefore the
+    # result — is exactly that of the naive loop).
+    propose = problem.propose
+    delta_cost = problem.delta_cost
+    commit = problem.commit
+    random = rng.random
+    exp = math.exp
+
     for _ in range(schedule.max_temperatures):
         n_nets = max(1, problem.n_nets())
         if temperature < schedule.exit_ratio * cost / n_nets:
@@ -105,15 +115,13 @@ def anneal(problem, rng, schedule: Optional[AnnealingSchedule] = None
         accepted = 0
         attempted = 0
         for _ in range(moves_per_temp):
-            move = problem.propose(rlim=rlim, rng=rng)
+            move = propose(rlim=rlim, rng=rng)
             if move is None:
                 continue
             attempted += 1
-            delta = problem.delta_cost(move)
-            if delta <= 0 or rng.random() < math.exp(
-                -delta / temperature
-            ):
-                problem.commit(move)
+            delta = delta_cost(move)
+            if delta <= 0 or random() < exp(-delta / temperature):
+                commit(move)
                 cost += delta
                 accepted += 1
         stats.n_temperatures += 1

@@ -47,13 +47,34 @@ def bounding_box(
 def net_bounding_box_cost(
     positions: Sequence[Tuple[int, int]]
 ) -> float:
-    """VPR linear-congestion cost of one net at the given terminals."""
-    if len(positions) < 2:
+    """VPR linear-congestion cost of one net at the given terminals.
+
+    This runs once per affected net per annealing move (millions of
+    times per placement), so the bounding box is folded in a single
+    pass with no intermediate lists.
+
+    The same fold is hand-inlined (over sites instead of position
+    tuples) in the three placement problems —
+    ``placer._SinglePlacementProblem._compute_net_cost``,
+    ``combined_placement.CombinedPlacementProblem._compute_net_cost``,
+    ``combined_placement.TunablePlacementProblem._compute_net_cost`` —
+    any arithmetic change here must be mirrored there, or their
+    incremental net-cost caches desynchronise from this function.
+    """
+    n = len(positions)
+    if n < 2:
         return 0.0
-    xmin, ymin, xmax, ymax = bounding_box(positions)
-    return q_factor(len(positions)) * (
-        (xmax - xmin) + (ymax - ymin)
-    )
+    xmin, ymin = xmax, ymax = positions[0]
+    for x, y in positions:
+        if x < xmin:
+            xmin = x
+        elif x > xmax:
+            xmax = x
+        if y < ymin:
+            ymin = y
+        elif y > ymax:
+            ymax = y
+    return q_factor(n) * ((xmax - xmin) + (ymax - ymin))
 
 
 def total_cost(nets: Iterable[Sequence[Tuple[int, int]]]) -> float:

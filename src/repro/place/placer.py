@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.arch.architecture import FpgaArchitecture, Site
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.annealing import AnnealingSchedule, AnnealingStats, anneal
-from repro.place.cost import net_bounding_box_cost
+from repro.place.cost import net_bounding_box_cost, q_factor
 from repro.utils.rng import make_rng
 
 
@@ -41,7 +41,12 @@ def circuit_nets(circuit: LutCircuit) -> List[Net]:
     inputs source from their pad cell; primary outputs add the pad cell
     as a sink.
     """
-    readers: Dict[str, List[str]] = {s: [] for s in circuit.signals()}
+    # Sorted so net order (and with it the whole annealing trajectory)
+    # is identical in every process: ``signals()`` is a set of strings,
+    # and string-set iteration order changes with PYTHONHASHSEED.
+    readers: Dict[str, List[str]] = {
+        s: [] for s in sorted(circuit.signals())
+    }
     for block in circuit.blocks.values():
         for src in block.inputs:
             readers[src].append(block.name)
@@ -143,8 +148,30 @@ class _SinglePlacementProblem:
     # -- cost helpers -----------------------------------------------------
 
     def _compute_net_cost(self, net: Net) -> float:
-        positions = [self.site_of[c].pos() for c in net.cells]
-        return net_bounding_box_cost(positions)
+        # Single-pass bounding box straight over the sites — same
+        # arithmetic as net_bounding_box_cost, minus the per-call
+        # position-tuple list (this is the move loop's hottest callee).
+        cells = net.cells
+        n = len(cells)
+        if n < 2:
+            return 0.0
+        site_of = self.site_of
+        site = site_of[cells[0]]
+        xmin = xmax = site.x
+        ymin = ymax = site.y
+        for cell in cells:
+            site = site_of[cell]
+            x = site.x
+            y = site.y
+            if x < xmin:
+                xmin = x
+            elif x > xmax:
+                xmax = x
+            if y < ymin:
+                ymin = y
+            elif y > ymax:
+                ymax = y
+        return q_factor(n) * ((xmax - xmin) + (ymax - ymin))
 
     def initial_cost(self) -> float:
         return sum(self.net_cost)
@@ -202,16 +229,22 @@ class _SinglePlacementProblem:
         other = self.cell_at.get(dst_site)
         affected = self._affected_nets(cell, other)
         before = sum(self.net_cost[i] for i in affected)
-        # Tentatively move, evaluate, revert.
+        # Tentatively move, evaluate, revert — remembering the
+        # after-costs so commit() of this same move reuses them
+        # (identical floats, same order).
         self.site_of[cell] = dst_site
         if other is not None:
             self.site_of[other] = src_site
-        after = sum(
-            self._compute_net_cost(self.nets[i]) for i in affected
-        )
+        evaluated = {}
+        after = 0.0
+        for i in affected:
+            cost = self._compute_net_cost(self.nets[i])
+            evaluated[i] = cost
+            after += cost
         self.site_of[cell] = src_site
         if other is not None:
             self.site_of[other] = dst_site
+        self._pending = (move, evaluated)
         return after - before
 
     def commit(self, move) -> None:
@@ -224,8 +257,19 @@ class _SinglePlacementProblem:
             self.cell_at[src_site] = other
         else:
             self.cell_at[src_site] = None
+        pending = getattr(self, "_pending", None)
+        evaluated = (
+            pending[1]
+            if pending is not None and pending[0] == move
+            else None
+        )
+        self._pending = None
         for i in self._affected_nets(cell, other):
-            self.net_cost[i] = self._compute_net_cost(self.nets[i])
+            self.net_cost[i] = (
+                evaluated[i]
+                if evaluated is not None and i in evaluated
+                else self._compute_net_cost(self.nets[i])
+            )
 
 
 def place_circuit(

@@ -69,11 +69,25 @@ class ConnectionRoute:
     edges: List[Tuple[int, int, int]]  # (from, to, bit)
 
     def nodes(self) -> List[int]:
+        # The edge list never changes after construction and nodes()
+        # runs once per mode on every add/remove/congestion check, so
+        # the path is materialised once per route.
+        cached = self.__dict__.get("_nodes")
+        if cached is not None:
+            return cached
         if not self.edges:
-            return []
-        result = [self.edges[0][0]]
-        result.extend(edge[1] for edge in self.edges)
+            result: List[int] = []
+        else:
+            result = [self.edges[0][0]]
+            result.extend(edge[1] for edge in self.edges)
+        self.__dict__["_nodes"] = result
         return result
+
+    def __getstate__(self):
+        return {"request": self.request, "edges": self.edges}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     def bits(self) -> Set[int]:
         return {bit for _u, _v, bit in self.edges if bit >= 0}
@@ -244,18 +258,51 @@ class PathFinderRouter:
         self._bit_refs: List[Dict[int, int]] = [
             {} for _ in range(n_modes)
         ]
+        # (mode, node) pairs currently over capacity, maintained at
+        # the occupancy-mutation points so congestion checks never
+        # rescan the whole graph.
+        self._overused: Set[Tuple[int, int]] = set()
+        # Flat graph views (precomputed once per RRG) and reusable
+        # search scratch: dist/parent/visited are epoch-stamped arrays,
+        # so starting a new search is O(1) instead of allocating fresh
+        # dicts for every one of the thousands of connection routes.
+        self._row_ptr, self._edge_dst, self._edge_bit = (
+            rrg.neighbor_arrays()
+        )
+        self._base = rrg.base_cost_array()
+        self._dist = [0.0] * n
+        self._parent_node = [-1] * n
+        self._parent_bit = [-1] * n
+        self._dist_epoch = [0] * n
+        self._visited_epoch = [0] * n
+        self._epoch = 0
+        # Per-search node-pricing cache: within one connection search a
+        # node's cost is bit-independent except for the bit-affinity
+        # multiplier, so the expensive part (occupancy, history, net
+        # affinity, noise) is computed once per node per search instead
+        # of once per incoming edge.
+        self._price = [0.0] * n
+        self._price_over0 = [False] * n
+        self._price_noise = [0.0] * n
+        self._price_epoch = [0] * n
 
     # -- occupancy bookkeeping ---------------------------------------------
 
     def _add_route(self, route: ConnectionRoute) -> None:
         net = route.request.net
         bits = route.bits()
+        cap = self.rrg.node_capacity
+        overused = self._overused
+        nodes = route.nodes()
         for mode in route.request.modes:
             refs = self._net_mode_refs.setdefault((net, mode), {})
-            for node in route.nodes():
+            occ = self._occ[mode]
+            for node in nodes:
                 count = refs.get(node, 0)
                 if count == 0:
-                    self._occ[mode][node] += 1
+                    occ[node] += 1
+                    if occ[node] > cap[node]:
+                        overused.add((mode, node))
                 refs[node] = count + 1
             bit_refs = self._bit_refs[mode]
             for bit in bits:
@@ -264,13 +311,19 @@ class PathFinderRouter:
     def _remove_route(self, route: ConnectionRoute) -> None:
         net = route.request.net
         bits = route.bits()
+        cap = self.rrg.node_capacity
+        overused = self._overused
+        nodes = route.nodes()
         for mode in route.request.modes:
             refs = self._net_mode_refs[(net, mode)]
-            for node in route.nodes():
+            occ = self._occ[mode]
+            for node in nodes:
                 refs[node] -= 1
                 if refs[node] == 0:
                     del refs[node]
-                    self._occ[mode][node] -= 1
+                    occ[node] -= 1
+                    if occ[node] <= cap[node]:
+                        overused.discard((mode, node))
             bit_refs = self._bit_refs[mode]
             for bit in bits:
                 bit_refs[bit] -= 1
@@ -351,22 +404,81 @@ class PathFinderRouter:
             if not refs:
                 return []
             trunk &= refs.keys()
-        return sorted(trunk)
+        # No ordering needed: the caller unions these into its start
+        # set (int sets iterate identically in every process).
+        return list(trunk)
 
     # -- search --------------------------------------------------------------
 
     def _route_connection(
         self, request: RouteRequest, pres_fac: float
     ) -> ConnectionRoute:
+        """Multi-source A* over the flat graph views.
+
+        The node-pricing math is ``_node_cost`` inlined verbatim into
+        the relaxation loop (the per-connection-constant parts hoisted
+        out), so the search makes bit-identical decisions to the
+        reference implementation while avoiding a method call and
+        repeated dict probes per scanned edge.
+        """
         rrg = self.rrg
         target = request.sink
-        tx, ty = rrg.node_x[target], rrg.node_y[target]
+        node_x = rrg.node_x
+        node_y = rrg.node_y
+        tx, ty = node_x[target], node_y[target]
         net_salt = zlib.crc32(request.net.encode())
+        astar_fac = self.astar_fac
+        net = request.net
 
-        def heuristic(node: int) -> float:
-            return self.astar_fac * (
-                abs(rrg.node_x[node] - tx) + abs(rrg.node_y[node] - ty)
-            )
+        # Per-connection-constant context of the cost model.
+        kinds = rrg.node_kind
+        caps = rrg.node_capacity
+        bases = self._base
+        hist = self._hist
+        refs_by_mode = [
+            (self._occ[mode], self._net_mode_refs.get((net, mode)))
+            for mode in request.modes
+        ]
+        net_affinity = self.net_affinity
+        use_net_affinity = net_affinity < 1.0
+        other_refs = (
+            [
+                refs
+                for mode in range(self.n_modes)
+                if mode not in request.modes
+                and (refs := self._net_mode_refs.get((net, mode)))
+            ]
+            if use_net_affinity
+            else []
+        )
+        bit_affinity = self.bit_affinity
+        other_bit_refs = (
+            [
+                self._bit_refs[mode]
+                for mode in range(self.n_modes)
+                if mode not in request.modes
+            ]
+            if bit_affinity < 1.0
+            else []
+        )
+        use_bit_affinity = bool(other_bit_refs)
+
+        row_ptr = self._row_ptr
+        edge_dst = self._edge_dst
+        edge_bit = self._edge_bit
+        dist = self._dist
+        dist_epoch = self._dist_epoch
+        visited = self._visited_epoch
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        price = self._price
+        price_over0 = self._price_over0
+        price_noise = self._price_noise
+        price_epoch = self._price_epoch
+        self._epoch += 1
+        epoch = self._epoch
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         # Multi-source A*: the net's existing route tree (nodes it
         # occupies in every requested mode) is free to start from, so
@@ -375,36 +487,103 @@ class PathFinderRouter:
         # heuristic admissible.
         starts = {request.source}
         starts.update(self._trunk_nodes(request))
-        dist: Dict[int, float] = {}
-        parent: Dict[int, Tuple[int, int]] = {}
         heap: List[Tuple[float, float, int]] = []
         for start in starts:
             dist[start] = 0.0
-            heapq.heappush(heap, (heuristic(start), 0.0, start))
-        visited: Set[int] = set()
+            dist_epoch[start] = epoch
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        found = target in starts
         while heap:
-            _f, g, node = heapq.heappop(heap)
-            if node in visited:
+            _f, g, node = heappop(heap)
+            if visited[node] == epoch:
                 continue
-            visited.add(node)
+            visited[node] = epoch
             if node == target:
+                found = True
                 break
-            for nxt, bit in rrg.adjacency[node]:
-                if nxt in visited:
+            for e in range(row_ptr[node], row_ptr[node + 1]):
+                nxt = edge_dst[e]
+                if visited[nxt] == epoch:
                     continue
-                kind = rrg.node_kind[nxt]
-                if kind == SINK and nxt != target:
-                    continue
-                ng = g + self._node_cost(
-                    nxt, request, pres_fac, net_salt, bit
-                )
-                if ng < dist.get(nxt, float("inf")):
-                    dist[nxt] = ng
-                    parent[nxt] = (node, bit)
-                    heapq.heappush(
-                        heap, (ng + heuristic(nxt), ng, nxt)
+                # -- _node_cost, inlined --------------------------------
+                # The bit-independent part of a node's price is fixed
+                # for the whole search; compute it on first touch and
+                # reuse it for every further incoming edge.
+                if price_epoch[nxt] == epoch:
+                    cost = price[nxt]
+                    overuse_zero = price_over0[nxt]
+                    noise = price_noise[nxt]
+                else:
+                    kind = kinds[nxt]
+                    if kind == SINK and nxt != target:
+                        visited[nxt] = epoch  # never enter this sink
+                        continue
+                    cap = caps[nxt]
+                    overuse = 0
+                    for occ, refs in refs_by_mode:
+                        occ_after = occ[nxt] + (
+                            0 if refs is not None and nxt in refs
+                            else 1
+                        )
+                        if occ_after > cap:
+                            overuse += occ_after - cap
+                    cost = (bases[nxt] + hist[nxt]) * (
+                        1.0 + pres_fac * overuse
                     )
-        if target not in parent and target not in starts:
+                    if (
+                        use_net_affinity
+                        and kind == WIRE
+                        and overuse == 0
+                    ):
+                        for refs in other_refs:
+                            if nxt in refs:
+                                cost *= net_affinity
+                                break
+                    noise = (
+                        (net_salt ^ (nxt * 0x9E3779B9)) & 0xFFFF
+                    ) / 0xFFFF
+                    overuse_zero = overuse == 0
+                    price[nxt] = cost
+                    price_over0[nxt] = overuse_zero
+                    price_noise[nxt] = noise
+                    price_epoch[nxt] = epoch
+                bit = edge_bit[e]
+                if use_bit_affinity and bit >= 0 and overuse_zero:
+                    bit_cost = cost
+                    for bit_refs in other_bit_refs:
+                        if not bit_refs.get(bit):
+                            break
+                    else:
+                        bit_cost = cost * bit_affinity
+                    # Grouped exactly as the reference _node_cost
+                    # (g + (cost + noise)): float addition is not
+                    # associative and a one-ULP difference flips
+                    # equal-cost tie-breaks.
+                    ng = g + (bit_cost + 0.01 * noise)
+                else:
+                    ng = g + (cost + 0.01 * noise)
+                # -------------------------------------------------------
+                if dist_epoch[nxt] != epoch or ng < dist[nxt]:
+                    dist[nxt] = ng
+                    dist_epoch[nxt] = epoch
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+        if not found:
             raise RoutingError(
                 f"no path from {rrg.describe(request.source)} to "
                 f"{rrg.describe(request.sink)}"
@@ -412,9 +591,8 @@ class PathFinderRouter:
         edges: List[Tuple[int, int, int]] = []
         node = target
         while node not in starts:
-            prev, bit = parent[node]
-            edges.append((prev, node, bit))
-            node = prev
+            edges.append((parent_node[node], node, parent_bit[node]))
+            node = parent_node[node]
         edges.reverse()
         return ConnectionRoute(request, edges)
 
@@ -529,6 +707,7 @@ class PathFinderRouter:
             for node in range(len(occ)):
                 occ[node] = 0
         self._net_mode_refs.clear()
+        self._overused.clear()
         for refs in self._bit_refs:
             refs.clear()
         for route in routes.values():
@@ -591,14 +770,15 @@ class PathFinderRouter:
         return self._congested_nodes()
 
     def _congested_nodes(self) -> Dict[int, int]:
-        """node -> total overuse across modes."""
+        """node -> total overuse across modes.
+
+        Derived from the incrementally maintained overuse set, so the
+        check is proportional to the congestion, not the graph.
+        """
         result: Dict[int, int] = {}
         cap = self.rrg.node_capacity
-        for mode in range(self.n_modes):
-            occ = self._occ[mode]
-            for node, occupancy in enumerate(occ):
-                if occupancy > cap[node]:
-                    result[node] = result.get(node, 0) + (
-                        occupancy - cap[node]
-                    )
+        for mode, node in self._overused:
+            result[node] = result.get(node, 0) + (
+                self._occ[mode][node] - cap[node]
+            )
         return result

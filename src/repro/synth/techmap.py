@@ -310,7 +310,13 @@ class TechMapper:
                 if cut == frozenset((node.name,)):
                     continue
                 d = 1 + max((depth[leaf] for leaf in cut), default=0)
-                flow = 1.0 + sum(area_flow[leaf] for leaf in cut)
+                # Sorted: float addition is not associative, and cut is
+                # a string frozenset whose iteration order is salted per
+                # process — unordered summation makes the area-flow tie
+                # break (and the whole mapping) PYTHONHASHSEED-dependent.
+                flow = 1.0 + sum(
+                    area_flow[leaf] for leaf in sorted(cut)
+                )
                 key = (d, flow, len(cut))
                 if best_key is None or key < best_key:
                     best_key = key

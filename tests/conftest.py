@@ -1,0 +1,24 @@
+"""Shared pytest configuration.
+
+The ``smoke`` tier is one fast test per test module (CI runs it first
+for a sub-2-minute signal).  A module can pick its representative
+explicitly with ``@pytest.mark.smoke``; modules without an explicit
+pick get their first collected non-slow test marked automatically, so
+new test modules join the smoke tier by default.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    explicit = set()
+    for item in items:
+        if item.get_closest_marker("smoke"):
+            explicit.add(item.location[0])
+    covered = set(explicit)
+    for item in items:
+        path = item.location[0]
+        if path in covered or item.get_closest_marker("slow"):
+            continue
+        covered.add(path)
+        item.add_marker(pytest.mark.smoke)
