@@ -8,7 +8,11 @@ each an independent synth→place→route run.  Three measurements:
 * ``parallel_cold`` — the same workload fanned over *workers*
   processes into a fresh stage cache;
 * ``parallel_warm`` — an identical rerun against the now-populated
-  cache (every pair resolves to one ``multimode`` cache hit).
+  cache (every pair resolves to one ``multimode`` cache hit);
+* ``timing_driven_cold`` — the workload rerun with
+  ``timing_driven=True``, recording the timing-driven trajectory:
+  wall-clock plus the mean routed MDR critical delay against the
+  wirelength-driven baseline's.
 
 Results are bit-for-bit identical across all three paths (the bench
 asserts this on the reconfiguration-cost totals), so the speedups are
@@ -37,7 +41,7 @@ from repro.exec.scheduler import Scheduler, Task
 from repro.bench.harness import _pair_worker
 from repro.core.flow import unpack_result
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _fir_pair_workload(
@@ -68,8 +72,8 @@ def _run_workload(
     options: FlowOptions,
     workers: int,
     cache: StageCache,
-) -> Tuple[float, ProgressLog, List[float]]:
-    """(wall seconds, merged progress, per-pair cost signature)."""
+) -> Tuple[float, ProgressLog, List[float], list]:
+    """(wall seconds, merged progress, cost signature, results)."""
     scheduler = Scheduler(workers)
     progress = ProgressLog()
     cache_root = str(cache.root) if cache.enabled else None
@@ -82,13 +86,25 @@ def _run_workload(
     outcomes = scheduler.run(tasks)
     elapsed = time.perf_counter() - start
     signature = []
+    results = []
     for packed, records in outcomes:
         progress.extend(records)
         result = unpack_result(packed)
+        results.append(result)
         signature.append(result.mdr.cost.total)
         for dcs in result.dcs.values():
             signature.append(dcs.cost.total)
-    return elapsed, progress, signature
+    return elapsed, progress, signature, results
+
+
+def _mean_critical_delay(results: list) -> float:
+    """Mean routed MDR critical delay over all pairs and modes."""
+    delays = [
+        d
+        for result in results
+        for d in result.mdr.per_mode_critical_delay()
+    ]
+    return sum(delays) / len(delays) if delays else 0.0
 
 
 def _measure_baseline_src(
@@ -179,7 +195,7 @@ def run_exec_bench(
 
     log("serial cold (seed execution model) ...")
     disabled = StageCache(enabled=False)
-    t_serial, p_serial, sig_serial = _run_workload(
+    t_serial, p_serial, sig_serial, _res = _run_workload(
         pairs, options, workers=1, cache=disabled
     )
     log(f"  {t_serial:.1f}s")
@@ -187,14 +203,14 @@ def run_exec_bench(
     log(f"parallel cold ({workers} workers, fresh cache) ...")
     cold_cache = StageCache(cache_dir)
     cold_cache.clear()
-    t_cold, p_cold, sig_cold = _run_workload(
+    t_cold, p_cold, sig_cold, res_cold = _run_workload(
         pairs, options, workers=workers, cache=cold_cache
     )
     log(f"  {t_cold:.1f}s")
 
     log("parallel warm (same cache) ...")
     warm_cache = StageCache(cache_dir)
-    t_warm, p_warm, sig_warm = _run_workload(
+    t_warm, p_warm, sig_warm, _res = _run_workload(
         pairs, options, workers=workers, cache=warm_cache
     )
     log(f"  {t_warm:.1f}s")
@@ -204,6 +220,22 @@ def run_exec_bench(
             "bench paths disagree: serial/cold/warm results must be "
             "bit-identical"
         )
+
+    # Timing-driven trajectory: the same workload with the
+    # criticality model threaded through placement and routing; its
+    # stage keys differ from the wirelength-driven run's, so both
+    # coexist in the same cache directory.
+    log(f"timing-driven cold ({workers} workers, same cache dir) ...")
+    timed_options = FlowOptions(
+        seed=seed, inner_num=inner_num, timing_driven=True
+    )
+    t_timed, p_timed, _sig, res_timed = _run_workload(
+        pairs, timed_options, workers=workers,
+        cache=StageCache(cache_dir),
+    )
+    log(f"  {t_timed:.1f}s")
+    baseline_delay = _mean_critical_delay(res_cold)
+    timed_delay = _mean_critical_delay(res_timed)
 
     baseline = None
     if baseline_src:
@@ -243,6 +275,17 @@ def run_exec_bench(
         "parallel_warm": {
             "seconds": round(t_warm, 3),
             "stages": p_warm.breakdown(),
+        },
+        "timing_driven_cold": {
+            "seconds": round(t_timed, 3),
+            "stages": p_timed.breakdown(),
+            "mdr_mean_critical_delay": round(timed_delay, 4),
+            "wirelength_mdr_mean_critical_delay": round(
+                baseline_delay, 4
+            ),
+            "critical_delay_ratio_vs_wirelength": round(
+                timed_delay / baseline_delay, 4
+            ) if baseline_delay > 0 else None,
         },
         "speedup_cold_vs_serial": round(t_serial / t_cold, 3),
         "warm_fraction_of_cold": round(t_warm / t_cold, 4),

@@ -25,7 +25,7 @@ records results per profile).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.fir import generate_fir_circuit
@@ -127,7 +127,8 @@ class ExperimentHarness:
     def __init__(self, effort: str = "quick", seed: int = 0,
                  k: int = 4, workers: Optional[int] = None,
                  cache: Optional[StageCache] = None,
-                 progress: Optional[ProgressLog] = None) -> None:
+                 progress: Optional[ProgressLog] = None,
+                 timing_driven: bool = False) -> None:
         if effort not in EFFORT_PROFILES:
             raise ValueError(
                 f"effort must be one of {sorted(EFFORT_PROFILES)}"
@@ -135,6 +136,10 @@ class ExperimentHarness:
         self.profile = EFFORT_PROFILES[effort]
         self.seed = seed
         self.k = k
+        #: Thread the criticality model through every pair's placement
+        #: and routing (see repro.timing.criticality); the timing-driven
+        #: and wirelength-driven runs memoize under distinct cache keys.
+        self.timing_driven = timing_driven
         self.scheduler = Scheduler(workers)
         self.cache = cache or StageCache(enabled=False)
         self.progress = progress or ProgressLog()
@@ -245,7 +250,10 @@ class ExperimentHarness:
         for suite in pending:
             for name, modes in self.suite_pairs(suite):
                 workload.append((suite, name, modes))
-        options = self.profile.flow_options(self.seed)
+        options = replace(
+            self.profile.flow_options(self.seed),
+            timing_driven=self.timing_driven,
+        )
         cache_root = (
             str(self.cache.root) if self.cache.enabled else None
         )
@@ -534,49 +542,16 @@ class ExperimentHarness:
         timing analysis on the actual routed paths of both flows
         ("without significant performance penalties", checked).
         """
-        from repro.timing import (
-            dcs_arc_delays,
-            mdr_arc_delays,
-            routed_critical_path,
-            timing_comparison,
-        )
-
         rows = []
         for suite, outcomes in outcomes_by_suite.items():
             for strategy, label in (
                 (MergeStrategy.EDGE_MATCHING, "DCS-Edge matching"),
                 (MergeStrategy.WIRE_LENGTH, "DCS-Wire length"),
             ):
-                ratios = []
-                for outcome in outcomes:
-                    result = outcome.result
-                    pair = dict(self.suite_pairs(suite))[outcome.name]
-                    mdr_reports = [
-                        routed_critical_path(
-                            circuit,
-                            mdr_arc_delays(
-                                circuit, impl.placement, impl.routing
-                            ),
-                        )
-                        for circuit, impl in zip(
-                            pair, result.mdr.implementations
-                        )
-                    ]
-                    dcs = result.dcs[strategy]
-                    dcs_reports = [
-                        routed_critical_path(
-                            dcs.tunable.specialize(mode),
-                            dcs_arc_delays(
-                                dcs.tunable, dcs.routing, mode
-                            ),
-                        )
-                        for mode in range(len(pair))
-                    ]
-                    ratios.append(
-                        timing_comparison(
-                            mdr_reports, dcs_reports
-                        ).mean_ratio
-                    )
+                ratios = [
+                    o.result.mean_frequency_ratio(strategy)
+                    for o in outcomes
+                ]
                 low, mean, high = _aggregate(ratios)
                 rows.append({
                     "suite": suite,
@@ -586,6 +561,78 @@ class ExperimentHarness:
                     "max": high,
                 })
         return rows
+
+    # -- extension: per-mode Fmax (the paper's speed comparison) ----------------
+
+    def fmax_table(
+        self, outcomes_by_suite: Dict[str, List[PairOutcome]]
+    ) -> List[Dict[str, object]]:
+        """Per-mode Fmax of both flows and the MDR:DCS frequency ratio.
+
+        The paper's headline comparison is achievable clock frequency;
+        this reports, per suite and merge strategy, the mean per-mode
+        Fmax of the separate (MDR) and merged (DCS) implementations
+        plus min/mean/max of the per-mode MDR:DCS frequency ratio
+        (1.0 = the merged circuit clocks exactly as fast).
+        """
+        from repro.timing import timing_comparison
+
+        rows = []
+        for suite, outcomes in outcomes_by_suite.items():
+            for strategy, label in (
+                (MergeStrategy.EDGE_MATCHING, "DCS-Edge matching"),
+                (MergeStrategy.WIRE_LENGTH, "DCS-Wire length"),
+            ):
+                # One routed STA per outcome and flow; fmax and the
+                # frequency ratios derive from the same reports.
+                mdr_fmax: List[float] = []
+                dcs_fmax: List[float] = []
+                ratios: List[float] = []
+                for o in outcomes:
+                    mdr_reports = o.result.mdr.per_mode_sta()
+                    dcs_reports = (
+                        o.result.dcs[strategy].per_mode_sta()
+                    )
+                    mdr_fmax.extend(
+                        r.frequency() for r in mdr_reports
+                    )
+                    dcs_fmax.extend(
+                        r.frequency() for r in dcs_reports
+                    )
+                    ratios.extend(
+                        timing_comparison(
+                            mdr_reports, dcs_reports
+                        ).ratios()
+                    )
+                low, mean, high = _aggregate(ratios)
+                rows.append({
+                    "suite": suite,
+                    "variant": label,
+                    "mdr_fmax": _mean(mdr_fmax),
+                    "dcs_fmax": _mean(dcs_fmax),
+                    "ratio_min": low,
+                    "ratio_mean": mean,
+                    "ratio_max": high,
+                })
+        return rows
+
+    @staticmethod
+    def print_fmax_table(rows: Sequence[Dict[str, object]]) -> str:
+        lines = [
+            "Extension: per-mode Fmax and MDR:DCS frequency ratio "
+            "(1.00 = merged circuit clocks as fast)",
+            f"{'suite':8s} {'variant':20s} "
+            f"{'MDR Fmax':>9s} {'DCS Fmax':>9s} "
+            f"{'ratio':>6s} {'min':>6s} {'max':>6s}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['suite']:8s} {row['variant']:20s} "
+                f"{row['mdr_fmax']:9.4f} {row['dcs_fmax']:9.4f} "
+                f"{row['ratio_mean']:6.2f} {row['ratio_min']:6.2f} "
+                f"{row['ratio_max']:6.2f}"
+            )
+        return "\n".join(lines)
 
     @staticmethod
     def print_sta_table(rows: Sequence[Dict[str, object]]) -> str:
@@ -615,6 +662,7 @@ class ExperimentHarness:
             "figure7": self.figure7(outcomes),
             "area": self.area_table(),
             "sta": self.sta_table(outcomes),
+            "fmax": self.fmax_table(outcomes),
         }
 
 

@@ -29,7 +29,11 @@ Subcommands mirror the stages of the paper's flow:
 Flow-running subcommands accept ``--workers N`` (process-pool fan-out
 of independent stages; results are bit-identical to serial) and
 ``--cache-dir``/``--no-cache`` (persistent stage memoization; see
-``repro.exec``).
+``repro.exec``).  ``implement``/``report``/``experiments`` also accept
+``--timing-driven`` (plus ``--criticality-exponent`` and
+``--timing-tradeoff`` where applicable): criticality-weighted
+placement and routing with per-mode Fmax and MDR:DCS frequency ratios
+in the report (see ``repro.timing.criticality``).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -69,6 +73,50 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
 
 def _exec_cache(args: argparse.Namespace) -> StageCache:
     return StageCache(args.cache_dir, enabled=not args.no_cache)
+
+
+def _tradeoff(value: str) -> float:
+    """argparse type for --timing-tradeoff: a float in [0, 1]."""
+    tradeoff = float(value)
+    if not 0.0 <= tradeoff <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"{value}: tradeoff must be in [0, 1]"
+        )
+    return tradeoff
+
+
+def _add_timing_args(parser: argparse.ArgumentParser) -> None:
+    """Timing-driven flow knobs shared by flow-running subcommands."""
+    parser.add_argument(
+        "--timing-driven", action="store_true",
+        help="optimise criticality-weighted delay in placement and "
+             "routing (default: wire length / congestion only)",
+    )
+    parser.add_argument(
+        "--criticality-exponent", type=float, default=1.0,
+        help="criticality sharpening crit**exponent (0 degrades to "
+             "pure congestion; default 1.0)",
+    )
+    parser.add_argument(
+        "--timing-tradeoff", type=_tradeoff, default=0.5,
+        help="placement mix between wire length (0.0) and timing "
+             "(1.0); default 0.5",
+    )
+
+
+def _warn_unused_timing_args(args: argparse.Namespace) -> None:
+    """Tuning knobs do nothing without --timing-driven; say so."""
+    if args.timing_driven:
+        return
+    if (
+        args.criticality_exponent != 1.0
+        or args.timing_tradeoff != 0.5
+    ):
+        print(
+            "warning: --criticality-exponent/--timing-tradeoff have "
+            "no effect without --timing-driven",
+            file=sys.stderr,
+        )
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -113,11 +161,15 @@ def _cmd_implement(args: argparse.Namespace) -> int:
         modes.append(tech_map(optimize_network(network), k=args.k))
         print(f"mode {len(modes) - 1}: {path} "
               f"-> {modes[-1].n_luts()} LUTs")
+    _warn_unused_timing_args(args)
     options = FlowOptions(
         seed=args.seed,
         k=args.k,
         inner_num=args.effort,
         channel_width=args.channel_width,
+        timing_driven=args.timing_driven,
+        criticality_exponent=args.criticality_exponent,
+        timing_tradeoff=args.timing_tradeoff,
     )
     strategies = tuple(
         MergeStrategy(s) for s in args.strategies
@@ -130,19 +182,31 @@ def _cmd_implement(args: argparse.Namespace) -> int:
     print(
         f"\nregion: {result.arch.nx}x{result.arch.ny} CLBs, "
         f"channel width {result.arch.channel_width}"
+        + (" (timing-driven)" if options.timing_driven else "")
     )
     print(f"MDR rewrites {result.mdr.cost.total} bits per switch "
           f"({result.mdr.cost.routing_bits} routing)")
     print(f"differing routing bits (separate implementations): "
           f"{result.mdr.diff.routing_bits}")
+    mdr_fmax = result.mdr.per_mode_fmax()
+    print("MDR per-mode Fmax: "
+          + ", ".join(f"{f:.4f}" for f in mdr_fmax))
     for strategy in strategies:
         dcs = result.dcs[strategy]
+        ratios = result.frequency_ratios(strategy)
         print(
             f"DCS [{strategy.value}]: {dcs.cost.total} bits "
             f"({dcs.cost.routing_bits} parameterised), "
             f"speed-up {result.speedup(strategy):.2f}x, "
             f"wires {100 * result.wirelength_ratio(strategy):.0f}% "
             f"of MDR"
+        )
+        print(
+            f"    per-mode Fmax "
+            + ", ".join(f"{f:.4f}" for f in dcs.per_mode_fmax())
+            + f"; MDR:DCS frequency ratio "
+            + ", ".join(f"{r:.2f}" for r in ratios)
+            + f" (mean {sum(ratios) / len(ratios):.2f})"
         )
     return 0
 
@@ -197,8 +261,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for path in args.modes:
         network = read_blif_file(path)
         modes.append(tech_map(optimize_network(network), k=args.k))
+    _warn_unused_timing_args(args)
     options = FlowOptions(
-        seed=args.seed, k=args.k, inner_num=args.effort
+        seed=args.seed, k=args.k, inner_num=args.effort,
+        timing_driven=args.timing_driven,
+        criticality_exponent=args.criticality_exponent,
+        timing_tradeoff=args.timing_tradeoff,
     )
     result = implement_multi_mode(
         "report", modes, options,
@@ -225,6 +293,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     harness = ExperimentHarness(
         effort=args.effort, seed=args.seed,
         workers=args.workers, cache=_exec_cache(args),
+        timing_driven=args.timing_driven,
     )
     outcomes = harness.run_suites(SUITES, verbose=True)
     print()
@@ -239,6 +308,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     print(harness.print_area_table(harness.area_table()))
     print()
     print(harness.print_sta_table(harness.sta_table(outcomes)))
+    print()
+    print(harness.print_fmax_table(harness.fmax_table(outcomes)))
     return 0
 
 
@@ -317,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[s.value for s in MergeStrategy],
     )
     _add_exec_args(p_impl)
+    _add_timing_args(p_impl)
     p_impl.set_defaults(func=_cmd_implement)
 
     p_export = sub.add_parser(
@@ -341,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--seed", type=int, default=0)
     p_report.add_argument("--effort", type=float, default=0.3)
     _add_exec_args(p_report)
+    _add_timing_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_exp = sub.add_parser(
@@ -349,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--effort", default="quick",
                        choices=("quick", "default", "paper"))
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--timing-driven", action="store_true",
+        help="run every pair timing-driven (criticality-weighted "
+             "placement and routing)",
+    )
     _add_exec_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 

@@ -36,7 +36,12 @@ from repro.core.tunable import TunableCircuit
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.annealing import AnnealingSchedule, AnnealingStats, anneal
 from repro.place.cost import net_bounding_box_cost, q_factor
-from repro.place.placer import Net, circuit_nets, pad_cell
+from repro.place.placer import (
+    Net,
+    PlacementTimingMixin,
+    circuit_nets,
+    pad_cell,
+)
 from repro.utils.rng import make_rng
 
 # Cell keys: ("b", mode, block_name) for per-mode blocks,
@@ -57,8 +62,18 @@ class CombinedPlacementResult:
     stats: Optional[AnnealingStats] = None
 
 
-class CombinedPlacementProblem:
-    """Annealing problem placing all modes at once."""
+class CombinedPlacementProblem(PlacementTimingMixin):
+    """Annealing problem placing all modes at once.
+
+    *timing* (a :class:`~repro.timing.criticality.CriticalityConfig`)
+    adds the criticality-weighted connection-delay term to the
+    wire-length cost — one STA per mode, refreshed every temperature.
+    It requires the ``WIRE_LENGTH`` strategy: edge matching is the
+    paper's topology-only criterion (placement geometry is
+    deliberately ignored), so a geometric timing term has no place in
+    it; timing pressure reaches edge-matched circuits through the
+    TPlace refinement instead.
+    """
 
     def __init__(
         self,
@@ -66,10 +81,16 @@ class CombinedPlacementProblem:
         mode_circuits: Sequence[LutCircuit],
         rng,
         strategy: MergeStrategy = MergeStrategy.WIRE_LENGTH,
+        timing=None,
     ) -> None:
         if strategy == MergeStrategy.BY_INDEX:
             raise ValueError(
                 "BY_INDEX is not a combined-placement strategy"
+            )
+        if timing is not None and strategy != MergeStrategy.WIRE_LENGTH:
+            raise ValueError(
+                "timing-driven combined placement requires the "
+                "wire-length strategy"
             )
         self.arch = arch
         self.circuits = list(mode_circuits)
@@ -177,6 +198,21 @@ class CombinedPlacementProblem:
             self.conn_counter[key] = self.conn_counter.get(key, 0) + 1
             self._conn_keys[i] = key
 
+        # -- timing term (wire-length strategy only) ---------------------------
+        timing_cost = None
+        if timing is not None:
+            # Lazy import: repro.timing.criticality imports
+            # repro.place.placer, which this module feeds.
+            from repro.timing.criticality import PlacementTimingCost
+
+            timing_cost = PlacementTimingCost(timing)
+            for mode, circuit in enumerate(self.circuits):
+                timing_cost.add_circuit(
+                    circuit,
+                    key_of=lambda cell, m=mode: self._cell_key(m, cell),
+                )
+        self._bind_timing(timing_cost)
+
     # -- helpers ---------------------------------------------------------
 
     def _cell_key(self, mode: int, cell: str) -> CellKey:
@@ -242,7 +278,7 @@ class CombinedPlacementProblem:
 
     def initial_cost(self) -> float:
         if self.strategy == MergeStrategy.WIRE_LENGTH:
-            return self.wirelength_cost()
+            return self._combined_cost()
         return self.edge_matching_cost()
 
     # -- moves --------------------------------------------------------------
@@ -308,6 +344,9 @@ class CombinedPlacementProblem:
             for key in keys:
                 affected.update(self.nets_of_cell.get(key, ()))
             before = sum(self.net_cost[i] for i in affected)
+            timing = self._timing
+            if timing is not None:
+                t_affected, t_before = self._timing_before(keys)
             self._apply(displaced)
             # Remember the evaluated after-costs: the annealer commits
             # the very move it just priced, so commit() can reuse them
@@ -318,9 +357,16 @@ class CombinedPlacementProblem:
                 cost = self._compute_net_cost(i)
                 evaluated[i] = cost
                 after += cost
+            t_evaluated = None
+            if timing is not None:
+                t_evaluated, t_after = self._timing_after(t_affected)
             self._revert(displaced)
-            self._pending = (move, evaluated)
-            return after - before
+            self._pending = (move, evaluated, t_evaluated)
+            if timing is None:
+                return after - before
+            return self._timing_delta(
+                after - before, t_before, t_after
+            )
         # Edge matching: track distinct site-level connection count.
         affected_conns: Set[int] = set()
         for key in keys:
@@ -385,11 +431,10 @@ class CombinedPlacementProblem:
         # Refresh caches (reusing the costs delta_cost just evaluated
         # for this same move when available).
         pending = getattr(self, "_pending", None)
-        evaluated = (
-            pending[1]
-            if pending is not None and pending[0] == move
-            else None
-        )
+        if pending is not None and pending[0] == move:
+            evaluated, t_evaluated = pending[1], pending[2]
+        else:
+            evaluated = t_evaluated = None
         self._pending = None
         keys = [d[0] for d in displaced]
         affected_nets: Set[int] = set()
@@ -401,6 +446,7 @@ class CombinedPlacementProblem:
                 if evaluated is not None and i in evaluated
                 else self._compute_net_cost(i)
             )
+        self._commit_timing(keys, t_evaluated)
         affected_conns: Set[int] = set()
         for key in keys:
             affected_conns.update(self.conns_of_cell.get(key, ()))
@@ -449,11 +495,16 @@ def combined_place(
     strategy: MergeStrategy = MergeStrategy.WIRE_LENGTH,
     seed: int = 0,
     schedule: Optional[AnnealingSchedule] = None,
+    timing=None,
 ) -> CombinedPlacementResult:
-    """Run the combined placement of all modes with *strategy*."""
+    """Run the combined placement of all modes with *strategy*.
+
+    *timing* (a ``CriticalityConfig``) makes the wire-length variant
+    timing-driven; it must be ``None`` for edge matching.
+    """
     rng = make_rng(seed, f"combined:{strategy.value}")
     problem = CombinedPlacementProblem(
-        arch, mode_circuits, rng, strategy
+        arch, mode_circuits, rng, strategy, timing=timing
     )
     stats = anneal(problem, rng, schedule)
     return problem.result(stats)
@@ -466,10 +517,11 @@ def merge_with_combined_placement(
     strategy: MergeStrategy = MergeStrategy.WIRE_LENGTH,
     seed: int = 0,
     schedule: Optional[AnnealingSchedule] = None,
+    timing=None,
 ) -> Tuple[TunableCircuit, CombinedPlacementResult]:
     """Combined placement followed by Tunable-circuit extraction."""
     placement = combined_place(
-        mode_circuits, arch, strategy, seed, schedule
+        mode_circuits, arch, strategy, seed, schedule, timing=timing
     )
     tunable = merge_from_placement(
         name, mode_circuits, placement.block_sites, placement.pad_sites
@@ -477,18 +529,22 @@ def merge_with_combined_placement(
     return tunable, placement
 
 
-class TunablePlacementProblem:
+class TunablePlacementProblem(PlacementTimingMixin):
     """TPlace: refine the placement of a merged Tunable circuit.
 
     Cells are whole Tunable LUTs / pads (all modes move together); the
     topology — which LUTs share a Tunable LUT — is fixed.  The cost is
     the same summed per-mode bounding-box estimator the combined
-    placement's wire-length option uses.
+    placement's wire-length option uses; *timing* (a
+    ``CriticalityConfig``) adds the criticality-weighted delay term,
+    analysed per mode on the specialised circuits at the Tunable
+    cells' sites.
     """
 
     def __init__(self, tunable: TunableCircuit,
                  arch: FpgaArchitecture, rng,
-                 randomize: bool = False) -> None:
+                 randomize: bool = False,
+                 timing=None) -> None:
         self.arch = arch
         self.tunable = tunable
         self.tlut_names = sorted(tunable.tluts)
@@ -550,6 +606,22 @@ class TunablePlacementProblem:
             self._compute_net_cost(i) for i in range(len(self.nets))
         ]
 
+        timing_cost = None
+        if timing is not None:
+            from repro.timing.criticality import (
+                PlacementTimingCost,
+                tunable_carriers,
+            )
+
+            carriers = tunable_carriers(tunable)
+            timing_cost = PlacementTimingCost(timing)
+            for mode in range(tunable.n_modes):
+                timing_cost.add_circuit(
+                    tunable.specialize(mode),
+                    key_of=lambda cell, m=mode: carriers[(m, cell)],
+                )
+        self._bind_timing(timing_cost)
+
     def _compute_net_cost(self, index: int) -> float:
         # Same single-pass inline as the combined problem's.
         cells = self.nets[index]
@@ -575,7 +647,7 @@ class TunablePlacementProblem:
         return q_factor(n) * ((xmax - xmin) + (ymax - ymin))
 
     def initial_cost(self) -> float:
-        return sum(self.net_cost)
+        return self._combined_cost()
 
     def size(self) -> int:
         return len(self.tlut_names) + len(self.pad_names)
@@ -617,6 +689,11 @@ class TunablePlacementProblem:
         if other is not None:
             affected.update(self.nets_of_cell.get(other, ()))
         before = sum(self.net_cost[i] for i in affected)
+        timing = self._timing
+        if timing is not None:
+            t_affected, t_before = self._timing_before(
+                self._timing_keys(cell, other)
+            )
         self.site_of[cell] = dst_site
         if other is not None:
             self.site_of[other] = src_site
@@ -628,11 +705,16 @@ class TunablePlacementProblem:
             cost = self._compute_net_cost(i)
             evaluated[i] = cost
             after += cost
+        t_evaluated = None
+        if timing is not None:
+            t_evaluated, t_after = self._timing_after(t_affected)
         self.site_of[cell] = src_site
         if other is not None:
             self.site_of[other] = dst_site
-        self._pending = (move, evaluated)
-        return after - before
+        self._pending = (move, evaluated, t_evaluated)
+        if timing is None:
+            return after - before
+        return self._timing_delta(after - before, t_before, t_after)
 
     def commit(self, move) -> None:
         cell, src_site, dst_site = move
@@ -645,11 +727,10 @@ class TunablePlacementProblem:
         else:
             del self.cell_at[src_site]
         pending = getattr(self, "_pending", None)
-        evaluated = (
-            pending[1]
-            if pending is not None and pending[0] == move
-            else None
-        )
+        if pending is not None and pending[0] == move:
+            evaluated, t_evaluated = pending[1], pending[2]
+        else:
+            evaluated = t_evaluated = None
         self._pending = None
         affected: Set[int] = set(self.nets_of_cell.get(cell, ()))
         if other is not None:
@@ -660,6 +741,9 @@ class TunablePlacementProblem:
                 if evaluated is not None and i in evaluated
                 else self._compute_net_cost(i)
             )
+        self._commit_timing(
+            self._timing_keys(cell, other), t_evaluated
+        )
 
     def apply_to_tunable(self) -> None:
         """Write the refined sites back into the Tunable circuit."""
@@ -675,11 +759,16 @@ def tplace(
     seed: int = 0,
     schedule: Optional[AnnealingSchedule] = None,
     randomize: bool = False,
+    timing=None,
 ) -> AnnealingStats:
-    """Run TPlace on *tunable*; sites are updated in place."""
+    """Run TPlace on *tunable*; sites are updated in place.
+
+    *timing* (a ``CriticalityConfig``) makes the refinement
+    timing-driven; ``None`` is bit-identical to the historical run.
+    """
     rng = make_rng(seed, "tplace")
     problem = TunablePlacementProblem(
-        tunable, arch, rng, randomize=randomize
+        tunable, arch, rng, randomize=randomize, timing=timing
     )
     stats = anneal(problem, rng, schedule)
     problem.apply_to_tunable()

@@ -88,24 +88,184 @@ class FlowOptions:
     #: binary search for the minimum routable width plus 20% slack
     #: (slower: several trial routings).
     sizing: str = "estimate"
+    #: Timing-driven implementation: thread one criticality model
+    #: (:mod:`repro.timing.criticality`) through placement (a
+    #: criticality-weighted delay term in every annealing cost) and
+    #: routing (VPR's ``crit*delay + (1-crit)*congestion`` pricing).
+    #: ``False`` (the default) is bit-identical to the historical
+    #: wirelength-driven flow.
+    timing_driven: bool = False
+    #: Criticality sharpening ``crit ** exponent``; larger exponents
+    #: concentrate effort on the most critical connections, and 0
+    #: degrades a timing-driven run to pure congestion/wire length.
+    criticality_exponent: float = 1.0
+    #: Placement-level mix between wire length (0.0) and the timing
+    #: term (1.0); the router ignores it (criticality itself blends
+    #: delay against congestion there).
+    timing_tradeoff: float = 0.5
 
     def schedule(self) -> AnnealingSchedule:
         return AnnealingSchedule(inner_num=self.inner_num)
 
+    def criticality(self):
+        """The flow's :class:`~repro.timing.criticality
+        .CriticalityConfig`, or ``None`` when the run is not
+        timing-driven (also for ``criticality_exponent <= 0``, which
+        defines the timing term away entirely)."""
+        if not self.timing_driven or self.criticality_exponent <= 0:
+            return None
+        from repro.timing.criticality import CriticalityConfig
+
+        return CriticalityConfig(
+            exponent=self.criticality_exponent,
+            tradeoff=self.timing_tradeoff,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stage cache keys
+# ---------------------------------------------------------------------------
+#
+# Each cached stage is keyed by exactly the FlowOptions-derived inputs
+# that reach its computation, built by the functions below (the flow
+# and the key-coverage test share them).  OPTION_STAGE_COVERAGE
+# declares, per FlowOptions field, which stage keys the field perturbs
+# *directly*; fields marked only "multimode" influence the per-stage
+# runs indirectly through inputs those keys already carry (k/slack/...
+# shape the architecture, seed shapes the placement fed to route_lut).
+# tests/test_option_fingerprints.py asserts the declaration is exact
+# and total, so a newly added knob that nobody classified — one that
+# could silently alias stale cache entries — fails the suite.
+
+
+def _timing_key(options: "FlowOptions") -> Tuple:
+    return (
+        options.timing_driven,
+        options.criticality_exponent,
+        options.timing_tradeoff,
+    )
+
+
+def place_stage_inputs(
+    circuit: LutCircuit,
+    arch: FpgaArchitecture,
+    options: "FlowOptions",
+    mode: int,
+) -> Tuple:
+    """Key inputs of the ``place`` stage (one mode's placement)."""
+    return (
+        circuit, arch, options.seed + mode, options.schedule(),
+    ) + _timing_key(options)
+
+
+def route_lut_stage_inputs(
+    circuit: LutCircuit,
+    placement: Placement,
+    arch: FpgaArchitecture,
+    options: "FlowOptions",
+) -> Tuple:
+    """Key inputs of the ``route_lut`` stage (one mode's routing)."""
+    return (
+        circuit, placement, arch, options.router_max_iterations,
+    ) + _timing_key(options)
+
+
+def dcs_stage_inputs(
+    name: str,
+    mode_circuits: Tuple[LutCircuit, ...],
+    arch: FpgaArchitecture,
+    strategy: MergeStrategy,
+    options: "FlowOptions",
+) -> Tuple:
+    """Key inputs of the ``dcs`` stage (merge + TPlace + TRoute)."""
+    return (
+        name, mode_circuits, arch, strategy,
+        options.seed, options.schedule(), options.tplace_refine,
+        options.net_affinity, options.bit_affinity,
+        options.sharing_passes, options.router_max_iterations,
+    ) + _timing_key(options)
+
+
+def multimode_stage_inputs(
+    name: str,
+    mode_circuits: Tuple[LutCircuit, ...],
+    options: "FlowOptions",
+    strategies: Tuple[MergeStrategy, ...],
+) -> Tuple:
+    """Key inputs of the whole-result ``multimode`` stage."""
+    return (name, mode_circuits, options, strategies)
+
+
+#: FlowOptions field -> stage keys it perturbs directly (see above).
+OPTION_STAGE_COVERAGE: Dict[str, frozenset] = {
+    "seed": frozenset({"place", "dcs", "multimode"}),
+    "k": frozenset({"multimode"}),
+    "slack": frozenset({"multimode"}),
+    "io_rat": frozenset({"multimode"}),
+    "fc_in": frozenset({"multimode"}),
+    "fc_out": frozenset({"multimode"}),
+    "channel_width": frozenset({"multimode"}),
+    "inner_num": frozenset({"place", "dcs", "multimode"}),
+    "tplace_refine": frozenset({"dcs", "multimode"}),
+    "max_width_retries": frozenset({"multimode"}),
+    "router_max_iterations": frozenset(
+        {"route_lut", "dcs", "multimode"}
+    ),
+    "net_affinity": frozenset({"dcs", "multimode"}),
+    "bit_affinity": frozenset({"dcs", "multimode"}),
+    "sharing_passes": frozenset({"dcs", "multimode"}),
+    "sizing": frozenset({"multimode"}),
+    "timing_driven": frozenset(
+        {"place", "route_lut", "dcs", "multimode"}
+    ),
+    "criticality_exponent": frozenset(
+        {"place", "route_lut", "dcs", "multimode"}
+    ),
+    "timing_tradeoff": frozenset(
+        {"place", "route_lut", "dcs", "multimode"}
+    ),
+}
+
 
 @dataclass
 class ModeImplementation:
-    """One mode's separate (MDR) implementation."""
+    """One mode's separate (MDR) implementation.
+
+    ``circuit`` is the mode's LUT circuit — carried along so routed
+    timing (Fmax) can be analysed without re-deriving the netlist.
+    """
 
     mode: int
     placement: Placement
     routing: RoutingResult
+    circuit: Optional[LutCircuit] = None
 
     def bits_on(self) -> Set[int]:
         return self.routing.bits_on(0)
 
     def wirelength(self) -> int:
         return self.routing.total_wirelength(0)
+
+    def sta(self, model=None):
+        """Routed critical path of this mode (a ``StaReport``)."""
+        if self.circuit is None:
+            raise ValueError(
+                "implementation carries no circuit; rebuild the "
+                "result with the current flow to analyse timing"
+            )
+        from repro.timing.sta import (
+            mdr_arc_delays,
+            routed_critical_path,
+        )
+
+        arcs = mdr_arc_delays(
+            self.circuit, self.placement, self.routing, model
+        )
+        return routed_critical_path(self.circuit, arcs, model)
+
+    def fmax(self, model=None) -> float:
+        """Max clock frequency (1 / routed critical delay)."""
+        return self.sta(model).frequency()
 
 
 @dataclass
@@ -123,6 +283,31 @@ class MdrResult:
     def mean_wirelength(self) -> float:
         wl = self.per_mode_wirelength()
         return sum(wl) / len(wl)
+
+    def per_mode_sta(self, model=None) -> List["StaReport"]:
+        """Routed critical-path report of every mode.
+
+        Default-model reports are computed once and cached on the
+        result (routings never mutate after assembly), so reporting
+        layers — the harness tables, the CLI summary — can all ask
+        without re-walking the route trees.  ``pack_result`` rebuilds
+        via ``dataclasses.replace``, so the cache never reaches the
+        stage cache's pickles.
+        """
+        if model is not None:
+            return [impl.sta(model) for impl in self.implementations]
+        cached = getattr(self, "_sta_reports", None)
+        if cached is None:
+            cached = [impl.sta() for impl in self.implementations]
+            self._sta_reports = cached
+        return cached
+
+    def per_mode_critical_delay(self, model=None) -> List[float]:
+        return [r.critical_delay for r in self.per_mode_sta(model)]
+
+    def per_mode_fmax(self, model=None) -> List[float]:
+        """Per-mode max clock frequency (the paper's actual metric)."""
+        return [r.frequency() for r in self.per_mode_sta(model)]
 
 
 @dataclass
@@ -146,6 +331,42 @@ class DcsResult:
         wl = self.per_mode_wirelength()
         return sum(wl) / len(wl)
 
+    def per_mode_sta(self, model=None) -> List["StaReport"]:
+        """Routed critical path of every specialised mode.
+
+        Default-model reports are cached like
+        :meth:`MdrResult.per_mode_sta`'s.
+        """
+        if model is None:
+            cached = getattr(self, "_sta_reports", None)
+            if cached is not None:
+                return cached
+        from repro.timing.sta import (
+            dcs_arc_delays,
+            routed_critical_path,
+        )
+
+        reports = []
+        for mode in range(self.tunable.n_modes):
+            arcs = dcs_arc_delays(
+                self.tunable, self.routing, mode, model
+            )
+            reports.append(
+                routed_critical_path(
+                    self.tunable.specialize(mode), arcs, model
+                )
+            )
+        if model is None:
+            self._sta_reports = reports
+        return reports
+
+    def per_mode_critical_delay(self, model=None) -> List[float]:
+        return [r.critical_delay for r in self.per_mode_sta(model)]
+
+    def per_mode_fmax(self, model=None) -> List[float]:
+        """Per-mode max clock frequency inside the merged circuit."""
+        return [r.frequency() for r in self.per_mode_sta(model)]
+
 
 @dataclass
 class MultiModeResult:
@@ -166,6 +387,31 @@ class MultiModeResult:
             self.dcs[strategy].mean_wirelength()
             / self.mdr.mean_wirelength()
         )
+
+    def timing(self, strategy: MergeStrategy, model=None):
+        """Per-mode MDR vs DCS routed-timing comparison."""
+        from repro.timing.sta import timing_comparison
+
+        return timing_comparison(
+            self.mdr.per_mode_sta(model),
+            self.dcs[strategy].per_mode_sta(model),
+        )
+
+    def frequency_ratios(
+        self, strategy: MergeStrategy, model=None
+    ) -> Tuple[float, ...]:
+        """Per-mode MDR:DCS Fmax ratios (the paper's speed claim).
+
+        ``fmax_mdr / fmax_dcs`` per mode — equivalently the DCS:MDR
+        critical-delay ratio; 1.0 means the merged implementation
+        clocks as fast as the separate one, above 1.0 it is slower.
+        """
+        return self.timing(strategy, model).ratios()
+
+    def mean_frequency_ratio(
+        self, strategy: MergeStrategy, model=None
+    ) -> float:
+        return self.timing(strategy, model).mean_ratio
 
 
 @dataclass
@@ -258,6 +504,7 @@ def _mdr_mode_stage(
     cache = _stage_cache(cache_root, cache_enabled)
     records: List[StageRecord] = []
     item = f"{label}/mode{mode}"
+    timing = options.criticality()
 
     def compute_placement() -> Placement:
         return place_circuit(
@@ -265,6 +512,7 @@ def _mdr_mode_stage(
             arch,
             seed=options.seed + mode,
             schedule=options.schedule(),
+            timing=timing,
         )
 
     # Keyed by exactly the inputs that reach place_circuit, so cached
@@ -272,7 +520,7 @@ def _mdr_mode_stage(
     (placement, place_hit), record = timed_call(
         "place", item, cache.memoize,
         "place",
-        (circuit, arch, options.seed + mode, options.schedule()),
+        place_stage_inputs(circuit, arch, options, mode),
         compute_placement,
     )
     records.append(replace(record, cache_hit=place_hit))
@@ -284,6 +532,7 @@ def _mdr_mode_stage(
                 circuit,
                 placement,
                 graph,
+                timing=timing,
                 max_iterations=options.router_max_iterations,
             )
         )
@@ -291,7 +540,7 @@ def _mdr_mode_stage(
     (packed, route_hit), record = timed_call(
         "route_lut", item, cache.memoize,
         "route_lut",
-        (circuit, placement, arch, options.router_max_iterations),
+        route_lut_stage_inputs(circuit, placement, arch, options),
         compute_routing,
     )
     records.append(replace(record, cache_hit=route_hit))
@@ -327,14 +576,10 @@ def _dcs_stage(
 
     # Keyed by the inputs the DCS pipeline actually consumes (merge,
     # TPlace, TRoute) rather than the whole options object.
-    dcs_inputs = (
-        name, mode_circuits, arch, strategy,
-        options.seed, options.schedule(), options.tplace_refine,
-        options.net_affinity, options.bit_affinity,
-        options.sharing_passes, options.router_max_iterations,
-    )
     (packed, hit), record = timed_call(
-        "dcs", item, cache.memoize, "dcs", dcs_inputs, compute,
+        "dcs", item, cache.memoize, "dcs",
+        dcs_stage_inputs(name, mode_circuits, arch, strategy, options),
+        compute,
     )
     return strategy_value, packed, [replace(record, cache_hit=hit)]
 
@@ -347,8 +592,17 @@ def _run_dcs(
     options: FlowOptions,
     rrg: RoutingResourceGraph,
 ) -> DcsResult:
-    """The DCS flow proper: merge, (T)place, TRoute, bit accounting."""
+    """The DCS flow proper: merge, (T)place, TRoute, bit accounting.
+
+    With ``options.timing_driven`` the same criticality model steers
+    every stage: the wire-length combined placement and the TPlace
+    refinement anneal the criticality-weighted delay term, and TRoute
+    prices connections by the worst criticality over their active
+    modes (edge matching itself stays topology-only — the paper's
+    criterion — so its timing pressure comes from TPlace).
+    """
     n_modes = len(mode_circuits)
+    timing = options.criticality()
     placement_result: Optional[CombinedPlacementResult] = None
     if strategy == MergeStrategy.BY_INDEX:
         tunable = merge_by_index(name, mode_circuits)
@@ -358,6 +612,7 @@ def _run_dcs(
             seed=options.seed,
             schedule=options.schedule(),
             randomize=True,
+            timing=timing,
         )
     else:
         tunable, placement_result = merge_with_combined_placement(
@@ -367,6 +622,10 @@ def _run_dcs(
             strategy=strategy,
             seed=options.seed,
             schedule=options.schedule(),
+            timing=(
+                timing
+                if strategy == MergeStrategy.WIRE_LENGTH else None
+            ),
         )
         if options.tplace_refine:
             tplace(
@@ -374,7 +633,17 @@ def _run_dcs(
                 arch,
                 seed=options.seed,
                 schedule=options.schedule(),
+                timing=timing,
             )
+    criticality = None
+    if timing is not None:
+        from repro.timing.criticality import (
+            tunable_connection_criticalities,
+        )
+
+        criticality = tunable_connection_criticalities(
+            tunable, rrg, timing
+        )
     routing = route_tunable_circuit(
         rrg,
         tunable.site_connections(),
@@ -383,6 +652,8 @@ def _run_dcs(
         bit_affinity=options.bit_affinity,
         sharing_passes=options.sharing_passes,
         max_iterations=options.router_max_iterations,
+        criticality=criticality,
+        delay_model=timing.model if timing is not None else None,
     )
     per_mode_bits = [
         routing.bits_on(m) for m in range(n_modes)
@@ -442,7 +713,9 @@ class MdrFlow:
             for mode, circuit in enumerate(mode_circuits)
         ]
         outcomes = self.scheduler.run(tasks)
-        return _assemble_mdr(arch, rrg, outcomes, self.progress)
+        return _assemble_mdr(
+            arch, rrg, outcomes, self.progress, mode_circuits
+        )
 
 
 def _cache_root_arg(cache: StageCache) -> Optional[str]:
@@ -455,13 +728,15 @@ def _assemble_mdr(
     outcomes: Sequence[Tuple[int, Placement, PackedRouting,
                              List[StageRecord]]],
     progress: ProgressLog,
+    mode_circuits: Sequence[LutCircuit],
 ) -> MdrResult:
     implementations = []
     for mode, placement, packed, records in outcomes:
         progress.extend(records)
         implementations.append(
             ModeImplementation(
-                mode, placement, restore_routing(packed, rrg)
+                mode, placement, restore_routing(packed, rrg),
+                circuit=mode_circuits[mode],
             )
         )
     implementations.sort(key=lambda impl: impl.mode)
@@ -566,8 +841,11 @@ def implement_multi_mode(
     pair_key = None
     if cache.enabled:
         pair_key = cache.key(
-            "multimode", name, tuple(mode_circuits), options,
-            tuple(strategies),
+            "multimode",
+            *multimode_stage_inputs(
+                name, tuple(mode_circuits), options,
+                tuple(strategies),
+            ),
         )
         hit, packed = cache.get("multimode", pair_key)
         if hit:
@@ -662,7 +940,9 @@ def implement_multi_mode(
             width = max(width + 2, int(width * 1.25))
             continue
         n_modes = len(mode_circuits)
-        mdr = _assemble_mdr(arch, rrg, outcomes[:n_modes], progress)
+        mdr = _assemble_mdr(
+            arch, rrg, outcomes[:n_modes], progress, mode_circuits
+        )
         dcs: Dict[MergeStrategy, DcsResult] = {}
         for value, packed_dcs, records in outcomes[n_modes:]:
             progress.extend(records)

@@ -16,6 +16,13 @@ must provide:
     Number of movable cells (drives moves-per-temperature).
 ``n_nets() -> int``
     Number of nets (drives the exit criterion).
+``on_temperature() -> float | None`` (optional)
+    Called at the start of every temperature.  A problem may use it to
+    refresh slowly-varying state (the timing-driven placers recompute
+    connection criticalities here) and return the recomputed total
+    cost, which replaces the engine's running sum; returning ``None``
+    leaves the running cost untouched.  Problems without the hook (or
+    returning ``None``) anneal exactly as before.
 
 Schedule (Betz & Rose, "VPR: A New Packing, Placement and Routing Tool
 for FPGA Research"):
@@ -107,8 +114,13 @@ def anneal(problem, rng, schedule: Optional[AnnealingSchedule] = None
     commit = problem.commit
     random = rng.random
     exp = math.exp
+    on_temperature = getattr(problem, "on_temperature", None)
 
     for _ in range(schedule.max_temperatures):
+        if on_temperature is not None:
+            refreshed = on_temperature()
+            if refreshed is not None:
+                cost = refreshed
         n_nets = max(1, problem.n_nets())
         if temperature < schedule.exit_ratio * cost / n_nets:
             break

@@ -26,6 +26,97 @@ def pad_cell(signal: str) -> str:
     return f"pad:{signal}"
 
 
+class PlacementTimingMixin:
+    """Timing-term bookkeeping shared by the annealing problems.
+
+    A problem with a bound :class:`~repro.timing.criticality
+    .PlacementTimingCost` anneals the combined cost
+
+    ``(1 - tradeoff) * wirelength + tradeoff * tau * timing``
+
+    where ``timing`` is the criticality-weighted connection-delay sum
+    and ``tau`` rescales it into wire-length units (``tau =
+    wirelength / timing``, refreshed with the criticalities at every
+    temperature via the engine's ``on_temperature`` hook).  With no
+    timing bound every method degrades to the plain wire-length cost
+    — same floats, same RNG sequence, bit-identical placements.
+    """
+
+    _timing = None
+    _lam = 0.0
+    _tau = 0.0
+
+    def _bind_timing(self, timing) -> None:
+        self._timing = timing
+        if timing is None:
+            return
+        timing.bind(self.site_of)
+        self._lam = timing.config.tradeoff
+        self._refresh_tau()
+
+    def _refresh_tau(self) -> None:
+        timing_cost = self._timing.cost
+        self._tau = (
+            sum(self.net_cost) / timing_cost
+            if timing_cost > 0.0 else 0.0
+        )
+
+    def _combined_cost(self) -> float:
+        base = sum(self.net_cost)
+        if self._timing is None:
+            return base
+        return (
+            (1.0 - self._lam) * base
+            + self._lam * self._tau * self._timing.cost
+        )
+
+    def on_temperature(self):
+        """Annealing hook: refresh criticalities, re-balance terms."""
+        if self._timing is None:
+            return None
+        self._timing.refresh_criticalities()
+        self._refresh_tau()
+        return self._combined_cost()
+
+    def _timing_keys(self, cell, other):
+        return (cell,) if other is None else (cell, other)
+
+    # -- per-move bookkeeping (shared by every problem's
+    # delta_cost/commit; only called when self._timing is bound) ----------
+
+    def _timing_before(self, keys):
+        """(affected conn indices, their weighted cost) pre-move."""
+        timing = self._timing
+        affected = timing.conns_of(keys)
+        return affected, timing.weighted(affected)
+
+    def _timing_after(self, affected):
+        """(evaluated delays, weighted cost) of *affected* — call
+        while the move is tentatively applied; hand the evaluation to
+        ``_commit_timing`` via ``_pending`` when the move commits."""
+        evaluated = self._timing.eval_conns(affected)
+        return evaluated, self._timing.weighted_eval(evaluated)
+
+    def _timing_delta(self, base_delta, t_before, t_after):
+        """Blend the base (wire-length) and timing deltas."""
+        return (
+            (1.0 - self._lam) * base_delta
+            + self._lam * self._tau * (t_after - t_before)
+        )
+
+    def _commit_timing(self, keys, t_evaluated):
+        """Fold a committed move's delays into the running timing
+        cost (re-evaluating at the already-updated sites when
+        delta_cost's pending evaluation is unavailable).  No-op for
+        untimed problems."""
+        timing = self._timing
+        if timing is None:
+            return
+        if t_evaluated is None:
+            t_evaluated = timing.eval_conns(timing.conns_of(keys))
+        timing.commit(t_evaluated)
+
+
 @dataclass
 class Net:
     """One placement net: a source cell and its sink cells."""
@@ -92,8 +183,15 @@ class Placement:
         return self.sites[cell].pos()
 
 
-class _SinglePlacementProblem:
-    """Annealing problem for one circuit; see repro.place.annealing."""
+class _SinglePlacementProblem(PlacementTimingMixin):
+    """Annealing problem for one circuit; see repro.place.annealing.
+
+    *timing* is an optional prebuilt
+    :class:`~repro.timing.criticality.PlacementTimingCost` covering the
+    circuit's connections (cells keyed by their names, as in
+    ``site_of``); when given, moves are priced by the combined
+    wire-length + criticality-weighted-delay cost.
+    """
 
     def __init__(
         self,
@@ -102,6 +200,7 @@ class _SinglePlacementProblem:
         pad_cells: Sequence[str],
         nets: Sequence[Net],
         rng,
+        timing=None,
     ) -> None:
         self.arch = arch
         self.logic_cells = list(logic_cells)
@@ -144,6 +243,7 @@ class _SinglePlacementProblem:
         self.net_cost: List[float] = [
             self._compute_net_cost(net) for net in self.nets
         ]
+        self._bind_timing(timing)
 
     # -- cost helpers -----------------------------------------------------
 
@@ -174,7 +274,7 @@ class _SinglePlacementProblem:
         return q_factor(n) * ((xmax - xmin) + (ymax - ymin))
 
     def initial_cost(self) -> float:
-        return sum(self.net_cost)
+        return self._combined_cost()
 
     def size(self) -> int:
         return len(self.logic_cells) + len(self.pad_cells)
@@ -229,6 +329,11 @@ class _SinglePlacementProblem:
         other = self.cell_at.get(dst_site)
         affected = self._affected_nets(cell, other)
         before = sum(self.net_cost[i] for i in affected)
+        timing = self._timing
+        if timing is not None:
+            t_affected, t_before = self._timing_before(
+                self._timing_keys(cell, other)
+            )
         # Tentatively move, evaluate, revert — remembering the
         # after-costs so commit() of this same move reuses them
         # (identical floats, same order).
@@ -241,11 +346,16 @@ class _SinglePlacementProblem:
             cost = self._compute_net_cost(self.nets[i])
             evaluated[i] = cost
             after += cost
+        t_evaluated = None
+        if timing is not None:
+            t_evaluated, t_after = self._timing_after(t_affected)
         self.site_of[cell] = src_site
         if other is not None:
             self.site_of[other] = dst_site
-        self._pending = (move, evaluated)
-        return after - before
+        self._pending = (move, evaluated, t_evaluated)
+        if timing is None:
+            return after - before
+        return self._timing_delta(after - before, t_before, t_after)
 
     def commit(self, move) -> None:
         cell, src_site, dst_site = move
@@ -258,11 +368,10 @@ class _SinglePlacementProblem:
         else:
             self.cell_at[src_site] = None
         pending = getattr(self, "_pending", None)
-        evaluated = (
-            pending[1]
-            if pending is not None and pending[0] == move
-            else None
-        )
+        if pending is not None and pending[0] == move:
+            evaluated, t_evaluated = pending[1], pending[2]
+        else:
+            evaluated = t_evaluated = None
         self._pending = None
         for i in self._affected_nets(cell, other):
             self.net_cost[i] = (
@@ -270,6 +379,9 @@ class _SinglePlacementProblem:
                 if evaluated is not None and i in evaluated
                 else self._compute_net_cost(self.nets[i])
             )
+        self._commit_timing(
+            self._timing_keys(cell, other), t_evaluated
+        )
 
 
 def place_circuit(
@@ -277,12 +389,32 @@ def place_circuit(
     arch: FpgaArchitecture,
     seed: int = 0,
     schedule: Optional[AnnealingSchedule] = None,
+    timing=None,
 ) -> Placement:
-    """Place *circuit* on *arch*; returns the final placement."""
+    """Place *circuit* on *arch*; returns the final placement.
+
+    *timing* is an optional
+    :class:`~repro.timing.criticality.CriticalityConfig`: when given,
+    the annealer optimises the combined wire-length +
+    criticality-weighted-delay cost (timing-driven placement); when
+    ``None`` the run is bit-identical to the historical
+    wire-length-driven placer.  The reported ``Placement.cost`` is the
+    wire-length cost in both variants so results stay comparable.
+    """
     rng = make_rng(seed, f"place:{circuit.name}")
     logic, pads = circuit_cells(circuit)
     nets = circuit_nets(circuit)
-    problem = _SinglePlacementProblem(arch, logic, pads, nets, rng)
+    timing_cost = None
+    if timing is not None:
+        # Imported lazily: repro.timing.criticality imports this
+        # module (pad_cell), so a top-level import would be circular.
+        from repro.timing.criticality import PlacementTimingCost
+
+        timing_cost = PlacementTimingCost(timing)
+        timing_cost.add_circuit(circuit)
+    problem = _SinglePlacementProblem(
+        arch, logic, pads, nets, rng, timing=timing_cost
+    )
     stats = anneal(problem, rng, schedule)
     cost = sum(
         net_bounding_box_cost(

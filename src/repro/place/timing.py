@@ -1,15 +1,19 @@
-"""Critical-path timing estimation.
+"""Critical-path timing estimation at placement level.
 
 The paper's abstract claims the reconfiguration-time reduction comes
 "without significant performance penalties", and Section IV-C.2 argues
 through wire length because "it correlates with power usage and
 performance (maximum clock frequency)".  This module makes the claim
-directly checkable with a simple placement-level timing model:
+directly checkable before routing exists:
 
-* each LUT contributes a fixed logic delay;
-* each connection contributes a wire delay proportional to the
-  Manhattan distance between its endpoints (unit-length segments, one
-  switch per tile crossed);
+* each LUT contributes the shared model's ``lut_delay``;
+* each connection contributes
+  :meth:`~repro.timing.delay.DelayModel.connection_delay` over the
+  Manhattan distance of its placed endpoints — the same pre-route
+  estimate the timing-driven placer and router optimise
+  (:mod:`repro.timing.criticality`) and a lower bound of the routed
+  delay :mod:`repro.timing.sta` reports, so pre-route and post-route
+  STA agree on units;
 * the critical path is the longest register-to-register /
   input-to-output path under those delays.
 
@@ -25,11 +29,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.placer import Placement, pad_cell
+from repro.timing.delay import DelayModel
 
-#: Delay of one LUT evaluation (arbitrary units).
-LUT_DELAY = 1.0
-#: Delay per tile of Manhattan wire distance.
-WIRE_DELAY_PER_TILE = 0.3
+_DEFAULT_MODEL = DelayModel()
 
 
 @dataclass(frozen=True)
@@ -46,23 +48,21 @@ class TimingReport:
         return 1.0 / self.critical_delay
 
 
-def _wire_delay(a: Tuple[int, int], b: Tuple[int, int]) -> float:
-    return WIRE_DELAY_PER_TILE * (
-        abs(a[0] - b[0]) + abs(a[1] - b[1])
-    )
-
-
 def critical_path(
     circuit: LutCircuit,
     positions: Mapping[str, Tuple[int, int]],
+    model: Optional[DelayModel] = None,
 ) -> TimingReport:
     """Estimate the critical path of *circuit* at the given positions.
 
     *positions* maps every cell (block names and ``pad:<signal>``
     cells) to a grid position.  Registered blocks start and terminate
     paths (their outputs launch at t=0, their inputs must settle
-    before the clock edge).
+    before the clock edge).  Delays come from *model* (the shared
+    :class:`DelayModel`; default units LUT = 1.0).
     """
+    model = model or _DEFAULT_MODEL
+    lut_delay = model.lut_delay
     arrival: Dict[str, float] = {}
 
     def position_of(signal: str) -> Tuple[int, int]:
@@ -77,6 +77,11 @@ def critical_path(
             return 0.0
         return arrival[signal]
 
+    def wire_delay(a: Tuple[int, int], b: Tuple[int, int]) -> float:
+        return model.connection_delay(
+            abs(a[0] - b[0]) + abs(a[1] - b[1])
+        )
+
     worst = 0.0
     n_paths = 0
     for block in circuit.topological_blocks():
@@ -86,15 +91,15 @@ def critical_path(
             t = max(
                 t,
                 signal_arrival(src)
-                + _wire_delay(position_of(src), sink_pos),
+                + wire_delay(position_of(src), sink_pos),
             )
-        t += LUT_DELAY
+        t += lut_delay
         arrival[block.name] = t
         if block.registered:
             worst = max(worst, t)
             n_paths += 1
     for out in circuit.outputs:
-        t = signal_arrival(out) + _wire_delay(
+        t = signal_arrival(out) + wire_delay(
             position_of(out), positions[pad_cell(out)]
         )
         worst = max(worst, t)
@@ -103,16 +108,20 @@ def critical_path(
 
 
 def mdr_timing(
-    circuit: LutCircuit, placement: Placement
+    circuit: LutCircuit,
+    placement: Placement,
+    model: Optional[DelayModel] = None,
 ) -> TimingReport:
     """Timing of one mode implemented separately (MDR)."""
     positions = {
         cell: site.pos() for cell, site in placement.sites.items()
     }
-    return critical_path(circuit, positions)
+    return critical_path(circuit, positions, model)
 
 
-def dcs_timing(tunable, mode: int) -> TimingReport:
+def dcs_timing(
+    tunable, mode: int, model: Optional[DelayModel] = None
+) -> TimingReport:
     """Timing of mode *mode* inside the merged Tunable circuit.
 
     The specialised circuit is evaluated at the Tunable cells' sites,
@@ -133,7 +142,7 @@ def dcs_timing(tunable, mode: int) -> TimingReport:
             if pad.site is None:
                 raise ValueError("tunable circuit has no sites")
             positions[pad_cell(signal)] = pad.site.pos()
-    return critical_path(circuit, positions)
+    return critical_path(circuit, positions, model)
 
 
 def timing_penalty(

@@ -103,6 +103,30 @@ class RoutingError(RuntimeError):
 
 
 @dataclass
+class RoutingTiming:
+    """Timing context of a timing-driven routing run.
+
+    ``criticality`` maps connection ids to *sharpened* criticalities
+    in ``[0, 1)`` (see :mod:`repro.timing.criticality`); connections
+    absent from the map route purely on congestion.  ``model`` is the
+    shared :class:`~repro.timing.delay.DelayModel` (annotated loosely
+    to avoid a circular import — ``repro.timing``'s package init pulls
+    this module in).
+
+    A connection with criticality ``w`` is priced VPR-style:
+
+    ``edge cost = w * delay(edge) + (1 - w) * congestion cost``
+
+    so critical connections buy short paths while relaxed ones keep
+    negotiating congestion; ``w < 1`` always (the criticality cap),
+    hence overuse never becomes free and PathFinder still converges.
+    """
+
+    model: "object"  # repro.timing.delay.DelayModel
+    criticality: Dict[int, float]
+
+
+@dataclass
 class RoutingResult:
     """All routed connections plus per-mode summaries."""
 
@@ -219,6 +243,7 @@ class PathFinderRouter:
         net_affinity: float = 1.0,
         bit_affinity: float = 1.0,
         sharing_passes: int = 0,
+        timing: Optional[RoutingTiming] = None,
     ) -> None:
         self.rrg = rrg
         self.n_modes = n_modes
@@ -285,6 +310,16 @@ class PathFinderRouter:
         self._price_over0 = [False] * n
         self._price_noise = [0.0] * n
         self._price_epoch = [0] * n
+        # Timing-driven context: per-node intrinsic delays are
+        # precomputed once so the timed relaxation loop reads a flat
+        # array, exactly like the congestion arrays above.
+        self.timing = timing
+        self._node_delay: Optional[List[float]] = None
+        if timing is not None:
+            model = timing.model
+            self._node_delay = [
+                model.node_delay(rrg, node) for node in range(n)
+            ]
 
     # -- occupancy bookkeeping ---------------------------------------------
 
@@ -420,7 +455,20 @@ class PathFinderRouter:
         out), so the search makes bit-identical decisions to the
         reference implementation while avoiding a method call and
         repeated dict probes per scanned edge.
+
+        Timing-driven connections (a criticality above 0 in
+        ``self.timing``) route through the timed twin
+        :meth:`_route_connection_timed`; keeping the two loops
+        separate leaves this one byte-identical to the reference, so
+        wirelength-driven results cannot drift.
         """
+        timing = self.timing
+        if timing is not None:
+            crit = timing.criticality.get(request.conn_id, 0.0)
+            if crit > 0.0:
+                return self._route_connection_timed(
+                    request, pres_fac, crit
+                )
         rrg = self.rrg
         target = request.sink
         node_x = rrg.node_x
@@ -569,6 +617,197 @@ class PathFinderRouter:
                 else:
                     ng = g + (cost + 0.01 * noise)
                 # -------------------------------------------------------
+                if dist_epoch[nxt] != epoch or ng < dist[nxt]:
+                    dist[nxt] = ng
+                    dist_epoch[nxt] = epoch
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+        if not found:
+            raise RoutingError(
+                f"no path from {rrg.describe(request.source)} to "
+                f"{rrg.describe(request.sink)}"
+            )
+        edges: List[Tuple[int, int, int]] = []
+        node = target
+        while node not in starts:
+            edges.append((parent_node[node], node, parent_bit[node]))
+            node = parent_node[node]
+        edges.reverse()
+        return ConnectionRoute(request, edges)
+
+    def _route_connection_timed(
+        self, request: RouteRequest, pres_fac: float, crit: float
+    ) -> ConnectionRoute:
+        """Timed twin of :meth:`_route_connection`.
+
+        Identical search structure (same scratch arrays, same
+        congestion pricing and per-node cache, same trunk seeding),
+        but every edge is priced VPR-style as
+
+        ``crit * delay + (1 - crit) * congestion``
+
+        with ``delay`` the :class:`~repro.timing.delay.DelayModel`
+        edge delay (destination-node intrinsic delay plus a switch
+        delay when the edge carries a configuration bit).  The A*
+        weight shrinks accordingly — per remaining Manhattan tile the
+        true cost is at least ``(1 - crit)`` times the congestion
+        floor plus ``crit * wire_delay`` — so the heuristic stays as
+        admissible as the untimed one.
+        """
+        rrg = self.rrg
+        target = request.sink
+        node_x = rrg.node_x
+        node_y = rrg.node_y
+        tx, ty = node_x[target], node_y[target]
+        net_salt = zlib.crc32(request.net.encode())
+        net = request.net
+        inv_crit = 1.0 - crit
+        model = self.timing.model
+        switch_delay = model.switch_delay
+        node_delay = self._node_delay
+        astar_fac = (
+            inv_crit * self.astar_fac + crit * model.wire_delay
+        )
+
+        kinds = rrg.node_kind
+        caps = rrg.node_capacity
+        bases = self._base
+        hist = self._hist
+        refs_by_mode = [
+            (self._occ[mode], self._net_mode_refs.get((net, mode)))
+            for mode in request.modes
+        ]
+        net_affinity = self.net_affinity
+        use_net_affinity = net_affinity < 1.0
+        other_refs = (
+            [
+                refs
+                for mode in range(self.n_modes)
+                if mode not in request.modes
+                and (refs := self._net_mode_refs.get((net, mode)))
+            ]
+            if use_net_affinity
+            else []
+        )
+        bit_affinity = self.bit_affinity
+        other_bit_refs = (
+            [
+                self._bit_refs[mode]
+                for mode in range(self.n_modes)
+                if mode not in request.modes
+            ]
+            if bit_affinity < 1.0
+            else []
+        )
+        use_bit_affinity = bool(other_bit_refs)
+
+        row_ptr = self._row_ptr
+        edge_dst = self._edge_dst
+        edge_bit = self._edge_bit
+        dist = self._dist
+        dist_epoch = self._dist_epoch
+        visited = self._visited_epoch
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        price = self._price
+        price_over0 = self._price_over0
+        price_noise = self._price_noise
+        price_epoch = self._price_epoch
+        self._epoch += 1
+        epoch = self._epoch
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        starts = {request.source}
+        starts.update(self._trunk_nodes(request))
+        heap: List[Tuple[float, float, int]] = []
+        for start in starts:
+            dist[start] = 0.0
+            dist_epoch[start] = epoch
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        found = target in starts
+        while heap:
+            _f, g, node = heappop(heap)
+            if visited[node] == epoch:
+                continue
+            visited[node] = epoch
+            if node == target:
+                found = True
+                break
+            for e in range(row_ptr[node], row_ptr[node + 1]):
+                nxt = edge_dst[e]
+                if visited[nxt] == epoch:
+                    continue
+                # Congestion price: same per-node cache and the same
+                # arithmetic as the untimed loop.
+                if price_epoch[nxt] == epoch:
+                    cost = price[nxt]
+                    overuse_zero = price_over0[nxt]
+                    noise = price_noise[nxt]
+                else:
+                    kind = kinds[nxt]
+                    if kind == SINK and nxt != target:
+                        visited[nxt] = epoch
+                        continue
+                    cap = caps[nxt]
+                    overuse = 0
+                    for occ, refs in refs_by_mode:
+                        occ_after = occ[nxt] + (
+                            0 if refs is not None and nxt in refs
+                            else 1
+                        )
+                        if occ_after > cap:
+                            overuse += occ_after - cap
+                    cost = (bases[nxt] + hist[nxt]) * (
+                        1.0 + pres_fac * overuse
+                    )
+                    if (
+                        use_net_affinity
+                        and kind == WIRE
+                        and overuse == 0
+                    ):
+                        for refs in other_refs:
+                            if nxt in refs:
+                                cost *= net_affinity
+                                break
+                    noise = (
+                        (net_salt ^ (nxt * 0x9E3779B9)) & 0xFFFF
+                    ) / 0xFFFF
+                    overuse_zero = overuse == 0
+                    price[nxt] = cost
+                    price_over0[nxt] = overuse_zero
+                    price_noise[nxt] = noise
+                    price_epoch[nxt] = epoch
+                bit = edge_bit[e]
+                if use_bit_affinity and bit >= 0 and overuse_zero:
+                    congestion = cost
+                    for bit_refs in other_bit_refs:
+                        if not bit_refs.get(bit):
+                            break
+                    else:
+                        congestion = cost * bit_affinity
+                    congestion += 0.01 * noise
+                else:
+                    congestion = cost + 0.01 * noise
+                delay = node_delay[nxt]
+                if bit >= 0:
+                    delay += switch_delay
+                ng = g + (inv_crit * congestion + crit * delay)
                 if dist_epoch[nxt] != epoch or ng < dist[nxt]:
                     dist[nxt] = ng
                     dist_epoch[nxt] = epoch

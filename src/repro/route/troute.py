@@ -26,6 +26,7 @@ from repro.route.router import (
     PathFinderRouter,
     RouteRequest,
     RoutingResult,
+    RoutingTiming,
 )
 
 # A site-level connection: (net id, source site, sink site, modes).
@@ -96,16 +97,55 @@ def requests_from_connections(
     return requests
 
 
+def _request_criticalities(
+    requests: Sequence[RouteRequest],
+    criticality,
+) -> dict:
+    """Map (net, sink node)-keyed criticalities onto connection ids."""
+    return {
+        request.conn_id: criticality.get(
+            (request.net, request.sink), 0.0
+        )
+        for request in requests
+    }
+
+
 def route_lut_circuit(
     circuit: LutCircuit,
     placement: Placement,
     rrg: RoutingResourceGraph,
+    timing=None,
     **router_kwargs,
 ) -> RoutingResult:
-    """Route one placed LUT circuit (conventional, single mode)."""
+    """Route one placed LUT circuit (conventional, single mode).
+
+    *timing* is an optional
+    :class:`~repro.timing.criticality.CriticalityConfig`: when given,
+    per-connection criticalities are derived from a placement-level
+    STA of the circuit and the router prices critical connections by
+    delay (``crit * delay + (1 - crit) * congestion``); ``None`` is
+    bit-identical to the historical congestion-only routing.
+    """
     conns = lut_circuit_connections(circuit, placement)
     requests = requests_from_connections(rrg, conns)
-    router = PathFinderRouter(rrg, n_modes=1, **router_kwargs)
+    router_timing = None
+    if timing is not None:
+        # Lazy import: repro.timing's package init imports this
+        # package's router module.
+        from repro.timing.criticality import (
+            lut_connection_criticalities,
+        )
+
+        criticality = lut_connection_criticalities(
+            circuit, placement, rrg, timing
+        )
+        router_timing = RoutingTiming(
+            timing.model,
+            _request_criticalities(requests, criticality),
+        )
+    router = PathFinderRouter(
+        rrg, n_modes=1, timing=router_timing, **router_kwargs
+    )
     return router.route(requests)
 
 
@@ -114,6 +154,8 @@ def route_tunable_circuit(
     connections: Sequence[SiteConnection],
     n_modes: int,
     net_affinity: float = 0.5,
+    criticality=None,
+    delay_model=None,
     **router_kwargs,
 ) -> RoutingResult:
     """Route the tunable connections of a merged multi-mode circuit.
@@ -127,11 +169,28 @@ def route_tunable_circuit(
     connections onto switches already on in the other modes) — the
     resulting per-mode bit differences are exactly the parameterised
     routing bits of the paper.
+
+    *criticality* maps ``(net, sink node)`` to sharpened connection
+    criticalities (from :func:`repro.timing.criticality
+    .tunable_connection_criticalities`); with it, TRoute prices
+    critical connections by delay under *delay_model* — the worst
+    criticality over a connection's active modes, so cross-mode wire
+    sharing never sacrifices the critical mode's path.
     """
     requests = requests_from_connections(rrg, connections)
+    timing = None
+    if criticality:
+        if delay_model is None:
+            from repro.timing.delay import DelayModel
+
+            delay_model = DelayModel()
+        timing = RoutingTiming(
+            delay_model,
+            _request_criticalities(requests, criticality),
+        )
     router = PathFinderRouter(
         rrg, n_modes=n_modes, net_affinity=net_affinity,
-        **router_kwargs,
+        timing=timing, **router_kwargs,
     )
     return router.route(requests)
 

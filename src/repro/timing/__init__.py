@@ -1,14 +1,27 @@
-"""Routed static timing analysis.
+"""Timing analysis: one criticality model for every flow layer.
 
-The placement-level estimator in :mod:`repro.place.timing` bounds wire
-delay by Manhattan distance; this subpackage analyses the *actual
-routed paths*, so detours the router takes (congestion avoidance,
-cross-mode wire sharing) show up in the clock estimate.  It is the
-instrument behind the abstract's "without significant performance
-penalties" claim:
+All timing in the flow speaks the units of one shared
+:class:`DelayModel` (LUT = 1.0).  Three instruments build on it:
+
+* :mod:`repro.timing.criticality` — slack-based connection
+  criticalities (arrival/required-time STA over placement-level delay
+  estimates).  This is what *drives* the timing-driven placer and
+  router: criticality-weighted delay in every annealing cost,
+  ``crit*delay + (1-crit)*congestion`` pricing in PathFinder.
+* :mod:`repro.timing.sta` — STA over the *actual routed paths*, so
+  detours the router takes (congestion avoidance, cross-mode wire
+  sharing) show up in the clock estimate.  This is what *checks* the
+  result: per-mode Fmax and the MDR:DCS frequency ratios behind the
+  abstract's "without significant performance penalties" claim.
+* :mod:`repro.place.timing` — the placement-level critical-path
+  estimator, consuming the same model.
+
+Exports:
 
 * :class:`DelayModel` — per-resource delays (LUT, pin, wire segment,
-  programmable switch);
+  programmable switch) plus the pre-route connection-delay estimate;
+* :class:`CriticalityConfig` / :class:`CriticalityAnalyzer` — the
+  criticality subsystem's knobs and STA engine;
 * :func:`net_delay_tree` / :func:`connection_delays_for_mode` — signal
   arrival along the routed route trees;
 * :func:`mdr_arc_delays` / :func:`dcs_arc_delays` — map routed delays
@@ -18,6 +31,14 @@ penalties" claim:
 * :func:`timing_comparison` — per-mode MDR vs DCS critical-path ratio.
 """
 
+from repro.timing.criticality import (
+    CriticalityAnalyzer,
+    CriticalityConfig,
+    CriticalityReport,
+    lut_connection_criticalities,
+    sharpen,
+    tunable_connection_criticalities,
+)
 from repro.timing.delay import DelayModel
 from repro.timing.sta import (
     StaReport,
@@ -30,12 +51,18 @@ from repro.timing.sta import (
 )
 
 __all__ = [
+    "CriticalityAnalyzer",
+    "CriticalityConfig",
+    "CriticalityReport",
     "DelayModel",
     "StaReport",
     "connection_delays_for_mode",
     "dcs_arc_delays",
+    "lut_connection_criticalities",
     "mdr_arc_delays",
     "net_delay_tree",
     "routed_critical_path",
+    "sharpen",
     "timing_comparison",
+    "tunable_connection_criticalities",
 ]

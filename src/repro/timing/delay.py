@@ -9,10 +9,13 @@ Delays are in arbitrary units chosen so that one LUT evaluation costs
 * one ``switch_delay`` per programmable switch traversed (edges that
   carry a configuration bit; the internal IPIN-to-SINK hop is free).
 
-The defaults keep the scale of the Manhattan estimator
-(``WIRE_DELAY_PER_TILE = 0.3``): a minimum-detour route of length *d*
-costs roughly ``d * (wire_delay + switch_delay)`` ≈ ``0.45 d``, i.e.
-the same order with the switch cost made explicit.
+:meth:`DelayModel.connection_delay` is the *pre-route* estimate of the
+same quantity — one OPIN and one IPIN crossing plus one unit wire
+behind one switch per Manhattan tile — so the placement-level
+estimator (:mod:`repro.place.timing`), the timing-driven placer and
+router (:mod:`repro.timing.criticality`), and the routed STA
+(:mod:`repro.timing.sta`) all speak the same units: one model, every
+layer.
 """
 
 from __future__ import annotations
@@ -55,6 +58,21 @@ class DelayModel:
         if bit >= 0:
             delay += self.switch_delay
         return delay
+
+    def connection_delay(self, distance: float) -> float:
+        """Pre-route estimate of a routed connection's delay.
+
+        A connection whose endpoints are *distance* tiles apart
+        (Manhattan) crosses one OPIN and one IPIN plus, per tile, one
+        unit-length channel segment behind one programmable switch.
+        The router can only add detours on top of this, so the
+        estimate is a lower bound of the routed
+        :meth:`path_delay` — which is what makes pre-route and
+        post-route STA comparable.
+        """
+        return 2.0 * self.pin_delay + distance * (
+            self.wire_delay + self.switch_delay
+        )
 
     def path_delay(
         self,

@@ -414,4 +414,7 @@ class TestExecBench:
         import json
 
         loaded = json.loads(out.read_text())
-        assert loaded["schema_version"] == 1
+        assert loaded["schema_version"] == 2
+        timed = loaded["timing_driven_cold"]
+        assert timed["seconds"] > 0
+        assert timed["mdr_mean_critical_delay"] > 0

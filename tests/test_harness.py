@@ -214,3 +214,25 @@ class TestStaTable:
         text = harness.print_sta_table(rows)
         assert "routed critical-path" in text
         assert "DCS-Wire length" in text
+
+        # Same outcomes feed the Fmax table (the paper's speed
+        # comparison): positive frequencies, ratio aggregates ordered,
+        # and the frequency ratio consistent with the STA-delay ratio
+        # (fmax_mdr / fmax_dcs == delay_dcs / delay_mdr per mode).
+        fmax_rows = harness.fmax_table(outcomes)
+        assert len(fmax_rows) == 2
+        by_variant = {r["variant"]: r for r in fmax_rows}
+        sta_by_variant = {r["variant"]: r for r in rows}
+        for variant, row in by_variant.items():
+            assert row["mdr_fmax"] > 0
+            assert row["dcs_fmax"] > 0
+            assert (
+                row["ratio_min"] <= row["ratio_mean"]
+                <= row["ratio_max"]
+            )
+            assert row["ratio_mean"] == pytest.approx(
+                sta_by_variant[variant]["mean"]
+            )
+        text = harness.print_fmax_table(fmax_rows)
+        assert "MDR:DCS frequency ratio" in text
+        assert "DCS-Wire length" in text

@@ -1,4 +1,11 @@
-"""Tests for the critical-path timing estimator."""
+"""Tests for the critical-path timing estimator.
+
+Since the delay-model consolidation, the placement-level estimator
+prices each connection with the shared
+:meth:`repro.timing.delay.DelayModel.connection_delay` (pins + wire +
+switch per tile), so its expectations are computed from the model
+here rather than from module-local constants.
+"""
 
 import pytest
 
@@ -7,13 +14,14 @@ from repro.core.merge import merge_from_placement
 from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.truthtable import TruthTable
 from repro.place.timing import (
-    LUT_DELAY,
-    WIRE_DELAY_PER_TILE,
     TimingReport,
     critical_path,
     dcs_timing,
     timing_penalty,
 )
+from repro.timing.delay import DelayModel
+
+MODEL = DelayModel()
 
 
 def chain(n=3):
@@ -41,8 +49,10 @@ class TestCriticalPath:
     def test_chain_delay(self):
         c = chain(3)
         report = critical_path(c, linear_positions(c))
-        # 3 LUTs + 4 unit wire hops.
-        expected = 3 * LUT_DELAY + 4 * WIRE_DELAY_PER_TILE
+        # 3 LUTs + 4 unit-length connections.
+        expected = (
+            3 * MODEL.lut_delay + 4 * MODEL.connection_delay(1)
+        )
         assert report.critical_delay == pytest.approx(expected)
 
     def test_registers_cut_paths(self):
@@ -59,7 +69,9 @@ class TestCriticalPath:
         }
         report = critical_path(c, positions)
         # Longest segment: two LUTs + two hops (in->a->r or r->b->out).
-        expected = 2 * LUT_DELAY + 2 * WIRE_DELAY_PER_TILE
+        expected = (
+            2 * MODEL.lut_delay + 2 * MODEL.connection_delay(1)
+        )
         assert report.critical_delay == pytest.approx(expected)
 
     def test_long_wire_dominates(self):
@@ -68,7 +80,22 @@ class TestCriticalPath:
             "pad:in": (0, 0), "b0": (10, 0), "pad:b0": (10, 5),
         }
         report = critical_path(c, positions)
-        expected = LUT_DELAY + 15 * WIRE_DELAY_PER_TILE
+        expected = (
+            MODEL.lut_delay
+            + MODEL.connection_delay(10)
+            + MODEL.connection_delay(5)
+        )
+        assert report.critical_delay == pytest.approx(expected)
+
+    def test_agrees_with_shared_delay_model(self):
+        """The estimator consumes whatever model it is given."""
+        c = chain(2)
+        fast = DelayModel(
+            lut_delay=2.0, pin_delay=0.0, wire_delay=0.1,
+            switch_delay=0.0,
+        )
+        report = critical_path(c, linear_positions(c), fast)
+        expected = 2 * 2.0 + 3 * 0.1
         assert report.critical_delay == pytest.approx(expected)
 
     def test_frequency_inverse(self):
@@ -100,7 +127,7 @@ class TestDcsTiming:
         )
         report0 = dcs_timing(tunable, 0)
         # pad(0,1) -> clb(3,1): 3 hops; clb -> pad(5,0): 3 hops.
-        expected = LUT_DELAY + 6 * WIRE_DELAY_PER_TILE
+        expected = MODEL.lut_delay + 2 * MODEL.connection_delay(3)
         assert report0.critical_delay == pytest.approx(expected)
         report1 = dcs_timing(tunable, 1)
         assert report1.critical_delay > 0

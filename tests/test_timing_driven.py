@@ -1,0 +1,200 @@
+"""System-level tests of the timing-driven flow.
+
+Mirrors the execution-subsystem guarantees of ``tests/test_exec.py``
+for ``timing_driven=True``: bit-identical results across worker counts
+and across warm/cold caches, the ``criticality_exponent=0`` degrade
+(pure congestion — bit-identical to the wirelength-driven flow), the
+fully-critical single-path edge case, and — in the slow tier — the
+acceptance check that the FIR pair workload's post-route critical path
+improves under the timing-driven flow.
+"""
+
+import pytest
+
+from repro.core.flow import FlowOptions, implement_multi_mode
+from repro.core.merge import MergeStrategy
+from repro.exec.cache import StageCache
+from repro.exec.progress import ProgressLog
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+
+from tests.test_exec import result_signature, tiny_circuit
+
+TIMED = FlowOptions(inner_num=0.2, timing_driven=True)
+
+
+def _run_tiny(options, workers=None, cache=None, progress=None):
+    modes = [tiny_circuit("a"), tiny_circuit("b", flip=True)]
+    return implement_multi_mode(
+        "tiny",
+        modes,
+        options,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+
+
+def single_path_circuit(n=4):
+    """in -> b0 -> ... -> b(n-1) -> out: every connection critical."""
+    c = LutCircuit("path", 4)
+    c.add_input("in")
+    prev = "in"
+    for i in range(n):
+        c.add_block(f"b{i}", (prev,), TruthTable.var(0, 1))
+        prev = f"b{i}"
+    c.add_output(prev)
+    return c
+
+
+class TestTimingDrivenDeterminism:
+    @pytest.mark.smoke
+    def test_worker_count_determinism(self):
+        """Timing-driven results identical for every worker count."""
+        serial = _run_tiny(TIMED, workers=1)
+        four = _run_tiny(TIMED, workers=4)
+        assert result_signature(serial) == result_signature(four)
+
+    def test_warm_cache_bit_identical(self, tmp_path):
+        cold = _run_tiny(TIMED, cache=StageCache(tmp_path))
+        warm_progress = ProgressLog()
+        warm = _run_tiny(
+            TIMED,
+            cache=StageCache(tmp_path),
+            progress=warm_progress,
+        )
+        assert result_signature(cold) == result_signature(warm)
+        hits = [r for r in warm_progress.records if r.cache_hit]
+        assert hits and hits[0].stage == "multimode"
+
+    def test_timed_and_untimed_share_a_cache(self, tmp_path):
+        """Both flavours memoize side by side without aliasing."""
+        untimed = FlowOptions(inner_num=0.2)
+        base = _run_tiny(untimed, cache=StageCache(tmp_path))
+        timed = _run_tiny(TIMED, cache=StageCache(tmp_path))
+        # Warm reruns return each flavour's own result.
+        base_again = _run_tiny(untimed, cache=StageCache(tmp_path))
+        timed_again = _run_tiny(TIMED, cache=StageCache(tmp_path))
+        assert result_signature(base) == result_signature(base_again)
+        assert result_signature(timed) == result_signature(
+            timed_again
+        )
+
+    def test_timing_changes_the_trajectory(self):
+        """The timing term must actually reach the optimisers."""
+        base = _run_tiny(FlowOptions(inner_num=0.2))
+        timed = _run_tiny(TIMED)
+        assert result_signature(base) != result_signature(timed)
+
+
+class TestExponentZeroDegrade:
+    def test_exponent_zero_is_pure_congestion(self):
+        """criticality_exponent=0 defines the timing term away, so a
+        'timing-driven' run is bit-identical to the wirelength flow."""
+        base = _run_tiny(FlowOptions(inner_num=0.2))
+        degraded = _run_tiny(
+            FlowOptions(
+                inner_num=0.2,
+                timing_driven=True,
+                criticality_exponent=0.0,
+            )
+        )
+        assert result_signature(base) == result_signature(degraded)
+
+    def test_exponent_zero_yields_no_config(self):
+        options = FlowOptions(
+            timing_driven=True, criticality_exponent=0.0
+        )
+        assert options.criticality() is None
+        assert FlowOptions().criticality() is None
+        assert FlowOptions(timing_driven=True).criticality() \
+            is not None
+
+
+class TestFullyCriticalSinglePath:
+    def test_single_path_pair_routes_legally(self):
+        """Every connection at the criticality cap still converges."""
+        modes = [single_path_circuit(4), single_path_circuit(5)]
+        result = implement_multi_mode(
+            "path", modes, FlowOptions(
+                inner_num=0.2, timing_driven=True,
+                criticality_exponent=2.0,
+            ),
+        )
+        from repro.route.router import validate_routing
+
+        for impl in result.mdr.implementations:
+            validate_routing(impl.routing)
+        for dcs in result.dcs.values():
+            validate_routing(dcs.routing)
+        delays = result.mdr.per_mode_critical_delay()
+        assert all(d > 0 for d in delays)
+
+    def test_single_path_criticalities_at_cap(self):
+        from repro.arch.architecture import size_for_circuits
+        from repro.arch.rrg import build_rrg
+        from repro.place.placer import place_circuit
+        from repro.timing.criticality import (
+            CriticalityConfig,
+            lut_connection_criticalities,
+        )
+
+        circuit = single_path_circuit(4)
+        arch = size_for_circuits(
+            circuit.n_luts(), 2, channel_width=8
+        )
+        placement = place_circuit(circuit, arch, seed=0)
+        config = CriticalityConfig()
+        crit = lut_connection_criticalities(
+            circuit, placement, build_rrg(arch), config
+        )
+        assert crit
+        assert all(
+            w == pytest.approx(config.max_criticality)
+            for w in crit.values()
+        )
+
+
+class TestFmaxReporting:
+    def test_frequency_ratios_shape(self):
+        result = _run_tiny(TIMED)
+        for strategy in (
+            MergeStrategy.EDGE_MATCHING,
+            MergeStrategy.WIRE_LENGTH,
+        ):
+            ratios = result.frequency_ratios(strategy)
+            assert len(ratios) == 2
+            assert all(r > 0 for r in ratios)
+            assert result.mean_frequency_ratio(
+                strategy
+            ) == pytest.approx(sum(ratios) / len(ratios))
+        fmax = result.mdr.per_mode_fmax()
+        delays = result.mdr.per_mode_critical_delay()
+        assert fmax == pytest.approx([1 / d for d in delays])
+
+
+@pytest.mark.slow
+class TestFirImprovement:
+    def test_fir_pair_critical_path_improves(self):
+        """Acceptance: the FIR pair workload's post-route critical
+        path improves under the timing-driven flow."""
+        from repro.bench.fir import generate_fir_circuit
+
+        lp = generate_fir_circuit(
+            "lowpass", seed=0, n_taps=2, n_nonzero=2, k=4,
+            name="fir_lp",
+        )
+        hp = generate_fir_circuit(
+            "highpass", seed=0, n_taps=2, n_nonzero=2, k=4,
+            name="fir_hp",
+        )
+        base = implement_multi_mode(
+            "fir", [lp, hp], FlowOptions(inner_num=0.1)
+        )
+        timed = implement_multi_mode(
+            "fir", [lp, hp],
+            FlowOptions(inner_num=0.1, timing_driven=True),
+        )
+        base_delays = base.mdr.per_mode_critical_delay()
+        timed_delays = timed.mdr.per_mode_critical_delay()
+        assert sum(timed_delays) < sum(base_delays)
