@@ -16,9 +16,10 @@ import pytest
 from repro.bench.harness import EFFORT_PROFILES, EffortProfile, ExperimentHarness
 
 # A one-pair-per-suite profile so the benchmark session stays in the
-# minutes range while exercising the full pipeline.
+# minutes range while exercising the full pipeline (quick-scale
+# workloads from the registry, trimmed to the first pair).
 EFFORT_PROFILES.setdefault(
-    "bench", EffortProfile("bench", 1, 0.1, 1)
+    "bench", EffortProfile("bench", 1, 0.1, scale="quick")
 )
 
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Intentionally refresh the committed QoR baseline the CI qor-gate
+# compares against.  Run after a change that legitimately moves QoR
+# (a better placer, a new cost model, resized ci-smoke workloads) and
+# commit the updated BENCH_qor_baseline.json together with the change.
+#
+# Usage: scripts/rebaseline-qor.sh        (WORKERS=N to override)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# A throwaway cache dir forces a cold run: the baseline's "seconds"
+# is the runtime reference the CI gate bounds (5x), so a warm replay
+# here would bake in a near-zero wall-clock and fail every PR.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro campaign \
+  --preset ci-smoke --workers "${WORKERS:-4}" \
+  --cache-dir "$(mktemp -d -t repro-rebaseline.XXXXXX)" \
+  --jsonl "$(mktemp -t campaign_ci_smoke.XXXXXX.jsonl)" \
+  --summary "$(mktemp -t BENCH_campaign.XXXXXX.json)" \
+  --write-baseline BENCH_qor_baseline.json
+
+echo "BENCH_qor_baseline.json refreshed — review the diff and commit"
+echo "it with the change that moved QoR."

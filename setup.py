@@ -4,7 +4,11 @@ The execution environment ships setuptools without the ``wheel``
 package, so PEP 660 editable installs (``pip install -e .`` via
 pyproject build isolation) cannot build the editable wheel.  This shim
 lets ``pip install -e . --no-build-isolation`` fall back to the classic
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+``setup.py develop`` path.  All metadata lives in ``setup.cfg``
+(including the ``repro`` console script); there is deliberately no
+``pyproject.toml``, whose presence would force the PEP 517/660 path.
+The CI lint job smoke-tests this install (``pip install -e .`` +
+``repro --help``) so packaging breakage fails fast.
 """
 
 from setuptools import setup

@@ -13,6 +13,15 @@ here that produces the same class of LUT circuits from scratch:
   substituted through :mod:`repro.netlist.blif`.
 * :mod:`repro.bench.harness` — suite assembly and the printers that
   regenerate every table and figure of the evaluation section.
+* :mod:`repro.bench.campaign` — declarative sweeps (suites x flow
+  variants x seeds) over the workload registry (:mod:`repro.gen`),
+  with JSONL records, a summary JSON and the CI QoR gate.
+
+Workloads themselves are described by
+:class:`repro.gen.spec.WorkloadSpec` and materialised through the
+suite registry (:mod:`repro.gen.suites`); the classic generators
+above are registered there alongside the parameterized families
+(datapath, fsm, xbar, klut).
 """
 
 from repro.bench.fir import generate_fir_circuit

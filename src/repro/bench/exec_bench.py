@@ -1,8 +1,10 @@
 """Benchmark of the execution subsystem — emits ``BENCH_exec.json``.
 
-The workload is the harness's FIR suite shape: *n* independent
-two-mode FIR pairs (the paper pairs low-pass *i* with high-pass *i*),
-each an independent synth→place→route run.  Three measurements:
+The default workload is the harness's FIR suite shape: *n*
+independent two-mode FIR pairs (the paper pairs low-pass *i* with
+high-pass *i*), each an independent synth→place→route run;
+``--workload`` swaps in any registered suite of :mod:`repro.gen`
+(tiny scale).  Three measurements:
 
 * ``serial_cold``   — the seed execution model: one process, no cache;
 * ``parallel_cold`` — the same workload fanned over *workers*
@@ -42,6 +44,28 @@ from repro.bench.harness import _pair_worker
 from repro.core.flow import unpack_result
 
 SCHEMA_VERSION = 2
+
+
+def workload_kinds() -> List[str]:
+    """Valid ``--workload`` values: the legacy FIR shape plus every
+    registered suite of the workload registry."""
+    from repro.gen import registered_suites
+
+    return ["fir_pairs"] + list(registered_suites())
+
+
+def _registry_workload(
+    kind: str, n_pairs: int, k: int = 4
+) -> List[Tuple[str, tuple]]:
+    """*n_pairs* mode pairs of a registered suite at tiny scale."""
+    from repro.gen import suite_pairs
+
+    return [
+        (name, tuple(modes))
+        for name, modes in suite_pairs(
+            kind, k=k, scale="tiny", limit=n_pairs
+        )
+    ]
 
 
 def _fir_pair_workload(
@@ -168,15 +192,27 @@ def run_exec_bench(
     pairs: Optional[List[Tuple[str, tuple]]] = None,
     n_taps: int = 4,
     baseline_src: Optional[str] = None,
+    workload: str = "fir_pairs",
 ) -> Dict[str, object]:
     """Run the three measurements; returns the report dict.
 
-    *pairs* overrides the default FIR workload (tests inject tiny
-    circuits so the bench path is exercised in seconds).
+    *workload* selects the circuit source: ``"fir_pairs"`` (the
+    historical shape) or any registered suite of :mod:`repro.gen`
+    (materialised at tiny scale).  *pairs* overrides either (tests
+    inject tiny circuits so the bench path is exercised in seconds).
     """
     options = FlowOptions(seed=seed, inner_num=inner_num)
+    injected = pairs is not None
     if pairs is None:
-        pairs = _fir_pair_workload(n_pairs, n_taps=n_taps)
+        if workload == "fir_pairs":
+            pairs = _fir_pair_workload(n_pairs, n_taps=n_taps)
+        elif workload in workload_kinds():
+            pairs = _registry_workload(workload, n_pairs)
+        else:
+            raise ValueError(
+                f"unknown workload kind {workload!r}; registered: "
+                f"{', '.join(workload_kinds())}"
+            )
     n_pairs = len(pairs)
     if cache_dir is None:
         cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
@@ -238,6 +274,12 @@ def run_exec_bench(
     timed_delay = _mean_critical_delay(res_timed)
 
     baseline = None
+    if baseline_src and workload != "fir_pairs":
+        log(
+            "skipping --baseline-src: the seed tree only knows the "
+            "fir_pairs workload"
+        )
+        baseline_src = None
     if baseline_src:
         log(f"seed-baseline serial run against {baseline_src} ...")
         baseline = _measure_baseline_src(
@@ -249,7 +291,7 @@ def run_exec_bench(
     report = {
         "schema_version": SCHEMA_VERSION,
         "workload": {
-            "kind": "fir_pairs",
+            "kind": "injected" if injected else workload,
             "n_pairs": n_pairs,
             "n_mode_circuits": 2 * n_pairs,
             "n_luts": sum(

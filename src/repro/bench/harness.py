@@ -24,13 +24,10 @@ records results per profile).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.fir import generate_fir_circuit
-from repro.bench.mcnc import DEFAULT_PROFILES, generate_mcnc_circuit
-from repro.bench.regex import DEFAULT_PATTERNS, compile_regex_circuit
 from repro.core.flow import (
     FlowOptions,
     MultiModeResult,
@@ -43,6 +40,8 @@ from repro.core.reconfig import BreakdownRow, breakdown_rows
 from repro.exec.cache import StageCache
 from repro.exec.progress import ProgressLog, StageRecord
 from repro.exec.scheduler import Scheduler, Task
+from repro.gen.spec import WorkloadSpec
+from repro.gen.suites import suite_pair_specs
 from repro.netlist.lutcircuit import LutCircuit
 
 SUITES = ("RegExp", "FIR", "MCNC")
@@ -83,21 +82,33 @@ def _pair_worker(
 
 @dataclass(frozen=True)
 class EffortProfile:
-    """Runtime/fidelity trade-off of one harness run."""
+    """Runtime/fidelity trade-off of one harness run.
+
+    Suite sizing lives in the workload registry
+    (:data:`repro.gen.suites.SCALES`): ``scale`` names the registry
+    scale the profile draws from, defaulting to the profile's own
+    name for the built-in profiles.  Custom profiles (e.g. the
+    benchmark suite's ``bench``) pick any registered scale explicitly
+    and trim with ``pairs_per_suite``.
+    """
 
     name: str
     pairs_per_suite: Optional[int]  # None = all pairs
     inner_num: float
-    n_fir_filters: int  # filters per band (paper: 10)
+    scale: Optional[str] = None  # None = same as `name`
+
+    @property
+    def workload_scale(self) -> str:
+        return self.scale or self.name
 
     def flow_options(self, seed: int) -> FlowOptions:
         return FlowOptions(seed=seed, inner_num=self.inner_num)
 
 
 EFFORT_PROFILES = {
-    "quick": EffortProfile("quick", 2, 0.1, 2),
-    "default": EffortProfile("default", 4, 0.3, 4),
-    "paper": EffortProfile("paper", None, 1.0, 10),
+    "quick": EffortProfile("quick", 2, 0.1),
+    "default": EffortProfile("default", 4, 0.3),
+    "paper": EffortProfile("paper", None, 1.0),
 }
 
 
@@ -143,88 +154,84 @@ class ExperimentHarness:
         self.scheduler = Scheduler(workers)
         self.cache = cache or StageCache(enabled=False)
         self.progress = progress or ProgressLog()
+        self._spec_cache: Dict[WorkloadSpec, LutCircuit] = {}
         self._suite_cache: Dict[str, List[LutCircuit]] = {}
         self._outcome_cache: Dict[str, List[PairOutcome]] = {}
 
     # -- suite assembly ---------------------------------------------------
+    #
+    # Workloads come from the suite registry (repro.gen.suites): the
+    # effort profile's name doubles as the registry scale, so the
+    # harness, the campaign runner and bench-exec all draw identical
+    # circuits for identical (suite, seed, k, scale) requests.
+
+    def _build(self, spec: WorkloadSpec) -> LutCircuit:
+        """Materialise *spec* once per harness instance."""
+        if spec not in self._spec_cache:
+            self._spec_cache[spec] = spec.build()
+        return self._spec_cache[spec]
+
+    def _mode_specs(self, suite: str) -> List[WorkloadSpec]:
+        """Unique mode specs of *suite*, in first-appearance order
+        (untruncated: Table I and the area table describe the whole
+        suite, not the effort profile's pair subset)."""
+        seen: Dict[WorkloadSpec, None] = {}
+        for _name, specs in suite_pair_specs(
+            suite, seed=self.seed, k=self.k,
+            scale=self.profile.workload_scale,
+        ):
+            for spec in specs:
+                seen.setdefault(spec)
+        return list(seen)
 
     def regexp_circuits(self) -> List[LutCircuit]:
         """The five compiled regex engines (experiment 1)."""
         if "RegExp" not in self._suite_cache:
             self._suite_cache["RegExp"] = [
-                compile_regex_circuit(p, name=f"regexp{i}", k=self.k)
-                for i, p in enumerate(DEFAULT_PATTERNS)
+                self._build(spec)
+                for spec in self._mode_specs("RegExp")
             ]
         return self._suite_cache["RegExp"]
 
     def fir_circuits(self) -> Tuple[List[LutCircuit], List[LutCircuit]]:
         """Low-pass and high-pass filter banks (experiment 2)."""
-        key = "FIR"
-        if key not in self._suite_cache:
-            n = self.profile.n_fir_filters
-            lowpass = [
-                generate_fir_circuit(
-                    "lowpass", seed=self.seed + i, k=self.k,
-                    name=f"fir_lp{i}",
-                )
-                for i in range(n)
-            ]
-            highpass = [
-                generate_fir_circuit(
-                    "highpass", seed=self.seed + i, k=self.k,
-                    name=f"fir_hp{i}",
-                )
-                for i in range(n)
-            ]
-            self._suite_cache[key] = lowpass + highpass
-        circuits = self._suite_cache[key]
-        half = len(circuits) // 2
-        return circuits[:half], circuits[half:]
+        specs = self._mode_specs("FIR")
+        lowpass = [
+            self._build(s) for s in specs
+            if s.param("filter") == "lowpass"
+        ]
+        highpass = [
+            self._build(s) for s in specs
+            if s.param("filter") == "highpass"
+        ]
+        return lowpass, highpass
 
     def mcnc_circuits(self) -> List[LutCircuit]:
         """The five MCNC-class circuits (experiment 3)."""
         if "MCNC" not in self._suite_cache:
             self._suite_cache["MCNC"] = [
-                generate_mcnc_circuit(profile, k=self.k)
-                for profile in DEFAULT_PROFILES
+                self._build(spec)
+                for spec in self._mode_specs("MCNC")
             ]
         return self._suite_cache["MCNC"]
 
     def suite_pairs(self, suite: str) -> List[Tuple[str, List[LutCircuit]]]:
         """The multi-mode circuits (mode pairs) of one suite.
 
-        RegExp and MCNC take all C(5,2)=10 combinations of their five
-        circuits; FIR pairs low-pass *i* with high-pass *i* (10 pairs in
-        the paper).  Effort profiles may truncate the list.
+        Pair structure comes from the registry: RegExp and MCNC take
+        all C(5,2)=10 combinations of their five circuits; FIR pairs
+        low-pass *i* with high-pass *i* (10 pairs in the paper).
+        Effort profiles truncate the list and set the scale.
         """
-        if suite == "RegExp":
-            circuits = self.regexp_circuits()
-            pairs = [
-                (f"regexp_{i}{j}", [circuits[i], circuits[j]])
-                for i, j in itertools.combinations(
-                    range(len(circuits)), 2
-                )
-            ]
-        elif suite == "FIR":
-            lowpass, highpass = self.fir_circuits()
-            pairs = [
-                (f"fir_{i}", [lp, hp])
-                for i, (lp, hp) in enumerate(zip(lowpass, highpass))
-            ]
-        elif suite == "MCNC":
-            circuits = self.mcnc_circuits()
-            pairs = [
-                (f"mcnc_{i}{j}", [circuits[i], circuits[j]])
-                for i, j in itertools.combinations(
-                    range(len(circuits)), 2
-                )
-            ]
-        else:
-            raise ValueError(f"unknown suite {suite}")
-        limit = self.profile.pairs_per_suite
-        if limit is not None:
-            pairs = pairs[:limit]
-        return pairs
+        pairs = suite_pair_specs(
+            suite, seed=self.seed, k=self.k,
+            scale=self.profile.workload_scale,
+            limit=self.profile.pairs_per_suite,
+        )
+        return [
+            (name, [self._build(spec) for spec in specs])
+            for name, specs in pairs
+        ]
 
     # -- experiment execution ------------------------------------------------
 

@@ -20,9 +20,17 @@ Subcommands mirror the stages of the paper's flow:
     Run the multi-mode flow on BLIF mode circuits and write the
     Markdown implementation report (optionally an SVG of the merged
     routing).
+``repro campaign``
+    Run a declarative sweep (suites x flow variants x seeds) over the
+    workload registry (:mod:`repro.gen`), writing deterministic
+    per-run JSONL records plus a summary JSON; ``--gate`` checks the
+    summary against a committed QoR baseline (the CI ``qor-gate``)
+    and ``--write-baseline`` re-baselines intentionally.
 ``repro bench-exec``
     Benchmark the execution subsystem (serial vs parallel vs warm
-    cache) and write the machine-readable ``BENCH_exec.json``.
+    cache) and write the machine-readable ``BENCH_exec.json``; the
+    workload defaults to FIR pairs and ``--workload`` selects any
+    registered suite.
 ``repro cache``
     Inspect or clear the persistent stage cache.
 
@@ -313,9 +321,164 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench_exec(args: argparse.Namespace) -> int:
-    from repro.bench.exec_bench import run_exec_bench, write_bench_json
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
 
+    from repro.bench.campaign import (
+        PRESETS,
+        CampaignSpec,
+        CampaignVariant,
+        compare_to_baseline,
+        load_baseline,
+        run_campaign,
+        write_baseline,
+        write_jsonl,
+        write_summary,
+    )
+    from repro.gen import registered_suites
+
+    if args.list:
+        print("campaign presets:")
+        for name, preset in PRESETS.items():
+            print(f"  {name:16s} {preset.description}")
+        print("\nregistered suites:")
+        for name, suite in registered_suites().items():
+            print(f"  {name:10s} {suite.description}")
+        return 0
+
+    if args.preset:
+        if args.preset not in PRESETS:
+            print(
+                f"unknown preset {args.preset!r}; available: "
+                f"{', '.join(PRESETS)}",
+                file=sys.stderr,
+            )
+            return 2
+        spec = PRESETS[args.preset]
+        if args.suites:
+            print(
+                "warning: --suites is ignored with --preset",
+                file=sys.stderr,
+            )
+        if (
+            args.timing_driven
+            or args.criticality_exponent != 1.0
+            or args.timing_tradeoff != 0.5
+        ):
+            print(
+                "warning: --timing-driven/--criticality-exponent/"
+                "--timing-tradeoff are ignored with --preset "
+                "(presets define their own variants)",
+                file=sys.stderr,
+            )
+    else:
+        if not args.suites:
+            print(
+                "error: need --preset NAME or --suites SUITE "
+                "[SUITE ...] (try --list)",
+                file=sys.stderr,
+            )
+            return 2
+        _warn_unused_timing_args(args)
+        if args.timing_driven:
+            variant = CampaignVariant(
+                "timing",
+                timing_driven=True,
+                criticality_exponent=args.criticality_exponent,
+                timing_tradeoff=args.timing_tradeoff,
+            )
+        else:
+            variant = CampaignVariant("wirelength")
+        spec = CampaignSpec(
+            name=args.name,
+            description="ad-hoc campaign (repro campaign --suites)",
+            suites=tuple(args.suites),
+            scale=args.scale,
+            seeds=tuple(args.seeds),
+            inner_num=args.effort,
+            variants=(variant,),
+        )
+    if args.pairs_per_suite is not None:
+        spec = dataclasses.replace(
+            spec, pairs_per_suite=args.pairs_per_suite
+        )
+
+    baseline = None
+    if args.gate:
+        # Load before the sweep: a mistyped path must fail fast, not
+        # after minutes of flow runs, and never look like a QoR
+        # regression.
+        try:
+            baseline = load_baseline(args.gate)
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"error: cannot read baseline {args.gate}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        result = run_campaign(
+            spec,
+            workers=args.workers,
+            cache=_exec_cache(args),
+            verbose=True,
+        )
+    except ValueError as error:  # e.g. an unknown suite name
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    jsonl_path = args.jsonl or f"campaign_{spec.name}.jsonl"
+    write_jsonl(result.records, jsonl_path)
+    print(f"wrote {jsonl_path} ({len(result.records)} records)")
+    summary_path = args.summary or "BENCH_campaign.json"
+    write_summary(result.summary, summary_path)
+    print(f"wrote {summary_path}")
+    cache_row = result.summary["cache"]
+    print(
+        f"{result.summary['n_runs']} runs in "
+        f"{result.summary['seconds']:.1f}s "
+        f"({cache_row['record_hits']} cached records, "
+        f"{cache_row['record_misses']} computed)"
+    )
+
+    if args.write_baseline:
+        write_baseline(result.summary, args.write_baseline)
+        print(f"wrote baseline {args.write_baseline}")
+    if baseline is not None:
+        violations = compare_to_baseline(result.summary, baseline)
+        if violations:
+            print(
+                f"qor-gate: FAIL vs {args.gate}:", file=sys.stderr
+            )
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            print(
+                "re-baseline intentionally with "
+                "scripts/rebaseline-qor.sh if this change is "
+                "expected",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"qor-gate: OK vs {args.gate}")
+    return 0
+
+
+def _cmd_bench_exec(args: argparse.Namespace) -> int:
+    from repro.bench.exec_bench import (
+        run_exec_bench,
+        workload_kinds,
+        write_bench_json,
+    )
+
+    if args.workload not in workload_kinds():
+        print(
+            f"unknown workload kind {args.workload!r}; registered: "
+            f"{', '.join(workload_kinds())}",
+            file=sys.stderr,
+        )
+        return 2
     report = run_exec_bench(
         workers=args.workers or 4,
         n_pairs=args.pairs,
@@ -324,6 +487,7 @@ def _cmd_bench_exec(args: argparse.Namespace) -> int:
         verbose=True,
         n_taps=args.taps,
         baseline_src=args.baseline_src,
+        workload=args.workload,
     )
     write_bench_json(report, args.output)
     print(f"wrote {args.output}")
@@ -430,12 +594,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a declarative suite x options x seed sweep, write "
+             "JSONL records + summary (QoR gate for CI)",
+    )
+    p_camp.add_argument(
+        "--preset", default=None,
+        help="named campaign (see --list)",
+    )
+    p_camp.add_argument(
+        "--list", action="store_true",
+        help="list campaign presets and registered suites",
+    )
+    p_camp.add_argument(
+        "--suites", nargs="+", default=None,
+        help="ad-hoc campaign over these registered suites "
+             "(alternative to --preset)",
+    )
+    p_camp.add_argument(
+        "--scale", default="quick",
+        choices=("tiny", "quick", "default", "paper"),
+        help="workload scale of an ad-hoc campaign",
+    )
+    p_camp.add_argument(
+        "--seeds", nargs="+", type=int, default=[0],
+        help="seeds of an ad-hoc campaign",
+    )
+    p_camp.add_argument(
+        "--name", default="custom",
+        help="name of an ad-hoc campaign (labels records/outputs)",
+    )
+    p_camp.add_argument(
+        "--effort", type=float, default=0.1,
+        help="annealing inner_num of an ad-hoc campaign",
+    )
+    p_camp.add_argument(
+        "--pairs-per-suite", type=int, default=None,
+        help="truncate every suite to its first N pairs",
+    )
+    p_camp.add_argument(
+        "--jsonl", default=None,
+        help="per-run records output "
+             "(default campaign_<name>.jsonl)",
+    )
+    p_camp.add_argument(
+        "--summary", default=None,
+        help="summary JSON output (default BENCH_campaign.json)",
+    )
+    p_camp.add_argument(
+        "--gate", default=None, metavar="BASELINE",
+        help="compare the summary against a QoR baseline JSON; "
+             "exit 1 on regression beyond tolerance",
+    )
+    p_camp.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the run's QoR aggregates as a new baseline",
+    )
+    _add_exec_args(p_camp)
+    _add_timing_args(p_camp)
+    p_camp.set_defaults(func=_cmd_campaign)
+
     p_bench = sub.add_parser(
         "bench-exec",
         help="benchmark parallel execution + stage cache, write "
              "BENCH_exec.json",
     )
     p_bench.add_argument("-o", "--output", default="BENCH_exec.json")
+    p_bench.add_argument(
+        "--workload", default="fir_pairs",
+        help="workload kind: fir_pairs (default) or any registered "
+             "suite (see `repro campaign --list`)",
+    )
     p_bench.add_argument("--pairs", type=int, default=4,
                          help="independent multi-mode pairs to run")
     p_bench.add_argument("--taps", type=int, default=4,

@@ -197,32 +197,38 @@ def multimode_stage_inputs(
 
 
 #: FlowOptions field -> stage keys it perturbs directly (see above).
+#: The ``campaign`` stage (one campaign run's QoR record, see
+#: :func:`repro.bench.campaign.campaign_stage_inputs`) embeds the
+#: whole options object like ``multimode`` does, so every field
+#: appears in its set.
 OPTION_STAGE_COVERAGE: Dict[str, frozenset] = {
-    "seed": frozenset({"place", "dcs", "multimode"}),
-    "k": frozenset({"multimode"}),
-    "slack": frozenset({"multimode"}),
-    "io_rat": frozenset({"multimode"}),
-    "fc_in": frozenset({"multimode"}),
-    "fc_out": frozenset({"multimode"}),
-    "channel_width": frozenset({"multimode"}),
-    "inner_num": frozenset({"place", "dcs", "multimode"}),
-    "tplace_refine": frozenset({"dcs", "multimode"}),
-    "max_width_retries": frozenset({"multimode"}),
-    "router_max_iterations": frozenset(
-        {"route_lut", "dcs", "multimode"}
+    "seed": frozenset({"place", "dcs", "multimode", "campaign"}),
+    "k": frozenset({"multimode", "campaign"}),
+    "slack": frozenset({"multimode", "campaign"}),
+    "io_rat": frozenset({"multimode", "campaign"}),
+    "fc_in": frozenset({"multimode", "campaign"}),
+    "fc_out": frozenset({"multimode", "campaign"}),
+    "channel_width": frozenset({"multimode", "campaign"}),
+    "inner_num": frozenset(
+        {"place", "dcs", "multimode", "campaign"}
     ),
-    "net_affinity": frozenset({"dcs", "multimode"}),
-    "bit_affinity": frozenset({"dcs", "multimode"}),
-    "sharing_passes": frozenset({"dcs", "multimode"}),
-    "sizing": frozenset({"multimode"}),
+    "tplace_refine": frozenset({"dcs", "multimode", "campaign"}),
+    "max_width_retries": frozenset({"multimode", "campaign"}),
+    "router_max_iterations": frozenset(
+        {"route_lut", "dcs", "multimode", "campaign"}
+    ),
+    "net_affinity": frozenset({"dcs", "multimode", "campaign"}),
+    "bit_affinity": frozenset({"dcs", "multimode", "campaign"}),
+    "sharing_passes": frozenset({"dcs", "multimode", "campaign"}),
+    "sizing": frozenset({"multimode", "campaign"}),
     "timing_driven": frozenset(
-        {"place", "route_lut", "dcs", "multimode"}
+        {"place", "route_lut", "dcs", "multimode", "campaign"}
     ),
     "criticality_exponent": frozenset(
-        {"place", "route_lut", "dcs", "multimode"}
+        {"place", "route_lut", "dcs", "multimode", "campaign"}
     ),
     "timing_tradeoff": frozenset(
-        {"place", "route_lut", "dcs", "multimode"}
+        {"place", "route_lut", "dcs", "multimode", "campaign"}
     ),
 }
 

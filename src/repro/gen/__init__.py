@@ -1,0 +1,52 @@
+"""Seeded, parameterized multi-mode workload generators.
+
+The evaluation layer's circuit factory: every workload the harness,
+the campaign runner and ``bench-exec`` consume is described by a
+:class:`~repro.gen.spec.WorkloadSpec` (generator family + seed +
+parameters) and materialised through one ``WorkloadSpec ->
+LutCircuit`` interface.  Families:
+
+* :mod:`repro.gen.datapath` — constant-folded MAC/DSP pipelines;
+* :mod:`repro.gen.fsm` — banks of one-hot Moore controllers;
+* :mod:`repro.gen.xbar` — word-wide crossbars (wiring-dominated);
+* :mod:`repro.gen.klut` — random k-LUT networks with a tunable Rent
+  exponent and register density;
+* plus spec wrappers for the paper's classic generators
+  (``regexp``/``fir``/``mcnc``, see :mod:`repro.gen.suites`).
+
+:mod:`repro.gen.suites` groups families into named *suites* that
+yield multi-mode pairs at four scales (``tiny``/``quick``/
+``default``/``paper``); the suite registry is what
+``repro campaign --list`` prints.
+"""
+
+from repro.gen.spec import (
+    WorkloadSpec,
+    build_circuit,
+    register_generator,
+    registered_kinds,
+)
+from repro.gen import datapath, fsm, klut, xbar  # noqa: F401 (register)
+from repro.gen.suites import (
+    SCALES,
+    SuiteDef,
+    canonical_suite_name,
+    register_suite,
+    registered_suites,
+    suite_pair_specs,
+    suite_pairs,
+)
+
+__all__ = [
+    "SCALES",
+    "SuiteDef",
+    "WorkloadSpec",
+    "build_circuit",
+    "canonical_suite_name",
+    "register_generator",
+    "register_suite",
+    "registered_kinds",
+    "registered_suites",
+    "suite_pair_specs",
+    "suite_pairs",
+]

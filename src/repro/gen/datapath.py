@@ -1,0 +1,110 @@
+"""Datapath/DSP pipeline workloads (``kind="datapath"``).
+
+A seeded multiply-accumulate pipeline shaped like the constant-folded
+DSP blocks specialised circuits are made of (the generalisation of the
+FIR construction in :mod:`repro.bench.fir`): the input word broadcasts
+to ``n_terms`` constant multipliers (CSD shift-add networks, like the
+paper's specialised filters), whose products reduce through a balanced
+adder tree with an optional pipeline register rank between tree
+levels.  Different seeds draw different sparse constant sets, so two
+same-shape instances make a structurally similar but logically
+distinct mode pair — the workload shape where merging pays off.
+
+Parameters (``WorkloadSpec.params``):
+
+* ``width`` — input word width (default 8);
+* ``n_terms`` — constant multipliers feeding the tree (default 4);
+* ``coeff_width`` — constant magnitude bound ``2**(coeff_width-1)-1``
+  (default 6);
+* ``pipeline`` — register the adder tree between levels (default
+  True);
+* ``accumulate`` — feed the tree root back through an accumulator
+  register (default False; turns the pipeline into a running MAC).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.gen.spec import WorkloadSpec, register_generator
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.lutcircuit import LutCircuit
+from repro.synth.optimize import optimize_network
+from repro.synth.synthesis import WordBuilder
+from repro.synth.techmap import tech_map
+from repro.utils.rng import make_rng
+
+
+def datapath_network(spec: WorkloadSpec) -> LogicNetwork:
+    """Build the MAC-pipeline logic network for *spec*."""
+    width = int(spec.param("width", 8))
+    n_terms = int(spec.param("n_terms", 4))
+    coeff_width = int(spec.param("coeff_width", 6))
+    pipeline = bool(spec.param("pipeline", True))
+    accumulate = bool(spec.param("accumulate", False))
+    if width < 2 or n_terms < 1 or coeff_width < 2:
+        raise ValueError(
+            "datapath needs width >= 2, n_terms >= 1, "
+            "coeff_width >= 2"
+        )
+
+    rng = make_rng(spec.seed, "gen:datapath")
+    max_mag = (1 << (coeff_width - 1)) - 1
+    coefficients = []
+    for _ in range(n_terms):
+        magnitude = rng.randint(1, max_mag)
+        coefficients.append(
+            magnitude if rng.random() < 0.5 else -magnitude
+        )
+
+    gain = sum(abs(c) for c in coefficients) or 1
+    acc_width = width + max(1, math.ceil(math.log2(gain))) + 1
+
+    network = LogicNetwork(spec.name)
+    wb = WordBuilder(network, prefix="_dp")
+    x = wb.input_word("x", width)
+
+    level: List[List[str]] = [
+        wb.mul_const(x, coeff, acc_width) for coeff in coefficients
+    ]
+    rank = 0
+    while len(level) > 1:
+        nxt: List[List[str]] = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                nxt.append(
+                    wb.adder(level[i], level[i + 1], width=acc_width)
+                )
+            else:
+                nxt.append(level[i])
+        if pipeline and len(nxt) > 1:
+            nxt = [
+                wb.register_word(word, base=f"p{rank}_{j}")
+                for j, word in enumerate(nxt)
+            ]
+        level = nxt
+        rank += 1
+    result = level[0]
+    if accumulate:
+        # y[t] = result[t] + y[t-1]: the classic running MAC loop.
+        acc_reg = [
+            wb.flipflop(bit, name=f"acc[{i}]")
+            for i, bit in enumerate(
+                [f"accd[{i}]" for i in range(acc_width)]
+            )
+        ]
+        summed = wb.adder(result, acc_reg, width=acc_width)
+        for i, bit in enumerate(summed):
+            network.add_buf(f"accd[{i}]", bit)
+        result = summed
+    wb.output_word("y", result)
+    network.validate()
+    return network
+
+
+@register_generator("datapath")
+def generate_datapath_circuit(spec: WorkloadSpec) -> LutCircuit:
+    """Full front-end: spec -> optimised K-LUT circuit."""
+    network = optimize_network(datapath_network(spec))
+    return tech_map(network, k=spec.k)

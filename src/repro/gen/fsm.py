@@ -1,0 +1,109 @@
+"""FSM + controller-bank workloads (``kind="fsm"``).
+
+A bank of independent one-hot Moore controllers sharing one command
+bus — the control-plane counterpart of the datapath family, and the
+register-rich, decoder-heavy shape real mode controllers have (compare
+the one-hot NFA construction in :mod:`repro.bench.regex`).  Each
+controller draws a seeded random transition graph: every state gets a
+few outgoing edges guarded by equality decoders on a slice of the
+command bus, with a default edge keeping the state machine live.
+Status outputs OR random state subsets across the whole bank.
+
+Parameters (``WorkloadSpec.params``):
+
+* ``n_states`` — states per controller (default 8);
+* ``n_controllers`` — independent FSMs in the bank (default 2);
+* ``in_bits`` — command bus width (default 4);
+* ``out_bits`` — status outputs (default 4);
+* ``edges_per_state`` — guarded outgoing edges per state (default 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gen.spec import WorkloadSpec, register_generator
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.lutcircuit import LutCircuit
+from repro.synth.optimize import optimize_network
+from repro.synth.synthesis import WordBuilder
+from repro.synth.techmap import tech_map
+from repro.utils.rng import make_rng
+
+
+def fsm_network(spec: WorkloadSpec) -> LogicNetwork:
+    """Build the controller-bank logic network for *spec*."""
+    n_states = int(spec.param("n_states", 8))
+    n_ctrl = int(spec.param("n_controllers", 2))
+    in_bits = int(spec.param("in_bits", 4))
+    out_bits = int(spec.param("out_bits", 4))
+    edges = int(spec.param("edges_per_state", 2))
+    if n_states < 2 or n_ctrl < 1 or in_bits < 2 or edges < 1:
+        raise ValueError(
+            "fsm needs n_states >= 2, n_controllers >= 1, "
+            "in_bits >= 2, edges_per_state >= 1"
+        )
+
+    rng = make_rng(spec.seed, "gen:fsm")
+    network = LogicNetwork(spec.name)
+    wb = WordBuilder(network, prefix="_fs")
+    cmd = wb.input_word("cmd", in_bits)
+
+    all_states: List[str] = []
+    for ctrl in range(n_ctrl):
+        # State flip-flops first: their next-state data signals are
+        # forward references resolved once the transition logic below
+        # exists (latch feedback loops are legal; only combinational
+        # cycles are not).
+        states = [
+            network.add_latch(
+                f"c{ctrl}_s{q}", f"c{ctrl}_s{q}$next", init=(q == 0)
+            )
+            for q in range(n_states)
+        ]
+        all_states.extend(states)
+
+        # Guarded edges: state q fires towards a random successor when
+        # a 2-bit command slice equals a random literal.
+        incoming: Dict[int, List[str]] = {q: [] for q in range(n_states)}
+        for q in range(n_states):
+            guards: List[str] = []
+            for _ in range(edges):
+                lo = rng.randrange(in_bits - 1)
+                value = rng.randrange(4)
+                guard = wb.equals_const(cmd[lo:lo + 2], value)
+                succ = rng.randrange(n_states)
+                incoming[succ].append(
+                    wb.gate_and((states[q], guard))
+                )
+                guards.append(guard)
+            # Default edge: no guard fired -> hold (or advance, for a
+            # counter-flavoured controller).
+            stay = wb.gate_and(
+                (states[q],
+                 wb.gate_not(wb.gate_or(guards)))
+            )
+            hold_target = q if rng.random() < 0.7 else (
+                (q + 1) % n_states
+            )
+            incoming[hold_target].append(stay)
+        for q in range(n_states):
+            terms = incoming[q]
+            if not terms:
+                terms = [wb.const_bit(False)]
+            network.add_buf(
+                f"c{ctrl}_s{q}$next", wb.gate_or(terms)
+            )
+
+    for o in range(out_bits):
+        subset = rng.sample(all_states, max(1, len(all_states) // 4))
+        wb.output_word(f"st{o}", [wb.gate_or(subset)])
+    network.validate()
+    return network
+
+
+@register_generator("fsm")
+def generate_fsm_circuit(spec: WorkloadSpec) -> LutCircuit:
+    """Full front-end: spec -> optimised K-LUT circuit."""
+    network = optimize_network(fsm_network(spec))
+    return tech_map(network, k=spec.k)

@@ -1,0 +1,100 @@
+"""Random k-LUT network workloads (``kind="klut"``).
+
+The direct LUT-level generalisation of the MCNC stand-ins in
+:mod:`repro.bench.mcnc`: a feed-forward network of ``n_luts`` random
+K-LUTs grown block by block, with two knobs real suites differ in:
+
+* ``rent`` — the Rent exponent *p* steering wiring locality.  Block
+  *t* draws its fanins from a trailing window of ``~(t + n_inputs)**p``
+  recently created signals: ``p -> 1`` approaches uniformly random
+  (global, congestion-heavy) wiring, small *p* gives tightly local
+  clusters.  This is the standard Rent's-rule reading — terminal count
+  grows as ``B**p`` with block count — applied generatively.
+* ``reg_density`` — the fraction of LUT outputs that are registered,
+  from pure combinational clouds (0.0) to pipeline-saturated
+  datapath-like fabrics.
+
+Because blocks are generated straight as :class:`LutBlock`\\ s, the
+circuit skips synthesis/techmap entirely: sizes are exact and builds
+are fast, which is what the campaign sweeps and the CI smoke preset
+need.
+
+Parameters (``WorkloadSpec.params``): ``n_luts`` (default 60),
+``n_inputs`` (10), ``n_outputs`` (8), ``rent`` (0.7), ``reg_density``
+(0.1), ``global_fraction`` (0.1) — the share of fanin draws that
+ignore the locality window, keeping some long wires at any *p*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gen.spec import WorkloadSpec, register_generator
+from repro.netlist.lutcircuit import LutCircuit
+from repro.netlist.truthtable import TruthTable
+from repro.utils.rng import make_rng
+
+
+@register_generator("klut")
+def generate_klut_circuit(spec: WorkloadSpec) -> LutCircuit:
+    """Grow the random K-LUT network for *spec*."""
+    n_luts = int(spec.param("n_luts", 60))
+    n_inputs = int(spec.param("n_inputs", 10))
+    n_outputs = int(spec.param("n_outputs", 8))
+    rent = float(spec.param("rent", 0.7))
+    reg_density = float(spec.param("reg_density", 0.1))
+    global_fraction = float(spec.param("global_fraction", 0.1))
+    if n_luts < 1 or n_inputs < 2 or n_outputs < 1:
+        raise ValueError(
+            "klut needs n_luts >= 1, n_inputs >= 2, n_outputs >= 1"
+        )
+    if spec.k < 2:
+        raise ValueError("klut needs k >= 2")
+    if not 0.0 <= rent <= 1.0:
+        raise ValueError("rent exponent must be in [0, 1]")
+    if not 0.0 <= reg_density <= 1.0:
+        raise ValueError("reg_density must be in [0, 1]")
+
+    rng = make_rng(spec.seed, "gen:klut")
+    circuit = LutCircuit(spec.name, k=spec.k)
+    signals: List[str] = [
+        circuit.add_input(f"pi{i}") for i in range(n_inputs)
+    ]
+
+    for t in range(n_luts):
+        # Short-circuit order keeps the draw sequence (and thus every
+        # existing k>=3 circuit) unchanged while k=2 stays legal.
+        arity = (
+            2 if spec.k <= 2 or rng.random() < 0.5
+            else rng.randint(3, spec.k)
+        )
+        arity = min(arity, len(signals))
+        window = max(arity + 1, round((t + n_inputs) ** rent))
+        pool = signals[-window:]
+        fanins: List[str] = []
+        while len(fanins) < arity:
+            source = (
+                signals
+                if rng.random() < global_fraction or len(pool) < arity
+                else pool
+            )
+            cand = source[rng.randrange(len(source))]
+            if cand not in fanins:
+                fanins.append(cand)
+        table = TruthTable(arity, rng.getrandbits(1 << arity))
+        if table.is_const():
+            table = TruthTable.var(0, arity)
+        registered = rng.random() < reg_density
+        name = f"n{t}"
+        circuit.add_block(name, fanins, table, registered=registered)
+        signals.append(name)
+
+    # Outputs from the tail of the creation order (the "results" of
+    # the computation), like real mapped netlists.
+    candidates = [s for s in signals if s not in circuit.inputs]
+    n_outputs = min(n_outputs, len(candidates))
+    tail = candidates[-max(4 * n_outputs, n_outputs):]
+    for out in rng.sample(tail, n_outputs):
+        circuit.add_output(out)
+    circuit.validate()
+    return circuit

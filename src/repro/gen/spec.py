@@ -1,0 +1,95 @@
+"""Parameterized workload specifications.
+
+A :class:`WorkloadSpec` is the value-object interface between the
+benchmark layer and the circuit generators: it names a registered
+generator family (``kind``), a seed, the LUT arity and a flat tuple of
+family parameters, and :meth:`WorkloadSpec.build` turns it into a
+:class:`~repro.netlist.lutcircuit.LutCircuit`.  Specs are frozen
+dataclasses, so they hash, compare, pickle across process boundaries,
+and fingerprint canonically — campaign records and stage-cache keys
+embed them directly, and rebuilding a spec in a worker process yields
+a bit-identical circuit (every generator draws randomness only from
+:func:`repro.utils.rng.make_rng` over the spec's seed).
+
+Generator families register themselves with
+:func:`register_generator`; importing :mod:`repro.gen` loads every
+built-in family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.netlist.lutcircuit import LutCircuit
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One generated circuit: family ``kind``, seed, and parameters.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs rather
+    than a dict so the spec stays hashable; build specs through
+    :meth:`create` and read parameters through :meth:`param`.
+    """
+
+    kind: str
+    name: str
+    seed: int = 0
+    k: int = 4
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(cls, kind: str, name: str, seed: int = 0, k: int = 4,
+               **params: object) -> "WorkloadSpec":
+        return cls(kind, name, seed, k, tuple(sorted(params.items())))
+
+    def param(self, key: str, default: object = None) -> object:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def build(self) -> LutCircuit:
+        """Generate this spec's circuit (deterministic in the spec)."""
+        return build_circuit(self)
+
+
+GeneratorFn = Callable[[WorkloadSpec], LutCircuit]
+
+_GENERATORS: Dict[str, GeneratorFn] = {}
+
+
+def register_generator(
+    kind: str,
+) -> Callable[[GeneratorFn], GeneratorFn]:
+    """Class decorator registering a ``WorkloadSpec -> LutCircuit``
+    builder under *kind*; duplicate registrations are a bug."""
+
+    def decorate(fn: GeneratorFn) -> GeneratorFn:
+        if kind in _GENERATORS:
+            raise ValueError(f"generator {kind!r} already registered")
+        _GENERATORS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def registered_kinds() -> List[str]:
+    """Sorted names of every registered generator family."""
+    return sorted(_GENERATORS)
+
+
+def build_circuit(spec: WorkloadSpec) -> LutCircuit:
+    """Dispatch *spec* to its registered generator."""
+    try:
+        generator = _GENERATORS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {spec.kind!r}; registered kinds: "
+            f"{', '.join(registered_kinds())}"
+        ) from None
+    return generator(spec)

@@ -1,0 +1,91 @@
+"""Crossbar / interconnect-heavy workloads (``kind="xbar"``).
+
+An ``n_ports`` x ``n_ports`` word-wide crossbar: every output port
+selects one input port through a mux tree steered by its own select
+bus.  Logic is shallow and cheap, but every input bit fans out to
+every output port's mux tree — wiring dominates, which is exactly the
+stress the paper's wire-length experiments care about (routing bits
+and channel congestion, not LUT count).  The seed draws a per-output
+leaf permutation and a polarity mask, so two same-shape instances wire
+the same muxes completely differently — a low-similarity mode pair by
+construction.
+
+Parameters (``WorkloadSpec.params``):
+
+* ``n_ports`` — ports per side, rounded up to a power of two
+  (default 4);
+* ``width`` — bits per port (default 2);
+* ``registered`` — register the output ports (default True).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.gen.spec import WorkloadSpec, register_generator
+from repro.netlist.logic import LogicNetwork
+from repro.netlist.lutcircuit import LutCircuit
+from repro.synth.optimize import optimize_network
+from repro.synth.synthesis import WordBuilder
+from repro.synth.techmap import tech_map
+from repro.utils.rng import make_rng
+
+
+def _mux_tree(wb: WordBuilder, sel: Sequence[str],
+              leaves: Sequence[str]) -> str:
+    """Select ``leaves[int(sel)]`` with a balanced mux tree."""
+    level = list(leaves)
+    for bit in sel:
+        nxt = []
+        for i in range(0, len(level), 2):
+            nxt.append(wb.gate_mux(bit, level[i], level[i + 1]))
+        level = nxt
+    return level[0]
+
+
+def xbar_network(spec: WorkloadSpec) -> LogicNetwork:
+    """Build the crossbar logic network for *spec*."""
+    n_ports = int(spec.param("n_ports", 4))
+    width = int(spec.param("width", 2))
+    registered = bool(spec.param("registered", True))
+    if n_ports < 2 or width < 1:
+        raise ValueError("xbar needs n_ports >= 2, width >= 1")
+    sel_bits = max(1, (n_ports - 1).bit_length())
+    n_ports = 1 << sel_bits  # full mux trees only
+
+    rng = make_rng(spec.seed, "gen:xbar")
+    network = LogicNetwork(spec.name)
+    wb = WordBuilder(network, prefix="_xb")
+    ports: List[List[str]] = [
+        wb.input_word(f"in{p}", width) for p in range(n_ports)
+    ]
+    selects: List[List[str]] = [
+        wb.input_word(f"sel{p}", sel_bits) for p in range(n_ports)
+    ]
+
+    for p in range(n_ports):
+        # Seeded leaf order and polarity: the wiring pattern (which
+        # input reaches which mux leaf, straight or inverted) is what
+        # distinguishes two crossbar modes.
+        order = list(range(n_ports))
+        rng.shuffle(order)
+        invert_mask = rng.getrandbits(width)
+        out_bits = []
+        for b in range(width):
+            leaves = [ports[src][b] for src in order]
+            picked = _mux_tree(wb, selects[p], leaves)
+            if invert_mask >> b & 1:
+                picked = wb.gate_not(picked)
+            out_bits.append(picked)
+        if registered:
+            out_bits = wb.register_word(out_bits, base=f"q{p}")
+        wb.output_word(f"out{p}", out_bits)
+    network.validate()
+    return network
+
+
+@register_generator("xbar")
+def generate_xbar_circuit(spec: WorkloadSpec) -> LutCircuit:
+    """Full front-end: spec -> optimised K-LUT circuit."""
+    network = optimize_network(xbar_network(spec))
+    return tech_map(network, k=spec.k)

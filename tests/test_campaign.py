@@ -1,0 +1,363 @@
+"""Tests for the campaign runner and the CI QoR gate.
+
+The end-to-end path runs a one-pair tiny campaign (seconds) and
+asserts the JSONL schema plus warm/cold and worker-count bit-identity
+— the properties the CI qor-gate and the nightly trajectory rely on.
+The gate itself is exercised on real summaries: it must pass against
+its own baseline and fail once a 10% wirelength regression is
+injected.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.campaign import (
+    DEFAULT_TOLERANCES,
+    PRESETS,
+    CampaignSpec,
+    CampaignVariant,
+    baseline_from_summary,
+    campaign_runs,
+    compare_to_baseline,
+    load_baseline,
+    qor_metrics,
+    records_jsonl,
+    run_campaign,
+    write_baseline,
+    write_jsonl,
+    write_summary,
+)
+from repro.exec.cache import StageCache
+from repro.gen.suites import registered_suites
+
+TINY = CampaignSpec(
+    name="tiny-test",
+    description="one tiny klut pair, wirelength-driven",
+    suites=("klut",),
+    scale="tiny",
+    pairs_per_suite=1,
+    inner_num=0.05,
+    variants=(CampaignVariant("wirelength"),),
+)
+
+RECORD_KEYS = {
+    "schema", "campaign", "suite", "pair", "variant", "seed",
+    "modes", "arch", "options", "mdr", "dcs",
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_outcome(tmp_path_factory):
+    """One cold campaign run with a persistent cache (shared by the
+    read-only assertions below)."""
+    cache_dir = tmp_path_factory.mktemp("campaign-cache")
+    result = run_campaign(TINY, workers=1, cache=StageCache(cache_dir))
+    return cache_dir, result
+
+
+class TestCampaignEndToEnd:
+    @pytest.mark.smoke
+    def test_jsonl_schema_and_determinism(self, tmp_path):
+        """The acceptance property: bit-identical JSONL across
+        warm/cold caches and worker counts, with a stable schema."""
+        cache = StageCache(tmp_path / "cache")
+        cold = run_campaign(TINY, workers=1, cache=cache)
+        warm = run_campaign(
+            TINY, workers=1, cache=StageCache(tmp_path / "cache")
+        )
+        parallel = run_campaign(
+            TINY, workers=2,
+            cache=StageCache(tmp_path / "cache2"),
+        )
+
+        text = records_jsonl(cold.records)
+        assert text == records_jsonl(warm.records)
+        assert text == records_jsonl(parallel.records)
+
+        # Warm reruns replay every record from the campaign cache.
+        assert warm.summary["cache"]["record_hits"] == len(
+            warm.records
+        )
+        assert cold.summary["cache"]["record_hits"] == 0
+
+        # Schema: every line parses back to a full record.
+        lines = text.strip().splitlines()
+        assert len(lines) == len(cold.records) == 1
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == RECORD_KEYS
+            assert record["campaign"] == "tiny-test"
+            assert record["suite"] == "klut"
+            assert record["mdr"]["wirelength"]
+            assert record["mdr"]["fmax"]
+            for row in record["dcs"].values():
+                assert row["speedup"] > 0
+                assert len(row["frequency_ratios"]) == len(
+                    record["modes"]
+                )
+
+    def test_jsonl_file_round_trip(self, tiny_outcome, tmp_path):
+        _cache, result = tiny_outcome
+        path = tmp_path / "records.jsonl"
+        write_jsonl(result.records, str(path))
+        parsed = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert parsed == json.loads(
+            json.dumps(result.records)
+        )
+
+    def test_summary_shape(self, tiny_outcome):
+        _cache, result = tiny_outcome
+        summary = result.summary
+        assert summary["schema_version"] == 1
+        assert summary["campaign"] == "tiny-test"
+        assert summary["n_runs"] == 1
+        assert summary["seconds"] > 0
+        assert "campaign" in summary["stages"]
+        assert "klut/wirelength" in summary["qor"]
+        row = summary["qor"]["klut/wirelength"]
+        assert row["mdr_wirelength"] > 0
+        assert row["mean_mdr_fmax"] > 0
+
+    def test_run_grid_order_is_deterministic(self):
+        runs_a = campaign_runs(PRESETS["ci-smoke"])
+        runs_b = campaign_runs(PRESETS["ci-smoke"])
+        assert runs_a == runs_b
+        labels = [
+            (suite, pair, variant.label, seed)
+            for suite, pair, _specs, variant, seed in runs_a
+        ]
+        assert len(set(labels)) == len(labels)
+
+    def test_presets_are_well_formed(self):
+        suites = set(registered_suites())
+        for name, preset in PRESETS.items():
+            assert preset.name == name
+            assert set(preset.suites) <= suites
+            assert preset.variants
+            assert campaign_runs(preset), name
+
+    def test_ci_smoke_covers_all_generator_families(self):
+        assert set(PRESETS["ci-smoke"].suites) == {
+            "datapath", "fsm", "xbar", "klut"
+        }
+        labels = {v.label for v in PRESETS["ci-smoke"].variants}
+        assert len(labels) == 2  # wirelength- and timing-driven
+
+
+class TestQorGate:
+    def test_gate_passes_against_own_baseline(self, tiny_outcome):
+        _cache, result = tiny_outcome
+        baseline = baseline_from_summary(result.summary)
+        assert compare_to_baseline(result.summary, baseline) == []
+
+    def test_gate_fails_on_injected_wirelength_regression(
+        self, tiny_outcome
+    ):
+        """The ISSUE's acceptance demo: +10% wirelength must trip the
+        gate (tolerance is 5%)."""
+        _cache, result = tiny_outcome
+        baseline = baseline_from_summary(result.summary)
+        worse = copy.deepcopy(result.summary)
+        group = worse["qor"]["klut/wirelength"]
+        group["mdr_wirelength"] = int(
+            group["mdr_wirelength"] * 1.10
+        ) + 1
+        violations = compare_to_baseline(worse, baseline)
+        assert violations
+        assert any("mdr_wirelength" in v for v in violations)
+
+    def test_gate_fails_on_fmax_and_speedup_drops(self, tiny_outcome):
+        _cache, result = tiny_outcome
+        baseline = baseline_from_summary(result.summary)
+        worse = copy.deepcopy(result.summary)
+        group = worse["qor"]["klut/wirelength"]
+        group["mean_dcs_fmax"] *= 0.9
+        group["mean_speedup"] *= 0.85
+        violations = compare_to_baseline(worse, baseline)
+        assert any("mean_dcs_fmax" in v for v in violations)
+        assert any("mean_speedup" in v for v in violations)
+
+    def test_gate_ignores_improvements_and_small_noise(
+        self, tiny_outcome
+    ):
+        _cache, result = tiny_outcome
+        baseline = baseline_from_summary(result.summary)
+        better = copy.deepcopy(result.summary)
+        group = better["qor"]["klut/wirelength"]
+        group["mdr_wirelength"] = int(group["mdr_wirelength"] * 0.8)
+        group["mean_dcs_fmax"] *= 1.2
+        # +2% wirelength is inside the 5% tolerance.
+        group["dcs_wirelength"] = int(
+            group["dcs_wirelength"] * 1.02
+        )
+        assert compare_to_baseline(better, baseline) == []
+
+    def test_gate_fails_on_missing_group_and_runtime(
+        self, tiny_outcome
+    ):
+        _cache, result = tiny_outcome
+        baseline = baseline_from_summary(result.summary)
+        stripped = copy.deepcopy(result.summary)
+        stripped["qor"] = {}
+        assert any(
+            "missing" in v
+            for v in compare_to_baseline(stripped, baseline)
+        )
+        # Pin a realistic cold baseline wall-clock: below 1s the
+        # runtime bound is deliberately skipped (a warm-rebaseline
+        # guard), which the tiny one-pair run here can dip under.
+        baseline["seconds"] = 10.0
+        slow = copy.deepcopy(result.summary)
+        slow["seconds"] = (
+            baseline["seconds"]
+            * DEFAULT_TOLERANCES["runtime_factor"] * 2
+        )
+        assert any(
+            "runtime" in v
+            for v in compare_to_baseline(slow, baseline)
+        )
+        # ... and a sub-second (warm-rebaselined) reference never
+        # trips the runtime bound.
+        baseline["seconds"] = 0.05
+        slow["seconds"] = 100.0
+        assert compare_to_baseline(slow, baseline) == []
+
+    def test_gate_rejects_mismatched_campaign(self, tiny_outcome):
+        _cache, result = tiny_outcome
+        baseline = baseline_from_summary(result.summary)
+        baseline["campaign"] = "other"
+        violations = compare_to_baseline(result.summary, baseline)
+        assert violations and "campaign" in violations[0]
+
+    def test_baseline_file_round_trip(self, tiny_outcome, tmp_path):
+        _cache, result = tiny_outcome
+        path = tmp_path / "baseline.json"
+        write_baseline(result.summary, str(path))
+        loaded = load_baseline(str(path))
+        assert loaded == baseline_from_summary(result.summary)
+        assert compare_to_baseline(result.summary, loaded) == []
+
+    def test_committed_baseline_matches_ci_smoke_groups(self):
+        """The checked-in baseline must gate exactly the groups the
+        ci-smoke preset produces (a drifted preset without a
+        re-baseline would silently gate nothing)."""
+        baseline = load_baseline("BENCH_qor_baseline.json")
+        assert baseline["campaign"] == "ci-smoke"
+        spec = PRESETS["ci-smoke"]
+        expected = {
+            f"{suite}/{variant.label}"
+            for suite in spec.suites
+            for variant in spec.variants
+        }
+        assert set(baseline["qor"]) == expected
+
+
+class TestQorMetrics:
+    def test_aggregates_over_records(self):
+        def record(suite, variant, wl, fmax):
+            return {
+                "suite": suite, "variant": variant,
+                "mdr": {"wirelength": [wl, wl], "fmax": [fmax]},
+                "dcs": {
+                    "wire_length": {
+                        "wirelength": [wl], "fmax": [fmax],
+                        "speedup": 4.0, "frequency_ratios": [1.0],
+                    }
+                },
+            }
+
+        metrics = qor_metrics([
+            record("a", "wl", 100, 0.2),
+            record("a", "wl", 200, 0.4),
+            record("b", "wl", 50, 0.1),
+        ])
+        assert set(metrics) == {"a/wl", "b/wl"}
+        assert metrics["a/wl"]["mdr_wirelength"] == 600
+        assert metrics["a/wl"]["mean_mdr_fmax"] == pytest.approx(0.3)
+        assert metrics["a/wl"]["n_runs"] == 2
+
+
+class TestCampaignCli:
+    def test_list_and_bad_preset(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ci-smoke" in out and "klut" in out
+        assert main(["campaign", "--preset", "warp"]) == 2
+
+    def test_requires_preset_or_suites(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign"]) == 2
+        assert "--suites" in capsys.readouterr().err
+
+    def test_adhoc_campaign_with_gate_round_trip(
+        self, tmp_path, capsys
+    ):
+        """Write a baseline, then gate a warm rerun against it."""
+        from repro.cli import main
+
+        args = [
+            "campaign", "--suites", "klut", "--scale", "tiny",
+            "--pairs-per-suite", "1", "--effort", "0.05",
+            "--name", "clitest",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jsonl", str(tmp_path / "records.jsonl"),
+            "--summary", str(tmp_path / "summary.json"),
+        ]
+        baseline = str(tmp_path / "baseline.json")
+        assert main(args + ["--write-baseline", baseline]) == 0
+        assert main(args + ["--gate", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "qor-gate: OK" in out
+        # Corrupt the baseline into a stricter world: gate must fail.
+        with open(baseline) as handle:
+            data = json.load(handle)
+        for group in data["qor"].values():
+            group["mdr_wirelength"] = int(
+                group["mdr_wirelength"] * 0.5
+            )
+        with open(baseline, "w") as handle:
+            json.dump(data, handle)
+        assert main(args + ["--gate", baseline]) == 1
+        assert "qor-gate: FAIL" in capsys.readouterr().err
+
+    def test_timing_args_warn_without_timing_driven(
+        self, tmp_path, capsys
+    ):
+        """_warn_unused_timing_args covers the campaign subcommand."""
+        from repro.cli import main
+
+        assert main([
+            "campaign", "--suites", "klut", "--scale", "tiny",
+            "--pairs-per-suite", "1", "--effort", "0.05",
+            "--criticality-exponent", "2.0",
+            "--no-cache",
+            "--jsonl", str(tmp_path / "r.jsonl"),
+            "--summary", str(tmp_path / "s.json"),
+        ]) == 0
+        assert "no effect without --timing-driven" in (
+            capsys.readouterr().err
+        )
+
+    def test_preset_ignores_timing_args_with_warning(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        # --pairs-per-suite 0 empties the run grid, so the preset
+        # branch (and its warning) is exercised without flow runs.
+        assert main([
+            "campaign", "--preset", "ci-smoke", "--timing-driven",
+            "--pairs-per-suite", "0", "--no-cache",
+            "--jsonl", str(tmp_path / "r.jsonl"),
+            "--summary", str(tmp_path / "s.json"),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "ignored with --preset" in err

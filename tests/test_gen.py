@@ -1,0 +1,262 @@
+"""Tests for the workload generator subsystem (:mod:`repro.gen`).
+
+Per generator family: determinism (same spec -> bit-identical circuit,
+in-process and across processes), size/shape bounds, and mutual
+dissimilarity of different seeds.  Plus the spec value-object and the
+suite registry the harness/campaign/bench-exec layers consume.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.exec.fingerprint import fingerprint
+from repro.gen import (
+    SCALES,
+    WorkloadSpec,
+    build_circuit,
+    registered_kinds,
+    registered_suites,
+    suite_pair_specs,
+    suite_pairs,
+)
+
+NEW_FAMILIES = ("datapath", "fsm", "xbar", "klut")
+
+TINY_SPECS = {
+    "datapath": dict(width=4, n_terms=2, coeff_width=4),
+    "fsm": dict(n_states=5, n_controllers=1, in_bits=3, out_bits=3),
+    "xbar": dict(n_ports=2, width=3),
+    "klut": dict(n_luts=30, n_inputs=8, n_outputs=6),
+}
+
+
+def tiny_spec(kind: str, seed: int = 0, **overrides) -> WorkloadSpec:
+    params = dict(TINY_SPECS[kind], **overrides)
+    return WorkloadSpec.create(
+        kind, f"{kind}_t{seed}", seed=seed, **params
+    )
+
+
+class TestWorkloadSpec:
+    @pytest.mark.smoke
+    def test_create_sorts_params_and_reads_back(self):
+        spec = WorkloadSpec.create("klut", "x", seed=3, b=2, a=1)
+        assert spec.params == (("a", 1), ("b", 2))
+        assert spec.param("a") == 1
+        assert spec.param("missing", 42) == 42
+        assert spec.params_dict() == {"a": 1, "b": 2}
+
+    def test_specs_hash_and_compare(self):
+        a = WorkloadSpec.create("klut", "x", seed=1, n_luts=4)
+        b = WorkloadSpec.create("klut", "x", seed=1, n_luts=4)
+        assert a == b and hash(a) == hash(b)
+        assert a != WorkloadSpec.create("klut", "x", seed=2, n_luts=4)
+
+    def test_unknown_kind_lists_registered(self):
+        with pytest.raises(ValueError, match="registered kinds"):
+            build_circuit(WorkloadSpec.create("warp", "x"))
+
+    def test_all_families_registered(self):
+        kinds = registered_kinds()
+        for kind in NEW_FAMILIES + ("regexp", "fir", "mcnc"):
+            assert kind in kinds
+
+
+class TestGeneratorFamilies:
+    @pytest.mark.parametrize("kind", NEW_FAMILIES)
+    def test_build_is_deterministic(self, kind):
+        a = tiny_spec(kind).build()
+        b = tiny_spec(kind).build()
+        assert fingerprint(a) == fingerprint(b)
+
+    @pytest.mark.parametrize("kind", NEW_FAMILIES)
+    def test_seeds_are_mutually_dissimilar(self, kind):
+        prints = {
+            fingerprint(
+                # Same circuit name for all seeds so the digest
+                # difference can only come from the logic itself.
+                WorkloadSpec.create(
+                    kind, "same_name", seed=seed, **TINY_SPECS[kind]
+                ).build()
+            )
+            for seed in range(4)
+        }
+        assert len(prints) == 4
+
+    @pytest.mark.parametrize("kind", NEW_FAMILIES)
+    def test_valid_and_bounded(self, kind):
+        circuit = tiny_spec(kind).build()
+        circuit.validate()
+        assert 4 <= circuit.n_luts() <= 400
+        assert circuit.inputs and circuit.outputs
+        assert circuit.depth() >= 1
+
+    def test_determinism_across_processes(self):
+        """A spec rebuilt in a fresh interpreter yields the identical
+        circuit (what campaign workers and stage caching rely on)."""
+        specs = [tiny_spec(kind, seed=5) for kind in NEW_FAMILIES]
+        expected = [fingerprint(s.build()) for s in specs]
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        script = (
+            "from repro.gen import WorkloadSpec\n"
+            "from repro.exec.fingerprint import fingerprint\n"
+            "import pickle, sys\n"
+            "specs = pickle.loads(sys.stdin.buffer.read())\n"
+            "for s in specs:\n"
+            "    print(fingerprint(s.build()))\n"
+        )
+        import pickle
+
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=pickle.dumps(specs),
+            capture_output=True,
+            env=dict(os.environ, PYTHONPATH=str(src),
+                     PYTHONHASHSEED="random"),
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        assert proc.stdout.decode().split() == expected
+
+    def test_klut_register_density_bounds(self):
+        for density in (0.0, 0.2, 0.8):
+            circuit = tiny_spec(
+                "klut", n_luts=200, reg_density=density
+            ).build()
+            registered = sum(
+                1 for b in circuit.blocks.values() if b.registered
+            )
+            frac = registered / len(circuit.blocks)
+            assert abs(frac - density) < 0.12, (density, frac)
+
+    def test_klut_rent_exponent_changes_wiring(self):
+        local = tiny_spec("klut", n_luts=100, rent=0.2).build()
+        globl = tiny_spec("klut", n_luts=100, rent=1.0).build()
+
+        def mean_span(circuit):
+            # Creation-order distance between a block and its fanins:
+            # the generative counterpart of wire length.
+            order = {
+                name: i
+                for i, name in enumerate(
+                    list(circuit.inputs) + list(circuit.blocks)
+                )
+            }
+            spans = [
+                order[b.name] - order[f]
+                for b in circuit.blocks.values()
+                for f in b.inputs
+            ]
+            return sum(spans) / len(spans)
+
+        assert mean_span(globl) > 1.5 * mean_span(local)
+
+    def test_klut_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            tiny_spec("klut", rent=1.5).build()
+        with pytest.raises(ValueError):
+            tiny_spec("klut", reg_density=-0.1).build()
+        with pytest.raises(ValueError, match="k >= 2"):
+            WorkloadSpec.create(
+                "klut", "k1", k=1, **TINY_SPECS["klut"]
+            ).build()
+
+    def test_klut_supports_k2(self):
+        circuit = WorkloadSpec.create(
+            "klut", "k2", k=2, **TINY_SPECS["klut"]
+        ).build()
+        circuit.validate()
+        assert all(
+            len(b.inputs) <= 2 for b in circuit.blocks.values()
+        )
+
+    def test_datapath_shape_params(self):
+        small = tiny_spec("datapath").build()
+        wide = tiny_spec(
+            "datapath", width=8, n_terms=4, coeff_width=6
+        ).build()
+        assert wide.n_luts() > small.n_luts()
+        # Shared IO names across seeds: the pads of a mode pair merge.
+        other = tiny_spec("datapath", seed=9).build()
+        assert set(small.inputs) == set(other.inputs)
+
+    def test_fsm_has_state_registers(self):
+        circuit = tiny_spec("fsm").build()
+        assert any(b.registered for b in circuit.blocks.values())
+        # One-hot reset state: exactly one initialised FF per
+        # controller survives optimisation.
+        assert any(
+            b.registered and b.init for b in circuit.blocks.values()
+        )
+
+    def test_xbar_rounds_ports_to_power_of_two(self):
+        c3 = WorkloadSpec.create(
+            "xbar", "x3", n_ports=3, width=1
+        ).build()
+        c4 = WorkloadSpec.create(
+            "xbar", "x4", n_ports=4, width=1
+        ).build()
+        assert len(c3.inputs) == len(c4.inputs)
+        assert len(c3.outputs) == 4
+
+
+class TestSuiteRegistry:
+    @pytest.mark.smoke
+    def test_seven_suites_registered(self):
+        suites = registered_suites()
+        assert set(suites) == {
+            "regexp", "fir", "mcnc", "datapath", "fsm", "xbar", "klut"
+        }
+        for suite in suites.values():
+            assert suite.description
+
+    def test_unknown_suite_lists_registered(self):
+        with pytest.raises(ValueError, match="registered suites"):
+            suite_pair_specs("crypto")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            suite_pair_specs("klut", scale="warp")
+
+    @pytest.mark.parametrize("suite", sorted(NEW_FAMILIES))
+    def test_pair_structure(self, suite):
+        pairs = suite_pair_specs(suite, scale="tiny")
+        assert len(pairs) == 2
+        assert len({name for name, _specs in pairs}) == len(pairs)
+        for _name, specs in pairs:
+            assert len(specs) == 2
+            assert specs[0] != specs[1]
+            # Same shape, different seed: a real mode pair.
+            assert specs[0].params == specs[1].params
+            assert specs[0].seed != specs[1].seed
+
+    def test_limit_truncates(self):
+        assert len(suite_pair_specs("regexp", limit=2)) == 2
+
+    def test_scales_size_ordering(self):
+        tiny = suite_pairs("klut", scale="tiny", limit=1)
+        quick = suite_pairs("klut", scale="quick", limit=1)
+        assert (
+            tiny[0][1][0].n_luts() < quick[0][1][0].n_luts()
+        )
+        assert set(SCALES) == {"tiny", "quick", "default", "paper"}
+
+    def test_shared_specs_build_once(self):
+        pairs = suite_pairs("regexp", scale="tiny")
+        # regexp_01 and regexp_02 share circuit regexp0.
+        assert pairs[0][1][0] is pairs[1][1][0]
+
+    def test_classic_suites_match_direct_generators(self):
+        """The spec wrappers reproduce the historical generators
+        bit-for-bit (caches and recorded results stay comparable)."""
+        from repro.bench.fir import generate_fir_circuit
+
+        spec = suite_pair_specs("fir", seed=3, scale="default")[0][1][0]
+        direct = generate_fir_circuit(
+            "lowpass", seed=3, k=4, name=spec.name
+        )
+        assert fingerprint(spec.build()) == fingerprint(direct)

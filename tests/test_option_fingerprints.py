@@ -26,13 +26,15 @@ from repro.core.flow import (
     place_stage_inputs,
     route_lut_stage_inputs,
 )
+from repro.bench.campaign import campaign_stage_inputs
 from repro.core.merge import MergeStrategy
 from repro.exec.fingerprint import fingerprint
+from repro.gen.spec import WorkloadSpec
 from repro.place.placer import place_circuit
 
 from tests.test_exec import tiny_circuit
 
-STAGES = ("place", "route_lut", "dcs", "multimode")
+STAGES = ("place", "route_lut", "dcs", "multimode", "campaign")
 
 #: A perturbed (non-default) value per field; fields added to
 #: FlowOptions must gain an entry here too (the totality assertion
@@ -89,6 +91,15 @@ def stage_keys(options, context):
         "multimode": fingerprint(
             *multimode_stage_inputs(
                 "t", (circuit,), options,
+                (MergeStrategy.WIRE_LENGTH,),
+            )
+        ),
+        # Campaign records embed the whole options object, so (like
+        # "multimode") every FlowOptions field must perturb this key.
+        "campaign": fingerprint(
+            *campaign_stage_inputs(
+                (WorkloadSpec.create("klut", "t", n_luts=4),),
+                options,
                 (MergeStrategy.WIRE_LENGTH,),
             )
         ),
