@@ -13,6 +13,7 @@ DCS require); :func:`paper_channel_width` adds the 20% slack.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -91,12 +92,21 @@ def minimum_channel_width(
         for i, c in enumerate(circuits)
     ]
     attempts: List[Tuple[int, bool]] = []
+    tried: Dict[int, bool] = {}
 
     def try_width(width: int) -> bool:
+        # A width can come up twice (e.g. the doubling loop clamping
+        # `hi` onto a width the bisection later probes, or a fabric
+        # already routable at width 1 re-probing the lower bound);
+        # each full routing attempt is expensive, so memoize instead
+        # of re-routing and keep `attempts` to the real work done.
+        if width in tried:
+            return tried[width]
         ok = _routable(
             circuits, placements, arch, width,
             router_max_iterations,
         )
+        tried[width] = ok
         attempts.append((width, ok))
         return ok
 
@@ -128,9 +138,21 @@ def paper_channel_width(
     slack: float = 1.2,
     **search_kwargs,
 ) -> int:
-    """The paper's rule: minimum channel width plus 20% slack."""
+    """The paper's rule: minimum channel width plus 20% slack.
+
+    The slack is rounded *up*: ``round`` would owe its result to
+    banker's rounding (``round(4.5) == 4``), which can land below the
+    paper's "20% bigger than the minimum" rule.  The epsilon guards
+    the other direction — binary floats can land a hair above an
+    exact product (``15 * 1.2 == 18.000000000000004``) and must not
+    ceil one track past it.
+    """
     if slack < 1.0:
         raise ValueError("slack must be >= 1.0")
     result = minimum_channel_width(circuits, arch, **search_kwargs)
-    return max(result.minimum_width + 1,
-               int(round(result.minimum_width * slack)))
+    width = max(
+        result.minimum_width + 1,
+        math.ceil(result.minimum_width * slack - 1e-9),
+    )
+    assert width > result.minimum_width
+    return width

@@ -49,7 +49,8 @@ from repro.netlist.lutcircuit import LutCircuit
 
 #: Version of the per-run record payload; participates in the
 #: ``campaign`` stage key so cached records never outlive their schema.
-RECORD_SCHEMA_VERSION = 1
+#: v2: the options block records the channel-sizing policy.
+RECORD_SCHEMA_VERSION = 2
 
 #: Version of the summary / baseline envelope.
 SUMMARY_SCHEMA_VERSION = 1
@@ -74,6 +75,11 @@ class CampaignVariant:
     criticality_exponent: float = 1.0
     timing_tradeoff: float = 0.5
     strategies: Tuple[str, ...] = ("edge_matching", "wire_length")
+    #: Channel-sizing policy: ``"estimate"`` (netlist statistics) or
+    #: ``"search"`` (the paper's minimum-width binary search plus 20%
+    #: slack — several trial routings per run, practical as a sweep
+    #: axis since the vectorized router).
+    sizing: str = "estimate"
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,7 @@ class CampaignSpec:
             k=self.k,
             inner_num=self.inner_num,
             channel_width=self.channel_width,
+            sizing=variant.sizing,
             timing_driven=variant.timing_driven,
             criticality_exponent=variant.criticality_exponent,
             timing_tradeoff=variant.timing_tradeoff,
@@ -184,6 +191,26 @@ PRESETS: Dict[str, CampaignSpec] = {
             ),
         ),
     ),
+    # The sizing sweep the vectorized router makes practical: the
+    # same tiny pairs implemented with the estimator and with the
+    # paper's exact minimum-width search (several full trial routings
+    # per run), so the JSONL database carries the width methodology
+    # as a first-class axis.
+    "sizing-search": CampaignSpec(
+        name="sizing-search",
+        description=(
+            "channel sizing axis: estimate vs the paper's "
+            "minimum-width search (tiny datapath/klut pairs)"
+        ),
+        suites=("datapath", "klut"),
+        scale="tiny",
+        pairs_per_suite=2,
+        inner_num=0.1,
+        variants=(
+            CampaignVariant("estimate"),
+            CampaignVariant("search", sizing="search"),
+        ),
+    ),
     "nightly": CampaignSpec(
         name="nightly",
         description=(
@@ -252,6 +279,7 @@ def _extract_payload(
         "options": {
             "k": options.k,
             "inner_num": _round(options.inner_num),
+            "sizing": options.sizing,
             "timing_driven": options.timing_driven,
             "criticality_exponent": _round(
                 options.criticality_exponent

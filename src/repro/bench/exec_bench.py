@@ -15,12 +15,20 @@ high-pass *i*), each an independent synth→place→route run;
   ``timing_driven=True``, recording the timing-driven trajectory:
   wall-clock plus the mean routed MDR critical delay against the
   wirelength-driven baseline's.
+* ``router_vectorized`` — an A/B of the PathFinder negotiation cores
+  on the routing phase alone: one pair per generator family at
+  router-bench scale is placed and merged once, then its MDR routes
+  (untimed and timing-driven) and its TRoute run are timed under the
+  scalar reference (``REPRO_SCALAR_ROUTER=1``) and under the
+  vectorized default, interleaved best-of-N.  The bench asserts both
+  cores return bit-identical edge lists before reporting the
+  speedup.
 
-Results are bit-for-bit identical across all three paths (the bench
-asserts this on the reconfiguration-cost totals), so the speedups are
-pure execution-subsystem wins.  The JSON report records wall-clocks,
-per-stage breakdowns, and the two headline ratios so future PRs can
-track the perf trajectory.
+Results are bit-for-bit identical across all paths (the bench
+asserts this on the reconfiguration-cost totals and the routed edge
+lists), so the speedups are pure execution-subsystem wins.  The JSON
+report records wall-clocks, per-stage breakdowns, and the headline
+ratios so future PRs can track the perf trajectory.
 """
 
 from __future__ import annotations
@@ -43,7 +51,12 @@ from repro.exec.scheduler import Scheduler, Task
 from repro.bench.harness import _pair_worker
 from repro.core.flow import unpack_result
 
-SCHEMA_VERSION = 2
+#: v3: adds the ``router_vectorized`` phase (scalar vs vectorized
+#: PathFinder core A/B on the routing phase).
+SCHEMA_VERSION = 3
+
+#: Generator families of the router A/B workload.
+ROUTER_BENCH_FAMILIES = ("datapath", "fsm", "xbar", "klut")
 
 
 def workload_kinds() -> List[str]:
@@ -182,6 +195,154 @@ def _measure_baseline_src(
     return {"src": src_path, "seconds": data["seconds"]}
 
 
+def _router_bench_workload(scale: str, seed: int) -> List[Tuple]:
+    """One placed-and-merged pair per generator family at *scale*.
+
+    Everything that is not routing (synthesis, placement, merging)
+    happens here, outside the timed section, so the A/B below times
+    the PathFinder negotiation alone — the phase the vectorized core
+    rewrites.
+    """
+    from repro.arch.architecture import size_for_circuits
+    from repro.arch.rrg import build_rrg
+    from repro.core.combined_placement import (
+        merge_with_combined_placement,
+    )
+    from repro.core.merge import MergeStrategy
+    from repro.gen.spec import build_circuit
+    from repro.gen.suites import suite_pair_specs
+    from repro.place.placer import place_circuit
+
+    options = FlowOptions(seed=seed, inner_num=0.1)
+    schedule = options.schedule()
+    workload = []
+    for family in ROUTER_BENCH_FAMILIES:
+        pair_name, specs = suite_pair_specs(
+            family, seed=seed, k=4, scale=scale, limit=1
+        )[0]
+        modes = [build_circuit(spec) for spec in specs]
+        ios = set()
+        for circuit in modes:
+            ios.update(circuit.inputs)
+            ios.update(circuit.outputs)
+        arch = size_for_circuits(
+            max(c.n_luts() for c in modes), len(ios), k=4,
+            channel_width=8, slack=1.2,
+        )
+        rrg = build_rrg(arch)
+        placements = [
+            place_circuit(
+                c, arch, seed=seed + i, schedule=schedule
+            )
+            for i, c in enumerate(modes)
+        ]
+        tunable, _ = merge_with_combined_placement(
+            pair_name, modes, arch,
+            strategy=MergeStrategy.WIRE_LENGTH, seed=seed,
+            schedule=schedule,
+        )
+        workload.append(
+            (pair_name, modes, placements, rrg,
+             tunable.site_connections())
+        )
+    return workload
+
+
+def run_router_bench(
+    scale: str = "quick",
+    seed: int = 0,
+    rounds: int = 2,
+) -> Dict[str, object]:
+    """A/B the scalar and vectorized PathFinder cores.
+
+    Routes each pair's modes conventionally (untimed and
+    timing-driven) plus its merged tunable circuit (TRoute with the
+    flow's affinity/sharing defaults), once per core per round,
+    interleaved; reports best-of-*rounds* wall-clocks.  Raises
+    ``AssertionError`` if the cores' routes are not bit-identical.
+    """
+    from repro.route.troute import (
+        route_lut_circuit,
+        route_tunable_circuit,
+    )
+
+    workload = _router_bench_workload(scale, seed)
+    timing = FlowOptions(
+        seed=seed, inner_num=0.1, timing_driven=True
+    ).criticality()
+    defaults = FlowOptions()
+
+    def run(scalar: bool):
+        old = os.environ.pop("REPRO_SCALAR_ROUTER", None)
+        if scalar:
+            os.environ["REPRO_SCALAR_ROUTER"] = "1"
+        try:
+            start = time.perf_counter()
+            signature = []
+            for _name, modes, placements, rrg, conns in workload:
+                for circuit, placement in zip(modes, placements):
+                    result = route_lut_circuit(
+                        circuit, placement, rrg
+                    )
+                    signature.append(sorted(
+                        (cid, tuple(r.edges))
+                        for cid, r in result.routes.items()
+                    ))
+                for circuit, placement in zip(modes, placements):
+                    result = route_lut_circuit(
+                        circuit, placement, rrg, timing=timing
+                    )
+                    signature.append(sorted(
+                        (cid, tuple(r.edges))
+                        for cid, r in result.routes.items()
+                    ))
+                result = route_tunable_circuit(
+                    rrg, conns, len(modes),
+                    net_affinity=defaults.net_affinity,
+                    bit_affinity=defaults.bit_affinity,
+                    sharing_passes=defaults.sharing_passes,
+                )
+                signature.append(sorted(
+                    (cid, tuple(r.edges))
+                    for cid, r in result.routes.items()
+                ))
+            return time.perf_counter() - start, signature
+        finally:
+            os.environ.pop("REPRO_SCALAR_ROUTER", None)
+            if old is not None:
+                os.environ["REPRO_SCALAR_ROUTER"] = old
+
+    scalar_best = vector_best = float("inf")
+    scalar_sig = vector_sig = None
+    for _round in range(max(1, rounds)):
+        seconds, scalar_sig = run(scalar=True)
+        scalar_best = min(scalar_best, seconds)
+        seconds, vector_sig = run(scalar=False)
+        vector_best = min(vector_best, seconds)
+    if scalar_sig != vector_sig:
+        raise AssertionError(
+            "scalar and vectorized routers disagree: the cores must "
+            "be bit-identical"
+        )
+    n_connections = sum(
+        len(conns) for _n, _m, _p, _r, conns in workload
+    )
+    return {
+        "workload": {
+            "suites": list(ROUTER_BENCH_FAMILIES),
+            "scale": scale,
+            "n_pairs": len(workload),
+            "n_tunable_connections": n_connections,
+            "seed": seed,
+        },
+        "rounds": max(1, rounds),
+        "scalar_seconds": round(scalar_best, 3),
+        "vectorized_seconds": round(vector_best, 3),
+        "speedup": round(scalar_best / vector_best, 3),
+        "results_identical": True,
+    }
+
+
 def run_exec_bench(
     workers: int = 4,
     n_pairs: int = 4,
@@ -193,13 +354,16 @@ def run_exec_bench(
     n_taps: int = 4,
     baseline_src: Optional[str] = None,
     workload: str = "fir_pairs",
+    router_scale: str = "quick",
 ) -> Dict[str, object]:
-    """Run the three measurements; returns the report dict.
+    """Run the measurements; returns the report dict.
 
     *workload* selects the circuit source: ``"fir_pairs"`` (the
     historical shape) or any registered suite of :mod:`repro.gen`
     (materialised at tiny scale).  *pairs* overrides either (tests
     inject tiny circuits so the bench path is exercised in seconds).
+    *router_scale* sizes the ``router_vectorized`` A/B workload
+    (tests drop it to ``"tiny"``).
     """
     options = FlowOptions(seed=seed, inner_num=inner_num)
     injected = pairs is not None
@@ -273,6 +437,15 @@ def run_exec_bench(
     baseline_delay = _mean_critical_delay(res_cold)
     timed_delay = _mean_critical_delay(res_timed)
 
+    log(f"router A/B (scalar vs vectorized, {router_scale} scale) "
+        "...")
+    router_phase = run_router_bench(scale=router_scale, seed=seed)
+    log(
+        f"  scalar {router_phase['scalar_seconds']:.1f}s, "
+        f"vectorized {router_phase['vectorized_seconds']:.1f}s "
+        f"({router_phase['speedup']:.2f}x)"
+    )
+
     baseline = None
     if baseline_src and workload != "fir_pairs":
         log(
@@ -329,6 +502,7 @@ def run_exec_bench(
                 timed_delay / baseline_delay, 4
             ) if baseline_delay > 0 else None,
         },
+        "router_vectorized": router_phase,
         "speedup_cold_vs_serial": round(t_serial / t_cold, 3),
         "warm_fraction_of_cold": round(t_warm / t_cold, 4),
         "results_identical": True,

@@ -365,11 +365,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             args.timing_driven
             or args.criticality_exponent != 1.0
             or args.timing_tradeoff != 0.5
+            or args.sizing != "estimate"
         ):
             print(
                 "warning: --timing-driven/--criticality-exponent/"
-                "--timing-tradeoff are ignored with --preset "
-                "(presets define their own variants)",
+                "--timing-tradeoff/--sizing are ignored with "
+                "--preset (presets define their own variants)",
                 file=sys.stderr,
             )
     else:
@@ -387,9 +388,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 timing_driven=True,
                 criticality_exponent=args.criticality_exponent,
                 timing_tradeoff=args.timing_tradeoff,
+                sizing=args.sizing,
             )
         else:
-            variant = CampaignVariant("wirelength")
+            variant = CampaignVariant(
+                "wirelength", sizing=args.sizing
+            )
         spec = CampaignSpec(
             name=args.name,
             description="ad-hoc campaign (repro campaign --suites)",
@@ -488,6 +492,7 @@ def _cmd_bench_exec(args: argparse.Namespace) -> int:
         n_taps=args.taps,
         baseline_src=args.baseline_src,
         workload=args.workload,
+        router_scale=args.router_scale,
     )
     write_bench_json(report, args.output)
     print(f"wrote {args.output}")
@@ -498,6 +503,13 @@ def _cmd_bench_exec(args: argparse.Namespace) -> int:
         f"serial {serial:.1f}s, cold x{report['workers']} workers "
         f"{cold:.1f}s ({serial / cold:.2f}x), warm {warm:.1f}s "
         f"({100 * warm / cold:.1f}% of cold)"
+    )
+    router = report["router_vectorized"]
+    print(
+        f"router ({router['workload']['scale']} scale): scalar "
+        f"{router['scalar_seconds']:.1f}s, vectorized "
+        f"{router['vectorized_seconds']:.1f}s "
+        f"({router['speedup']:.2f}x, bit-identical)"
     )
     return 0
 
@@ -634,6 +646,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="truncate every suite to its first N pairs",
     )
     p_camp.add_argument(
+        "--sizing", default="estimate",
+        choices=("estimate", "search"),
+        help="channel sizing of an ad-hoc campaign: 'estimate' "
+             "(netlist statistics) or 'search' (the paper's "
+             "minimum-width binary search + 20%% slack; several "
+             "trial routings per run)",
+    )
+    p_camp.add_argument(
         "--jsonl", default=None,
         help="per-run records output "
              "(default campaign_<name>.jsonl)",
@@ -677,6 +697,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--effort", type=float, default=0.1,
                          help="annealing inner_num of the workload")
+    p_bench.add_argument(
+        "--router-scale", default="quick",
+        choices=("tiny", "quick", "default"),
+        help="workload scale of the router_vectorized A/B phase "
+             "(scalar vs vectorized PathFinder core)",
+    )
     p_bench.add_argument("--workers", type=int, default=4)
     p_bench.add_argument(
         "--cache-dir", default=None,

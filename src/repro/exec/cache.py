@@ -48,12 +48,17 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    #: Entries that existed on disk but failed to unpickle (truncated
+    #: write from a killed worker, bit rot, stale module shape); each
+    #: also counts as an error and a miss, and the file is unlinked.
+    corrupt: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
         self.errors += other.errors
+        self.corrupt += other.corrupt
 
     def as_dict(self) -> dict:
         return {
@@ -61,6 +66,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "corrupt": self.corrupt,
         }
 
 
@@ -114,11 +120,24 @@ class StageCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
-            # Torn write from a crashed run or an entry pickled against
-            # a module that has since changed shape: drop it.
+        except (MemoryError, RecursionError):
+            # Transient resource exhaustion, not corruption: the
+            # entry on disk may be perfectly fine, so it must not be
+            # unlinked — and silently recomputing under the same
+            # pressure would likely fail the same way.
+            raise
+        except Exception:
+            # Torn write from a killed worker or an entry pickled
+            # against a module that has since changed shape.  The
+            # unpickler surfaces corruption as many exception types
+            # beyond UnpicklingError — truncation raises EOFError,
+            # flipped bytes raise ValueError / UnicodeDecodeError /
+            # OverflowError, stale classes raise AttributeError or
+            # ImportError — so anything short of a missing file or
+            # resource exhaustion is treated as a miss: count it,
+            # drop the entry, recompute.
             self.stats.errors += 1
+            self.stats.corrupt += 1
             self.stats.misses += 1
             try:
                 path.unlink()

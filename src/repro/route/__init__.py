@@ -6,18 +6,29 @@
   functions of the mode) while conflicts within one mode are negotiated
   away.  Routing a single-mode workload reduces it to the conventional
   VPR router used by the MDR baseline.
+* :mod:`repro.route.vectorized` — the numpy-vectorized negotiation
+  core (the default; ``REPRO_SCALAR_ROUTER=1`` restores the scalar
+  reference, which stays bit-identical by construction).
 * :mod:`repro.route.troute` — TRoute: builds the tunable-connection
   workload of a merged multi-mode circuit, routes it, and extracts the
   per-mode configurations and parameterised-bit counts.
 """
 
-from repro.route.router import PathFinderRouter, RouteRequest, RoutingResult
+from repro.route.router import (
+    PathFinderRouter,
+    RouteRequest,
+    RoutingResult,
+    ScalarPathFinderRouter,
+    scalar_router_forced,
+)
 from repro.route.troute import route_lut_circuit, route_tunable_circuit
 
 __all__ = [
     "PathFinderRouter",
     "RouteRequest",
     "RoutingResult",
+    "ScalarPathFinderRouter",
+    "scalar_router_forced",
     "route_lut_circuit",
     "route_tunable_circuit",
 ]

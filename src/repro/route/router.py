@@ -32,11 +32,28 @@ connection router of Vansteenkiste et al. that TRoute builds on):
 The search is multi-source A* with an admissible Manhattan-distance
 heuristic: every node beyond the frontier costs at least its unit base
 cost, so the heuristic never overestimates.
+
+Two interchangeable negotiation cores implement the search:
+
+* the **scalar reference** in this module — pure Python, priced one
+  node at a time (the implementation every result is defined
+  against);
+* the **vectorized core** (:mod:`repro.route.vectorized`) — numpy
+  array math over the same CSR views, bit-identical by construction
+  and roughly twice as fast on real workloads.
+
+``PathFinderRouter(...)`` constructs the vectorized core by default;
+``REPRO_SCALAR_ROUTER=1`` in the environment (or numpy being
+unavailable) swaps the scalar reference back in everywhere.  Tests
+that need a specific core regardless of the environment instantiate
+:class:`ScalarPathFinderRouter` or
+:class:`~repro.route.vectorized.VectorizedPathFinderRouter` directly.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -228,8 +245,33 @@ def validate_routing(result: "RoutingResult") -> None:
             )
 
 
+def scalar_router_forced() -> bool:
+    """True when ``REPRO_SCALAR_ROUTER`` selects the scalar core."""
+    return bool(os.environ.get("REPRO_SCALAR_ROUTER"))
+
+
 class PathFinderRouter:
-    """Negotiated-congestion router over a routing-resource graph."""
+    """Negotiated-congestion router over a routing-resource graph.
+
+    Constructing this class picks the negotiation core: the
+    numpy-vectorized one by default, the scalar reference in this
+    module under ``REPRO_SCALAR_ROUTER=1`` (or when numpy is
+    missing).  Both produce bit-identical results; subclasses are
+    never re-dispatched.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is PathFinderRouter and not scalar_router_forced():
+            try:
+                from repro.route.vectorized import (
+                    VectorizedPathFinderRouter,
+                )
+            except ImportError:
+                # numpy unavailable: the scalar reference is the
+                # fallback, not a failure.
+                return super().__new__(cls)
+            return super().__new__(VectorizedPathFinderRouter)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -295,21 +337,10 @@ class PathFinderRouter:
             rrg.neighbor_arrays()
         )
         self._base = rrg.base_cost_array()
-        self._dist = [0.0] * n
         self._parent_node = [-1] * n
         self._parent_bit = [-1] * n
-        self._dist_epoch = [0] * n
-        self._visited_epoch = [0] * n
         self._epoch = 0
-        # Per-search node-pricing cache: within one connection search a
-        # node's cost is bit-independent except for the bit-affinity
-        # multiplier, so the expensive part (occupancy, history, net
-        # affinity, noise) is computed once per node per search instead
-        # of once per incoming edge.
-        self._price = [0.0] * n
-        self._price_over0 = [False] * n
-        self._price_noise = [0.0] * n
-        self._price_epoch = [0] * n
+        self._init_scratch(n)
         # Timing-driven context: per-node intrinsic delays are
         # precomputed once so the timed relaxation loop reads a flat
         # array, exactly like the congestion arrays above.
@@ -320,6 +351,35 @@ class PathFinderRouter:
             self._node_delay = [
                 model.node_delay(rrg, node) for node in range(n)
             ]
+
+    def _init_scratch(self, n: int) -> None:
+        """Search scratch of the scalar relaxation loops.
+
+        Epoch-stamped distance/visited arrays plus the per-search
+        node-pricing cache: within one connection search a node's
+        cost is bit-independent except for the bit-affinity
+        multiplier, so the expensive part (occupancy, history, net
+        affinity, noise) is computed once per node per search instead
+        of once per incoming edge.  The vectorized core overrides
+        this with its own (array-priced) scratch.
+        """
+        self._dist = [0.0] * n
+        self._dist_epoch = [0] * n
+        self._visited_epoch = [0] * n
+        self._price = [0.0] * n
+        self._price_over0 = [False] * n
+        self._price_noise = [0.0] * n
+        self._price_epoch = [0] * n
+
+    def _history_updated(self) -> None:
+        """Hook: the negotiation loop just raised history costs.
+
+        The scalar loops read ``self._hist`` directly, so nothing to
+        do here; the vectorized core uses it to drop price vectors
+        built against the old history (it must not rely on
+        ``pres_fac`` changing alongside — ``pres_fac_mult`` may
+        legitimately be 1.0).
+        """
 
     # -- occupancy bookkeeping ---------------------------------------------
 
@@ -899,6 +959,7 @@ class PathFinderRouter:
             # nets crossing congested nodes.
             for node, overuse in congested.items():
                 self._hist[node] += self.acc_fac * overuse
+            self._history_updated()
             pres_fac *= self.pres_fac_mult
             congested_set = set(congested)
             dirty = set()
@@ -1021,3 +1082,14 @@ class PathFinderRouter:
                 self._occ[mode][node] - cap[node]
             )
         return result
+
+
+class ScalarPathFinderRouter(PathFinderRouter):
+    """The scalar reference core, unconditionally.
+
+    A/B harnesses (the equivalence tests, ``repro bench-exec``'s
+    ``router_vectorized`` phase) need the reference implementation
+    regardless of ``REPRO_SCALAR_ROUTER``; this subclass bypasses the
+    construction-time dispatch and inherits the scalar loops
+    unchanged.
+    """

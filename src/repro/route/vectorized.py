@@ -1,0 +1,748 @@
+"""Vectorized PathFinder negotiation core (numpy over the CSR arrays).
+
+:class:`VectorizedPathFinderRouter` re-implements the two hot
+relaxation loops of :class:`~repro.route.router.PathFinderRouter`
+(`_route_connection` and `_route_connection_timed`) around a simple
+observation: during one connection search the congestion state is
+frozen — occupancy, history, the net's own reference counts and the
+bit-sharing reference counts only change *between* searches.  A node's
+price is therefore a pure function of the node for the whole search,
+so instead of pricing nodes lazily one dict probe at a time, the
+router prices the **entire graph at once** as numpy array math over
+the CSR views introduced with the flat-graph refactor:
+
+``price = (base + history) * (1 + pres_fac * overuse) [* affinities]``
+``edge cost = crit * delay + (1 - crit) * (price + noise)``
+
+The untimed A* heuristic is batched the same way (one
+Manhattan-distance vector per target, cached across searches; the
+timed loops keep the scalar per-push expression — their
+criticality-scaled weight defeats caching), and the relaxation loop
+then reads one precomputed Python list per scanned edge (``tolist()``
+keeps scalar access cheap) — no per-mode loops, no dict membership
+probes, no noise hashing in the inner loop.  The bit-sharing
+discount's occupancy gate is folded into the discounted price vector
+itself (``where(overused, plain, discounted)``), so even that path
+costs one set probe per edge.
+
+**Bit identity.**  Every float expression keeps the reference
+implementation's exact operation order and grouping (float addition is
+not associative; a one-ULP difference flips equal-cost tie-breaks), so
+the vectorized search makes byte-identical decisions: identical
+routes, wirelength, iteration counts and cached-result pickles.  The
+only structural liberty taken is scanning a node's sink-bound edges
+after its other edges — legal because a blocked sink is skipped either
+way, relaxations of different destination nodes are independent, and
+the heap pops entries in value order regardless of push order.  The
+A/B property test (``tests/test_router_equivalence.py``) asserts
+bit-identity across circuit families, pricing modes and connection
+shapes, and ``REPRO_SCALAR_ROUTER=1`` swaps the scalar reference back
+in at construction time (the nightly CI runs the whole tier-1 suite
+that way so the reference path cannot rot).
+
+**Price-vector reuse.**  Connections of one net route consecutively,
+and adding or removing a route of the *same net* whose activation set
+is a subset of a priced connection's cannot change that connection's
+prices: for every mode the route and the pricing context share,
+occupancy and the net's own reference counts move together, so
+``occ_after = occ + (0 if already else 1)`` is invariant; modes
+outside the route's set are untouched, and a subset activation set
+cannot reach the pricing context's *other*-mode affinity state.  The
+router therefore keeps one price entry per activation set of the
+current net (TRoute requests mix ``{0}``, ``{1}`` and ``{0, 1}``
+connections of one net), drops an entry only when an update escapes
+its subset guarantee, and clears the lot when the net or the
+present-cost factor moves on or when the negotiation loop raises
+history costs (the ``_history_updated`` hook — ``pres_fac`` alone
+would not cover it, since ``pres_fac_mult`` may be 1.0) — one vector
+build prices a whole net's fan-out.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import zlib
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.rrg import SINK, WIRE
+from repro.route.router import (
+    ConnectionRoute,
+    PathFinderRouter,
+    RouteRequest,
+    RoutingError,
+)
+
+#: Knuth's multiplicative-hash constant — must match the scalar
+#: reference's per-(net, node) tie-break jitter exactly.
+_NOISE_MUL = 0x9E3779B9
+
+#: Heuristic-vector cache bound: clear when the cached lists hold more
+#: than this many floats (~16 MB).  Untimed routing keys by target
+#: only and never comes close; timed routing keys by (target, crit)
+#: and would otherwise grow one entry per connection.
+_H_CACHE_MAX_FLOATS = 2_000_000
+
+#: Distance sentinels of the relaxation loops: +inf marks a node not
+#: yet seen in this search (any relaxation improves it — the scalar
+#: reference's epoch check) and -inf marks a settled node (nothing
+#: improves it — the scalar reference's visited check).
+_INF = float("inf")
+_NEG_INF = float("-inf")
+
+
+class VectorizedPathFinderRouter(PathFinderRouter):
+    """PathFinder with array-level pricing; bit-identical to scalar.
+
+    Everything outside the two search methods (occupancy bookkeeping,
+    the negotiation main loop, bit-sharing sweeps, trunk seeding) is
+    inherited; only the containers the array math reads — occupancy
+    and history — become numpy arrays.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        rrg = self.rrg
+        n = rrg.n_nodes
+        # numpy twins of the congestion state.  Scalar bookkeeping
+        # (`occ[node] += 1`) works unchanged on them; the price build
+        # reads them whole.
+        self._occ = [
+            np.zeros(n, dtype=np.int64) for _ in range(self.n_modes)
+        ]
+        self._hist = np.zeros(n, dtype=np.float64)
+        # Immutable per-graph vectors.
+        self._np_base = np.asarray(self._base, dtype=np.float64)
+        self._np_cap = np.asarray(rrg.node_capacity, dtype=np.int64)
+        self._np_x = np.asarray(rrg.node_x, dtype=np.int64)
+        self._np_y = np.asarray(rrg.node_y, dtype=np.int64)
+        kinds = rrg.node_kind
+        self._wire_mask = (
+            np.asarray(kinds, dtype=np.int64) == WIRE
+        )
+        # Neighbor tuples split by destination kind: the inner loop
+        # scans sink-free edges with no kind check at all, and the one
+        # sink edge a pin node may have is handled separately (a
+        # blocked sink is skipped either way, so the reordering cannot
+        # change any relaxation — see the module docstring).
+        nbr_main: List[Tuple[Tuple[int, int], ...]] = []
+        nbr_sink: List[Tuple[Tuple[int, int], ...]] = []
+        for edges in rrg.adjacency:
+            main: List[Tuple[int, int]] = []
+            sink: List[Tuple[int, int]] = []
+            for dst, bit in edges:
+                (sink if kinds[dst] == SINK else main).append(
+                    (dst, bit)
+                )
+            nbr_main.append(tuple(main))
+            nbr_sink.append(tuple(sink))
+        self._nbr_main = nbr_main
+        self._nbr_sink = nbr_sink
+        # Per-node part of the tie-break jitter; XORing the net salt
+        # in is the only per-search step.
+        self._noise_mul = np.arange(n, dtype=np.int64) * _NOISE_MUL
+        if self._node_delay is not None:
+            # Same per-edge `delay + switch_delay` add as the scalar
+            # loop, hoisted into one list read.
+            switch_delay = self.timing.model.switch_delay
+            self._node_delay_switch = [
+                d + switch_delay for d in self._node_delay
+            ]
+        # Per-net noise vector (nets route consecutively, so a
+        # one-entry cache hits for every connection after the first).
+        self._noise_salt: Optional[int] = None
+        self._noise01: Optional[np.ndarray] = None
+        # Price entries of the current (net, pres_fac), one per
+        # activation set; see the module docstring for the
+        # reuse-safety argument behind _invalidate_prices.
+        self._price_net: Optional[str] = None
+        self._price_pres: Optional[float] = None
+        self._price_entries: Dict[FrozenSet[int], Tuple] = {}
+        # Heuristic vectors keyed by (target, astar_fac).
+        self._h_cache: Dict[Tuple[int, float], List[float]] = {}
+        self._n_nodes = n
+
+    # -- main loop -----------------------------------------------------------
+
+    def route(self, requests: Sequence[RouteRequest]):
+        """Negotiate all requests with the cyclic GC paused.
+
+        The searches allocate millions of short-lived, acyclic heap
+        tuples; every ~700 of them trigger a generation-0 collection
+        that scans the young objects for cycles that cannot exist.
+        Pausing collection for the duration is worth ~5% wall clock
+        and cannot leak — nothing allocated here is cyclic, and the
+        previous GC state is restored even on RoutingError.
+        """
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return super().route(requests)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _init_scratch(self, n: int) -> None:
+        """The vectorized loops price via whole-graph vectors and a
+        fresh sentinel dist list per search, so the scalar core's
+        seven O(n) scratch arrays are never allocated here."""
+
+    # -- cache invalidation --------------------------------------------------
+
+    def _history_updated(self) -> None:
+        # Price vectors fold history costs in; entries built against
+        # the old history are stale the moment the negotiation loop
+        # raises it.  (The (net, pres_fac) key alone does not cover
+        # this: pres_fac_mult may be 1.0.)
+        self._price_entries.clear()
+
+    def _invalidate_prices(self, route: ConnectionRoute) -> None:
+        entries = self._price_entries
+        if not entries:
+            return
+        if route.request.net != self._price_net:
+            entries.clear()
+            return
+        modes = route.request.modes
+        for key in [k for k in entries if not modes <= k]:
+            del entries[key]
+
+    def _add_route(self, route: ConnectionRoute) -> None:
+        super()._add_route(route)
+        self._invalidate_prices(route)
+
+    def _remove_route(self, route: ConnectionRoute) -> None:
+        super()._remove_route(route)
+        self._invalidate_prices(route)
+
+    def _rebuild_state(
+        self, routes: Dict[int, ConnectionRoute]
+    ) -> None:
+        self._price_entries.clear()
+        for occ in self._occ:
+            occ[:] = 0
+        self._net_mode_refs.clear()
+        self._overused.clear()
+        for refs in self._bit_refs:
+            refs.clear()
+        for route in routes.values():
+            self._add_route(route)
+
+    # -- array-level pricing -------------------------------------------------
+
+    def _heuristic(
+        self, target: int, astar_fac: float
+    ) -> List[float]:
+        """``astar_fac * manhattan(node, target)`` for every node —
+        exactly the scalar per-push expression, batched and cached."""
+        key = (target, astar_fac)
+        h = self._h_cache.get(key)
+        if h is None:
+            cache = self._h_cache
+            if len(cache) * len(self._np_x) > _H_CACHE_MAX_FLOATS:
+                cache.clear()
+            h = (
+                astar_fac
+                * (
+                    np.abs(self._np_x - self.rrg.node_x[target])
+                    + np.abs(self._np_y - self.rrg.node_y[target])
+                )
+            ).tolist()
+            cache[key] = h
+        return h
+
+    def _price_vectors(
+        self, request: RouteRequest, pres_fac: float
+    ) -> Tuple:
+        """Whole-graph price state of one connection search.
+
+        Returns ``(pn_list, pnA_list, static_set, use_bit)``
+        where ``pn = cost + 0.01 * noise`` (the additive
+        edge term of the untimed loop), ``pnA`` its
+        bit-affinity-discounted twin *already gated on zero overuse*
+        (``pnA == pn`` wherever the node is overused, exactly like the
+        scalar guard), and ``static_set`` the switch bits currently on
+        in every mode outside the activation set.  Every expression
+        mirrors the scalar reference's grouping.
+        """
+        net = request.net
+        modes = request.modes
+        if (
+            net != self._price_net
+            or pres_fac != self._price_pres
+        ):
+            self._price_entries.clear()
+            self._price_net = net
+            self._price_pres = pres_fac
+        entry = self._price_entries.get(modes)
+        if entry is not None:
+            return entry
+
+        salt = zlib.crc32(net.encode())
+        if self._noise_salt != salt:
+            # Same ints, same single division, same 0.01 scale as the
+            # scalar `0.01 * (((salt ^ node*MUL) & 0xFFFF) / 0xFFFF)`.
+            self._noise01 = 0.01 * (
+                ((self._noise_mul ^ salt) & 0xFFFF) / 0xFFFF
+            )
+            self._noise_salt = salt
+        noise01 = self._noise01
+
+        cap = self._np_cap
+        overuse: Optional[np.ndarray] = None
+        for mode in modes:
+            # occ_after = occ + (0 if net already there else 1);
+            # overuse accumulates max(occ_after - cap, 0) per mode.
+            occ_after = self._occ[mode] + 1
+            refs = self._net_mode_refs.get((net, mode))
+            if refs:
+                occ_after[
+                    np.fromiter(refs.keys(), np.int64, len(refs))
+                ] -= 1
+            occ_after -= cap
+            np.maximum(occ_after, 0, out=occ_after)
+            overuse = (
+                occ_after if overuse is None else overuse + occ_after
+            )
+        cost = (self._np_base + self._hist) * (
+            1.0 + pres_fac * overuse
+        )
+        if self.net_affinity < 1.0:
+            other: set = set()
+            for mode in range(self.n_modes):
+                if mode not in modes:
+                    refs = self._net_mode_refs.get((net, mode))
+                    if refs:
+                        other.update(refs.keys())
+            if other:
+                idx = np.fromiter(other, np.int64, len(other))
+                sel = idx[
+                    self._wire_mask[idx] & (overuse[idx] == 0)
+                ]
+                cost[sel] *= self.net_affinity
+
+        pn_np = cost + noise01
+        pn_list = pn_np.tolist()
+        pnA_list = None
+        static_set: set = set()
+        use_bit = False
+        if self.bit_affinity < 1.0 and len(modes) < self.n_modes:
+            static_set = None
+            for mode in range(self.n_modes):
+                if mode in modes:
+                    continue
+                refs = self._bit_refs[mode]
+                static_set = (
+                    set(refs) if static_set is None
+                    else static_set & refs.keys()
+                )
+                if not static_set:
+                    break
+            static_set = static_set or set()
+            # No discountable bit means no edge can diverge from the
+            # plain price — skip the discounted twin entirely.
+            if static_set:
+                use_bit = True
+                pnA_list = np.where(
+                    overuse == 0,
+                    cost * self.bit_affinity + noise01,
+                    pn_np,
+                ).tolist()
+
+        entry = (pn_list, pnA_list, static_set, use_bit)
+        self._price_entries[modes] = entry
+        return entry
+
+    # -- search --------------------------------------------------------------
+    #
+    # All four loops below share one scheme that is op-for-op leaner
+    # than the scalar reference but decision-for-decision identical:
+    #
+    # * ``dist`` is a fresh per-search list using value sentinels
+    #   instead of epoch stamps: +inf means "not seen this search"
+    #   (any first relaxation improves, exactly like the scalar's
+    #   epoch check) and -inf, written when a node is popped, means
+    #   "settled" (no relaxation can improve, exactly like the
+    #   scalar's visited check — a node's first pop always carries
+    #   its best tentative distance, because entries of one node
+    #   share its heuristic and thus sort by distance).  Allocating
+    #   the list is a single C-level fill, far cheaper than the
+    #   per-improvement bookkeeping an epoch scheme needs here.
+    # * the edge price is a single list read from the precomputed
+    #   vectors; the heuristic is a list read (untimed) or the scalar
+    #   reference's per-push Manhattan expression (timed, where the
+    #   criticality-scaled weight defeats caching).
+
+    def _route_connection(
+        self, request: RouteRequest, pres_fac: float
+    ) -> ConnectionRoute:
+        """Vectorized twin of the scalar multi-source A* search."""
+        timing = self.timing
+        if timing is not None:
+            crit = timing.criticality.get(request.conn_id, 0.0)
+            if crit > 0.0:
+                return self._route_connection_timed(
+                    request, pres_fac, crit
+                )
+        pn, pnA, static_set, use_bit = self._price_vectors(
+            request, pres_fac
+        )
+        h = self._heuristic(request.sink, self.astar_fac)
+        if use_bit:
+            return self._search_untimed_bit(
+                request, h, pn, pnA, static_set
+            )
+        return self._search_untimed(request, h, pn)
+
+    def _route_connection_timed(
+        self, request: RouteRequest, pres_fac: float, crit: float
+    ) -> ConnectionRoute:
+        """Vectorized timed search.
+
+        Criticality differs per connection, so unlike the untimed
+        loop nothing criticality-weighted is worth precomputing: the
+        loop blends the *cached* congestion vectors with the static
+        per-node delay lists edge by edge —
+        ``g + (inv_crit * congestion + crit * delay)`` — exactly the
+        scalar grouping, with the pricing work amortized away."""
+        pn, pnA, static_set, use_bit = self._price_vectors(
+            request, pres_fac
+        )
+        inv_crit = 1.0 - crit
+        astar_fac = (
+            inv_crit * self.astar_fac
+            + crit * self.timing.model.wire_delay
+        )
+        if use_bit:
+            return self._search_timed_bit(
+                request, astar_fac, inv_crit, crit, pn, pnA,
+                static_set,
+            )
+        return self._search_timed(
+            request, astar_fac, inv_crit, crit, pn
+        )
+
+    def _seed(self, request: RouteRequest) -> set:
+        """Start set (source + the net's trunk) of one search."""
+        starts = {request.source}
+        starts.update(self._trunk_nodes(request))
+        return starts
+
+    def _backtrack(
+        self, request: RouteRequest, starts: set
+    ) -> ConnectionRoute:
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        edges: List[Tuple[int, int, int]] = []
+        node = request.sink
+        while node not in starts:
+            edges.append((parent_node[node], node, parent_bit[node]))
+            node = parent_node[node]
+        edges.reverse()
+        return ConnectionRoute(request, edges)
+
+    def _no_path(self, request: RouteRequest) -> RoutingError:
+        rrg = self.rrg
+        return RoutingError(
+            f"no path from {rrg.describe(request.source)} to "
+            f"{rrg.describe(request.sink)}"
+        )
+
+    def _search_untimed(
+        self,
+        request: RouteRequest,
+        h: List[float],
+        pn: List[float],
+    ) -> ConnectionRoute:
+        """Untimed search without the bit discount (MDR routing and
+        any TRoute connection with nothing discountable)."""
+        target = request.sink
+        nbr_main = self._nbr_main
+        nbr_sink = self._nbr_sink
+        dist = [_INF] * self._n_nodes
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        neg_inf = _NEG_INF
+
+        starts = self._seed(request)
+        heap: List[Tuple[float, float, int]] = []
+        for start in starts:
+            dist[start] = 0.0
+            heappush(heap, (h[start], 0.0, start))
+        found = target in starts
+        while heap:
+            _f, g, node = heappop(heap)
+            if dist[node] == neg_inf:
+                continue
+            dist[node] = neg_inf
+            if node == target:
+                found = True
+                break
+            for nxt, bit in nbr_main[node]:
+                ng = g + pn[nxt]
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    heappush(heap, (ng + h[nxt], ng, nxt))
+            for nxt, bit in nbr_sink[node]:
+                if nxt != target:
+                    continue
+                ng = g + pn[nxt]
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    heappush(heap, (ng + h[nxt], ng, nxt))
+        if not found:
+            raise self._no_path(request)
+        return self._backtrack(request, starts)
+
+    def _search_untimed_bit(
+        self,
+        request: RouteRequest,
+        h: List[float],
+        pn: List[float],
+        pnA: List[float],
+        static_set: set,
+    ) -> ConnectionRoute:
+        """Untimed search with the bit-sharing discount live.
+
+        ``pnA`` already folds the zero-overuse gate (it equals ``pn``
+        on overused nodes), so the only per-edge extra is one set
+        probe."""
+        target = request.sink
+        nbr_main = self._nbr_main
+        nbr_sink = self._nbr_sink
+        dist = [_INF] * self._n_nodes
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        neg_inf = _NEG_INF
+
+        starts = self._seed(request)
+        heap: List[Tuple[float, float, int]] = []
+        for start in starts:
+            dist[start] = 0.0
+            heappush(heap, (h[start], 0.0, start))
+        found = target in starts
+        while heap:
+            _f, g, node = heappop(heap)
+            if dist[node] == neg_inf:
+                continue
+            dist[node] = neg_inf
+            if node == target:
+                found = True
+                break
+            for nxt, bit in nbr_main[node]:
+                if bit >= 0 and bit in static_set:
+                    ng = g + pnA[nxt]
+                else:
+                    ng = g + pn[nxt]
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    heappush(heap, (ng + h[nxt], ng, nxt))
+            for nxt, bit in nbr_sink[node]:
+                if nxt != target:
+                    continue
+                if bit >= 0 and bit in static_set:
+                    ng = g + pnA[nxt]
+                else:
+                    ng = g + pn[nxt]
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    heappush(heap, (ng + h[nxt], ng, nxt))
+        if not found:
+            raise self._no_path(request)
+        return self._backtrack(request, starts)
+
+    def _search_timed(
+        self,
+        request: RouteRequest,
+        astar_fac: float,
+        inv_crit: float,
+        crit: float,
+        pn: List[float],
+    ) -> ConnectionRoute:
+        """Timed search without the bit discount."""
+        rrg = self.rrg
+        target = request.sink
+        node_x = rrg.node_x
+        node_y = rrg.node_y
+        tx, ty = node_x[target], node_y[target]
+        nd = self._node_delay
+        nds = self._node_delay_switch
+        nbr_main = self._nbr_main
+        nbr_sink = self._nbr_sink
+        dist = [_INF] * self._n_nodes
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        neg_inf = _NEG_INF
+
+        starts = self._seed(request)
+        heap: List[Tuple[float, float, int]] = []
+        for start in starts:
+            dist[start] = 0.0
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        found = target in starts
+        while heap:
+            _f, g, node = heappop(heap)
+            if dist[node] == neg_inf:
+                continue
+            dist[node] = neg_inf
+            if node == target:
+                found = True
+                break
+            for nxt, bit in nbr_main[node]:
+                if bit < 0:
+                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
+                else:
+                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+            for nxt, bit in nbr_sink[node]:
+                if nxt != target:
+                    continue
+                if bit < 0:
+                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
+                else:
+                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+        if not found:
+            raise self._no_path(request)
+        return self._backtrack(request, starts)
+
+    def _search_timed_bit(
+        self,
+        request: RouteRequest,
+        astar_fac: float,
+        inv_crit: float,
+        crit: float,
+        pn: List[float],
+        pnA: List[float],
+        static_set: set,
+    ) -> ConnectionRoute:
+        """Timed search with the bit-sharing discount live (``pnA``
+        folds the zero-overuse gate)."""
+        rrg = self.rrg
+        target = request.sink
+        node_x = rrg.node_x
+        node_y = rrg.node_y
+        tx, ty = node_x[target], node_y[target]
+        nd = self._node_delay
+        nds = self._node_delay_switch
+        nbr_main = self._nbr_main
+        nbr_sink = self._nbr_sink
+        dist = [_INF] * self._n_nodes
+        parent_node = self._parent_node
+        parent_bit = self._parent_bit
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        neg_inf = _NEG_INF
+
+        starts = self._seed(request)
+        heap: List[Tuple[float, float, int]] = []
+        for start in starts:
+            dist[start] = 0.0
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        found = target in starts
+        while heap:
+            _f, g, node = heappop(heap)
+            if dist[node] == neg_inf:
+                continue
+            dist[node] = neg_inf
+            if node == target:
+                found = True
+                break
+            for nxt, bit in nbr_main[node]:
+                if bit < 0:
+                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
+                elif bit in static_set:
+                    ng = g + (inv_crit * pnA[nxt] + crit * nds[nxt])
+                else:
+                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+            for nxt, bit in nbr_sink[node]:
+                if nxt != target:
+                    continue
+                if bit < 0:
+                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
+                elif bit in static_set:
+                    ng = g + (inv_crit * pnA[nxt] + crit * nds[nxt])
+                else:
+                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
+                if ng < dist[nxt]:
+                    dist[nxt] = ng
+                    parent_node[nxt] = node
+                    parent_bit[nxt] = bit
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+        if not found:
+            raise self._no_path(request)
+        return self._backtrack(request, starts)

@@ -149,6 +149,41 @@ class TestCampaignEndToEnd:
         assert len(labels) == 2  # wirelength- and timing-driven
 
 
+class TestSizingAxis:
+    def test_sizing_search_variant_runs_and_is_recorded(self):
+        """The --sizing search axis: the same pair implemented with
+        the estimator and with the paper's minimum-width search must
+        both complete, carry their policy in the record options, and
+        stay internally consistent."""
+        spec = CampaignSpec(
+            name="sizing-test",
+            description="sizing axis on one tiny xbar pair",
+            suites=("xbar",),
+            scale="tiny",
+            pairs_per_suite=1,
+            inner_num=0.05,
+            variants=(
+                CampaignVariant("estimate"),
+                CampaignVariant("search", sizing="search"),
+            ),
+        )
+        result = run_campaign(spec, workers=1)
+        assert len(result.records) == 2
+        by_variant = {r["variant"]: r for r in result.records}
+        assert by_variant["estimate"]["options"]["sizing"] == (
+            "estimate"
+        )
+        assert by_variant["search"]["options"]["sizing"] == "search"
+        for record in result.records:
+            assert record["arch"]["channel_width"] >= 1
+            assert record["mdr"]["total_bits"] > 0
+
+    def test_sizing_search_preset_exists(self):
+        preset = PRESETS["sizing-search"]
+        sizings = {v.sizing for v in preset.variants}
+        assert sizings == {"estimate", "search"}
+
+
 class TestQorGate:
     def test_gate_passes_against_own_baseline(self, tiny_outcome):
         _cache, result = tiny_outcome

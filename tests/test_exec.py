@@ -159,6 +159,60 @@ class TestStageCache:
         assert not hit
         assert not path.exists()
         assert cache.stats.errors == 1
+        assert cache.stats.corrupt == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            # Truncated mid-stream by a killed worker (EOFError /
+            # UnpicklingError).
+            pickle.dumps({"value": list(range(100))})[:-7],
+            # Flipped protocol byte (ValueError).
+            b"\x80\x08garbage",
+            # Bit rot inside a string opcode (UnicodeDecodeError).
+            b"\x80\x04\x95\x08\x00\x00\x00\x00\x00\x00\x00"
+            b"\x8c\x04\xff\xfe\xfd\xfc\x94.",
+            # Corrupt frame length (OverflowError).
+            b"\x80\x04\x95\xff\xff\xff\xff\xff\xff\xff\xff.",
+        ],
+    )
+    def test_every_corruption_shape_is_a_miss(self, tmp_path,
+                                              payload):
+        """pickle surfaces corruption as many exception types; none
+        may crash the flow (regression: ValueError and friends
+        escaped the old catch and took the whole run down)."""
+        cache = StageCache(tmp_path)
+        key = cache.key("stage", "y")
+        cache.put("stage", key, {"ok": True})
+        path = cache.path("stage", key)
+        path.write_bytes(payload)
+        hit, value = cache.get("stage", key)
+        assert not hit and value is None
+        assert not path.exists()
+        assert cache.stats.corrupt == 1
+        # The slot is reusable: a fresh put/get round-trips.
+        cache.put("stage", key, {"ok": True})
+        hit, value = cache.get("stage", key)
+        assert hit and value == {"ok": True}
+
+    def test_corrupt_entry_recomputes_through_memoize(self, tmp_path):
+        cache = StageCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return [1, 2, 3]
+
+        value, hit = cache.memoize("st", ("in",), compute)
+        assert not hit and len(calls) == 1
+        key = cache.key("st", "in")
+        cache.path("st", key).write_bytes(b"\x80\x08junk")
+        value, hit = cache.memoize("st", ("in",), compute)
+        assert value == [1, 2, 3]
+        assert not hit and len(calls) == 2
+        # Entry was rewritten: next call hits again.
+        _value, hit = cache.memoize("st", ("in",), compute)
+        assert hit and len(calls) == 2
 
     def test_disabled_cache_is_transparent(self, tmp_path):
         cache = StageCache(tmp_path, enabled=False)
@@ -404,6 +458,7 @@ class TestExecBench:
             inner_num=0.2,
             cache_dir=str(tmp_path / "cache"),
             pairs=pairs,
+            router_scale="tiny",
         )
         assert report["results_identical"]
         assert report["workload"]["n_pairs"] == 2
@@ -414,7 +469,21 @@ class TestExecBench:
         import json
 
         loaded = json.loads(out.read_text())
-        assert loaded["schema_version"] == 2
+        assert loaded["schema_version"] == 3
         timed = loaded["timing_driven_cold"]
         assert timed["seconds"] > 0
         assert timed["mdr_mean_critical_delay"] > 0
+        router = loaded["router_vectorized"]
+        assert router["results_identical"]
+        assert router["workload"]["scale"] == "tiny"
+        assert router["scalar_seconds"] > 0
+        assert router["vectorized_seconds"] > 0
+        assert router["speedup"] > 0
+
+    def test_router_bench_is_bit_identical(self):
+        from repro.bench.exec_bench import run_router_bench
+
+        phase = run_router_bench(scale="tiny", rounds=1)
+        assert phase["results_identical"]
+        assert phase["workload"]["n_pairs"] == 4
+        assert phase["workload"]["n_tunable_connections"] > 0

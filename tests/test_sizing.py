@@ -93,6 +93,32 @@ class TestMinimumWidth:
             )
 
 
+class TestAttemptDedup:
+    def test_width_one_fabric_routes_once_at_one(self):
+        """A workload routable at width 1 probes width 1 during the
+        upper-bound scan *and* as the lower bound; the search must
+        not pay for the second routing (regression: attempts used to
+        record the duplicate)."""
+        tiny = LutCircuit("t", 4)
+        tiny.add_input("a")
+        tiny.add_block("n0", ("a",), TruthTable.var(0, 1))
+        tiny.add_output("n0")
+        arch = FpgaArchitecture(nx=2, ny=2, channel_width=1, k=4)
+        result = minimum_channel_width([tiny], arch, seed=0)
+        widths = [w for w, _ok in result.attempts]
+        assert len(widths) == len(set(widths))
+        assert result.minimum_width == 1
+        # Upper-bound probe at 1 plus the memoized lower-bound check:
+        # exactly one attempt.
+        assert result.attempts == ((1, True),)
+
+    def test_attempts_never_repeat_a_width(self, arch):
+        result = minimum_channel_width([_dense("d")], arch, seed=1)
+        widths = [w for w, _ok in result.attempts]
+        assert len(widths) == len(set(widths))
+        assert result.n_routings() == len(result.attempts)
+
+
 class TestPaperWidth:
     def test_slack_applied(self, arch):
         minimum = minimum_channel_width(
@@ -107,3 +133,31 @@ class TestPaperWidth:
     def test_bad_slack_rejected(self, arch):
         with pytest.raises(ValueError, match="slack"):
             paper_channel_width([_chain("a", 4)], arch, slack=0.8)
+
+    def test_slack_rounds_up_not_bankers(self, arch):
+        """`int(round(w * slack))` used banker's rounding, which can
+        land *below* the paper's "20% bigger" rule (round(4.5) == 4);
+        the width must now be the ceiling of the product."""
+        import math
+
+        minimum = minimum_channel_width(
+            [_chain("a", 6)], arch, seed=0
+        ).minimum_width
+        for slack in (1.1, 1.2, 1.5, 2.0):
+            padded = paper_channel_width(
+                [_chain("a", 6)], arch, slack=slack, seed=0
+            )
+            assert padded >= math.ceil(minimum * slack - 1e-9)
+            assert padded > minimum
+
+    def test_exact_products_do_not_overshoot(self, arch):
+        """15 * 1.2 is 18.000000000000004 in binary floats; the
+        epsilon keeps an exact-product slack from ceiling one track
+        past the rule (indirectly: slack 1.0 must give minimum+1)."""
+        minimum = minimum_channel_width(
+            [_chain("a", 6)], arch, seed=0
+        ).minimum_width
+        padded = paper_channel_width(
+            [_chain("a", 6)], arch, slack=1.0, seed=0
+        )
+        assert padded == minimum + 1
