@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local end-to-end exercise of the nightly trend pipeline
+# (campaign -> checkpoint resume -> trend ingest/gate/report) on a
+# tiny workload, in a scratch directory.  Use it to sanity-check the
+# pipeline after touching repro.bench.campaign / repro.bench.trend /
+# the CLI, or to see what the nightly trend-gate job actually does.
+#
+# Usage: scripts/trend-smoke.sh   (NIGHTS=5 WINDOW=3 to override)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+NIGHTS="${NIGHTS:-4}"
+WINDOW="${WINDOW:-7}"
+work="$(mktemp -d -t repro-trend-smoke.XXXXXX)"
+trap 'rm -rf "$work"' EXIT
+echo "== scratch dir: $work"
+
+run_campaign() {
+  python -m repro campaign --suites klut --scale tiny \
+    --pairs-per-suite 2 --effort 0.05 --name trend-smoke \
+    --cache-dir "$work/stage-cache" \
+    --jsonl "$work/records.jsonl" --summary "$work/summary.json" "$@"
+}
+
+echo "== cold campaign (writes the JSONL checkpoint)"
+run_campaign
+
+echo "== kill simulation: truncate the checkpoint mid-line, resume"
+head -c "$(($(wc -c <"$work/records.jsonl") / 2))" \
+  "$work/records.jsonl" >"$work/torn.jsonl"
+mv "$work/torn.jsonl" "$work/records.jsonl"
+run_campaign --resume
+
+echo "== ingest $NIGHTS simulated nightlies"
+for night in $(seq 1 "$NIGHTS"); do
+  python -m repro trend ingest "$work/records.jsonl" \
+    --db "$work/qor_trend.db" --commit "night-$night" \
+    --label "smoke night $night"
+done
+
+echo "== gate + report (window $WINDOW)"
+python -m repro trend gate --db "$work/qor_trend.db" \
+  --window "$WINDOW"
+python -m repro trend report --db "$work/qor_trend.db" \
+  --window "$WINDOW" -o "$work/trend_report.md"
+sed -n '1,8p' "$work/trend_report.md"
+
+echo "== trend pipeline OK"

@@ -15,7 +15,11 @@ here that produces the same class of LUT circuits from scratch:
   regenerate every table and figure of the evaluation section.
 * :mod:`repro.bench.campaign` — declarative sweeps (suites x flow
   variants x seeds) over the workload registry (:mod:`repro.gen`),
-  with JSONL records, a summary JSON and the CI QoR gate.
+  with resumable JSONL record checkpoints, a summary JSON and the CI
+  QoR gate.
+* :mod:`repro.bench.trend` — the nightly QoR trend database: ingest
+  campaign records into append-only SQLite and gate drift against a
+  rolling window of previous runs.
 
 Workloads themselves are described by
 :class:`repro.gen.spec.WorkloadSpec` and materialised through the

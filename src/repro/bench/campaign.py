@@ -27,6 +27,16 @@ Whole runs are memoized under the ``campaign`` stage key
 ``FlowOptions`` and the strategies), so a warm rerun replays records
 without touching the flow; on a miss, the per-stage caches inside
 ``implement_multi_mode`` still apply.
+
+The JSONL file doubles as a **checkpoint**: when ``run_campaign`` is
+given a ``checkpoint`` path it appends each record atomically as its
+run completes (tmp-file + ``os.replace``, the :class:`StageCache`
+idiom — a kill leaves complete lines only), and ``resume=True`` scans
+the file on start, verifies each record's ``key`` field against the
+current grid's :func:`record_key` fingerprints (code digest included,
+so records from an edited tree are recomputed, never trusted), skips
+the completed runs and finishes the rest.  An interrupted-and-resumed
+sweep produces a JSONL byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -40,7 +50,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.flow import FlowOptions, implement_multi_mode
 from repro.core.merge import MergeStrategy
-from repro.exec.cache import StageCache
+from repro.exec.cache import (
+    StageCache,
+    atomic_append_text,
+    atomic_write_text,
+)
+from repro.exec.fingerprint import code_fingerprint, fingerprint
 from repro.exec.progress import ProgressLog, StageRecord, timed_call
 from repro.exec.scheduler import Scheduler, Task
 from repro.gen.spec import WorkloadSpec, build_circuit
@@ -50,7 +65,9 @@ from repro.netlist.lutcircuit import LutCircuit
 #: Version of the per-run record payload; participates in the
 #: ``campaign`` stage key so cached records never outlive their schema.
 #: v2: the options block records the channel-sizing policy.
-RECORD_SCHEMA_VERSION = 2
+#: v3: records carry their grid-slot fingerprint (``key``) for
+#: checkpoint/resume.
+RECORD_SCHEMA_VERSION = 3
 
 #: Version of the summary / baseline envelope.
 SUMMARY_SCHEMA_VERSION = 1
@@ -248,6 +265,41 @@ def campaign_stage_inputs(
     return (RECORD_SCHEMA_VERSION, specs, options, strategies)
 
 
+def record_key(
+    spec: CampaignSpec,
+    suite: str,
+    pair_name: str,
+    pair_specs: Tuple[WorkloadSpec, ...],
+    variant: CampaignVariant,
+    seed: int,
+) -> str:
+    """Resume fingerprint of one grid slot's record.
+
+    Covers the record's identity (campaign/suite/pair/variant/seed —
+    two variants with identical flow options but different labels
+    yield distinct records, so labels participate) plus everything
+    the payload can depend on: :func:`campaign_stage_inputs` and the
+    package source digest.  A checkpointed record is reused on resume
+    only when its key matches the value recomputed here — any code,
+    option or workload change orphans it, exactly like a stage-cache
+    entry.
+    """
+    options = spec.flow_options(variant, seed)
+    strategies = tuple(
+        MergeStrategy(v) for v in variant.strategies
+    )
+    return fingerprint(
+        code_fingerprint(),
+        "campaign-record",
+        spec.name,
+        suite,
+        pair_name,
+        variant.label,
+        seed,
+        campaign_stage_inputs(pair_specs, options, strategies),
+    )
+
+
 def _round(value: float) -> float:
     return round(float(value), 6)
 
@@ -397,26 +449,111 @@ def campaign_runs(
     return runs
 
 
+def record_line(record: Dict[str, object]) -> str:
+    """One record as a JSONL line (sorted keys: byte-stable)."""
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+
+
+def load_checkpoint(
+    path: str, expected_keys: Sequence[str]
+) -> Dict[str, Dict[str, object]]:
+    """Completed records of a (possibly torn) checkpoint JSONL.
+
+    Returns ``key -> record`` for every parseable line whose ``key``
+    is one the current grid expects.  A truncated final line (the
+    only torn shape an atomic-append writer can leave, but arbitrary
+    manual truncation is tolerated too) fails ``json.loads`` and is
+    simply dropped — its run reruns.  Records from another grid,
+    schema or source tree fail the key check and are dropped the same
+    way.
+    """
+    expected = set(expected_keys)
+    resumed: Dict[str, Dict[str, object]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except (OSError, UnicodeDecodeError):
+        return resumed
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        if record.get("schema") != RECORD_SCHEMA_VERSION:
+            continue
+        key = record.get("key")
+        if key in expected:
+            resumed[key] = record
+    return resumed
+
+
 def run_campaign(
     spec: CampaignSpec,
     workers: Optional[int] = None,
     cache: Optional[StageCache] = None,
     progress: Optional[ProgressLog] = None,
     verbose: bool = False,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> CampaignResult:
-    """Execute the whole sweep; returns records plus summary."""
+    """Execute the whole sweep; returns records plus summary.
+
+    With *checkpoint*, every completed record is appended to that
+    JSONL atomically as the sweep progresses (the file is the
+    artefact *and* the checkpoint), and *resume* first harvests
+    records from an existing file — see :func:`load_checkpoint` —
+    so only the unfinished runs execute.  Without *resume* an
+    existing checkpoint is overwritten.
+    """
     cache = cache or StageCache(enabled=False)
     progress = progress or ProgressLog()
     scheduler = Scheduler(workers)
     runs = campaign_runs(spec)
+    keys = [
+        record_key(spec, suite, pair_name, pair_specs, variant, seed)
+        for suite, pair_name, pair_specs, variant, seed in runs
+    ]
     cache_root = str(cache.root) if cache.enabled else None
 
+    records_by_key: Dict[str, Dict[str, object]] = {}
+    if checkpoint and resume:
+        records_by_key = load_checkpoint(checkpoint, keys)
+    pending = [
+        (index, run)
+        for index, run in enumerate(runs)
+        if keys[index] not in records_by_key
+    ]
+    if checkpoint:
+        # Rewrite the known-good prefix (in grid order, torn lines
+        # and stale records dropped) so the file is a valid
+        # checkpoint from the first appended record on.
+        atomic_write_text(
+            checkpoint,
+            "".join(
+                record_line(records_by_key[key])
+                for key in keys
+                if key in records_by_key
+            ),
+        )
+
     if verbose:
+        resumed_note = (
+            f", {len(records_by_key)} resumed from {checkpoint}"
+            if records_by_key else ""
+        )
         print(
             f"campaign {spec.name}: {len(runs)} runs "
             f"({len(spec.suites)} suites x "
             f"{len(spec.variants)} variants x "
-            f"{len(spec.seeds)} seeds, scale {spec.scale})",
+            f"{len(spec.seeds)} seeds, scale {spec.scale})"
+            + resumed_note,
             flush=True,
         )
 
@@ -431,15 +568,16 @@ def run_campaign(
             ),
             name=f"{suite}/{pair_name}/{variant.label}/s{seed}",
         )
-        for suite, pair_name, pair_specs, variant, seed in runs
+        for _index, (
+            suite, pair_name, pair_specs, variant, seed
+        ) in pending
     ]
-    outcomes = scheduler.run(tasks)
-    seconds = time.perf_counter() - start
 
-    records: List[Dict[str, object]] = []
-    for (suite, pair_name, _specs, variant, seed), (
-        payload, stage_records
-    ) in zip(runs, outcomes):
+    def on_result(position: int, outcome) -> None:
+        index, (suite, pair_name, _specs, variant, seed) = (
+            pending[position]
+        )
+        payload, stage_records = outcome
         progress.extend(stage_records)
         record: Dict[str, object] = {
             "schema": RECORD_SCHEMA_VERSION,
@@ -448,9 +586,14 @@ def run_campaign(
             "pair": pair_name,
             "variant": variant.label,
             "seed": seed,
+            "key": keys[index],
         }
         record.update(payload)
-        records.append(record)
+        records_by_key[keys[index]] = record
+        if checkpoint:
+            # Complete lines only: a kill between appends loses at
+            # most in-flight runs, never corrupts finished ones.
+            atomic_append_text(checkpoint, record_line(record))
         if verbose:
             wl = record["dcs"].get("wire_length") or next(
                 iter(record["dcs"].values())
@@ -462,20 +605,27 @@ def run_campaign(
                 flush=True,
             )
 
+    scheduler.run(tasks, on_result=on_result)
+    seconds = time.perf_counter() - start
+
+    records = [records_by_key[key] for key in keys]
+    if checkpoint:
+        # Final rewrite in grid order: resumed-and-finished files are
+        # byte-identical to uninterrupted ones even when the harvested
+        # records were not a prefix of the grid.
+        atomic_write_text(checkpoint, records_jsonl(records))
+
     summary = summarize(
         spec, records, seconds=seconds, progress=progress,
         workers=scheduler.workers,
+        resumed=len(runs) - len(pending),
     )
     return CampaignResult(spec, records, summary)
 
 
 def records_jsonl(records: Sequence[Dict[str, object]]) -> str:
     """Serialise records as JSON Lines (sorted keys: byte-stable)."""
-    return "".join(
-        json.dumps(record, sort_keys=True, separators=(",", ":"))
-        + "\n"
-        for record in records
-    )
+    return "".join(record_line(record) for record in records)
 
 
 def write_jsonl(records: Sequence[Dict[str, object]],
@@ -541,6 +691,7 @@ def summarize(
     seconds: float,
     progress: ProgressLog,
     workers: int,
+    resumed: int = 0,
 ) -> Dict[str, object]:
     """The machine-readable campaign summary (``BENCH_campaign.json``,
     same envelope style as ``BENCH_exec.json``)."""
@@ -568,6 +719,7 @@ def summarize(
                 campaign_row.get("count", 0)
                 - campaign_row.get("cache_hits", 0)
             ),
+            "resumed_records": resumed,
         },
         "stages": breakdown,
         "qor": qor_metrics(records),

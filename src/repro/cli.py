@@ -25,14 +25,22 @@ Subcommands mirror the stages of the paper's flow:
     workload registry (:mod:`repro.gen`), writing deterministic
     per-run JSONL records plus a summary JSON; ``--gate`` checks the
     summary against a committed QoR baseline (the CI ``qor-gate``)
-    and ``--write-baseline`` re-baselines intentionally.
+    and ``--write-baseline`` re-baselines intentionally.  The JSONL
+    is appended atomically as runs finish and doubles as a
+    checkpoint: ``--resume`` continues a killed sweep from its tail.
+``repro trend``
+    The nightly QoR trend database (``ingest`` a campaign JSONL into
+    SQLite, ``gate`` the newest run against the median of a rolling
+    window of previous runs, ``report`` the Markdown drift table);
+    see :mod:`repro.bench.trend`.
 ``repro bench-exec``
     Benchmark the execution subsystem (serial vs parallel vs warm
     cache) and write the machine-readable ``BENCH_exec.json``; the
     workload defaults to FIR pairs and ``--workload`` selects any
     registered suite.
 ``repro cache``
-    Inspect or clear the persistent stage cache.
+    Inspect, LRU-prune (``prune --max-size <bytes>``) or clear the
+    persistent stage cache.
 
 Flow-running subcommands accept ``--workers N`` (process-pool fan-out
 of independent stages; results are bit-identical to serial) and
@@ -333,7 +341,6 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         load_baseline,
         run_campaign,
         write_baseline,
-        write_jsonl,
         write_summary,
     )
     from repro.gen import registered_suites
@@ -422,19 +429,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
             return 2
 
+    jsonl_path = args.jsonl or f"campaign_{spec.name}.jsonl"
     try:
         result = run_campaign(
             spec,
             workers=args.workers,
             cache=_exec_cache(args),
             verbose=True,
+            # The JSONL is written incrementally as runs finish (it
+            # is the checkpoint a killed sweep resumes from), not in
+            # one shot at the end.
+            checkpoint=jsonl_path,
+            resume=args.resume,
         )
     except ValueError as error:  # e.g. an unknown suite name
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    jsonl_path = args.jsonl or f"campaign_{spec.name}.jsonl"
-    write_jsonl(result.records, jsonl_path)
     print(f"wrote {jsonl_path} ({len(result.records)} records)")
     summary_path = args.summary or "BENCH_campaign.json"
     write_summary(result.summary, summary_path)
@@ -443,7 +454,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(
         f"{result.summary['n_runs']} runs in "
         f"{result.summary['seconds']:.1f}s "
-        f"({cache_row['record_hits']} cached records, "
+        f"({cache_row['resumed_records']} resumed records, "
+        f"{cache_row['record_hits']} cached, "
         f"{cache_row['record_misses']} computed)"
     )
 
@@ -516,13 +528,134 @@ def _cmd_bench_exec(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = StageCache(args.cache_dir)
-    if args.clear:
+    if args.action == "prune":
+        if args.max_size is None:
+            print(
+                "error: prune needs --max-size <bytes>",
+                file=sys.stderr,
+            )
+            return 2
+        removed, removed_bytes = cache.prune(args.max_size)
+        print(
+            f"pruned {removed} entries ({removed_bytes} bytes) from "
+            f"{cache.root}; {cache.n_entries()} entries "
+            f"({cache.total_bytes()} bytes) remain"
+        )
+        return 0
+    if args.clear or args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
     else:
         print(f"cache root: {cache.root}")
         print(f"entries:    {cache.n_entries()}")
+        print(f"bytes:      {cache.total_bytes()}")
     return 0
+
+
+def _default_commit() -> str:
+    """Commit identity for trend ingests: $GITHUB_SHA in CI, the git
+    HEAD locally, an explicit placeholder otherwise."""
+    import os
+    import subprocess
+
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.bench.trend import (
+        TrendError,
+        connect,
+        drift_report,
+        evaluate,
+        ingest,
+        load_records_jsonl,
+    )
+
+    try:
+        conn = connect(args.db)
+    except TrendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.trend_command == "ingest":
+            try:
+                records = load_records_jsonl(args.jsonl)
+                result = ingest(
+                    conn, records,
+                    commit=args.commit or _default_commit(),
+                    label=args.label,
+                )
+            except (OSError, TrendError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            n_ingests = conn.execute(
+                "SELECT COUNT(*) FROM ingests"
+            ).fetchone()[0]
+            print(
+                f"ingested {args.jsonl} as #{result.ingest_id} "
+                f"(campaign {result.campaign}, commit "
+                f"{result.commit[:12]}, {result.n_rows} metric rows"
+                + (", replaced an earlier ingest of the same commit"
+                   if result.replaced else "")
+                + f"); {n_ingests} ingests in {args.db}"
+            )
+            return 0
+
+        try:
+            outcome = evaluate(
+                conn,
+                campaign=args.campaign,
+                window=args.window,
+                min_history=args.min_history,
+            )
+        except TrendError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+        if args.trend_command == "report":
+            text = drift_report(
+                outcome, min_history=args.min_history
+            )
+            if args.output:
+                with open(
+                    args.output, "w", encoding="utf-8"
+                ) as handle:
+                    handle.write(text)
+                print(f"wrote {args.output}")
+            else:
+                sys.stdout.write(text)
+            return 0
+
+        # gate
+        checked = len(outcome.drifts)
+        if outcome.violations:
+            print(
+                f"trend-gate: FAIL — campaign {outcome.campaign}, "
+                f"ingest #{outcome.ingest_id} vs "
+                f"{len(outcome.window_ids)} previous run(s):",
+                file=sys.stderr,
+            )
+            for violation in outcome.violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print(
+            f"trend-gate: OK — campaign {outcome.campaign}, ingest "
+            f"#{outcome.ingest_id}, {checked} series checked "
+            f"against {len(outcome.window_ids)} previous run(s) "
+            f"(window {outcome.window})"
+        )
+        return 0
+    finally:
+        conn.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -671,6 +804,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", default=None, metavar="PATH",
         help="write the run's QoR aggregates as a new baseline",
     )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="resume from the JSONL checkpoint: completed records "
+             "whose fingerprints still match are kept, only the "
+             "missing runs execute (default: overwrite)",
+    )
     _add_exec_args(p_camp)
     _add_timing_args(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
@@ -713,11 +852,96 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=_cmd_bench_exec)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent stage cache"
+        "cache",
+        help="inspect, prune (LRU) or clear the persistent stage "
+             "cache",
+    )
+    p_cache.add_argument(
+        "action", nargs="?", default="info",
+        choices=("info", "prune", "clear"),
+        help="info (default): print root/entry count; prune: evict "
+             "least-recently-used entries down to --max-size; "
+             "clear: remove everything",
     )
     p_cache.add_argument("--cache-dir", default=None)
-    p_cache.add_argument("--clear", action="store_true")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="alias of the 'clear' action")
+    p_cache.add_argument(
+        "--max-size", type=int, default=None, metavar="BYTES",
+        help="prune target: keep at most this many bytes of entries "
+             "(most recently used kept)",
+    )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="QoR trend database: ingest campaign JSONLs, gate the "
+             "newest run against a rolling window, report drift",
+    )
+    trend_sub = p_trend.add_subparsers(
+        dest="trend_command", required=True
+    )
+
+    p_ingest = trend_sub.add_parser(
+        "ingest",
+        help="aggregate a campaign JSONL into the trend database "
+             "(one row per suite/variant/seed/metric)",
+    )
+    p_ingest.add_argument("jsonl", help="campaign records JSONL")
+    p_ingest.add_argument(
+        "--db", default="qor_trend.db",
+        help="trend database file (default qor_trend.db)",
+    )
+    p_ingest.add_argument(
+        "--commit", default=None,
+        help="commit identity of the run (default: $GITHUB_SHA, "
+             "else git HEAD); re-ingesting a commit replaces its "
+             "earlier ingest",
+    )
+    p_ingest.add_argument(
+        "--label", default="",
+        help="free-form run label stored alongside (e.g. the "
+             "nightly date or run id)",
+    )
+    p_ingest.set_defaults(func=_cmd_trend)
+
+    def _add_trend_query_args(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--db", default="qor_trend.db",
+            help="trend database file (default qor_trend.db)",
+        )
+        sub_parser.add_argument(
+            "--window", type=int, default=7,
+            help="rolling window: compare the newest ingest against "
+                 "the median of up to this many previous ingests "
+                 "(default 7)",
+        )
+        sub_parser.add_argument(
+            "--min-history", type=int, default=2,
+            help="series with fewer window points than this pass as "
+                 "'new' instead of gating (default 2)",
+        )
+        sub_parser.add_argument(
+            "--campaign", default=None,
+            help="campaign to gate (default: the newest ingest's)",
+        )
+
+    p_gate = trend_sub.add_parser(
+        "gate",
+        help="exit 1 when the newest ingest regresses beyond "
+             "tolerance against the rolling-window median",
+    )
+    _add_trend_query_args(p_gate)
+    p_gate.set_defaults(func=_cmd_trend)
+
+    p_treport = trend_sub.add_parser(
+        "report",
+        help="write the Markdown drift table of the newest ingest "
+             "vs its rolling window",
+    )
+    _add_trend_query_args(p_treport)
+    p_treport.add_argument("-o", "--output", default=None)
+    p_treport.set_defaults(func=_cmd_trend)
 
     return parser
 

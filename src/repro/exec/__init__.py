@@ -22,7 +22,14 @@ for the canonicalisation rules and ``ARCHITECTURE.md`` for the cache
 layout and invalidation rules.
 """
 
-from repro.exec.cache import CacheStats, StageCache, default_cache_dir
+from repro.exec.cache import (
+    CacheStats,
+    StageCache,
+    atomic_append_text,
+    atomic_write_bytes,
+    atomic_write_text,
+    default_cache_dir,
+)
 from repro.exec.fingerprint import FINGERPRINT_VERSION, fingerprint
 from repro.exec.progress import ProgressLog, StageRecord
 from repro.exec.scheduler import Scheduler, Task, default_workers
@@ -30,6 +37,9 @@ from repro.exec.scheduler import Scheduler, Task, default_workers
 __all__ = [
     "CacheStats",
     "StageCache",
+    "atomic_append_text",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "default_cache_dir",
     "FINGERPRINT_VERSION",
     "fingerprint",

@@ -32,6 +32,51 @@ from typing import Any, Callable, Optional, Tuple
 from repro.exec.fingerprint import code_fingerprint, fingerprint
 
 
+def atomic_write_bytes(path: os.PathLike, data: bytes) -> None:
+    """Write *data* to *path* so readers never observe a torn file.
+
+    The tmp-file + ``os.replace`` idiom of :meth:`StageCache.put`,
+    exposed for other durable artefacts (campaign JSONL checkpoints):
+    the payload lands in a temporary file in the destination
+    directory and is renamed into place, so a crash mid-write leaves
+    either the old content or the new, never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: os.PathLike, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_append_text(path: os.PathLike, text: str) -> None:
+    """Append *text* to *path* with whole-file atomicity.
+
+    Read-modify-replace rather than ``open(mode="a")``: a process
+    killed mid-append must leave the previous complete file behind,
+    not a torn final line — that is the contract campaign checkpoint
+    resume relies on.  O(file size) per append, which is fine for the
+    few-hundred-line JSONL checkpoints it exists for.
+    """
+    path = Path(path)
+    try:
+        existing = path.read_bytes()
+    except FileNotFoundError:
+        existing = b""
+    atomic_write_bytes(path, existing + text.encode("utf-8"))
+
+
 def default_cache_dir() -> Path:
     """Cache root honouring ``REPRO_CACHE_DIR``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -144,6 +189,13 @@ class StageCache:
             except OSError:
                 pass
             return False, None
+        try:
+            # LRU bookkeeping for prune(): a hit marks the entry
+            # recently used.  Best-effort — a read-only cache mount
+            # still serves hits.
+            os.utime(path)
+        except OSError:
+            pass
         self.stats.hits += 1
         return True, value
 
@@ -154,22 +206,10 @@ class StageCache:
             return
         path = self.path(stage, key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, suffix=".tmp"
+            atomic_write_bytes(
+                path,
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(
-                        value, handle, protocol=pickle.HIGHEST_PROTOCOL
-                    )
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
             self.stats.stores += 1
         except (OSError, pickle.PicklingError, TypeError,
                 AttributeError):
@@ -222,3 +262,48 @@ class StageCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    def total_bytes(self) -> int:
+        total = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-used entries until the cache fits
+        *max_bytes*; returns ``(entries_removed, bytes_removed)``.
+
+        Recency is file mtime, refreshed on every hit by :meth:`get`,
+        so entries that keep hitting survive and entries orphaned by
+        code or input changes (unreachable forever — their key will
+        never be computed again) age out first.  Entries that vanish
+        mid-scan (concurrent prune or clear) are skipped.
+        """
+        entries = []
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        # Newest first; keep while the running total fits the budget.
+        entries.sort(key=lambda e: e[0], reverse=True)
+        kept = 0
+        removed = removed_bytes = 0
+        for _mtime, size, path in entries:
+            if kept + size <= max_bytes:
+                kept += size
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            removed_bytes += size
+        return removed, removed_bytes

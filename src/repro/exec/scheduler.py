@@ -76,13 +76,33 @@ class Scheduler:
         """
         return max(1, min(self.workers, n_tasks, os.cpu_count() or 1))
 
-    def run(self, tasks: Sequence[Task]) -> List[Any]:
-        """Execute *tasks*; results in submission order."""
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Execute *tasks*; results in submission order.
+
+        ``on_result(index, result)`` — when given — is invoked in the
+        calling process, in strict submission order, as each prefix of
+        the batch completes.  Callers use it to checkpoint durable
+        state incrementally (the campaign JSONL): when the process is
+        killed mid-batch, every result already handed to ``on_result``
+        was complete, and the unreported suffix is simply recomputed
+        on resume.  The callback sees exactly the results ``run``
+        returns, so it cannot perturb determinism.
+        """
         if not tasks:
             return []
         n_workers = self.effective_workers(len(tasks))
         if n_workers <= 1:
-            return [task.fn(*task.args) for task in tasks]
+            results = []
+            for index, task in enumerate(tasks):
+                result = task.fn(*task.args)
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+            return results
         results: List[Any] = [None] * len(tasks)
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             futures = [
@@ -97,6 +117,9 @@ class Scheduler:
                     results[index] = future.result()
                 except BaseException as exc:  # first failure wins
                     error = exc
+                    continue
+                if on_result is not None:
+                    on_result(index, results[index])
             if error is not None:
                 raise error
         return results

@@ -16,13 +16,16 @@ import pytest
 from repro.bench.campaign import (
     DEFAULT_TOLERANCES,
     PRESETS,
+    RECORD_SCHEMA_VERSION,
     CampaignSpec,
     CampaignVariant,
     baseline_from_summary,
     campaign_runs,
     compare_to_baseline,
     load_baseline,
+    load_checkpoint,
     qor_metrics,
+    record_key,
     records_jsonl,
     run_campaign,
     write_baseline,
@@ -43,7 +46,7 @@ TINY = CampaignSpec(
 )
 
 RECORD_KEYS = {
-    "schema", "campaign", "suite", "pair", "variant", "seed",
+    "schema", "campaign", "suite", "pair", "variant", "seed", "key",
     "modes", "arch", "options", "mdr", "dcs",
 }
 
@@ -182,6 +185,144 @@ class TestSizingAxis:
         preset = PRESETS["sizing-search"]
         sizings = {v.sizing for v in preset.variants}
         assert sizings == {"estimate", "search"}
+
+
+TWO_RUN = CampaignSpec(
+    name="resume-test",
+    description="two tiny klut pairs, wirelength-driven",
+    suites=("klut",),
+    scale="tiny",
+    pairs_per_suite=2,
+    inner_num=0.05,
+    variants=(CampaignVariant("wirelength"),),
+)
+
+
+class TestCheckpointResume:
+    """The tentpole contract: the JSONL is the checkpoint.
+
+    A campaign killed after k of n runs (including a torn final
+    line) and resumed with ``resume=True`` must produce a JSONL
+    byte-identical to an uninterrupted run, executing only the
+    missing runs.
+    """
+
+    @pytest.fixture(scope="class")
+    def uninterrupted(self, tmp_path_factory):
+        """One full checkpointed run; its JSONL text is the byte
+        reference, its cache dir is shared so reruns are fast."""
+        root = tmp_path_factory.mktemp("resume")
+        checkpoint = root / "full.jsonl"
+        result = run_campaign(
+            TWO_RUN, workers=1,
+            cache=StageCache(root / "cache"),
+            checkpoint=str(checkpoint),
+        )
+        return root, checkpoint.read_text(), result
+
+    def test_checkpoint_equals_records_and_carries_keys(
+        self, uninterrupted
+    ):
+        _root, text, result = uninterrupted
+        assert text == records_jsonl(result.records)
+        runs = campaign_runs(TWO_RUN)
+        assert [r["key"] for r in result.records] == [
+            record_key(TWO_RUN, suite, pair, specs, variant, seed)
+            for suite, pair, specs, variant, seed in runs
+        ]
+
+    @pytest.mark.parametrize("kept", [0, 1])
+    def test_resume_after_torn_truncation_is_byte_identical(
+        self, uninterrupted, tmp_path, kept
+    ):
+        """Kill simulation: keep `kept` complete records plus half of
+        the next line, resume, compare bytes."""
+        root, text, _result = uninterrupted
+        lines = text.splitlines(keepends=True)
+        torn = "".join(lines[:kept]) + lines[kept][: len(lines[kept]) // 2]
+        checkpoint = tmp_path / "torn.jsonl"
+        checkpoint.write_text(torn)
+        resumed = run_campaign(
+            TWO_RUN, workers=1,
+            cache=StageCache(root / "cache"),
+            checkpoint=str(checkpoint), resume=True,
+        )
+        assert checkpoint.read_text() == text
+        assert records_jsonl(resumed.records) == text
+        assert resumed.summary["cache"]["resumed_records"] == kept
+
+    def test_resume_skips_nothing_on_key_mismatch(
+        self, uninterrupted, tmp_path
+    ):
+        """A record whose key no longer matches (stale code, edited
+        options, hand-tampering) is recomputed, not trusted."""
+        root, text, _result = uninterrupted
+        lines = text.splitlines()
+        tampered = json.loads(lines[0])
+        tampered["key"] = "0" * 64
+        checkpoint = tmp_path / "stale.jsonl"
+        checkpoint.write_text(
+            json.dumps(tampered, sort_keys=True,
+                       separators=(",", ":"))
+            + "\n" + lines[1] + "\n"
+        )
+        resumed = run_campaign(
+            TWO_RUN, workers=1,
+            cache=StageCache(root / "cache"),
+            checkpoint=str(checkpoint), resume=True,
+        )
+        assert resumed.summary["cache"]["resumed_records"] == 1
+        assert checkpoint.read_text() == text
+
+    def test_without_resume_flag_checkpoint_is_overwritten(
+        self, uninterrupted, tmp_path
+    ):
+        root, text, _result = uninterrupted
+        checkpoint = tmp_path / "old.jsonl"
+        checkpoint.write_text(text)
+        fresh = run_campaign(
+            TWO_RUN, workers=1,
+            cache=StageCache(root / "cache"),
+            checkpoint=str(checkpoint), resume=False,
+        )
+        assert fresh.summary["cache"]["resumed_records"] == 0
+        assert checkpoint.read_text() == text  # recomputed, same QoR
+
+    def test_load_checkpoint_filters_garbage(
+        self, uninterrupted, tmp_path
+    ):
+        _root, text, result = uninterrupted
+        keys = [r["key"] for r in result.records]
+        wrong_schema = dict(result.records[0])
+        wrong_schema["schema"] = RECORD_SCHEMA_VERSION - 1
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps(["a", "list"]) + "\n"
+            + json.dumps(wrong_schema) + "\n"
+            + text.splitlines(keepends=True)[1]
+            + '{"torn": tru'
+        )
+        harvested = load_checkpoint(str(path), keys)
+        assert set(harvested) == {keys[1]}
+        assert load_checkpoint(str(tmp_path / "missing"), keys) == {}
+
+    def test_resumed_jsonl_reorders_to_grid_order(
+        self, uninterrupted, tmp_path
+    ):
+        """Records harvested out of grid order (hand-merged files)
+        still come out in grid order, byte-identical."""
+        root, text, _result = uninterrupted
+        lines = text.splitlines(keepends=True)
+        checkpoint = tmp_path / "reversed.jsonl"
+        checkpoint.write_text("".join(reversed(lines)))
+        resumed = run_campaign(
+            TWO_RUN, workers=1,
+            cache=StageCache(root / "cache"),
+            checkpoint=str(checkpoint), resume=True,
+        )
+        assert resumed.summary["cache"]["resumed_records"] == 2
+        assert checkpoint.read_text() == text
 
 
 class TestQorGate:
@@ -362,6 +503,29 @@ class TestCampaignCli:
             json.dump(data, handle)
         assert main(args + ["--gate", baseline]) == 1
         assert "qor-gate: FAIL" in capsys.readouterr().err
+
+    def test_cli_resume_round_trip(self, tmp_path, capsys):
+        """`repro campaign --resume` finishes a truncated JSONL to
+        the exact bytes of the uninterrupted file."""
+        from repro.cli import main
+
+        jsonl = tmp_path / "records.jsonl"
+        args = [
+            "campaign", "--suites", "klut", "--scale", "tiny",
+            "--pairs-per-suite", "2", "--effort", "0.05",
+            "--name", "cliresume",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jsonl", str(jsonl),
+            "--summary", str(tmp_path / "summary.json"),
+        ]
+        assert main(args) == 0
+        text = jsonl.read_text()
+        assert len(text.splitlines()) == 2
+        lines = text.splitlines(keepends=True)
+        jsonl.write_text(lines[0] + lines[1][:10])
+        assert main(args + ["--resume"]) == 0
+        assert jsonl.read_text() == text
+        assert "1 resumed records" in capsys.readouterr().out
 
     def test_timing_args_warn_without_timing_driven(
         self, tmp_path, capsys

@@ -23,7 +23,12 @@ from repro.core.flow import (
     unpack_result,
 )
 from repro.core.merge import MergeStrategy
-from repro.exec.cache import CacheStats, StageCache
+from repro.exec.cache import (
+    CacheStats,
+    StageCache,
+    atomic_append_text,
+    atomic_write_text,
+)
 from repro.exec.fingerprint import Unfingerprintable, fingerprint
 from repro.exec.progress import ProgressLog, StageRecord, timed_call
 from repro.exec.scheduler import Scheduler, Task, default_workers
@@ -250,6 +255,81 @@ class TestStageCache:
         assert (a.hits, a.misses, a.stores) == (4, 2, 4)
 
 
+class TestAtomicHelpers:
+    def test_write_and_append_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "file.jsonl"
+        atomic_write_text(path, "one\n")
+        atomic_append_text(path, "two\n")
+        atomic_append_text(path, "three\n")
+        assert path.read_text() == "one\ntwo\nthree\n"
+        # No stray tmp files left behind.
+        assert [p.name for p in path.parent.iterdir()] == [
+            "file.jsonl"
+        ]
+
+    def test_append_creates_missing_file(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        atomic_append_text(path, "line\n")
+        assert path.read_text() == "line\n"
+
+    def test_write_replaces_whole_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "long old content\n")
+        atomic_write_text(path, "new\n")
+        assert path.read_text() == "new\n"
+
+
+class TestPrune:
+    def _fill(self, cache, n, size=1000):
+        for i in range(n):
+            cache.put("stage", f"{i:02d}" * 32, b"x" * size)
+            # Distinct mtimes even on coarse filesystem clocks.
+            path = cache.path("stage", f"{i:02d}" * 32)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = StageCache(tmp_path)
+        self._fill(cache, 5)
+        sizes = cache.total_bytes()
+        per_entry = sizes // 5
+        removed, removed_bytes = cache.prune(per_entry * 2)
+        assert removed == 3
+        assert removed_bytes == per_entry * 3
+        # The two newest entries survive.
+        survivors = {
+            p.stem for p in cache.root.rglob("*.pkl")
+        }
+        assert survivors == {"03" * 32, "04" * 32}
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache = StageCache(tmp_path)
+        self._fill(cache, 3)
+        assert cache.prune(cache.total_bytes()) == (0, 0)
+        assert cache.n_entries() == 3
+
+    def test_prune_zero_budget_clears(self, tmp_path):
+        cache = StageCache(tmp_path)
+        self._fill(cache, 3)
+        removed, _bytes = cache.prune(0)
+        assert removed == 3
+        assert cache.n_entries() == 0
+
+    def test_prune_empty_and_missing_root(self, tmp_path):
+        assert StageCache(tmp_path / "nowhere").prune(10) == (0, 0)
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        """A recently *read* entry outlives an unread newer one."""
+        cache = StageCache(tmp_path)
+        self._fill(cache, 3)
+        key = "00" * 32
+        hit, value = cache.get("stage", key)
+        assert hit
+        per_entry = cache.total_bytes() // 3
+        cache.prune(per_entry)
+        survivors = {p.stem for p in cache.root.rglob("*.pkl")}
+        assert survivors == {key}
+
+
 # ---------------------------------------------------------------------------
 # scheduler
 # ---------------------------------------------------------------------------
@@ -311,6 +391,38 @@ class TestScheduler:
         assert scheduler.run([]) == []
         results = scheduler.map(_echo_task, [(1,), (2,)])
         assert [v for v, _ in results] == [1, 2]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_on_result_fires_in_submission_order(self, workers):
+        scheduler = Scheduler(workers=workers)
+        seen = []
+        tasks = [
+            Task(_echo_task, (i, 0.1 - 0.03 * i)) for i in range(3)
+        ]
+        results = scheduler.run(
+            tasks,
+            on_result=lambda idx, res: seen.append((idx, res[0])),
+        )
+        assert seen == [(0, 0), (1, 1), (2, 2)]
+        assert [v for v, _pid in results] == [0, 1, 2]
+
+    def test_on_result_stops_at_first_failure(self):
+        """The callback never sees results past a failed task: a
+        checkpointer must not record completions the caller will
+        never observe (run() raises)."""
+        scheduler = Scheduler(workers=2)
+        seen = []
+        tasks = [
+            Task(_echo_task, (0,)),
+            Task(_failing_task, (1,)),
+            Task(_echo_task, (2,)),
+        ]
+        with pytest.raises(ValueError, match="boom 1"):
+            scheduler.run(
+                tasks,
+                on_result=lambda idx, _res: seen.append(idx),
+            )
+        assert seen == [0]
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +542,30 @@ class TestCliExec:
             ["cache", "--cache-dir", str(tmp_path), "--clear"]
         ) == 0
         assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_cache_prune_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = StageCache(tmp_path)
+        for i in range(3):
+            key = cache.key("s", i)
+            cache.put("s", key, "v" * 100)
+            os.utime(
+                cache.path("s", key), (1_000_000 + i,) * 2
+            )
+        per_entry = cache.total_bytes() // 3
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-size", str(per_entry),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert cache.n_entries() == 1
+        # prune without a budget is a usage error.
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path)]
+        ) == 2
+        assert "--max-size" in capsys.readouterr().err
 
     def test_implement_accepts_exec_flags(self):
         from repro.cli import build_parser

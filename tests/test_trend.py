@@ -1,0 +1,342 @@
+"""Tests for the QoR trend database (repro.bench.trend).
+
+Synthetic campaign records keep these fast (no flow runs except the
+one CLI end-to-end test): the ingest/window/gate/report machinery is
+exercised on hand-built histories, including the ISSUE's acceptance
+demo — the gate passes on its own stable window and fails, naming the
+metric, once a 10% wirelength drift is injected.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.trend import (
+    DEFAULT_MIN_HISTORY,
+    TREND_METRICS,
+    GateOutcome,
+    TrendError,
+    connect,
+    drift_report,
+    evaluate,
+    history_table,
+    ingest,
+    latest_ingest,
+    load_records_jsonl,
+    seed_metrics,
+)
+
+
+def make_record(suite="klut", variant="wirelength", seed=0,
+                wl=100, fmax=0.25, speedup=4.0,
+                campaign="trend-test"):
+    """A minimal campaign record carrying every gated metric."""
+    return {
+        "schema": 3,
+        "campaign": campaign,
+        "suite": suite,
+        "variant": variant,
+        "seed": seed,
+        "mdr": {"wirelength": [wl, wl], "fmax": [fmax, fmax]},
+        "dcs": {
+            "wire_length": {
+                "wirelength": [int(wl * 1.2)],
+                "fmax": [fmax * 0.9],
+                "speedup": speedup,
+                "frequency_ratios": [1.0, 1.1],
+            }
+        },
+    }
+
+
+def nightly_records(scale=1.0, campaign="trend-test"):
+    """One night's records: two suites x two seeds."""
+    return [
+        make_record(suite=suite, seed=seed, wl=int(wl * scale),
+                    campaign=campaign)
+        for suite, wl in (("klut", 100), ("xbar", 300))
+        for seed in (0, 1)
+    ]
+
+
+@pytest.fixture
+def db(tmp_path):
+    conn = connect(str(tmp_path / "trend.db"))
+    yield conn
+    conn.close()
+
+
+def fill_history(conn, nights, campaign="trend-test"):
+    for night in range(nights):
+        ingest(conn, nightly_records(campaign=campaign),
+               commit=f"commit-{night}", label=f"night {night}")
+
+
+class TestIngest:
+    def test_rows_per_series_and_metric(self, db):
+        result = ingest(db, nightly_records(), commit="c0")
+        # 2 suites x 1 variant x 2 seeds x 6 metrics.
+        assert result.n_rows == 2 * 2 * len(TREND_METRICS)
+        assert result.campaign == "trend-test"
+        assert not result.replaced
+
+    def test_seed_metrics_match_qor_metrics_semantics(self):
+        metrics = seed_metrics(nightly_records())
+        assert set(metrics) == {
+            ("klut", "wirelength", 0), ("klut", "wirelength", 1),
+            ("xbar", "wirelength", 0), ("xbar", "wirelength", 1),
+        }
+        row = metrics[("klut", "wirelength", 0)]
+        assert set(row) == set(TREND_METRICS)
+        assert row["mdr_wirelength"] == 200  # [100, 100] summed
+        assert row["mean_speedup"] == pytest.approx(4.0)
+
+    def test_reingest_same_commit_replaces(self, db):
+        ingest(db, nightly_records(), commit="c0")
+        result = ingest(db, nightly_records(), commit="c0")
+        assert result.replaced
+        assert len(history_table(db)) == 1
+        # The replacement is the newest ingest under a fresh id.
+        assert latest_ingest(db)[0] == result.ingest_id
+
+    def test_mixed_campaign_and_empty_refused(self, db):
+        with pytest.raises(TrendError, match="no records"):
+            ingest(db, [], commit="c0")
+        mixed = nightly_records() + nightly_records(
+            campaign="other"
+        )
+        with pytest.raises(TrendError, match="2 campaigns"):
+            ingest(db, mixed, commit="c0")
+
+    def test_schema_version_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "trend.db")
+        conn = connect(path)
+        conn.execute(
+            "UPDATE meta SET value = '999' "
+            "WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(TrendError, match="v999"):
+            connect(path)
+
+    def test_load_records_jsonl_refuses_torn_lines(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text(
+            json.dumps(make_record()) + "\n" + '{"torn": tru'
+        )
+        with pytest.raises(TrendError, match="unparsable"):
+            load_records_jsonl(str(path))
+        path.write_text(json.dumps(make_record()) + "\n\n")
+        assert len(load_records_jsonl(str(path))) == 1
+
+
+class TestGate:
+    def test_passes_on_stable_window(self, db):
+        fill_history(db, 4)
+        outcome = evaluate(db, window=7)
+        assert outcome.passed
+        assert len(outcome.window_ids) == 3
+        # 4 series x 6 metrics all checked.
+        assert len(outcome.drifts) == 4 * len(TREND_METRICS)
+        assert all(
+            d.status() in ("ok", "new") for d in outcome.drifts
+        )
+
+    def test_fails_on_injected_wirelength_drift(self, db):
+        """The acceptance demo: +10% wirelength beyond a 5%
+        tolerance fails the gate with the metric named."""
+        fill_history(db, 4)
+        ingest(db, nightly_records(scale=1.10),
+               commit="commit-bad")
+        outcome = evaluate(db, window=7)
+        assert not outcome.passed
+        assert any(
+            "mdr_wirelength" in violation
+            for violation in outcome.violations
+        )
+        # Every seed of every suite drifted; each is its own series.
+        regressed = [
+            d for d in outcome.drifts
+            if d.status() == "regressed"
+        ]
+        assert {d.suite for d in regressed} == {"klut", "xbar"}
+
+    def test_gate_is_deterministic(self, db):
+        fill_history(db, 3)
+        ingest(db, nightly_records(scale=1.2), commit="bad")
+        first = evaluate(db, window=7)
+        second = evaluate(db, window=7)
+        assert first.violations == second.violations
+        assert [
+            (d.series, d.metric, d.value, d.window)
+            for d in first.drifts
+        ] == [
+            (d.series, d.metric, d.value, d.window)
+            for d in second.drifts
+        ]
+
+    def test_fresh_database_passes_as_new(self, db):
+        """min_history: the first nights must not fail the gate."""
+        ingest(db, nightly_records(), commit="c0")
+        outcome = evaluate(db, window=7)
+        assert outcome.passed
+        assert all(d.status() == "new" for d in outcome.drifts)
+        ingest(db, nightly_records(scale=2.0), commit="c1")
+        # One history point < DEFAULT_MIN_HISTORY (2): still new.
+        assert DEFAULT_MIN_HISTORY == 2
+        assert evaluate(db, window=7).passed
+
+    def test_window_excludes_older_history(self, db):
+        """Only the last N previous ingests form the reference: an
+        ancient cheap era outside the window cannot fail today."""
+        for night in range(3):
+            ingest(db, nightly_records(scale=1.0),
+                   commit=f"old-{night}")
+        for night in range(3):
+            ingest(db, nightly_records(scale=1.5),
+                   commit=f"new-{night}")
+        ingest(db, nightly_records(scale=1.5), commit="today")
+        # Window 3 sees only the 1.5x era: today is flat.
+        assert evaluate(db, window=3).passed
+        # Window 6 mixes eras; median(1.0,1.0,1.0,1.5,1.5,1.5)=1.25,
+        # and 1.5 vs 1.25 is a +20% wirelength drift: fails.
+        assert not evaluate(db, window=6).passed
+
+    def test_improvement_never_fails(self, db):
+        fill_history(db, 4)
+        ingest(db, nightly_records(scale=0.7), commit="faster")
+        outcome = evaluate(db, window=7)
+        assert outcome.passed
+        improved = [
+            d for d in outcome.drifts if d.status() == "improved"
+        ]
+        assert improved
+
+    def test_one_bad_night_in_history_is_shrugged_off(self, db):
+        """Median window: a single regressed night in the history
+        barely moves the reference, unlike a mean."""
+        fill_history(db, 3)
+        ingest(db, nightly_records(scale=1.5), commit="bad-night")
+        ingest(db, nightly_records(scale=1.0), commit="recovered")
+        assert evaluate(db, window=7).passed
+
+    def test_campaign_isolation_and_errors(self, db):
+        fill_history(db, 2, campaign="a")
+        fill_history(db, 2, campaign="b")
+        assert evaluate(db, campaign="a").campaign == "a"
+        assert latest_ingest(db)[1] == "b"
+        with pytest.raises(TrendError, match="no ingests"):
+            evaluate(db, campaign="missing")
+        empty = connect(":memory:")
+        with pytest.raises(TrendError, match="empty"):
+            latest_ingest(empty)
+        empty.close()
+
+    def test_lower_is_worse_direction(self, db):
+        """Fmax/speedup gate on drops, not growth."""
+        fill_history(db, 3)
+        records = [
+            dict(record) for record in nightly_records()
+        ]
+        for record in records:
+            record["dcs"] = copy.deepcopy(record["dcs"])
+            row = record["dcs"]["wire_length"]
+            row["speedup"] = row["speedup"] * 0.5
+        ingest(db, records, commit="slow")
+        outcome = evaluate(db, window=7)
+        assert any(
+            "mean_speedup" in violation
+            for violation in outcome.violations
+        )
+
+
+class TestReport:
+    def test_markdown_drift_table(self, db):
+        fill_history(db, 4)
+        ingest(db, nightly_records(scale=1.10), commit="bad",
+               label="night X")
+        outcome = evaluate(db, window=7)
+        text = drift_report(outcome)
+        assert text.startswith("# QoR trend report")
+        assert "**FAIL**" in text
+        assert "**REGRESSED**" in text
+        assert "| klut/wirelength/s0 | mdr_wirelength |" in text
+        assert "## Regressions" in text
+        # Stable series render as ok with an explicit drift column.
+        assert "| ok |" in text
+
+    def test_report_on_passing_window(self, db):
+        fill_history(db, 3)
+        text = drift_report(evaluate(db, window=7))
+        assert "**PASS**" in text
+        assert "## Regressions" not in text
+
+
+class TestTrendCli:
+    def test_ingest_gate_report_round_trip(self, tmp_path, capsys):
+        """End-to-end through the CLI on a real (tiny) campaign:
+        three ingests pass the gate; a hand-drifted fourth fails it
+        with exit 1 and a FAIL report."""
+        from repro.cli import main
+
+        jsonl = tmp_path / "records.jsonl"
+        db = str(tmp_path / "qor_trend.db")
+        assert main([
+            "campaign", "--suites", "klut", "--scale", "tiny",
+            "--pairs-per-suite", "1", "--effort", "0.05",
+            "--name", "clitrend",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jsonl", str(jsonl),
+            "--summary", str(tmp_path / "summary.json"),
+        ]) == 0
+        for night in range(3):
+            assert main([
+                "trend", "ingest", str(jsonl), "--db", db,
+                "--commit", f"night-{night}",
+            ]) == 0
+        assert main([
+            "trend", "gate", "--db", db, "--window", "7"
+        ]) == 0
+        assert "trend-gate: OK" in capsys.readouterr().out
+
+        drifted = []
+        for line in jsonl.read_text().splitlines():
+            record = json.loads(line)
+            record["mdr"]["wirelength"] = [
+                int(wl * 1.10) + 1
+                for wl in record["mdr"]["wirelength"]
+            ]
+            drifted.append(json.dumps(record))
+        bad = tmp_path / "drifted.jsonl"
+        bad.write_text("\n".join(drifted) + "\n")
+        assert main([
+            "trend", "ingest", str(bad), "--db", db,
+            "--commit", "night-bad",
+        ]) == 0
+        assert main([
+            "trend", "gate", "--db", db, "--window", "7"
+        ]) == 1
+        assert "mdr_wirelength" in capsys.readouterr().err
+        report = tmp_path / "report.md"
+        assert main([
+            "trend", "report", "--db", db, "-o", str(report)
+        ]) == 0
+        assert "**FAIL**" in report.read_text()
+
+    def test_gate_and_report_on_empty_db(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "empty.db")
+        assert main(["trend", "gate", "--db", db]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_ingest_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "trend", "ingest", str(tmp_path / "nope.jsonl"),
+            "--db", str(tmp_path / "t.db"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
