@@ -67,7 +67,8 @@ from repro.netlist.lutcircuit import LutCircuit
 #: v2: the options block records the channel-sizing policy.
 #: v3: records carry their grid-slot fingerprint (``key``) for
 #: checkpoint/resume.
-RECORD_SCHEMA_VERSION = 3
+#: v4: the options block records the batched-core flags.
+RECORD_SCHEMA_VERSION = 4
 
 #: Version of the summary / baseline envelope.
 SUMMARY_SCHEMA_VERSION = 1
@@ -97,6 +98,12 @@ class CampaignVariant:
     #: slack — several trial routings per run, practical as a sweep
     #: axis since the vectorized router).
     sizing: str = "estimate"
+    #: Route with the batched-wavefront PathFinder core (QoR-gated
+    #: against its own trend series, not bit-identical to the
+    #: default core).
+    batched_router: bool = False
+    #: Anneal placements with the batched-move engine.
+    batched_placer: bool = False
 
 
 @dataclass(frozen=True)
@@ -127,6 +134,8 @@ class CampaignSpec:
             timing_driven=variant.timing_driven,
             criticality_exponent=variant.criticality_exponent,
             timing_tradeoff=variant.timing_tradeoff,
+            batched_router=variant.batched_router,
+            batched_placer=variant.batched_placer,
         )
 
 
@@ -149,6 +158,32 @@ PRESETS: Dict[str, CampaignSpec] = {
         pairs_per_suite=2,
         inner_num=0.1,
         variants=(_WIRELENGTH, _TIMING),
+    ),
+    # The batched-core twin of ci-smoke: same pairs, routed with the
+    # batched-wavefront PathFinder and placed with the batched-move
+    # annealer.  The cores are QoR-equivalent, not bit-identical, so
+    # nightly tracks this as its own trend series instead of diffing
+    # it against the default cores' baseline.
+    "ci-smoke-batched": CampaignSpec(
+        name="ci-smoke-batched",
+        description=(
+            "ci-smoke pairs through the batched router and batched "
+            "annealer (their own nightly trend series)"
+        ),
+        suites=("datapath", "fsm", "xbar", "klut"),
+        scale="tiny",
+        pairs_per_suite=2,
+        inner_num=0.1,
+        variants=(
+            CampaignVariant(
+                "wirelength-batched",
+                batched_router=True, batched_placer=True,
+            ),
+            CampaignVariant(
+                "timing-batched", timing_driven=True,
+                batched_router=True, batched_placer=True,
+            ),
+        ),
     ),
     # The paper's evaluation as one named campaign (see also
     # ``repro experiments``, which prints the tables instead).
@@ -337,6 +372,8 @@ def _extract_payload(
                 options.criticality_exponent
             ),
             "timing_tradeoff": _round(options.timing_tradeoff),
+            "batched_router": options.batched_router,
+            "batched_placer": options.batched_placer,
         },
         "mdr": {
             "total_bits": mdr.cost.total,

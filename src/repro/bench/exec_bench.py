@@ -23,6 +23,14 @@ high-pass *i*), each an independent synth→place→route run;
   vectorized default, interleaved best-of-N.  The bench asserts both
   cores return bit-identical edge lists before reporting the
   speedup.
+* ``router_batched`` — the same routing workload under the
+  batched-wavefront core (``batched=True``: bucket-queue searches +
+  parallel-net negotiation), timed in the same interleaved rounds.
+  The batched core is QoR-gated, not bit-identical to the others, so
+  this phase asserts determinism (rounds bit-identical to each
+  other), reports the wire-length ratio against the vectorized
+  result, and dumps the search-kernel counters (pops, bucket drains,
+  frontier sizes, conflict replays).
 
 Results are bit-for-bit identical across all paths (the bench
 asserts this on the reconfiguration-cost totals and the routed edge
@@ -53,7 +61,9 @@ from repro.core.flow import unpack_result
 
 #: v3: adds the ``router_vectorized`` phase (scalar vs vectorized
 #: PathFinder core A/B on the routing phase).
-SCHEMA_VERSION = 3
+#: v4: adds the ``router_batched`` phase (batched-wavefront core on
+#: the same routing workload, with search-kernel counters).
+SCHEMA_VERSION = 4
 
 #: Generator families of the router A/B workload.
 ROUTER_BENCH_FAMILIES = ("datapath", "fsm", "xbar", "klut")
@@ -253,14 +263,20 @@ def run_router_bench(
     seed: int = 0,
     rounds: int = 2,
 ) -> Dict[str, object]:
-    """A/B the scalar and vectorized PathFinder cores.
+    """A/B/C the scalar, vectorized and batched PathFinder cores.
 
     Routes each pair's modes conventionally (untimed and
     timing-driven) plus its merged tunable circuit (TRoute with the
     flow's affinity/sharing defaults), once per core per round,
     interleaved; reports best-of-*rounds* wall-clocks.  Raises
-    ``AssertionError`` if the cores' routes are not bit-identical.
+    ``AssertionError`` if the scalar and vectorized cores' routes are
+    not bit-identical, or if the batched core (QoR-equivalent by
+    design, not bit-identical) is not bit-identical to *itself*
+    across rounds.  The batched leg also collects the
+    :class:`~repro.route.searchkernel.RouterStats` counters (bucket
+    drains, frontier sizes, conflict replays) of its best round.
     """
+    from repro.route.searchkernel import RouterStats
     from repro.route.troute import (
         route_lut_circuit,
         route_tunable_circuit,
@@ -272,53 +288,77 @@ def run_router_bench(
     ).criticality()
     defaults = FlowOptions()
 
-    def run(scalar: bool):
+    def run(scalar: bool = False, batched: bool = False):
         old = os.environ.pop("REPRO_SCALAR_ROUTER", None)
         if scalar:
             os.environ["REPRO_SCALAR_ROUTER"] = "1"
+        stats = RouterStats() if batched else None
+        kwargs = {"batched": True, "stats": stats} if batched else {}
         try:
             start = time.perf_counter()
             signature = []
+            wirelength = 0
             for _name, modes, placements, rrg, conns in workload:
                 for circuit, placement in zip(modes, placements):
                     result = route_lut_circuit(
-                        circuit, placement, rrg
+                        circuit, placement, rrg, **kwargs
                     )
                     signature.append(sorted(
                         (cid, tuple(r.edges))
                         for cid, r in result.routes.items()
                     ))
+                    wirelength += result.total_wirelength(0)
                 for circuit, placement in zip(modes, placements):
                     result = route_lut_circuit(
-                        circuit, placement, rrg, timing=timing
+                        circuit, placement, rrg, timing=timing,
+                        **kwargs
                     )
                     signature.append(sorted(
                         (cid, tuple(r.edges))
                         for cid, r in result.routes.items()
                     ))
+                    wirelength += result.total_wirelength(0)
                 result = route_tunable_circuit(
                     rrg, conns, len(modes),
                     net_affinity=defaults.net_affinity,
                     bit_affinity=defaults.bit_affinity,
                     sharing_passes=defaults.sharing_passes,
+                    **kwargs,
                 )
                 signature.append(sorted(
                     (cid, tuple(r.edges))
                     for cid, r in result.routes.items()
                 ))
-            return time.perf_counter() - start, signature
+                wirelength += sum(
+                    result.total_wirelength(m)
+                    for m in range(len(modes))
+                )
+            seconds = time.perf_counter() - start
+            return seconds, signature, wirelength, stats
         finally:
             os.environ.pop("REPRO_SCALAR_ROUTER", None)
             if old is not None:
                 os.environ["REPRO_SCALAR_ROUTER"] = old
 
-    scalar_best = vector_best = float("inf")
-    scalar_sig = vector_sig = None
+    scalar_best = vector_best = batched_best = float("inf")
+    scalar_sig = vector_sig = batched_sig = None
+    vector_wl = batched_wl = 0
+    batched_stats = None
     for _round in range(max(1, rounds)):
-        seconds, scalar_sig = run(scalar=True)
+        seconds, scalar_sig, _wl, _ = run(scalar=True)
         scalar_best = min(scalar_best, seconds)
-        seconds, vector_sig = run(scalar=False)
+        seconds, vector_sig, vector_wl, _ = run()
         vector_best = min(vector_best, seconds)
+        seconds, sig, batched_wl, stats = run(batched=True)
+        if batched_sig is not None and sig != batched_sig:
+            raise AssertionError(
+                "batched router is nondeterministic: rounds must be "
+                "bit-identical"
+            )
+        batched_sig = sig
+        if seconds < batched_best:
+            batched_best = seconds
+            batched_stats = stats
     if scalar_sig != vector_sig:
         raise AssertionError(
             "scalar and vectorized routers disagree: the cores must "
@@ -340,6 +380,21 @@ def run_router_bench(
         "vectorized_seconds": round(vector_best, 3),
         "speedup": round(scalar_best / vector_best, 3),
         "results_identical": True,
+        "batched": {
+            "seconds": round(batched_best, 3),
+            "speedup_vs_scalar": round(
+                scalar_best / batched_best, 3
+            ),
+            "speedup_vs_vectorized": round(
+                vector_best / batched_best, 3
+            ),
+            "deterministic_across_rounds": True,
+            "total_wirelength": batched_wl,
+            "wirelength_ratio_vs_vectorized": round(
+                batched_wl / vector_wl, 4
+            ) if vector_wl else None,
+            "stats": batched_stats.as_dict(),
+        },
     }
 
 
@@ -437,13 +492,16 @@ def run_exec_bench(
     baseline_delay = _mean_critical_delay(res_cold)
     timed_delay = _mean_critical_delay(res_timed)
 
-    log(f"router A/B (scalar vs vectorized, {router_scale} scale) "
-        "...")
+    log(f"router A/B/C (scalar vs vectorized vs batched, "
+        f"{router_scale} scale) ...")
     router_phase = run_router_bench(scale=router_scale, seed=seed)
+    batched_phase = router_phase.pop("batched")
     log(
         f"  scalar {router_phase['scalar_seconds']:.1f}s, "
         f"vectorized {router_phase['vectorized_seconds']:.1f}s "
-        f"({router_phase['speedup']:.2f}x)"
+        f"({router_phase['speedup']:.2f}x), "
+        f"batched {batched_phase['seconds']:.1f}s "
+        f"({batched_phase['speedup_vs_scalar']:.2f}x vs scalar)"
     )
 
     baseline = None
@@ -503,6 +561,7 @@ def run_exec_bench(
             ) if baseline_delay > 0 else None,
         },
         "router_vectorized": router_phase,
+        "router_batched": batched_phase,
         "speedup_cold_vs_serial": round(t_serial / t_cold, 3),
         "warm_fraction_of_cold": round(t_warm / t_cold, 4),
         "results_identical": True,

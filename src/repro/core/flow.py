@@ -103,6 +103,21 @@ class FlowOptions:
     #: term (1.0); the router ignores it (criticality itself blends
     #: delay against congestion there).
     timing_tradeoff: float = 0.5
+    #: Route with the batched-wavefront PathFinder core
+    #: (:mod:`repro.route.batched`): bucket-queue searches that price
+    #: whole cost-quantized frontiers per numpy call, plus
+    #: parallel-net negotiation with deterministic conflict replay.
+    #: Results are QoR-equivalent to the scalar/vectorized cores and
+    #: independent of the worker count, but not bit-identical to
+    #: them.
+    batched_router: bool = False
+    #: Anneal single-mode placements with the batched-move engine
+    #: (:func:`repro.place.annealing.anneal_batched`): moves priced in
+    #: vectors against a frozen batch-start state, conflicts re-priced
+    #: live.  QoR-equivalent and deterministic per seed, not
+    #: bit-identical to the scalar engine; timing-driven placements
+    #: always use the scalar engine.
+    batched_placer: bool = False
 
     def schedule(self) -> AnnealingSchedule:
         return AnnealingSchedule(inner_num=self.inner_num)
@@ -155,6 +170,7 @@ def place_stage_inputs(
     """Key inputs of the ``place`` stage (one mode's placement)."""
     return (
         circuit, arch, options.seed + mode, options.schedule(),
+        options.batched_placer,
     ) + _timing_key(options)
 
 
@@ -167,6 +183,7 @@ def route_lut_stage_inputs(
     """Key inputs of the ``route_lut`` stage (one mode's routing)."""
     return (
         circuit, placement, arch, options.router_max_iterations,
+        options.batched_router,
     ) + _timing_key(options)
 
 
@@ -183,6 +200,7 @@ def dcs_stage_inputs(
         options.seed, options.schedule(), options.tplace_refine,
         options.net_affinity, options.bit_affinity,
         options.sharing_passes, options.router_max_iterations,
+        options.batched_router,
     ) + _timing_key(options)
 
 
@@ -230,6 +248,10 @@ OPTION_STAGE_COVERAGE: Dict[str, frozenset] = {
     "timing_tradeoff": frozenset(
         {"place", "route_lut", "dcs", "multimode", "campaign"}
     ),
+    "batched_router": frozenset(
+        {"route_lut", "dcs", "multimode", "campaign"}
+    ),
+    "batched_placer": frozenset({"place", "multimode", "campaign"}),
 }
 
 
@@ -519,6 +541,7 @@ def _mdr_mode_stage(
             seed=options.seed + mode,
             schedule=options.schedule(),
             timing=timing,
+            batched=options.batched_placer,
         )
 
     # Keyed by exactly the inputs that reach place_circuit, so cached
@@ -540,6 +563,7 @@ def _mdr_mode_stage(
                 graph,
                 timing=timing,
                 max_iterations=options.router_max_iterations,
+                batched=options.batched_router,
             )
         )
 
@@ -660,6 +684,7 @@ def _run_dcs(
         max_iterations=options.router_max_iterations,
         criticality=criticality,
         delay_model=timing.model if timing is not None else None,
+        batched=options.batched_router,
     )
     per_mode_bits = [
         routing.bits_on(m) for m in range(n_modes)

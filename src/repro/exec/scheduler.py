@@ -22,7 +22,7 @@ exception the serial path would have raised.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -57,12 +57,26 @@ class Task:
 
 
 class Scheduler:
-    """Runs task batches serially or over a process pool."""
+    """Runs task batches serially, over a process pool, or — with
+    ``use_threads=True`` — over a thread pool.
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    The thread mode exists for tasks that are *not* picklable
+    (closures, bound methods over live router state: the batched
+    router's parallel-net negotiation) but release the GIL or are
+    cheap enough to interleave.  It keeps the exact submission-order
+    result and first-failure semantics of the process mode, so the
+    two are drop-in interchangeable for deterministic tasks.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        use_threads: bool = False,
+    ) -> None:
         self.workers = default_workers() if workers is None else max(
             1, int(workers)
         )
+        self.use_threads = bool(use_threads)
 
     def effective_workers(self, n_tasks: int) -> int:
         """Pool size a batch of *n_tasks* would actually run with.
@@ -72,8 +86,13 @@ class Scheduler:
         pressure (results are order-locked, so this cannot change
         them).  ``1`` means the batch executes inline; callers use
         this to decide whether to ship shared objects or let workers
-        rebuild them.
+        rebuild them.  Thread pools are not capped by the core count:
+        they exist for unpicklable or latency-hiding work, and the
+        worker-count-independence tests must be able to exercise a
+        real multi-thread pool on single-core CI boxes.
         """
+        if self.use_threads:
+            return max(1, min(self.workers, n_tasks))
         return max(1, min(self.workers, n_tasks, os.cpu_count() or 1))
 
     def run(
@@ -104,7 +123,11 @@ class Scheduler:
                     on_result(index, result)
             return results
         results: List[Any] = [None] * len(tasks)
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        pool_cls = (
+            ThreadPoolExecutor if self.use_threads
+            else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=n_workers) as pool:
             futures = [
                 pool.submit(task.fn, *task.args) for task in tasks
             ]

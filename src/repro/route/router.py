@@ -52,13 +52,17 @@ that need a specific core regardless of the environment instantiate
 
 from __future__ import annotations
 
-import heapq
 import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.rrg import IPIN, OPIN, SINK, WIRE, RoutingResourceGraph
+from repro.route.searchkernel import (
+    RouterStats,
+    scalar_search,
+    scalar_search_timed,
+)
 
 
 @dataclass(frozen=True)
@@ -270,6 +274,11 @@ class PathFinderRouter:
                 # numpy unavailable: the scalar reference is the
                 # fallback, not a failure.
                 return super().__new__(cls)
+            if kwargs.get("batched"):
+                from repro.route.batched import (
+                    BatchedPathFinderRouter,
+                )
+                return super().__new__(BatchedPathFinderRouter)
             return super().__new__(VectorizedPathFinderRouter)
         return super().__new__(cls)
 
@@ -286,7 +295,20 @@ class PathFinderRouter:
         bit_affinity: float = 1.0,
         sharing_passes: int = 0,
         timing: Optional[RoutingTiming] = None,
+        batched: bool = False,
+        route_workers: int = 1,
+        stats: Optional[RouterStats] = None,
     ) -> None:
+        # The batched-wavefront knobs are accepted (and recorded) by
+        # every core so call sites can thread them unconditionally:
+        # ``batched=True`` selects the batched core at dispatch time
+        # (unless ``REPRO_SCALAR_ROUTER`` forces the reference, the
+        # escape hatch trumping everything); the scalar/vectorized
+        # cores ignore them otherwise.  ``stats`` collects
+        # :class:`RouterStats` counters where the core supports them.
+        self.batched = bool(batched)
+        self.route_workers = max(1, int(route_workers))
+        self.stats = stats
         self.rrg = rrg
         self.n_modes = n_modes
         self.max_iterations = max_iterations
@@ -508,19 +530,16 @@ class PathFinderRouter:
     def _route_connection(
         self, request: RouteRequest, pres_fac: float
     ) -> ConnectionRoute:
-        """Multi-source A* over the flat graph views.
+        """Route one connection with the scalar reference kernel.
 
-        The node-pricing math is ``_node_cost`` inlined verbatim into
-        the relaxation loop (the per-connection-constant parts hoisted
-        out), so the search makes bit-identical decisions to the
-        reference implementation while avoiding a method call and
-        repeated dict probes per scanned edge.
-
-        Timing-driven connections (a criticality above 0 in
-        ``self.timing``) route through the timed twin
-        :meth:`_route_connection_timed`; keeping the two loops
-        separate leaves this one byte-identical to the reference, so
-        wirelength-driven results cannot drift.
+        The relaxation loops themselves live in
+        :mod:`repro.route.searchkernel` (shared with the vectorized
+        and batched cores); this method owns the timing dispatch and
+        the error path.  Timing-driven connections (a criticality
+        above 0 in ``self.timing``) route through the timed twin
+        :meth:`_route_connection_timed`; keeping the two kernels
+        separate leaves the untimed one byte-identical to the
+        reference, so wirelength-driven results cannot drift.
         """
         timing = self.timing
         if timing is not None:
@@ -529,370 +548,25 @@ class PathFinderRouter:
                 return self._route_connection_timed(
                     request, pres_fac, crit
                 )
-        rrg = self.rrg
-        target = request.sink
-        node_x = rrg.node_x
-        node_y = rrg.node_y
-        tx, ty = node_x[target], node_y[target]
-        net_salt = zlib.crc32(request.net.encode())
-        astar_fac = self.astar_fac
-        net = request.net
-
-        # Per-connection-constant context of the cost model.
-        kinds = rrg.node_kind
-        caps = rrg.node_capacity
-        bases = self._base
-        hist = self._hist
-        refs_by_mode = [
-            (self._occ[mode], self._net_mode_refs.get((net, mode)))
-            for mode in request.modes
-        ]
-        net_affinity = self.net_affinity
-        use_net_affinity = net_affinity < 1.0
-        other_refs = (
-            [
-                refs
-                for mode in range(self.n_modes)
-                if mode not in request.modes
-                and (refs := self._net_mode_refs.get((net, mode)))
-            ]
-            if use_net_affinity
-            else []
-        )
-        bit_affinity = self.bit_affinity
-        other_bit_refs = (
-            [
-                self._bit_refs[mode]
-                for mode in range(self.n_modes)
-                if mode not in request.modes
-            ]
-            if bit_affinity < 1.0
-            else []
-        )
-        use_bit_affinity = bool(other_bit_refs)
-
-        row_ptr = self._row_ptr
-        edge_dst = self._edge_dst
-        edge_bit = self._edge_bit
-        dist = self._dist
-        dist_epoch = self._dist_epoch
-        visited = self._visited_epoch
-        parent_node = self._parent_node
-        parent_bit = self._parent_bit
-        price = self._price
-        price_over0 = self._price_over0
-        price_noise = self._price_noise
-        price_epoch = self._price_epoch
-        self._epoch += 1
-        epoch = self._epoch
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-
-        # Multi-source A*: the net's existing route tree (nodes it
-        # occupies in every requested mode) is free to start from, so
-        # connections naturally branch off their net's trunk.  Beyond
-        # the frontier every node costs >= 1, which keeps the Manhattan
-        # heuristic admissible.
-        starts = {request.source}
-        starts.update(self._trunk_nodes(request))
-        heap: List[Tuple[float, float, int]] = []
-        for start in starts:
-            dist[start] = 0.0
-            dist_epoch[start] = epoch
-            dx = node_x[start] - tx
-            if dx < 0:
-                dx = -dx
-            dy = node_y[start] - ty
-            if dy < 0:
-                dy = -dy
-            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
-        found = target in starts
-        while heap:
-            _f, g, node = heappop(heap)
-            if visited[node] == epoch:
-                continue
-            visited[node] = epoch
-            if node == target:
-                found = True
-                break
-            for e in range(row_ptr[node], row_ptr[node + 1]):
-                nxt = edge_dst[e]
-                if visited[nxt] == epoch:
-                    continue
-                # -- _node_cost, inlined --------------------------------
-                # The bit-independent part of a node's price is fixed
-                # for the whole search; compute it on first touch and
-                # reuse it for every further incoming edge.
-                if price_epoch[nxt] == epoch:
-                    cost = price[nxt]
-                    overuse_zero = price_over0[nxt]
-                    noise = price_noise[nxt]
-                else:
-                    kind = kinds[nxt]
-                    if kind == SINK and nxt != target:
-                        visited[nxt] = epoch  # never enter this sink
-                        continue
-                    cap = caps[nxt]
-                    overuse = 0
-                    for occ, refs in refs_by_mode:
-                        occ_after = occ[nxt] + (
-                            0 if refs is not None and nxt in refs
-                            else 1
-                        )
-                        if occ_after > cap:
-                            overuse += occ_after - cap
-                    cost = (bases[nxt] + hist[nxt]) * (
-                        1.0 + pres_fac * overuse
-                    )
-                    if (
-                        use_net_affinity
-                        and kind == WIRE
-                        and overuse == 0
-                    ):
-                        for refs in other_refs:
-                            if nxt in refs:
-                                cost *= net_affinity
-                                break
-                    noise = (
-                        (net_salt ^ (nxt * 0x9E3779B9)) & 0xFFFF
-                    ) / 0xFFFF
-                    overuse_zero = overuse == 0
-                    price[nxt] = cost
-                    price_over0[nxt] = overuse_zero
-                    price_noise[nxt] = noise
-                    price_epoch[nxt] = epoch
-                bit = edge_bit[e]
-                if use_bit_affinity and bit >= 0 and overuse_zero:
-                    bit_cost = cost
-                    for bit_refs in other_bit_refs:
-                        if not bit_refs.get(bit):
-                            break
-                    else:
-                        bit_cost = cost * bit_affinity
-                    # Grouped exactly as the reference _node_cost
-                    # (g + (cost + noise)): float addition is not
-                    # associative and a one-ULP difference flips
-                    # equal-cost tie-breaks.
-                    ng = g + (bit_cost + 0.01 * noise)
-                else:
-                    ng = g + (cost + 0.01 * noise)
-                # -------------------------------------------------------
-                if dist_epoch[nxt] != epoch or ng < dist[nxt]:
-                    dist[nxt] = ng
-                    dist_epoch[nxt] = epoch
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    dx = node_x[nxt] - tx
-                    if dx < 0:
-                        dx = -dx
-                    dy = node_y[nxt] - ty
-                    if dy < 0:
-                        dy = -dy
-                    heappush(
-                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                    )
-        if not found:
+        edges = scalar_search(self, request, pres_fac)
+        if edges is None:
             raise RoutingError(
-                f"no path from {rrg.describe(request.source)} to "
-                f"{rrg.describe(request.sink)}"
+                f"no path from {self.rrg.describe(request.source)} "
+                f"to {self.rrg.describe(request.sink)}"
             )
-        edges: List[Tuple[int, int, int]] = []
-        node = target
-        while node not in starts:
-            edges.append((parent_node[node], node, parent_bit[node]))
-            node = parent_node[node]
-        edges.reverse()
         return ConnectionRoute(request, edges)
 
     def _route_connection_timed(
         self, request: RouteRequest, pres_fac: float, crit: float
     ) -> ConnectionRoute:
-        """Timed twin of :meth:`_route_connection`.
-
-        Identical search structure (same scratch arrays, same
-        congestion pricing and per-node cache, same trunk seeding),
-        but every edge is priced VPR-style as
-
-        ``crit * delay + (1 - crit) * congestion``
-
-        with ``delay`` the :class:`~repro.timing.delay.DelayModel`
-        edge delay (destination-node intrinsic delay plus a switch
-        delay when the edge carries a configuration bit).  The A*
-        weight shrinks accordingly — per remaining Manhattan tile the
-        true cost is at least ``(1 - crit)`` times the congestion
-        floor plus ``crit * wire_delay`` — so the heuristic stays as
-        admissible as the untimed one.
-        """
-        rrg = self.rrg
-        target = request.sink
-        node_x = rrg.node_x
-        node_y = rrg.node_y
-        tx, ty = node_x[target], node_y[target]
-        net_salt = zlib.crc32(request.net.encode())
-        net = request.net
-        inv_crit = 1.0 - crit
-        model = self.timing.model
-        switch_delay = model.switch_delay
-        node_delay = self._node_delay
-        astar_fac = (
-            inv_crit * self.astar_fac + crit * model.wire_delay
-        )
-
-        kinds = rrg.node_kind
-        caps = rrg.node_capacity
-        bases = self._base
-        hist = self._hist
-        refs_by_mode = [
-            (self._occ[mode], self._net_mode_refs.get((net, mode)))
-            for mode in request.modes
-        ]
-        net_affinity = self.net_affinity
-        use_net_affinity = net_affinity < 1.0
-        other_refs = (
-            [
-                refs
-                for mode in range(self.n_modes)
-                if mode not in request.modes
-                and (refs := self._net_mode_refs.get((net, mode)))
-            ]
-            if use_net_affinity
-            else []
-        )
-        bit_affinity = self.bit_affinity
-        other_bit_refs = (
-            [
-                self._bit_refs[mode]
-                for mode in range(self.n_modes)
-                if mode not in request.modes
-            ]
-            if bit_affinity < 1.0
-            else []
-        )
-        use_bit_affinity = bool(other_bit_refs)
-
-        row_ptr = self._row_ptr
-        edge_dst = self._edge_dst
-        edge_bit = self._edge_bit
-        dist = self._dist
-        dist_epoch = self._dist_epoch
-        visited = self._visited_epoch
-        parent_node = self._parent_node
-        parent_bit = self._parent_bit
-        price = self._price
-        price_over0 = self._price_over0
-        price_noise = self._price_noise
-        price_epoch = self._price_epoch
-        self._epoch += 1
-        epoch = self._epoch
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-
-        starts = {request.source}
-        starts.update(self._trunk_nodes(request))
-        heap: List[Tuple[float, float, int]] = []
-        for start in starts:
-            dist[start] = 0.0
-            dist_epoch[start] = epoch
-            dx = node_x[start] - tx
-            if dx < 0:
-                dx = -dx
-            dy = node_y[start] - ty
-            if dy < 0:
-                dy = -dy
-            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
-        found = target in starts
-        while heap:
-            _f, g, node = heappop(heap)
-            if visited[node] == epoch:
-                continue
-            visited[node] = epoch
-            if node == target:
-                found = True
-                break
-            for e in range(row_ptr[node], row_ptr[node + 1]):
-                nxt = edge_dst[e]
-                if visited[nxt] == epoch:
-                    continue
-                # Congestion price: same per-node cache and the same
-                # arithmetic as the untimed loop.
-                if price_epoch[nxt] == epoch:
-                    cost = price[nxt]
-                    overuse_zero = price_over0[nxt]
-                    noise = price_noise[nxt]
-                else:
-                    kind = kinds[nxt]
-                    if kind == SINK and nxt != target:
-                        visited[nxt] = epoch
-                        continue
-                    cap = caps[nxt]
-                    overuse = 0
-                    for occ, refs in refs_by_mode:
-                        occ_after = occ[nxt] + (
-                            0 if refs is not None and nxt in refs
-                            else 1
-                        )
-                        if occ_after > cap:
-                            overuse += occ_after - cap
-                    cost = (bases[nxt] + hist[nxt]) * (
-                        1.0 + pres_fac * overuse
-                    )
-                    if (
-                        use_net_affinity
-                        and kind == WIRE
-                        and overuse == 0
-                    ):
-                        for refs in other_refs:
-                            if nxt in refs:
-                                cost *= net_affinity
-                                break
-                    noise = (
-                        (net_salt ^ (nxt * 0x9E3779B9)) & 0xFFFF
-                    ) / 0xFFFF
-                    overuse_zero = overuse == 0
-                    price[nxt] = cost
-                    price_over0[nxt] = overuse_zero
-                    price_noise[nxt] = noise
-                    price_epoch[nxt] = epoch
-                bit = edge_bit[e]
-                if use_bit_affinity and bit >= 0 and overuse_zero:
-                    congestion = cost
-                    for bit_refs in other_bit_refs:
-                        if not bit_refs.get(bit):
-                            break
-                    else:
-                        congestion = cost * bit_affinity
-                    congestion += 0.01 * noise
-                else:
-                    congestion = cost + 0.01 * noise
-                delay = node_delay[nxt]
-                if bit >= 0:
-                    delay += switch_delay
-                ng = g + (inv_crit * congestion + crit * delay)
-                if dist_epoch[nxt] != epoch or ng < dist[nxt]:
-                    dist[nxt] = ng
-                    dist_epoch[nxt] = epoch
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    dx = node_x[nxt] - tx
-                    if dx < 0:
-                        dx = -dx
-                    dy = node_y[nxt] - ty
-                    if dy < 0:
-                        dy = -dy
-                    heappush(
-                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                    )
-        if not found:
+        """Timed twin of :meth:`_route_connection` (same kernel
+        module, criticality-blended edge costs)."""
+        edges = scalar_search_timed(self, request, pres_fac, crit)
+        if edges is None:
             raise RoutingError(
-                f"no path from {rrg.describe(request.source)} to "
-                f"{rrg.describe(request.sink)}"
+                f"no path from {self.rrg.describe(request.source)} "
+                f"to {self.rrg.describe(request.sink)}"
             )
-        edges: List[Tuple[int, int, int]] = []
-        node = target
-        while node not in starts:
-            edges.append((parent_node[node], node, parent_bit[node]))
-            node = parent_node[node]
-        edges.reverse()
         return ConnectionRoute(request, edges)
 
     # -- main loop -----------------------------------------------------------

@@ -61,7 +61,6 @@ build prices a whole net's fan-out.
 from __future__ import annotations
 
 import gc
-import heapq
 import zlib
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -73,6 +72,11 @@ from repro.route.router import (
     PathFinderRouter,
     RouteRequest,
     RoutingError,
+)
+from repro.route.searchkernel import (
+    EMPTY_STATIC,
+    heap_search_timed,
+    heap_search_untimed,
 )
 
 #: Knuth's multiplicative-hash constant — must match the scalar
@@ -254,33 +258,25 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             cache[key] = h
         return h
 
-    def _price_vectors(
+    def _price_arrays(
         self, request: RouteRequest, pres_fac: float
-    ) -> Tuple:
-        """Whole-graph price state of one connection search.
+    ):
+        """Whole-graph numpy price state of one connection search.
 
-        Returns ``(pn_list, pnA_list, static_set, use_bit)``
-        where ``pn = cost + 0.01 * noise`` (the additive
-        edge term of the untimed loop), ``pnA`` its
-        bit-affinity-discounted twin *already gated on zero overuse*
-        (``pnA == pn`` wherever the node is overused, exactly like the
-        scalar guard), and ``static_set`` the switch bits currently on
-        in every mode outside the activation set.  Every expression
-        mirrors the scalar reference's grouping.
+        Returns ``(pn_np, pnA_np, static_set)`` where
+        ``pn = cost + 0.01 * noise`` (the additive edge term of the
+        untimed loop), ``pnA`` its bit-affinity-discounted twin
+        *already gated on zero overuse* (``pnA == pn`` wherever the
+        node is overused, exactly like the scalar guard; None when no
+        discount can apply), and ``static_set`` the switch bits
+        currently on in every mode outside the activation set.  Every
+        expression mirrors the scalar reference's grouping.  (The
+        batched core's isolated per-net tasks price through their own
+        round-shared twin of this method — see
+        ``BatchedPathFinderRouter._price_entry_isolated``.)
         """
         net = request.net
         modes = request.modes
-        if (
-            net != self._price_net
-            or pres_fac != self._price_pres
-        ):
-            self._price_entries.clear()
-            self._price_net = net
-            self._price_pres = pres_fac
-        entry = self._price_entries.get(modes)
-        if entry is not None:
-            return entry
-
         salt = zlib.crc32(net.encode())
         if self._noise_salt != salt:
             # Same ints, same single division, same 0.01 scale as the
@@ -325,56 +321,84 @@ class VectorizedPathFinderRouter(PathFinderRouter):
                 cost[sel] *= self.net_affinity
 
         pn_np = cost + noise01
-        pn_list = pn_np.tolist()
-        pnA_list = None
+        pnA_np = None
         static_set: set = set()
-        use_bit = False
         if self.bit_affinity < 1.0 and len(modes) < self.n_modes:
-            static_set = None
+            static = None
             for mode in range(self.n_modes):
                 if mode in modes:
                     continue
-                refs = self._bit_refs[mode]
-                static_set = (
-                    set(refs) if static_set is None
-                    else static_set & refs.keys()
+                bits = self._bit_refs[mode].keys()
+                static = (
+                    set(bits) if static is None
+                    else static & set(bits)
                 )
-                if not static_set:
+                if not static:
                     break
-            static_set = static_set or set()
+            static_set = static or set()
             # No discountable bit means no edge can diverge from the
             # plain price — skip the discounted twin entirely.
             if static_set:
-                use_bit = True
-                pnA_list = np.where(
+                pnA_np = np.where(
                     overuse == 0,
                     cost * self.bit_affinity + noise01,
                     pn_np,
-                ).tolist()
+                )
+        return pn_np, pnA_np, static_set
 
-        entry = (pn_list, pnA_list, static_set, use_bit)
-        self._price_entries[modes] = entry
+    def _make_price_entry(
+        self, request: RouteRequest, pres_fac: float
+    ) -> Tuple:
+        """Build one cached price entry: the heap kernels read plain
+        Python lists (``tolist()`` keeps scalar access cheap).  The
+        batched core overrides this to keep the numpy arrays."""
+        pn_np, pnA_np, static_set = self._price_arrays(
+            request, pres_fac
+        )
+        use_bit = pnA_np is not None
+        return (
+            pn_np.tolist(),
+            pnA_np.tolist() if use_bit else None,
+            static_set,
+            use_bit,
+        )
+
+    def _price_vectors(
+        self, request: RouteRequest, pres_fac: float
+    ) -> Tuple:
+        """Cached price state: ``(pn, pnA, static_set, use_bit)`` per
+        activation set of the current (net, pres_fac) — see the
+        module docstring for the reuse-safety argument behind
+        ``_invalidate_prices``."""
+        net = request.net
+        modes = request.modes
+        if (
+            net != self._price_net
+            or pres_fac != self._price_pres
+        ):
+            self._price_entries.clear()
+            self._price_net = net
+            self._price_pres = pres_fac
+        entry = self._price_entries.get(modes)
+        if entry is None:
+            entry = self._make_price_entry(request, pres_fac)
+            self._price_entries[modes] = entry
         return entry
 
     # -- search --------------------------------------------------------------
     #
-    # All four loops below share one scheme that is op-for-op leaner
-    # than the scalar reference but decision-for-decision identical:
-    #
-    # * ``dist`` is a fresh per-search list using value sentinels
-    #   instead of epoch stamps: +inf means "not seen this search"
-    #   (any first relaxation improves, exactly like the scalar's
-    #   epoch check) and -inf, written when a node is popped, means
-    #   "settled" (no relaxation can improve, exactly like the
-    #   scalar's visited check — a node's first pop always carries
-    #   its best tentative distance, because entries of one node
-    #   share its heuristic and thus sort by distance).  Allocating
-    #   the list is a single C-level fill, far cheaper than the
-    #   per-improvement bookkeeping an epoch scheme needs here.
-    # * the edge price is a single list read from the precomputed
-    #   vectors; the heuristic is a list read (untimed) or the scalar
-    #   reference's per-push Manhattan expression (timed, where the
-    #   criticality-scaled weight defeats caching).
+    # The relaxation loops live in repro.route.searchkernel (shared
+    # with the scalar reference and the batched core).  ``dist`` is a
+    # fresh per-search list using value sentinels instead of epoch
+    # stamps: +inf means "not seen this search" (any first relaxation
+    # improves, exactly like the scalar's epoch check) and -inf,
+    # written when a node is popped, means "settled" (no relaxation
+    # can improve, exactly like the scalar's visited check — a node's
+    # first pop always carries its best tentative distance, because
+    # entries of one node share its heuristic and thus sort by
+    # distance).  Without a live bit discount the kernels get
+    # ``pnA=pn`` and an empty static set, which evaluates the exact
+    # float expressions of the historical no-bit loops.
 
     def _route_connection(
         self, request: RouteRequest, pres_fac: float
@@ -391,11 +415,24 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             request, pres_fac
         )
         h = self._heuristic(request.sink, self.astar_fac)
-        if use_bit:
-            return self._search_untimed_bit(
-                request, h, pn, pnA, static_set
-            )
-        return self._search_untimed(request, h, pn)
+        starts = self._seed(request)
+        dist = [_INF] * self._n_nodes
+        found = heap_search_untimed(
+            starts,
+            request.sink,
+            h,
+            pn,
+            pnA if use_bit else pn,
+            static_set if use_bit else EMPTY_STATIC,
+            self._nbr_main,
+            self._nbr_sink,
+            dist,
+            self._parent_node,
+            self._parent_bit,
+        )
+        if not found:
+            raise self._no_path(request)
+        return self._backtrack(request, starts)
 
     def _route_connection_timed(
         self, request: RouteRequest, pres_fac: float, crit: float
@@ -404,7 +441,7 @@ class VectorizedPathFinderRouter(PathFinderRouter):
 
         Criticality differs per connection, so unlike the untimed
         loop nothing criticality-weighted is worth precomputing: the
-        loop blends the *cached* congestion vectors with the static
+        kernel blends the *cached* congestion vectors with the static
         per-node delay lists edge by edge —
         ``g + (inv_crit * congestion + crit * delay)`` — exactly the
         scalar grouping, with the pricing work amortized away."""
@@ -416,14 +453,31 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             inv_crit * self.astar_fac
             + crit * self.timing.model.wire_delay
         )
-        if use_bit:
-            return self._search_timed_bit(
-                request, astar_fac, inv_crit, crit, pn, pnA,
-                static_set,
-            )
-        return self._search_timed(
-            request, astar_fac, inv_crit, crit, pn
+        rrg = self.rrg
+        starts = self._seed(request)
+        dist = [_INF] * self._n_nodes
+        found = heap_search_timed(
+            starts,
+            request.sink,
+            rrg.node_x,
+            rrg.node_y,
+            astar_fac,
+            inv_crit,
+            crit,
+            self._node_delay,
+            self._node_delay_switch,
+            pn,
+            pnA if use_bit else pn,
+            static_set if use_bit else EMPTY_STATIC,
+            self._nbr_main,
+            self._nbr_sink,
+            dist,
+            self._parent_node,
+            self._parent_bit,
         )
+        if not found:
+            raise self._no_path(request)
+        return self._backtrack(request, starts)
 
     def _seed(self, request: RouteRequest) -> set:
         """Start set (source + the net's trunk) of one search."""
@@ -450,299 +504,3 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             f"no path from {rrg.describe(request.source)} to "
             f"{rrg.describe(request.sink)}"
         )
-
-    def _search_untimed(
-        self,
-        request: RouteRequest,
-        h: List[float],
-        pn: List[float],
-    ) -> ConnectionRoute:
-        """Untimed search without the bit discount (MDR routing and
-        any TRoute connection with nothing discountable)."""
-        target = request.sink
-        nbr_main = self._nbr_main
-        nbr_sink = self._nbr_sink
-        dist = [_INF] * self._n_nodes
-        parent_node = self._parent_node
-        parent_bit = self._parent_bit
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        neg_inf = _NEG_INF
-
-        starts = self._seed(request)
-        heap: List[Tuple[float, float, int]] = []
-        for start in starts:
-            dist[start] = 0.0
-            heappush(heap, (h[start], 0.0, start))
-        found = target in starts
-        while heap:
-            _f, g, node = heappop(heap)
-            if dist[node] == neg_inf:
-                continue
-            dist[node] = neg_inf
-            if node == target:
-                found = True
-                break
-            for nxt, bit in nbr_main[node]:
-                ng = g + pn[nxt]
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    heappush(heap, (ng + h[nxt], ng, nxt))
-            for nxt, bit in nbr_sink[node]:
-                if nxt != target:
-                    continue
-                ng = g + pn[nxt]
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    heappush(heap, (ng + h[nxt], ng, nxt))
-        if not found:
-            raise self._no_path(request)
-        return self._backtrack(request, starts)
-
-    def _search_untimed_bit(
-        self,
-        request: RouteRequest,
-        h: List[float],
-        pn: List[float],
-        pnA: List[float],
-        static_set: set,
-    ) -> ConnectionRoute:
-        """Untimed search with the bit-sharing discount live.
-
-        ``pnA`` already folds the zero-overuse gate (it equals ``pn``
-        on overused nodes), so the only per-edge extra is one set
-        probe."""
-        target = request.sink
-        nbr_main = self._nbr_main
-        nbr_sink = self._nbr_sink
-        dist = [_INF] * self._n_nodes
-        parent_node = self._parent_node
-        parent_bit = self._parent_bit
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        neg_inf = _NEG_INF
-
-        starts = self._seed(request)
-        heap: List[Tuple[float, float, int]] = []
-        for start in starts:
-            dist[start] = 0.0
-            heappush(heap, (h[start], 0.0, start))
-        found = target in starts
-        while heap:
-            _f, g, node = heappop(heap)
-            if dist[node] == neg_inf:
-                continue
-            dist[node] = neg_inf
-            if node == target:
-                found = True
-                break
-            for nxt, bit in nbr_main[node]:
-                if bit >= 0 and bit in static_set:
-                    ng = g + pnA[nxt]
-                else:
-                    ng = g + pn[nxt]
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    heappush(heap, (ng + h[nxt], ng, nxt))
-            for nxt, bit in nbr_sink[node]:
-                if nxt != target:
-                    continue
-                if bit >= 0 and bit in static_set:
-                    ng = g + pnA[nxt]
-                else:
-                    ng = g + pn[nxt]
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    heappush(heap, (ng + h[nxt], ng, nxt))
-        if not found:
-            raise self._no_path(request)
-        return self._backtrack(request, starts)
-
-    def _search_timed(
-        self,
-        request: RouteRequest,
-        astar_fac: float,
-        inv_crit: float,
-        crit: float,
-        pn: List[float],
-    ) -> ConnectionRoute:
-        """Timed search without the bit discount."""
-        rrg = self.rrg
-        target = request.sink
-        node_x = rrg.node_x
-        node_y = rrg.node_y
-        tx, ty = node_x[target], node_y[target]
-        nd = self._node_delay
-        nds = self._node_delay_switch
-        nbr_main = self._nbr_main
-        nbr_sink = self._nbr_sink
-        dist = [_INF] * self._n_nodes
-        parent_node = self._parent_node
-        parent_bit = self._parent_bit
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        neg_inf = _NEG_INF
-
-        starts = self._seed(request)
-        heap: List[Tuple[float, float, int]] = []
-        for start in starts:
-            dist[start] = 0.0
-            dx = node_x[start] - tx
-            if dx < 0:
-                dx = -dx
-            dy = node_y[start] - ty
-            if dy < 0:
-                dy = -dy
-            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
-        found = target in starts
-        while heap:
-            _f, g, node = heappop(heap)
-            if dist[node] == neg_inf:
-                continue
-            dist[node] = neg_inf
-            if node == target:
-                found = True
-                break
-            for nxt, bit in nbr_main[node]:
-                if bit < 0:
-                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
-                else:
-                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    dx = node_x[nxt] - tx
-                    if dx < 0:
-                        dx = -dx
-                    dy = node_y[nxt] - ty
-                    if dy < 0:
-                        dy = -dy
-                    heappush(
-                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                    )
-            for nxt, bit in nbr_sink[node]:
-                if nxt != target:
-                    continue
-                if bit < 0:
-                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
-                else:
-                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    dx = node_x[nxt] - tx
-                    if dx < 0:
-                        dx = -dx
-                    dy = node_y[nxt] - ty
-                    if dy < 0:
-                        dy = -dy
-                    heappush(
-                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                    )
-        if not found:
-            raise self._no_path(request)
-        return self._backtrack(request, starts)
-
-    def _search_timed_bit(
-        self,
-        request: RouteRequest,
-        astar_fac: float,
-        inv_crit: float,
-        crit: float,
-        pn: List[float],
-        pnA: List[float],
-        static_set: set,
-    ) -> ConnectionRoute:
-        """Timed search with the bit-sharing discount live (``pnA``
-        folds the zero-overuse gate)."""
-        rrg = self.rrg
-        target = request.sink
-        node_x = rrg.node_x
-        node_y = rrg.node_y
-        tx, ty = node_x[target], node_y[target]
-        nd = self._node_delay
-        nds = self._node_delay_switch
-        nbr_main = self._nbr_main
-        nbr_sink = self._nbr_sink
-        dist = [_INF] * self._n_nodes
-        parent_node = self._parent_node
-        parent_bit = self._parent_bit
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        neg_inf = _NEG_INF
-
-        starts = self._seed(request)
-        heap: List[Tuple[float, float, int]] = []
-        for start in starts:
-            dist[start] = 0.0
-            dx = node_x[start] - tx
-            if dx < 0:
-                dx = -dx
-            dy = node_y[start] - ty
-            if dy < 0:
-                dy = -dy
-            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
-        found = target in starts
-        while heap:
-            _f, g, node = heappop(heap)
-            if dist[node] == neg_inf:
-                continue
-            dist[node] = neg_inf
-            if node == target:
-                found = True
-                break
-            for nxt, bit in nbr_main[node]:
-                if bit < 0:
-                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
-                elif bit in static_set:
-                    ng = g + (inv_crit * pnA[nxt] + crit * nds[nxt])
-                else:
-                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    dx = node_x[nxt] - tx
-                    if dx < 0:
-                        dx = -dx
-                    dy = node_y[nxt] - ty
-                    if dy < 0:
-                        dy = -dy
-                    heappush(
-                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                    )
-            for nxt, bit in nbr_sink[node]:
-                if nxt != target:
-                    continue
-                if bit < 0:
-                    ng = g + (inv_crit * pn[nxt] + crit * nd[nxt])
-                elif bit in static_set:
-                    ng = g + (inv_crit * pnA[nxt] + crit * nds[nxt])
-                else:
-                    ng = g + (inv_crit * pn[nxt] + crit * nds[nxt])
-                if ng < dist[nxt]:
-                    dist[nxt] = ng
-                    parent_node[nxt] = node
-                    parent_bit[nxt] = bit
-                    dx = node_x[nxt] - tx
-                    if dx < 0:
-                        dx = -dx
-                    dy = node_y[nxt] - ty
-                    if dy < 0:
-                        dy = -dy
-                    heappush(
-                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                    )
-        if not found:
-            raise self._no_path(request)
-        return self._backtrack(request, starts)

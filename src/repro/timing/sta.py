@@ -14,7 +14,7 @@ primary outputs are capture endpoints.
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -53,12 +53,15 @@ def net_delay_tree(
     """Delay from *net*'s source to every RRG node of its route tree.
 
     All routes of the net that are active in *mode* are united; the
-    delay to a node is the cheapest path inside that union (Dijkstra),
-    which handles trunk-shared branches and the rare case of a node
-    reachable from two directions.
+    delay to a node is the cheapest path inside that union, which
+    handles trunk-shared branches and the rare case of a node
+    reachable from two directions.  Every route is a simple path out
+    of the shared source, so the union is a DAG and one relaxation
+    pass in Kahn topological order suffices — no priority queue.
     """
     model = model or DelayModel()
     edges: Dict[int, List[Tuple[int, int]]] = {}
+    indeg: Dict[int, int] = {}
     source: Optional[int] = None
     for route in routing.routes.values():
         if route.request.net != net or mode not in route.request.modes:
@@ -66,20 +69,25 @@ def net_delay_tree(
         source = route.request.source
         for u, v, bit in route.edges:
             edges.setdefault(u, []).append((v, bit))
+            indeg[v] = indeg.get(v, 0) + 1
     if source is None:
         return {}
     rrg = routing.rrg
     dist: Dict[int, float] = {source: model.node_delay(rrg, source)}
-    heap: List[Tuple[float, int]] = [(dist[source], source)]
-    while heap:
-        d, node = heapq.heappop(heap)
-        if d > dist.get(node, float("inf")):
-            continue
+    # Kahn order: a node is expanded once all its in-edges (counting
+    # trunk-shared duplicates once per occurrence) have relaxed it,
+    # at which point its label is final.
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
         for nxt, bit in edges.get(node, ()):
             nd = d + model.edge_delay(rrg, nxt, bit)
             if nd < dist.get(nxt, float("inf")):
                 dist[nxt] = nd
-                heapq.heappush(heap, (nd, nxt))
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
     return dist
 
 

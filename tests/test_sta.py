@@ -118,6 +118,44 @@ class TestNetDelayTree:
         # Mode 1 does not exist for this request either.
         assert net_delay_tree(result, 1, "n") == {}
 
+    def test_kahn_matches_dijkstra_reference(self, fabric):
+        """Regression for the Dijkstra -> Kahn rewrite: on a
+        trunk-shared multi-sink union the one-pass topological
+        relaxation must produce the exact labels a priority-queue
+        search does."""
+        import heapq
+
+        _arch, g = fabric
+        reqs = [
+            RouteRequest(i, "n", g.clb_opin[(1, 1)], sink,
+                         frozenset((0,)))
+            for i, sink in enumerate((
+                g.clb_sink[(4, 4)], g.clb_sink[(4, 3)],
+                g.clb_sink[(3, 4)], g.clb_sink[(1, 4)],
+            ))
+        ]
+        result = PathFinderRouter(g).route(reqs)
+        model = DelayModel()
+        tree = net_delay_tree(result, 0, "n", model)
+
+        edges = {}
+        for route in result.routes.values():
+            for u, v, bit in route.edges:
+                edges.setdefault(u, []).append((v, bit))
+        source = reqs[0].source
+        dist = {source: model.node_delay(g, source)}
+        heap = [(dist[source], source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, float("inf")):
+                continue
+            for nxt, bit in edges.get(node, ()):
+                nd = d + model.edge_delay(g, nxt, bit)
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    heapq.heappush(heap, (nd, nxt))
+        assert tree == dist
+
     def test_connection_delays_cover_all_routes(self, fabric):
         _arch, g = fabric
         reqs = [
