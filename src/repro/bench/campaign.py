@@ -68,7 +68,9 @@ from repro.netlist.lutcircuit import LutCircuit
 #: v3: records carry their grid-slot fingerprint (``key``) for
 #: checkpoint/resume.
 #: v4: the options block records the batched-core flags.
-RECORD_SCHEMA_VERSION = 4
+#: v5: the options block records the router-lookahead and
+#: partial-rip-up flags.
+RECORD_SCHEMA_VERSION = 5
 
 #: Version of the summary / baseline envelope.
 SUMMARY_SCHEMA_VERSION = 1
@@ -104,6 +106,13 @@ class CampaignVariant:
     batched_router: bool = False
     #: Anneal placements with the batched-move engine.
     batched_placer: bool = False
+    #: Route with the precomputed lookahead heuristic (QoR-gated
+    #: against its own trend series: tighter lower bounds change
+    #: tie-breaks against the Manhattan default).
+    router_lookahead: bool = False
+    #: Keep congestion-free routes between negotiation iterations
+    #: and reroute only the congested remainder.
+    partial_ripup: bool = False
 
 
 @dataclass(frozen=True)
@@ -136,6 +145,8 @@ class CampaignSpec:
             timing_tradeoff=variant.timing_tradeoff,
             batched_router=variant.batched_router,
             batched_placer=variant.batched_placer,
+            router_lookahead=variant.router_lookahead,
+            partial_ripup=variant.partial_ripup,
         )
 
 
@@ -182,6 +193,33 @@ PRESETS: Dict[str, CampaignSpec] = {
             CampaignVariant(
                 "timing-batched", timing_driven=True,
                 batched_router=True, batched_placer=True,
+            ),
+        ),
+    ),
+    # The lookahead twin of ci-smoke: same pairs routed with the
+    # precomputed lookahead heuristic plus partial rip-up.  The
+    # tighter heuristic changes tie-breaks against the Manhattan
+    # default, so nightly tracks this as its own trend series (the
+    # scalar and vectorized cores stay bit-identical to each other
+    # under it — asserted by tests/test_lookahead.py).
+    "ci-smoke-lookahead": CampaignSpec(
+        name="ci-smoke-lookahead",
+        description=(
+            "ci-smoke pairs with the router lookahead and partial "
+            "rip-up enabled (their own nightly trend series)"
+        ),
+        suites=("datapath", "fsm", "xbar", "klut"),
+        scale="tiny",
+        pairs_per_suite=2,
+        inner_num=0.1,
+        variants=(
+            CampaignVariant(
+                "wirelength-lookahead",
+                router_lookahead=True, partial_ripup=True,
+            ),
+            CampaignVariant(
+                "timing-lookahead", timing_driven=True,
+                router_lookahead=True, partial_ripup=True,
             ),
         ),
     ),
@@ -374,6 +412,8 @@ def _extract_payload(
             "timing_tradeoff": _round(options.timing_tradeoff),
             "batched_router": options.batched_router,
             "batched_placer": options.batched_placer,
+            "router_lookahead": options.router_lookahead,
+            "partial_ripup": options.partial_ripup,
         },
         "mdr": {
             "total_bits": mdr.cost.total,

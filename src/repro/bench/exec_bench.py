@@ -31,6 +31,13 @@ high-pass *i*), each an independent synth→place→route run;
   other), reports the wire-length ratio against the vectorized
   result, and dumps the search-kernel counters (pops, bucket drains,
   frontier sizes, conflict replays).
+* ``router_vectorized.lookahead`` — the same workload with the
+  precomputed lookahead heuristic (:mod:`repro.route.lookahead`),
+  alone and paired with partial rip-up, under both the scalar and
+  vectorized cores.  The bench asserts scalar+lookahead ==
+  vectorized+lookahead bit-identity and reports heap-pop counts per
+  leg, so the search-space shrinkage is tracked alongside the
+  wall-clocks.
 
 Results are bit-for-bit identical across all paths (the bench
 asserts this on the reconfiguration-cost totals and the routed edge
@@ -63,7 +70,10 @@ from repro.core.flow import unpack_result
 #: PathFinder core A/B on the routing phase).
 #: v4: adds the ``router_batched`` phase (batched-wavefront core on
 #: the same routing workload, with search-kernel counters).
-SCHEMA_VERSION = 4
+#: v5: per-core heap-pop counters on every router leg, plus the
+#: ``lookahead`` sub-phase (precomputed-lookahead heuristic and
+#: partial rip-up, scalar/vectorized bit-identity asserted).
+SCHEMA_VERSION = 5
 
 #: Generator families of the router A/B workload.
 ROUTER_BENCH_FAMILIES = ("datapath", "fsm", "xbar", "klut")
@@ -225,6 +235,11 @@ def _router_bench_workload(scale: str, seed: int) -> List[Tuple]:
 
     options = FlowOptions(seed=seed, inner_num=0.1)
     schedule = options.schedule()
+    # The medium datapath pair saturates the 8-track channels the
+    # smaller scales route comfortably in (the exact cores need 10,
+    # the bucket-quantized batched core 12); widen rather than
+    # shrink the workload so the A/B keeps its larger search space.
+    channel_width = 12 if scale == "medium" else 8
     workload = []
     for family in ROUTER_BENCH_FAMILIES:
         pair_name, specs = suite_pair_specs(
@@ -237,7 +252,7 @@ def _router_bench_workload(scale: str, seed: int) -> List[Tuple]:
             ios.update(circuit.outputs)
         arch = size_for_circuits(
             max(c.n_luts() for c in modes), len(ios), k=4,
-            channel_width=8, slack=1.2,
+            channel_width=channel_width, slack=1.2,
         )
         rrg = build_rrg(arch)
         placements = [
@@ -275,7 +290,16 @@ def run_router_bench(
     across rounds.  The batched leg also collects the
     :class:`~repro.route.searchkernel.RouterStats` counters (bucket
     drains, frontier sizes, conflict replays) of its best round.
+
+    Four additional legs run the lookahead heuristic: scalar and
+    vectorized with lookahead alone, and both again with partial
+    rip-up added.  Each lookahead pair must be bit-identical across
+    cores (the heuristic changes results *versus Manhattan*, never
+    between the exact cores), and every leg reports its heap-pop
+    count so the ``pops`` block quantifies the search-space
+    shrinkage directly.
     """
+    from repro.route.lookahead import build_lookahead
     from repro.route.searchkernel import RouterStats
     from repro.route.troute import (
         route_lut_circuit,
@@ -288,17 +312,41 @@ def run_router_bench(
     ).criticality()
     defaults = FlowOptions()
 
-    def run(scalar: bool = False, batched: bool = False):
+    # The lookahead tables are a per-architecture precomputation the
+    # flow memoizes in the stage cache; build them outside the timed
+    # sections (with the delay model: the timed legs need the delay
+    # tables) but report the one-shot build cost alongside.
+    build_start = time.perf_counter()
+    lk_tables = [
+        build_lookahead(rrg, timing.model)
+        for _n, _m, _p, rrg, _c in workload
+    ]
+    lk_build_seconds = time.perf_counter() - build_start
+
+    def run(
+        scalar: bool = False,
+        batched: bool = False,
+        lookahead: bool = False,
+        partial: bool = False,
+    ):
         old = os.environ.pop("REPRO_SCALAR_ROUTER", None)
         if scalar:
             os.environ["REPRO_SCALAR_ROUTER"] = "1"
-        stats = RouterStats() if batched else None
-        kwargs = {"batched": True, "stats": stats} if batched else {}
+        stats = RouterStats()
+        kwargs: Dict[str, object] = {"stats": stats}
+        if batched:
+            kwargs["batched"] = True
+        if partial:
+            kwargs["partial_ripup"] = True
         try:
             start = time.perf_counter()
             signature = []
             wirelength = 0
-            for _name, modes, placements, rrg, conns in workload:
+            for index, (
+                _name, modes, placements, rrg, conns
+            ) in enumerate(workload):
+                if lookahead:
+                    kwargs["lookahead"] = lk_tables[index]
                 for circuit, placement in zip(modes, placements):
                     result = route_lut_circuit(
                         circuit, placement, rrg, **kwargs
@@ -340,33 +388,57 @@ def run_router_bench(
             if old is not None:
                 os.environ["REPRO_SCALAR_ROUTER"] = old
 
-    scalar_best = vector_best = batched_best = float("inf")
-    scalar_sig = vector_sig = batched_sig = None
-    vector_wl = batched_wl = 0
+    #: leg label -> run() kwargs; bit-identity groups asserted below.
+    legs = {
+        "scalar": dict(scalar=True),
+        "vectorized": dict(),
+        "batched": dict(batched=True),
+        "lk_scalar": dict(scalar=True, lookahead=True),
+        "lk_vectorized": dict(lookahead=True),
+        "lkpr_scalar": dict(scalar=True, lookahead=True, partial=True),
+        "lkpr_vectorized": dict(lookahead=True, partial=True),
+    }
+    best = {name: float("inf") for name in legs}
+    sigs: Dict[str, object] = {}
+    wls: Dict[str, int] = {}
+    pops: Dict[str, int] = {}
     batched_stats = None
     for _round in range(max(1, rounds)):
-        seconds, scalar_sig, _wl, _ = run(scalar=True)
-        scalar_best = min(scalar_best, seconds)
-        seconds, vector_sig, vector_wl, _ = run()
-        vector_best = min(vector_best, seconds)
-        seconds, sig, batched_wl, stats = run(batched=True)
-        if batched_sig is not None and sig != batched_sig:
-            raise AssertionError(
-                "batched router is nondeterministic: rounds must be "
-                "bit-identical"
-            )
-        batched_sig = sig
-        if seconds < batched_best:
-            batched_best = seconds
-            batched_stats = stats
-    if scalar_sig != vector_sig:
+        for name, leg_kwargs in legs.items():
+            seconds, sig, wl, stats = run(**leg_kwargs)
+            if name == "batched" and name in sigs and sig != sigs[name]:
+                raise AssertionError(
+                    "batched router is nondeterministic: rounds must "
+                    "be bit-identical"
+                )
+            sigs[name] = sig
+            wls[name] = wl
+            pops[name] = stats.pops
+            if seconds < best[name]:
+                best[name] = seconds
+                if name == "batched":
+                    batched_stats = stats
+    if sigs["scalar"] != sigs["vectorized"]:
         raise AssertionError(
             "scalar and vectorized routers disagree: the cores must "
             "be bit-identical"
         )
+    if sigs["lk_scalar"] != sigs["lk_vectorized"]:
+        raise AssertionError(
+            "scalar and vectorized routers disagree under the "
+            "lookahead heuristic: the cores must be bit-identical"
+        )
+    if sigs["lkpr_scalar"] != sigs["lkpr_vectorized"]:
+        raise AssertionError(
+            "scalar and vectorized routers disagree under lookahead "
+            "+ partial rip-up: the cores must be bit-identical"
+        )
     n_connections = sum(
         len(conns) for _n, _m, _p, _r, conns in workload
     )
+    scalar_best, vector_best = best["scalar"], best["vectorized"]
+    batched_best = best["batched"]
+    vector_wl, batched_wl = wls["vectorized"], wls["batched"]
     return {
         "workload": {
             "suites": list(ROUTER_BENCH_FAMILIES),
@@ -380,6 +452,9 @@ def run_router_bench(
         "vectorized_seconds": round(vector_best, 3),
         "speedup": round(scalar_best / vector_best, 3),
         "results_identical": True,
+        # Heap pops per leg (deterministic; the batched legs count
+        # bucket settles instead of binary-heap pops).
+        "pops": dict(sorted(pops.items())),
         "batched": {
             "seconds": round(batched_best, 3),
             "speedup_vs_scalar": round(
@@ -394,6 +469,31 @@ def run_router_bench(
                 batched_wl / vector_wl, 4
             ) if vector_wl else None,
             "stats": batched_stats.as_dict(),
+        },
+        "lookahead": {
+            "table_build_seconds": round(lk_build_seconds, 3),
+            "scalar_seconds": round(best["lk_scalar"], 3),
+            "vectorized_seconds": round(best["lk_vectorized"], 3),
+            "speedup_vs_manhattan_vectorized": round(
+                vector_best / best["lk_vectorized"], 3
+            ),
+            "results_identical": True,
+            "total_wirelength": wls["lk_vectorized"],
+            "wirelength_ratio_vs_manhattan": round(
+                wls["lk_vectorized"] / vector_wl, 4
+            ) if vector_wl else None,
+            "pop_reduction_vs_manhattan": round(
+                pops["vectorized"] / pops["lk_vectorized"], 3
+            ) if pops["lk_vectorized"] else None,
+            "partial_ripup": {
+                "seconds": round(best["lkpr_vectorized"], 3),
+                "results_identical": True,
+                "total_wirelength": wls["lkpr_vectorized"],
+                "wirelength_ratio_vs_manhattan": round(
+                    wls["lkpr_vectorized"] / vector_wl, 4
+                ) if vector_wl else None,
+                "pops": pops["lkpr_vectorized"],
+            },
         },
     }
 
@@ -492,16 +592,20 @@ def run_exec_bench(
     baseline_delay = _mean_critical_delay(res_cold)
     timed_delay = _mean_critical_delay(res_timed)
 
-    log(f"router A/B/C (scalar vs vectorized vs batched, "
-        f"{router_scale} scale) ...")
+    log(f"router A/B/C (scalar vs vectorized vs batched vs "
+        f"lookahead, {router_scale} scale) ...")
     router_phase = run_router_bench(scale=router_scale, seed=seed)
     batched_phase = router_phase.pop("batched")
+    lookahead_phase = router_phase["lookahead"]
     log(
         f"  scalar {router_phase['scalar_seconds']:.1f}s, "
         f"vectorized {router_phase['vectorized_seconds']:.1f}s "
         f"({router_phase['speedup']:.2f}x), "
         f"batched {batched_phase['seconds']:.1f}s "
-        f"({batched_phase['speedup_vs_scalar']:.2f}x vs scalar)"
+        f"({batched_phase['speedup_vs_scalar']:.2f}x vs scalar), "
+        f"lookahead {lookahead_phase['vectorized_seconds']:.1f}s "
+        f"({lookahead_phase['pop_reduction_vs_manhattan']:.2f}x "
+        f"fewer pops)"
     )
 
     baseline = None

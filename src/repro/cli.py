@@ -770,7 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument(
         "--scale", default="quick",
-        choices=("tiny", "quick", "default", "paper"),
+        choices=("tiny", "quick", "default", "medium", "paper"),
         help="workload scale of an ad-hoc campaign",
     )
     p_camp.add_argument(
@@ -849,7 +849,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="annealing inner_num of the workload")
     p_bench.add_argument(
         "--router-scale", default="quick",
-        choices=("tiny", "quick", "default"),
+        choices=("tiny", "quick", "default", "medium"),
         help="workload scale of the router_vectorized A/B phase "
              "(scalar vs vectorized PathFinder core)",
     )

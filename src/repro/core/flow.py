@@ -118,6 +118,24 @@ class FlowOptions:
     #: bit-identical to the scalar engine; timing-driven placements
     #: always use the scalar engine.
     batched_placer: bool = False
+    #: Route with the precomputed lookahead heuristic
+    #: (:mod:`repro.route.lookahead`): a one-shot backward-Dijkstra
+    #: sweep over the architecture's (Δx, Δy, node-kind) quotient
+    #: graph yields admissible per-target lower bounds that are
+    #: tighter than ``astar_fac * manhattan``, shrinking every
+    #: search's explored frontier.  Tables are memoized per
+    #: architecture in the stage cache (``"lookahead"`` stage).
+    #: QoR-gated opt-in: the tighter heuristic changes tie-breaks
+    #: against the Manhattan default, so results differ from the
+    #: historical flow (the scalar and vectorized cores remain
+    #: bit-identical to *each other* with it enabled).
+    router_lookahead: bool = False
+    #: Partial rip-up: between negotiation iterations, keep every
+    #: route that avoids congested nodes (and whose per-mode trunk
+    #: anchoring survives) and reroute only the congested remainder.
+    #: QoR-gated opt-in paired with ``router_lookahead``; a no-op for
+    #: the batched core, which always rips whole nets.
+    partial_ripup: bool = False
 
     def schedule(self) -> AnnealingSchedule:
         return AnnealingSchedule(inner_num=self.inner_num)
@@ -183,7 +201,8 @@ def route_lut_stage_inputs(
     """Key inputs of the ``route_lut`` stage (one mode's routing)."""
     return (
         circuit, placement, arch, options.router_max_iterations,
-        options.batched_router,
+        options.batched_router, options.router_lookahead,
+        options.partial_ripup,
     ) + _timing_key(options)
 
 
@@ -200,8 +219,26 @@ def dcs_stage_inputs(
         options.seed, options.schedule(), options.tplace_refine,
         options.net_affinity, options.bit_affinity,
         options.sharing_passes, options.router_max_iterations,
-        options.batched_router,
+        options.batched_router, options.router_lookahead,
+        options.partial_ripup,
     ) + _timing_key(options)
+
+
+def lookahead_stage_inputs(
+    arch: FpgaArchitecture,
+    options: "FlowOptions",
+) -> Tuple:
+    """Key inputs of the ``lookahead`` stage (per-arch cost tables).
+
+    The tables depend only on the architecture (the RRG is
+    deterministic from it) and on the delay model — present exactly
+    when the flow is timing-driven.  Every other knob leaves them
+    untouched, so one build serves all nets, modes, seeds and
+    campaign variants on the same fabric.
+    """
+    timing = options.criticality()
+    model = timing.model if timing is not None else None
+    return (arch, model)
 
 
 def multimode_stage_inputs(
@@ -240,7 +277,8 @@ OPTION_STAGE_COVERAGE: Dict[str, frozenset] = {
     "sharing_passes": frozenset({"dcs", "multimode", "campaign"}),
     "sizing": frozenset({"multimode", "campaign"}),
     "timing_driven": frozenset(
-        {"place", "route_lut", "dcs", "multimode", "campaign"}
+        {"place", "route_lut", "dcs", "lookahead", "multimode",
+         "campaign"}
     ),
     "criticality_exponent": frozenset(
         {"place", "route_lut", "dcs", "multimode", "campaign"}
@@ -252,6 +290,12 @@ OPTION_STAGE_COVERAGE: Dict[str, frozenset] = {
         {"route_lut", "dcs", "multimode", "campaign"}
     ),
     "batched_placer": frozenset({"place", "multimode", "campaign"}),
+    "router_lookahead": frozenset(
+        {"route_lut", "dcs", "multimode", "campaign"}
+    ),
+    "partial_ripup": frozenset(
+        {"route_lut", "dcs", "multimode", "campaign"}
+    ),
 }
 
 
@@ -514,6 +558,34 @@ def _stage_cache(cache_root: Optional[str],
     return StageCache(cache_root, enabled=cache_enabled)
 
 
+def _lookahead_tables(
+    cache: StageCache,
+    rrg: RoutingResourceGraph,
+    arch: FpgaArchitecture,
+    options: FlowOptions,
+):
+    """The flow's lookahead tables, memoized per architecture.
+
+    Returns ``None`` unless ``options.router_lookahead`` — callers
+    thread the result straight into the routers' ``lookahead=``
+    kwarg.  The build is a one-shot sweep over the (Δx, Δy, kind)
+    quotient graph, so after the first flow on a given fabric every
+    later run (any seed, net, or campaign variant) is a cache hit.
+    """
+    if not options.router_lookahead:
+        return None
+    from repro.route.lookahead import build_lookahead
+
+    timing = options.criticality()
+    model = timing.model if timing is not None else None
+    tables, _hit = cache.memoize(
+        "lookahead",
+        lookahead_stage_inputs(arch, options),
+        lambda: build_lookahead(rrg, model),
+    )
+    return tables
+
+
 def _mdr_mode_stage(
     label: str,
     mode: int,
@@ -564,6 +636,10 @@ def _mdr_mode_stage(
                 timing=timing,
                 max_iterations=options.router_max_iterations,
                 batched=options.batched_router,
+                lookahead=_lookahead_tables(
+                    cache, graph, arch, options
+                ),
+                partial_ripup=options.partial_ripup,
             )
         )
 
@@ -600,7 +676,8 @@ def _dcs_stage(
     def compute() -> DcsResult:
         graph = rrg if rrg is not None else build_rrg(arch)
         result = _run_dcs(
-            name, mode_circuits, arch, strategy, options, graph
+            name, mode_circuits, arch, strategy, options, graph,
+            lookahead=_lookahead_tables(cache, graph, arch, options),
         )
         return replace(result, routing=pack_routing(result.routing))
 
@@ -621,6 +698,7 @@ def _run_dcs(
     strategy: MergeStrategy,
     options: FlowOptions,
     rrg: RoutingResourceGraph,
+    lookahead=None,
 ) -> DcsResult:
     """The DCS flow proper: merge, (T)place, TRoute, bit accounting.
 
@@ -685,6 +763,8 @@ def _run_dcs(
         criticality=criticality,
         delay_model=timing.model if timing is not None else None,
         batched=options.batched_router,
+        lookahead=lookahead,
+        partial_ripup=options.partial_ripup,
     )
     per_mode_bits = [
         routing.bits_on(m) for m in range(n_modes)

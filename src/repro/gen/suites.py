@@ -16,7 +16,9 @@ runner and ``bench-exec`` all draw workloads from the same registry:
 
 Scales trade size for runtime: ``tiny`` (seconds per pair — CI smoke
 and unit tests), ``quick``/``default`` (the harness's calibrated
-subsets) and ``paper`` (full experiment sizes).
+subsets), ``medium`` (router-bench A/B runs: large enough for search
+costs to dominate, small enough for a bench loop) and ``paper`` (full
+experiment sizes).
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ from repro.gen.spec import (
 )
 from repro.netlist.lutcircuit import LutCircuit
 
-SCALES = ("tiny", "quick", "default", "paper")
+SCALES = ("tiny", "quick", "default", "medium", "paper")
 
 #: Harness-facing aliases (the paper's suite spellings).
 SUITE_ALIASES = {"RegExp": "regexp", "FIR": "fir", "MCNC": "mcnc"}
@@ -206,7 +208,9 @@ def _regexp_pairs(seed: int, k: int, scale: str) -> PairSpecs:
     "high-pass i",
 )
 def _fir_pairs(seed: int, k: int, scale: str) -> PairSpecs:
-    n = {"tiny": 2, "quick": 2, "default": 4, "paper": 10}[scale]
+    n = {
+        "tiny": 2, "quick": 2, "default": 4, "medium": 6, "paper": 10,
+    }[scale]
     n_taps = 4 if scale == "tiny" else 8
     n_nonzero = 3 if scale == "tiny" else 5
     pairs: PairSpecs = []
@@ -263,7 +267,9 @@ def _seeded_pairs(kind: str, prefix: str, seed: int, k: int,
     return pairs
 
 
-_N_PAIRS = {"tiny": 2, "quick": 2, "default": 4, "paper": 10}
+_N_PAIRS = {
+    "tiny": 2, "quick": 2, "default": 4, "medium": 6, "paper": 10,
+}
 
 
 @register_suite(
@@ -275,6 +281,7 @@ def _datapath_pairs(seed: int, k: int, scale: str) -> PairSpecs:
         "tiny": dict(width=4, n_terms=2, coeff_width=4),
         "quick": dict(width=6, n_terms=3, coeff_width=5),
         "default": dict(width=8, n_terms=4, coeff_width=6),
+        "medium": dict(width=9, n_terms=5, coeff_width=6),
         "paper": dict(width=10, n_terms=6, coeff_width=6),
     }[scale]
     return _seeded_pairs(
@@ -294,6 +301,8 @@ def _fsm_pairs(seed: int, k: int, scale: str) -> PairSpecs:
                       out_bits=4),
         "default": dict(n_states=8, n_controllers=2, in_bits=4,
                         out_bits=4),
+        "medium": dict(n_states=9, n_controllers=3, in_bits=5,
+                       out_bits=5),
         "paper": dict(n_states=10, n_controllers=3, in_bits=5,
                       out_bits=6),
     }[scale]
@@ -311,6 +320,7 @@ def _xbar_pairs(seed: int, k: int, scale: str) -> PairSpecs:
         "tiny": dict(n_ports=2, width=3),
         "quick": dict(n_ports=4, width=2),
         "default": dict(n_ports=4, width=3),
+        "medium": dict(n_ports=6, width=3),
         "paper": dict(n_ports=8, width=4),
     }[scale]
     return _seeded_pairs(
@@ -327,6 +337,7 @@ def _klut_pairs(seed: int, k: int, scale: str) -> PairSpecs:
         "tiny": dict(n_luts=30, n_inputs=8, n_outputs=6),
         "quick": dict(n_luts=60, n_inputs=10, n_outputs=8),
         "default": dict(n_luts=120, n_inputs=14, n_outputs=10),
+        "medium": dict(n_luts=180, n_inputs=16, n_outputs=10),
         "paper": dict(n_luts=300, n_inputs=18, n_outputs=12),
     }[scale]
     rents = (0.55, 0.7, 0.85)

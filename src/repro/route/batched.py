@@ -185,29 +185,63 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
         self._bh_cache: Dict[int, np.ndarray] = {}
 
     # -- heuristics ----------------------------------------------------------
+    #
+    # Both per-target caches evict least-recently-used entries at the
+    # float budget (dict order = use order; a hit re-inserts).  The
+    # pop-based refresh keeps concurrent negotiation tasks safe under
+    # the GIL: pop-with-default cannot raise on a lost race, and the
+    # eviction guard tolerates a neighbour emptying the dict.
+
+    def _lru_evict(self, cache: Dict) -> None:
+        while (
+            cache
+            and (len(cache) + 1) * self._n_nodes > _H_CACHE_MAX_FLOATS
+        ):
+            try:
+                cache.pop(next(iter(cache)), None)
+            except (StopIteration, RuntimeError):
+                break
 
     def _man_np(self, target: int) -> np.ndarray:
-        man = self._man_cache.get(target)
+        cache = self._man_cache
+        man = cache.pop(target, None)
         if man is None:
-            cache = self._man_cache
-            if len(cache) * self._n_nodes > _H_CACHE_MAX_FLOATS:
-                cache.clear()
+            self._lru_evict(cache)
             man = (
                 np.abs(self._np_x - self.rrg.node_x[target])
                 + np.abs(self._np_y - self.rrg.node_y[target])
             ).astype(np.float64)
-            cache[target] = man
+        cache[target] = man
         return man
 
     def _bh_np(self, target: int) -> np.ndarray:
-        h = self._bh_cache.get(target)
+        cache = self._bh_cache
+        h = cache.pop(target, None)
         if h is None:
-            cache = self._bh_cache
-            if len(cache) * self._n_nodes > _H_CACHE_MAX_FLOATS:
-                cache.clear()
-            h = self.astar_fac * self._man_np(target)
-            cache[target] = h
+            self._lru_evict(cache)
+            if self.lookahead is not None:
+                # The lookahead's cost table replaces Manhattan under
+                # the same astar_fac scaling (admissible either way;
+                # the bucket width adapts in _delta_eff).
+                h = self.astar_fac * self.lookahead.cost_array(target)
+            else:
+                h = self.astar_fac * self._man_np(target)
+        cache[target] = h
         return h
+
+    def _delta_eff(self) -> float:
+        """Bucket-width multiplier, adapted to the heuristic.
+
+        The lookahead compresses the f-range of a search (h is close
+        to the true remaining cost, so queued f values cluster near
+        the final path cost); at a fixed delta the frontier then
+        spans more of the remaining slack and the settled-label error
+        grows relative to the search depth.  Halving the width keeps
+        the quantization commensurate with the sharper heuristic.
+        """
+        if self.lookahead is not None:
+            return self.delta_mult * 0.5
+        return self.delta_mult
 
     # -- pricing -------------------------------------------------------------
 
@@ -425,7 +459,7 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
             fq,
             parent_node,
             parent_bit,
-            min_price * self.delta_mult,
+            min_price * self._delta_eff(),
             stats if stats is not None else self.stats,
         )
 
@@ -449,10 +483,19 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
             inv_crit * min_price + crit * self._min_edge_delay,
             _MIN_DELTA,
         )
+        lookahead = self.lookahead
+        if lookahead is not None:
+            # Criticality blend of the unscaled lookahead vectors —
+            # the numpy twin of the heap kernels' per-push blend.
+            h = (inv_crit * self.astar_fac) * lookahead.cost_array(
+                request.sink
+            ) + crit * lookahead.delay_array(request.sink)
+        else:
+            h = astar_fac * self._man_np(request.sink)
         return bucket_search_timed(
             starts,
             request.sink,
-            astar_fac * self._man_np(request.sink),
+            h,
             inv_crit,
             crit,
             self._np_nd,
@@ -504,29 +547,19 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
         then replay nets that still collide — sequentially, in the
         same canonical order.  History/present-cost updates and the
         dirty-net selection mirror the sequential cores.
+
+        ``partial_ripup`` is a no-op here: the Jacobi round prices
+        every routing net against a background it is entirely absent
+        from (``_round_entry``'s ``occ_after = occ + 1`` has nothing
+        to cancel), so kept subtrees would be double-counted.  The
+        batched core always rips whole nets.
         """
         for request in requests:
             if max(request.modes, default=0) >= self.n_modes:
                 raise ValueError(
                     "request mode exceeds router's n_modes"
                 )
-        by_net: Dict[str, List[RouteRequest]] = {}
-        for request in requests:
-            by_net.setdefault(request.net, []).append(request)
-        for net in by_net:
-            by_net[net].sort(
-                key=lambda r: (
-                    -len(r.modes),
-                    -self._manhattan(r),
-                    r.conn_id,
-                ),
-            )
-        net_order = sorted(
-            by_net,
-            key=lambda net: -max(
-                self._manhattan(r) for r in by_net[net]
-            ),
-        )
+        by_net, net_order = self._order_nets(requests)
 
         was_enabled = gc.isenabled()
         if was_enabled:

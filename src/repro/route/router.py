@@ -31,7 +31,12 @@ connection router of Vansteenkiste et al. that TRoute builds on):
 
 The search is multi-source A* with an admissible Manhattan-distance
 heuristic: every node beyond the frontier costs at least its unit base
-cost, so the heuristic never overestimates.
+cost, so the heuristic never overestimates.  ``lookahead=`` swaps in
+the precomputed fabric lower bounds of
+:mod:`repro.route.lookahead` (tighter, still admissible), and
+``partial_ripup=True`` keeps a dirty net's congestion-free subtrees
+across rip-up; both are opt-in because they change equal-cost
+tie-breaks relative to the defaults.
 
 Two interchangeable negotiation cores implement the search:
 
@@ -298,6 +303,8 @@ class PathFinderRouter:
         batched: bool = False,
         route_workers: int = 1,
         stats: Optional[RouterStats] = None,
+        lookahead=None,
+        partial_ripup: bool = False,
     ) -> None:
         # The batched-wavefront knobs are accepted (and recorded) by
         # every core so call sites can thread them unconditionally:
@@ -309,6 +316,26 @@ class PathFinderRouter:
         self.batched = bool(batched)
         self.route_workers = max(1, int(route_workers))
         self.stats = stats
+        # ``lookahead`` swaps the Manhattan heuristic for precomputed
+        # fabric lower bounds (:mod:`repro.route.lookahead`); accepts
+        # the raw tables (as stored in the stage cache) or a prebuilt
+        # wrapper.  ``partial_ripup`` keeps a dirty net's
+        # congestion-free, still-anchored subtrees across rip-up (see
+        # :meth:`_partial_keep`).  Both change tie-breaks versus the
+        # defaults, so like the batched core they are opt-in and
+        # QoR-gated rather than bit-compared against the baseline —
+        # but with either enabled the scalar and vectorized cores
+        # remain bit-identical to each other.
+        self.lookahead = None
+        if lookahead is not None:
+            from repro.route.lookahead import (
+                LookaheadTables,
+                RouterLookahead,
+            )
+            if isinstance(lookahead, LookaheadTables):
+                lookahead = RouterLookahead(rrg, lookahead)
+            self.lookahead = lookahead
+        self.partial_ripup = bool(partial_ripup)
         self.rrg = rrg
         self.n_modes = n_modes
         self.max_iterations = max_iterations
@@ -571,6 +598,108 @@ class PathFinderRouter:
 
     # -- main loop -----------------------------------------------------------
 
+    def _order_nets(
+        self, requests: Sequence[RouteRequest]
+    ) -> Tuple[Dict[str, List[RouteRequest]], List[str]]:
+        """Group *requests* by net and fix the negotiation order.
+
+        Rip-up and reroute happens at net granularity: later
+        connections of a net branch off the tree built by its earlier
+        connections (trunk seeding), so removing a single connection
+        could strand the ones that grew from it.  Within one net:
+        shared (multi-mode) connections first, then long before
+        short, so the trunk is laid by the connections with the
+        widest reach; nets themselves go longest-reach first.
+
+        ``_manhattan`` is memoized per request for the call — the
+        sort keys would otherwise recompute it O(nets·conns·log)
+        every routing.
+        """
+        man: Dict[int, int] = {
+            request.conn_id: self._manhattan(request)
+            for request in requests
+        }
+        by_net: Dict[str, List[RouteRequest]] = {}
+        for request in requests:
+            by_net.setdefault(request.net, []).append(request)
+        for net in by_net:
+            by_net[net].sort(
+                key=lambda r: (
+                    -len(r.modes),
+                    -man[r.conn_id],
+                    r.conn_id,
+                ),
+            )
+        net_order = sorted(
+            by_net,
+            key=lambda net: -max(
+                man[r.conn_id] for r in by_net[net]
+            ),
+        )
+        return by_net, net_order
+
+    def _partial_keep(
+        self,
+        net_requests: List[RouteRequest],
+        routes: Dict[int, ConnectionRoute],
+        congested_set: Set[int],
+    ) -> Set[int]:
+        """Connections of one dirty net that survive a partial rip-up.
+
+        A route is kept when (a) it touches no congested node and
+        (b) it stays *anchored*: starting from the net's source, the
+        kept routes must chain into a connected tree in **every** mode
+        — the same per-mode fixpoint :func:`validate_routing` checks.
+        Routes whose first node hangs off a ripped branch are dropped
+        until the fixpoint stabilises, so trunk seeding over the
+        survivors can never produce a stranded connection.
+        """
+        keep: Dict[int, ConnectionRoute] = {}
+        for request in net_requests:
+            route = routes.get(request.conn_id)
+            if route is None:
+                continue
+            if congested_set.intersection(route.nodes()):
+                continue
+            keep[request.conn_id] = route
+        if not keep:
+            return set()
+        source = net_requests[0].source
+        while True:
+            dropped = False
+            modes = sorted(
+                {
+                    mode
+                    for route in keep.values()
+                    for mode in route.request.modes
+                }
+            )
+            for mode in modes:
+                pending = [
+                    route
+                    for route in keep.values()
+                    if mode in route.request.modes
+                ]
+                reachable = {source}
+                progress = True
+                while pending and progress:
+                    progress = False
+                    remaining = []
+                    for route in pending:
+                        nodes = route.nodes()
+                        if not nodes or nodes[0] in reachable:
+                            reachable.update(nodes)
+                            progress = True
+                        else:
+                            remaining.append(route)
+                    pending = remaining
+                if pending:
+                    for route in pending:
+                        keep.pop(route.request.conn_id, None)
+                    dropped = True
+            if not dropped:
+                return set(keep)
+
     def route(
         self, requests: Sequence[RouteRequest]
     ) -> RoutingResult:
@@ -580,44 +709,38 @@ class PathFinderRouter:
                 raise ValueError(
                     "request mode exceeds router's n_modes"
                 )
-        # Group requests by net.  Rip-up and reroute happens at net
-        # granularity: later connections of a net branch off the tree
-        # built by its earlier connections (trunk seeding), so removing
-        # a single connection could strand the ones that grew from it.
-        # Rebuilding a whole net atomically keeps every tree sound.
-        by_net: Dict[str, List[RouteRequest]] = {}
-        for request in requests:
-            by_net.setdefault(request.net, []).append(request)
-        for net in by_net:
-            # Within one net: shared (multi-mode) connections first,
-            # then long before short, so the trunk is laid by the
-            # connections with the widest reach.
-            by_net[net].sort(
-                key=lambda r: (
-                    -len(r.modes),
-                    -self._manhattan(r),
-                    r.conn_id,
-                ),
-            )
-        net_order = sorted(
-            by_net,
-            key=lambda net: -max(
-                self._manhattan(r) for r in by_net[net]
-            ),
-        )
+        by_net, net_order = self._order_nets(requests)
 
         routes: Dict[int, ConnectionRoute] = {}
         pres_fac = self.pres_fac_first
         iteration = 0
         to_route: List[str] = list(net_order)
+        partial = self.partial_ripup
+        congested_set: Set[int] = set()
         while iteration < self.max_iterations:
             iteration += 1
             for net in to_route:
-                for request in by_net[net]:
+                net_requests = by_net[net]
+                # Partial rip-up: keep the net's congestion-free,
+                # still-anchored subtrees registered — their nodes
+                # stay in the trunk, so rerouted branches get them as
+                # free multi-source seeds.
+                keep = (
+                    self._partial_keep(
+                        net_requests, routes, congested_set
+                    )
+                    if partial and congested_set
+                    else ()
+                )
+                for request in net_requests:
+                    if request.conn_id in keep:
+                        continue
                     old = routes.pop(request.conn_id, None)
                     if old is not None:
                         self._remove_route(old)
-                for request in by_net[net]:
+                for request in net_requests:
+                    if request.conn_id in keep:
+                        continue
                     route = self._route_connection(request, pres_fac)
                     self._add_route(route)
                     routes[request.conn_id] = route

@@ -74,17 +74,26 @@ EMPTY_STATIC: frozenset = frozenset()
 
 @dataclass
 class RouterStats:
-    """Profiling counters of the batched-wavefront engine.
+    """Profiling counters of every search kernel family.
 
-    Filled by the bucket kernels and the batched negotiation loop;
-    surfaced through the ``router_batched`` phase of
-    ``repro bench-exec`` (BENCH_exec.json schema 4).  Plain ints so
-    the object is trivially picklable and mergeable.
+    Filled by the scalar, heap and bucket kernels (pass a
+    ``RouterStats`` to the router's ``stats=`` keyword; the batched
+    core creates one unconditionally) and surfaced through the
+    ``router_*`` phases of ``repro bench-exec`` (BENCH_exec.json
+    schema 5), where the per-core pop counts attribute exactly what a
+    tighter heuristic saves.  Plain ints so the object is trivially
+    picklable and mergeable.
     """
 
-    #: nodes settled (the scalar analogue: heap pops that survive the
-    #: staleness check).
+    #: queue extractions: heap pops including stale entries; for the
+    #: bucket kernels, nodes drained (one frontier counts its width).
     pops: int = 0
+    #: queue insertions (heap pushes / bucket queue improvements),
+    #: including the start seeds.
+    pushes: int = 0
+    #: nodes settled: pops that survive the staleness check and
+    #: expand their fanout (bucket kernels settle whole frontiers).
+    settled: int = 0
     #: bucket drains (the batched analogue of a heap pop).
     drains: int = 0
     #: connection searches run.
@@ -100,6 +109,8 @@ class RouterStats:
 
     def merge(self, other: "RouterStats") -> None:
         self.pops += other.pops
+        self.pushes += other.pushes
+        self.settled += other.settled
         self.drains += other.drains
         self.searches += other.searches
         self.max_frontier = max(self.max_frontier, other.max_frontier)
@@ -110,6 +121,8 @@ class RouterStats:
     def as_dict(self) -> Dict[str, float]:
         return {
             "pops": self.pops,
+            "pushes": self.pushes,
+            "settled": self.settled,
             "drains": self.drains,
             "searches": self.searches,
             "max_frontier": self.max_frontier,
@@ -144,6 +157,17 @@ def scalar_search(
     net_salt = zlib.crc32(request.net.encode())
     astar_fac = router.astar_fac
     net = request.net
+    # Lookahead heuristic: the same scaled per-target list the
+    # vectorized kernel reads, so enabling it keeps the two cores
+    # bit-identical to each other.
+    lookahead = router.lookahead
+    lk = (
+        lookahead.cost_list_scaled(target, astar_fac)
+        if lookahead is not None
+        else None
+    )
+    stats = router.stats
+    n_pops = n_pushes = n_settled = 0
 
     # Per-connection-constant context of the cost model.
     kinds = rrg.node_kind
@@ -206,19 +230,25 @@ def scalar_search(
     for start in starts:
         dist[start] = 0.0
         dist_epoch[start] = epoch
-        dx = node_x[start] - tx
-        if dx < 0:
-            dx = -dx
-        dy = node_y[start] - ty
-        if dy < 0:
-            dy = -dy
-        heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        if lk is not None:
+            heappush(heap, (lk[start], 0.0, start))
+        else:
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+    n_pushes += len(heap)
     found = target in starts
     while heap:
         _f, g, node = heappop(heap)
+        n_pops += 1
         if visited[node] == epoch:
             continue
         visited[node] = epoch
+        n_settled += 1
         if node == target:
             found = True
             break
@@ -289,15 +319,24 @@ def scalar_search(
                 dist_epoch[nxt] = epoch
                 parent_node[nxt] = node
                 parent_bit[nxt] = bit
-                dx = node_x[nxt] - tx
-                if dx < 0:
-                    dx = -dx
-                dy = node_y[nxt] - ty
-                if dy < 0:
-                    dy = -dy
-                heappush(
-                    heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                )
+                n_pushes += 1
+                if lk is not None:
+                    heappush(heap, (ng + lk[nxt], ng, nxt))
+                else:
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+    if stats is not None:
+        stats.searches += 1
+        stats.pops += n_pops
+        stats.pushes += n_pushes
+        stats.settled += n_settled
     if not found:
         return None
     edges: List[Tuple[int, int, int]] = []
@@ -335,6 +374,20 @@ def scalar_search_timed(
     astar_fac = (
         inv_crit * router.astar_fac + crit * model.wire_delay
     )
+    # Lookahead: blend the unscaled cost/delay lower-bound vectors per
+    # push — identical expression (and grouping) to the heap kernel's,
+    # so both cores stay bit-identical with the lookahead on.
+    lookahead = router.lookahead
+    if lookahead is not None:
+        lkc = lookahead.cost_list(target)
+        lkd = lookahead.delay_list(target)
+        lk_a = inv_crit * router.astar_fac
+        lk_b = crit
+    else:
+        lkc = lkd = None
+        lk_a = lk_b = 0.0
+    stats = router.stats
+    n_pops = n_pushes = n_settled = 0
 
     kinds = rrg.node_kind
     caps = rrg.node_capacity
@@ -391,19 +444,28 @@ def scalar_search_timed(
     for start in starts:
         dist[start] = 0.0
         dist_epoch[start] = epoch
-        dx = node_x[start] - tx
-        if dx < 0:
-            dx = -dx
-        dy = node_y[start] - ty
-        if dy < 0:
-            dy = -dy
-        heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        if lkc is not None:
+            heappush(
+                heap,
+                (lk_a * lkc[start] + lk_b * lkd[start], 0.0, start),
+            )
+        else:
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+    n_pushes += len(heap)
     found = target in starts
     while heap:
         _f, g, node = heappop(heap)
+        n_pops += 1
         if visited[node] == epoch:
             continue
         visited[node] = epoch
+        n_settled += 1
         if node == target:
             found = True
             break
@@ -471,15 +533,32 @@ def scalar_search_timed(
                 dist_epoch[nxt] = epoch
                 parent_node[nxt] = node
                 parent_bit[nxt] = bit
-                dx = node_x[nxt] - tx
-                if dx < 0:
-                    dx = -dx
-                dy = node_y[nxt] - ty
-                if dy < 0:
-                    dy = -dy
-                heappush(
-                    heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                )
+                n_pushes += 1
+                if lkc is not None:
+                    heappush(
+                        heap,
+                        (
+                            ng
+                            + (lk_a * lkc[nxt] + lk_b * lkd[nxt]),
+                            ng,
+                            nxt,
+                        ),
+                    )
+                else:
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+    if stats is not None:
+        stats.searches += 1
+        stats.pops += n_pops
+        stats.pushes += n_pushes
+        stats.settled += n_settled
     if not found:
         return None
     edges: List[Tuple[int, int, int]] = []
@@ -506,6 +585,7 @@ def heap_search_untimed(
     dist: List[float],
     parent_node: List[int],
     parent_bit: List[int],
+    stats: Optional[RouterStats] = None,
 ) -> bool:
     """Untimed heap search over precomputed price lists.
 
@@ -513,22 +593,28 @@ def heap_search_untimed(
     (+inf = unseen, -inf = settled).  With ``static_set`` empty the
     per-edge discount test is dead and the kernel is
     decision-identical to the historical no-bit loop; callers without
-    a live discount pass ``pnA=pn`` and :data:`EMPTY_STATIC`.
+    a live discount pass ``pnA=pn`` and :data:`EMPTY_STATIC`.  ``h``
+    is whatever per-target heuristic list the caller precomputed
+    (Manhattan or lookahead) — the kernel is agnostic.
     Returns whether *target* was reached (parents are valid then)."""
     heappush = heapq.heappush
     heappop = heapq.heappop
     neg_inf = _NEG_INF
+    n_pops = n_pushes = n_settled = 0
 
     heap: List[Tuple[float, float, int]] = []
     for start in starts:
         dist[start] = 0.0
         heappush(heap, (h[start], 0.0, start))
+    n_pushes += len(heap)
     found = target in starts
     while heap:
         _f, g, node = heappop(heap)
+        n_pops += 1
         if dist[node] == neg_inf:
             continue
         dist[node] = neg_inf
+        n_settled += 1
         if node == target:
             found = True
             break
@@ -541,6 +627,7 @@ def heap_search_untimed(
                 dist[nxt] = ng
                 parent_node[nxt] = node
                 parent_bit[nxt] = bit
+                n_pushes += 1
                 heappush(heap, (ng + h[nxt], ng, nxt))
         for nxt, bit in nbr_sink[node]:
             if nxt != target:
@@ -553,7 +640,13 @@ def heap_search_untimed(
                 dist[nxt] = ng
                 parent_node[nxt] = node
                 parent_bit[nxt] = bit
+                n_pushes += 1
                 heappush(heap, (ng + h[nxt], ng, nxt))
+    if stats is not None:
+        stats.searches += 1
+        stats.pops += n_pops
+        stats.pushes += n_pushes
+        stats.settled += n_settled
     return found
 
 
@@ -575,32 +668,51 @@ def heap_search_timed(
     dist: List[float],
     parent_node: List[int],
     parent_bit: List[int],
+    lkc: Optional[List[float]] = None,
+    lkd: Optional[List[float]] = None,
+    lk_a: float = 0.0,
+    lk_b: float = 0.0,
+    stats: Optional[RouterStats] = None,
 ) -> bool:
     """Timed heap search: ``g + (inv_crit * price + crit * delay)``
     per edge with the per-push Manhattan heuristic (the
-    criticality-scaled weight defeats caching).  Same merged-variant
-    contract as :func:`heap_search_untimed`."""
+    criticality-scaled weight defeats caching).  With a lookahead
+    (``lkc``/``lkd`` unscaled cost/delay vectors) the heuristic is
+    the blend ``lk_a * lkc + lk_b * lkd`` instead — the exact
+    expression :func:`scalar_search_timed` evaluates, preserving
+    scalar/vectorized bit-identity.  Same merged-variant contract as
+    :func:`heap_search_untimed`."""
     tx, ty = node_x[target], node_y[target]
     heappush = heapq.heappush
     heappop = heapq.heappop
     neg_inf = _NEG_INF
+    n_pops = n_pushes = n_settled = 0
 
     heap: List[Tuple[float, float, int]] = []
     for start in starts:
         dist[start] = 0.0
-        dx = node_x[start] - tx
-        if dx < 0:
-            dx = -dx
-        dy = node_y[start] - ty
-        if dy < 0:
-            dy = -dy
-        heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+        if lkc is not None:
+            heappush(
+                heap,
+                (lk_a * lkc[start] + lk_b * lkd[start], 0.0, start),
+            )
+        else:
+            dx = node_x[start] - tx
+            if dx < 0:
+                dx = -dx
+            dy = node_y[start] - ty
+            if dy < 0:
+                dy = -dy
+            heappush(heap, (astar_fac * (dx + dy), 0.0, start))
+    n_pushes += len(heap)
     found = target in starts
     while heap:
         _f, g, node = heappop(heap)
+        n_pops += 1
         if dist[node] == neg_inf:
             continue
         dist[node] = neg_inf
+        n_settled += 1
         if node == target:
             found = True
             break
@@ -615,15 +727,27 @@ def heap_search_timed(
                 dist[nxt] = ng
                 parent_node[nxt] = node
                 parent_bit[nxt] = bit
-                dx = node_x[nxt] - tx
-                if dx < 0:
-                    dx = -dx
-                dy = node_y[nxt] - ty
-                if dy < 0:
-                    dy = -dy
-                heappush(
-                    heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                )
+                n_pushes += 1
+                if lkc is not None:
+                    heappush(
+                        heap,
+                        (
+                            ng
+                            + (lk_a * lkc[nxt] + lk_b * lkd[nxt]),
+                            ng,
+                            nxt,
+                        ),
+                    )
+                else:
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
         for nxt, bit in nbr_sink[node]:
             if nxt != target:
                 continue
@@ -637,15 +761,32 @@ def heap_search_timed(
                 dist[nxt] = ng
                 parent_node[nxt] = node
                 parent_bit[nxt] = bit
-                dx = node_x[nxt] - tx
-                if dx < 0:
-                    dx = -dx
-                dy = node_y[nxt] - ty
-                if dy < 0:
-                    dy = -dy
-                heappush(
-                    heap, (ng + astar_fac * (dx + dy), ng, nxt)
-                )
+                n_pushes += 1
+                if lkc is not None:
+                    heappush(
+                        heap,
+                        (
+                            ng
+                            + (lk_a * lkc[nxt] + lk_b * lkd[nxt]),
+                            ng,
+                            nxt,
+                        ),
+                    )
+                else:
+                    dx = node_x[nxt] - tx
+                    if dx < 0:
+                        dx = -dx
+                    dy = node_y[nxt] - ty
+                    if dy < 0:
+                        dy = -dy
+                    heappush(
+                        heap, (ng + astar_fac * (dx + dy), ng, nxt)
+                    )
+    if stats is not None:
+        stats.searches += 1
+        stats.pops += n_pops
+        stats.pushes += n_pushes
+        stats.settled += n_settled
     return found
 
 # -- bucket (delta-stepping) kernels --------------------------------------
@@ -724,6 +865,7 @@ def bucket_search_untimed(
     s = np.fromiter(starts, np.int64, len(starts))
     dist[s] = 0.0
     fq[s] = h[s]
+    stats.pushes += s.shape[0]
     inf = _INF
     neg_inf = _NEG_INF
     while True:
@@ -738,6 +880,7 @@ def bucket_search_untimed(
         dist[nodes] = neg_inf
         width = nodes.shape[0]
         stats.pops += width
+        stats.settled += width
         stats.drains += 1
         stats.frontier_nodes += width
         if width > stats.max_frontier:
@@ -790,6 +933,7 @@ def bucket_search_untimed(
             fq[dst] = fnew[qm]
         else:
             fq[dst] = fnew
+        stats.pushes += dst.shape[0]
     return dist[target] != _INF
 
 
@@ -828,6 +972,7 @@ def bucket_search_timed(
     s = np.fromiter(starts, np.int64, len(starts))
     dist[s] = 0.0
     fq[s] = h[s]
+    stats.pushes += s.shape[0]
     inf = _INF
     neg_inf = _NEG_INF
     while True:
@@ -842,6 +987,7 @@ def bucket_search_timed(
         dist[nodes] = neg_inf
         width = nodes.shape[0]
         stats.pops += width
+        stats.settled += width
         stats.drains += 1
         stats.frontier_nodes += width
         if width > stats.max_frontier:
@@ -893,4 +1039,5 @@ def bucket_search_timed(
             fq[dst] = fnew[qm]
         else:
             fq[dst] = fnew
+        stats.pushes += dst.shape[0]
     return dist[target] != _INF

@@ -83,10 +83,11 @@ from repro.route.searchkernel import (
 #: reference's per-(net, node) tie-break jitter exactly.
 _NOISE_MUL = 0x9E3779B9
 
-#: Heuristic-vector cache bound: clear when the cached lists hold more
-#: than this many floats (~16 MB).  Untimed routing keys by target
-#: only and never comes close; timed routing keys by (target, crit)
-#: and would otherwise grow one entry per connection.
+#: Heuristic-vector cache bound: evict least-recently-used entries
+#: once the cached lists hold more than this many floats (~16 MB).
+#: Untimed routing keys by target only and never comes close; timed
+#: routing keys by (target, astar_fac) and would otherwise grow one
+#: entry per connection.
 _H_CACHE_MAX_FLOATS = 2_000_000
 
 #: Distance sentinels of the relaxation loops: +inf marks a node not
@@ -241,13 +242,22 @@ class VectorizedPathFinderRouter(PathFinderRouter):
         self, target: int, astar_fac: float
     ) -> List[float]:
         """``astar_fac * manhattan(node, target)`` for every node —
-        exactly the scalar per-push expression, batched and cached."""
+        exactly the scalar per-push expression, batched and cached
+        (LRU) — or the lookahead's tighter per-target vector, which
+        carries its own cache."""
+        if self.lookahead is not None:
+            return self.lookahead.cost_list_scaled(target, astar_fac)
+        cache = self._h_cache
         key = (target, astar_fac)
-        h = self._h_cache.get(key)
+        h = cache.get(key)
         if h is None:
-            cache = self._h_cache
-            if len(cache) * len(self._np_x) > _H_CACHE_MAX_FLOATS:
-                cache.clear()
+            # Evict least-recently-used entries (dict order = use
+            # order: hits below re-insert) instead of clearing the
+            # lot — timed routing keys one entry per connection and
+            # would thrash the whole cache at the bound.
+            n = len(self._np_x)
+            while cache and (len(cache) + 1) * n > _H_CACHE_MAX_FLOATS:
+                del cache[next(iter(cache))]
             h = (
                 astar_fac
                 * (
@@ -255,6 +265,9 @@ class VectorizedPathFinderRouter(PathFinderRouter):
                     + np.abs(self._np_y - self.rrg.node_y[target])
                 )
             ).tolist()
+            cache[key] = h
+        else:
+            del cache[key]
             cache[key] = h
         return h
 
@@ -429,6 +442,7 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             dist,
             self._parent_node,
             self._parent_bit,
+            stats=self.stats,
         )
         if not found:
             raise self._no_path(request)
@@ -444,7 +458,10 @@ class VectorizedPathFinderRouter(PathFinderRouter):
         kernel blends the *cached* congestion vectors with the static
         per-node delay lists edge by edge —
         ``g + (inv_crit * congestion + crit * delay)`` — exactly the
-        scalar grouping, with the pricing work amortized away."""
+        scalar grouping, with the pricing work amortized away.  With
+        a lookahead the heuristic blends the unscaled cost/delay
+        lower-bound vectors per push instead (cached per target, not
+        per criticality)."""
         pn, pnA, static_set, use_bit = self._price_vectors(
             request, pres_fac
         )
@@ -453,6 +470,15 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             inv_crit * self.astar_fac
             + crit * self.timing.model.wire_delay
         )
+        lookahead = self.lookahead
+        if lookahead is not None:
+            lkc = lookahead.cost_list(request.sink)
+            lkd = lookahead.delay_list(request.sink)
+            lk_a = inv_crit * self.astar_fac
+            lk_b = crit
+        else:
+            lkc = lkd = None
+            lk_a = lk_b = 0.0
         rrg = self.rrg
         starts = self._seed(request)
         dist = [_INF] * self._n_nodes
@@ -474,6 +500,11 @@ class VectorizedPathFinderRouter(PathFinderRouter):
             dist,
             self._parent_node,
             self._parent_bit,
+            lkc=lkc,
+            lkd=lkd,
+            lk_a=lk_a,
+            lk_b=lk_b,
+            stats=self.stats,
         )
         if not found:
             raise self._no_path(request)

@@ -643,7 +643,7 @@ class TestExecBench:
         import json
 
         loaded = json.loads(out.read_text())
-        assert loaded["schema_version"] == 4
+        assert loaded["schema_version"] == 5
         timed = loaded["timing_driven_cold"]
         assert timed["seconds"] > 0
         assert timed["mdr_mean_critical_delay"] > 0

@@ -243,7 +243,9 @@ class TestSuiteRegistry:
         assert (
             tiny[0][1][0].n_luts() < quick[0][1][0].n_luts()
         )
-        assert set(SCALES) == {"tiny", "quick", "default", "paper"}
+        assert set(SCALES) == {
+            "tiny", "quick", "default", "medium", "paper"
+        }
 
     def test_shared_specs_build_once(self):
         pairs = suite_pairs("regexp", scale="tiny")

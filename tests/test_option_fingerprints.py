@@ -22,6 +22,7 @@ from repro.core.flow import (
     OPTION_STAGE_COVERAGE,
     FlowOptions,
     dcs_stage_inputs,
+    lookahead_stage_inputs,
     multimode_stage_inputs,
     place_stage_inputs,
     route_lut_stage_inputs,
@@ -34,7 +35,9 @@ from repro.place.placer import place_circuit
 
 from tests.test_exec import tiny_circuit
 
-STAGES = ("place", "route_lut", "dcs", "multimode", "campaign")
+STAGES = (
+    "place", "route_lut", "dcs", "lookahead", "multimode", "campaign"
+)
 
 #: A perturbed (non-default) value per field; fields added to
 #: FlowOptions must gain an entry here too (the totality assertion
@@ -60,6 +63,8 @@ PERTURBED = {
     "timing_tradeoff": 0.25,
     "batched_router": True,
     "batched_placer": True,
+    "router_lookahead": True,
+    "partial_ripup": True,
 }
 
 
@@ -89,6 +94,9 @@ def stage_keys(options, context):
                 "t", (circuit,), arch,
                 MergeStrategy.WIRE_LENGTH, options,
             )
+        ),
+        "lookahead": fingerprint(
+            *lookahead_stage_inputs(arch, options)
         ),
         "multimode": fingerprint(
             *multimode_stage_inputs(
