@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the compile service (the CI ``serve-smoke`` job).
+
+Boots a real ``repro serve`` process on a free port with a scratch
+stage cache, submits the tiny FIR pair twice (the second response must
+report dedup against the in-flight first), waits for the QoR payload,
+exercises the ``repro submit/status/result`` client subcommands, then
+drains with ``stop`` and requires a clean process exit.
+
+Usage: PYTHONPATH=src python scripts/serve-smoke.py
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.serve.client import ServeClient, pair_submission  # noqa: E402
+
+
+def check(ok, label):
+    print(("ok  " if ok else "FAIL") + f" {label}")
+    if not ok:
+        raise SystemExit(f"serve-smoke: {label} failed")
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300, env=env,
+        cwd=ROOT,
+    )
+    print(f"$ repro {' '.join(args)}\n{proc.stdout}", end="")
+    return proc
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke.") as work:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--use-threads", "--workers", "2",
+                "--cache-dir", os.path.join(work, "stage-cache"),
+            ],
+            stdout=subprocess.PIPE, text=True,
+            env={**os.environ, "PYTHONPATH": os.path.join(ROOT, "src")},
+            cwd=ROOT,
+        )
+        try:
+            # The serve banner announces the bound port (we asked for 0).
+            url = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                line = server.stdout.readline()
+                match = re.search(r"listening on (http://\S+)", line or "")
+                if match:
+                    url = match.group(1)
+                    break
+            check(url is not None, "server announced its URL")
+            print(f"==  server at {url}")
+            client = ServeClient(url, timeout=120)
+            client.wait_ready(timeout=30)
+
+            body = pair_submission(
+                "fir", scale="tiny", options={"inner_num": 0.1}
+            )
+            first = client.submit(body)
+            second = client.submit(body)
+            check(first["deduped"] is False, "first submission executes")
+            check(
+                second["deduped"] is True
+                and second["id"] == first["id"],
+                "second identical submission dedups to the same flow",
+            )
+
+            status = client.wait(first["id"], timeout=240)
+            check(status["state"] == "done", "flow completed")
+            result = client.result(first["id"])
+            check(
+                "arch" in result["result"]
+                and result["fingerprint"] == first["fingerprint"],
+                "result payload carries the QoR under the same "
+                "fingerprint",
+            )
+            stats = client.stats()
+            check(
+                stats["executed"] == 1 and stats["deduped"] == 1,
+                "server executed the pair exactly once",
+            )
+
+            # The client subcommands speak the same protocol: an
+            # identical CLI submission must dedup against the
+            # completed flow and print its QoR summary.
+            proc = run_cli(
+                "submit", "--url", url, "--suite", "fir",
+                "--scale", "tiny", "--effort", "0.1", "--wait",
+            )
+            check(
+                proc.returncode == 0 and "(deduped)" in proc.stdout,
+                "repro submit dedups against the completed flow",
+            )
+            proc = run_cli("status", "--url", url)
+            check(
+                proc.returncode == 0 and first["id"] in proc.stdout,
+                "repro status lists the flow",
+            )
+            out_path = os.path.join(work, "result.json")
+            proc = run_cli(
+                "result", first["id"], "--url", url, "-o", out_path
+            )
+            with open(out_path, encoding="utf-8") as handle:
+                saved = json.load(handle)
+            check(
+                proc.returncode == 0
+                and saved["result"] == result["result"],
+                "repro result fetches the identical payload",
+            )
+
+            drained = client.drain(stop=True)
+            check(
+                drained == {"drained": True, "stopped": True},
+                "drain reported quiescence",
+            )
+            check(
+                server.wait(timeout=30) == 0,
+                "server exited cleanly after drain --stop",
+            )
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)
+    print("== serve smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,19 +38,29 @@ __version__ = "1.1.0"
 
 __all__ = [
     "DcsFlow",
+    "FlowOptions",
     "MdrFlow",
     "MultiModeResult",
     "MergeStrategy",
     "LutCircuit",
+    "implement",
+    "run_campaign",
+    "submit_flow",
     "__version__",
 ]
 
+# The stable facade lives in repro.api; the package root re-exports
+# it so `import repro; repro.implement(...)` is the canonical path.
 _LAZY = {
     "DcsFlow": ("repro.core.flow", "DcsFlow"),
+    "FlowOptions": ("repro.core.flow", "FlowOptions"),
     "MdrFlow": ("repro.core.flow", "MdrFlow"),
     "MultiModeResult": ("repro.core.flow", "MultiModeResult"),
     "MergeStrategy": ("repro.core.merge", "MergeStrategy"),
     "LutCircuit": ("repro.netlist.lutcircuit", "LutCircuit"),
+    "implement": ("repro.api", "implement"),
+    "run_campaign": ("repro.api", "run_campaign"),
+    "submit_flow": ("repro.api", "submit_flow"),
 }
 
 

@@ -1,0 +1,174 @@
+"""Stable public facade of the repro package.
+
+External callers — server handlers, notebooks, scripts, other
+services — should import from here (or from :mod:`repro` directly,
+which re-exports everything below) instead of deep module paths: the
+internal layout is free to move, this surface is not.
+
+Three typed entry points cover the common lifecycles:
+
+* :func:`implement` — run the multi-mode flow (MDR + DCS) on built
+  circuits, in-process.
+* :func:`run_campaign` — execute a QoR sweep (a
+  :class:`~repro.bench.campaign.CampaignSpec` or a preset name),
+  in-process.
+* :func:`submit_flow` — hand a flow to a running ``repro serve``
+  instance over HTTP and (optionally) wait for its QoR payload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gen.spec import WorkloadSpec
+
+from repro.core.flow import (
+    FlowOptions,
+    MultiModeResult,
+    implement_multi_mode,
+)
+from repro.core.merge import MergeStrategy
+from repro.netlist.lutcircuit import LutCircuit
+
+__all__ = [
+    "FlowOptions",
+    "MergeStrategy",
+    "MultiModeResult",
+    "implement",
+    "run_campaign",
+    "submit_flow",
+]
+
+
+def _coerce_strategies(
+    strategies: Optional[Sequence[Union[str, MergeStrategy]]],
+) -> Optional[tuple]:
+    if strategies is None:
+        return None
+    return tuple(MergeStrategy(s) for s in strategies)
+
+
+def implement(
+    name: str,
+    mode_circuits: Sequence[LutCircuit],
+    options: Optional[FlowOptions] = None,
+    *,
+    strategies: Optional[Sequence[Union[str, MergeStrategy]]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+    progress=None,
+) -> MultiModeResult:
+    """Implement one multi-mode circuit with both flows (MDR + DCS).
+
+    Strategy values may be :class:`MergeStrategy` members or their
+    string values (``"wire_length"``, ...).  ``workers=None`` honours
+    ``REPRO_WORKERS`` (default serial); pass a
+    :class:`~repro.exec.cache.StageCache` to memoize stages.
+    """
+    kwargs = {}
+    coerced = _coerce_strategies(strategies)
+    if coerced is not None:
+        kwargs["strategies"] = coerced
+    return implement_multi_mode(
+        name,
+        mode_circuits,
+        options,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        **kwargs,
+    )
+
+
+def run_campaign(
+    spec,
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    progress=None,
+    verbose: bool = False,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+):
+    """Execute a QoR campaign; *spec* is a ``CampaignSpec`` or preset name.
+
+    Returns a :class:`~repro.bench.campaign.CampaignResult`.  See
+    :func:`repro.bench.campaign.run_campaign` for checkpoint/resume
+    semantics (the JSONL file is both artefact and checkpoint).
+    """
+    from repro.bench.campaign import PRESETS, CampaignSpec
+    from repro.bench.campaign import run_campaign as _run_campaign
+
+    if isinstance(spec, str):
+        try:
+            spec = PRESETS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown campaign preset {spec!r}; presets: "
+                + ", ".join(sorted(PRESETS))
+            ) from None
+    elif not isinstance(spec, CampaignSpec):
+        raise TypeError(
+            "spec must be a CampaignSpec or a preset name, got "
+            f"{type(spec).__name__}"
+        )
+    return _run_campaign(
+        spec,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        verbose=verbose,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+
+
+def submit_flow(
+    url: str,
+    *,
+    modes: Sequence[Union[Dict[str, object], "WorkloadSpec"]],
+    options: Optional[Union[Dict[str, object], FlowOptions]] = None,
+    name: Optional[str] = None,
+    strategies: Optional[Sequence[Union[str, MergeStrategy]]] = None,
+    tenant: str = "default",
+    priority: str = "batch",
+    wait: bool = False,
+    timeout: float = 600.0,
+) -> Dict[str, object]:
+    """Submit one flow to a running ``repro serve`` instance.
+
+    *modes* are workload specs (:class:`~repro.gen.spec.WorkloadSpec`
+    objects or their dict form); *options* a :class:`FlowOptions` or
+    partial knob dict.  Returns the submission response — including
+    ``"deduped"`` — or, with ``wait=True``, the ``/result`` response
+    carrying the QoR payload once the flow is done.
+    """
+    from repro.gen.spec import WorkloadSpec
+    from repro.serve.client import ServeClient
+    from repro.serve.service import workload_spec_dict
+
+    mode_dicts: List[Dict[str, object]] = [
+        workload_spec_dict(m) if isinstance(m, WorkloadSpec) else dict(m)
+        for m in modes
+    ]
+    if isinstance(options, FlowOptions):
+        options = options.to_dict()
+    submission: Dict[str, object] = {
+        "modes": mode_dicts,
+        "options": dict(options or {}),
+        "tenant": tenant,
+        "priority": priority,
+    }
+    if name is not None:
+        submission["name"] = name
+    coerced = _coerce_strategies(strategies)
+    if coerced is not None:
+        submission["strategies"] = [s.value for s in coerced]
+    client = ServeClient(url)
+    response = client.submit(submission)
+    if not wait:
+        return response
+    flow_id = str(response["id"])
+    client.wait(flow_id, timeout=timeout)
+    return client.result(flow_id)

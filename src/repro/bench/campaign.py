@@ -57,7 +57,12 @@ from repro.exec.cache import (
 )
 from repro.exec.fingerprint import code_fingerprint, fingerprint
 from repro.exec.progress import ProgressLog, StageRecord, timed_call
-from repro.exec.scheduler import Scheduler, Task
+from repro.exec.jobs import (
+    JobGraph,
+    Task,
+    executor_for,
+    resolve_workers,
+)
 from repro.gen.spec import WorkloadSpec, build_circuit
 from repro.gen.suites import canonical_suite_name, suite_pair_specs
 from repro.netlist.lutcircuit import LutCircuit
@@ -591,7 +596,7 @@ def run_campaign(
     """
     cache = cache or StageCache(enabled=False)
     progress = progress or ProgressLog()
-    scheduler = Scheduler(workers)
+    workers = resolve_workers(workers)
     runs = campaign_runs(spec)
     keys = [
         record_key(spec, suite, pair_name, pair_specs, variant, seed)
@@ -682,7 +687,15 @@ def run_campaign(
                 flush=True,
             )
 
-    scheduler.run(tasks, on_result=on_result)
+    # The campaign is a direct client of the job-graph core: one
+    # right-sized executor for the batch, jobs awaited in submission
+    # order with the incremental-checkpoint callback.
+    graph = JobGraph(executor_for(workers, len(tasks)))
+    try:
+        jobs = [graph.submit_task(task) for task in tasks]
+        graph.wait(jobs, on_result=on_result)
+    finally:
+        graph.shutdown()
     seconds = time.perf_counter() - start
 
     records = [records_by_key[key] for key in keys]
@@ -694,7 +707,7 @@ def run_campaign(
 
     summary = summarize(
         spec, records, seconds=seconds, progress=progress,
-        workers=scheduler.workers,
+        workers=workers,
         resumed=len(runs) - len(pending),
     )
     return CampaignResult(spec, records, summary)

@@ -41,15 +41,27 @@ Subcommands mirror the stages of the paper's flow:
 ``repro cache``
     Inspect, LRU-prune (``prune --max-size <bytes>``) or clear the
     persistent stage cache.
+``repro serve``
+    Run the compile service (:mod:`repro.serve`): an asyncio HTTP API
+    that accepts flow submissions, dedups identical in-flight and
+    completed requests by stage-cache fingerprint, and executes them
+    on a resizable worker pool with priority lanes and per-tenant
+    quotas.
+``repro submit`` / ``repro status`` / ``repro result``
+    Clients of a running ``repro serve``: submit a flow (a registered
+    suite pair or an explicit ``--modes-json`` list), poll its state,
+    fetch the QoR payload.
 
-Flow-running subcommands accept ``--workers N`` (process-pool fan-out
-of independent stages; results are bit-identical to serial) and
-``--cache-dir``/``--no-cache`` (persistent stage memoization; see
-``repro.exec``).  ``implement``/``report``/``experiments`` also accept
-``--timing-driven`` (plus ``--criticality-exponent`` and
-``--timing-tradeoff`` where applicable): criticality-weighted
-placement and routing with per-mode Fmax and MDR:DCS frequency ratios
-in the report (see ``repro.timing.criticality``).
+Flow-running subcommands share one option vocabulary (hoisted into
+parent parsers): ``--workers N`` (pool fan-out of independent stages;
+results are bit-identical to serial) and ``--cache-dir``/``--no-cache``
+(persistent stage memoization; see ``repro.exec``), plus
+``--timing-driven``/``--criticality-exponent``/``--timing-tradeoff``
+(criticality-weighted placement and routing with per-mode Fmax and
+MDR:DCS frequency ratios in the report; see
+``repro.timing.criticality``).  Historical spellings
+(``--n-workers``, ``--jobs``, ``--cachedir``, ``--timing``) still
+parse but print a deprecation warning.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -69,22 +81,57 @@ from repro.synth.optimize import optimize_network
 from repro.synth.techmap import tech_map
 
 
-def _add_exec_args(parser: argparse.ArgumentParser) -> None:
-    """Execution-subsystem knobs shared by flow-running subcommands."""
-    parser.add_argument(
+class _DeprecatedAlias(argparse.Action):
+    """Old option spelling: warn on use, store into the canonical dest."""
+
+    def __init__(self, option_strings, dest, canonical="", **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self.canonical = canonical
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"warning: {option_string} is deprecated; "
+            f"use {self.canonical}",
+            file=sys.stderr,
+        )
+        setattr(
+            namespace, self.dest, True if self.nargs == 0 else values
+        )
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """Shared ``--workers/--cache-dir/--no-cache`` group.
+
+    A parent parser (``add_help=False``) so every flow-running
+    subcommand — including ``serve`` — spells the execution knobs
+    identically; historical divergent spellings survive as deprecated
+    aliases that warn.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for independent flow stages "
              "(default: REPRO_WORKERS or serial)",
     )
-    parser.add_argument(
+    parent.add_argument(
+        "--n-workers", "--jobs", dest="workers", type=int,
+        action=_DeprecatedAlias, canonical="--workers",
+    )
+    parent.add_argument(
         "--cache-dir", default=None,
         help="stage-cache directory (default: REPRO_CACHE_DIR or "
              "~/.cache/repro/stages)",
     )
-    parser.add_argument(
+    parent.add_argument(
+        "--cachedir", dest="cache_dir",
+        action=_DeprecatedAlias, canonical="--cache-dir",
+    )
+    parent.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent stage cache",
     )
+    return parent
 
 
 def _exec_cache(args: argparse.Namespace) -> StageCache:
@@ -101,23 +148,29 @@ def _tradeoff(value: str) -> float:
     return tradeoff
 
 
-def _add_timing_args(parser: argparse.ArgumentParser) -> None:
-    """Timing-driven flow knobs shared by flow-running subcommands."""
-    parser.add_argument(
+def _timing_parent() -> argparse.ArgumentParser:
+    """Shared timing-driven knob group (parent parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--timing-driven", action="store_true",
         help="optimise criticality-weighted delay in placement and "
              "routing (default: wire length / congestion only)",
     )
-    parser.add_argument(
+    parent.add_argument(
+        "--timing", dest="timing_driven", nargs=0,
+        action=_DeprecatedAlias, canonical="--timing-driven",
+    )
+    parent.add_argument(
         "--criticality-exponent", type=float, default=1.0,
         help="criticality sharpening crit**exponent (0 degrades to "
              "pure congestion; default 1.0)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--timing-tradeoff", type=_tradeoff, default=0.5,
         help="placement mix between wire length (0.0) and timing "
              "(1.0); default 0.5",
     )
+    return parent
 
 
 def _warn_unused_timing_args(args: argparse.Namespace) -> None:
@@ -306,6 +359,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench.harness import SUITES, ExperimentHarness
 
+    if (
+        args.criticality_exponent != 1.0
+        or args.timing_tradeoff != 0.5
+    ):
+        print(
+            "warning: the experiment harness uses the paper's timing "
+            "defaults; --criticality-exponent/--timing-tradeoff are "
+            "ignored here",
+            file=sys.stderr,
+        )
     harness = ExperimentHarness(
         effort=args.effort, seed=args.seed,
         workers=args.workers, cache=_exec_cache(args),
@@ -495,6 +558,12 @@ def _cmd_bench_exec(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.no_cache:
+        print(
+            "warning: --no-cache is ignored by bench-exec (the "
+            "benchmark manages its own cold/warm cache phases)",
+            file=sys.stderr,
+        )
     report = run_exec_bench(
         workers=args.workers or 4,
         n_pairs=args.pairs,
@@ -669,6 +738,191 @@ def _cmd_trend(args: argparse.Namespace) -> int:
         conn.close()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exec.jobs import resolve_workers
+    from repro.serve.server import main as serve_main
+    from repro.serve.service import FlowService
+
+    service = FlowService(
+        workers=resolve_workers(args.workers),
+        use_threads=args.use_threads,
+        cache=_exec_cache(args),
+        tenant_quota=args.quota,
+    )
+    serve_main(service, host=args.host, port=args.port)
+    return 0
+
+
+def _client_options(args: argparse.Namespace) -> dict:
+    """FlowOptions wire payload from the shared CLI knobs."""
+    options = {
+        "seed": args.seed,
+        "k": args.k,
+        "inner_num": args.effort,
+        "timing_driven": args.timing_driven,
+        "criticality_exponent": args.criticality_exponent,
+        "timing_tradeoff": args.timing_tradeoff,
+    }
+    if args.channel_width is not None:
+        options["channel_width"] = args.channel_width
+    return options
+
+
+def _print_flow_result(result: dict) -> None:
+    payload = result["result"]
+    arch = payload["arch"]
+    hit = result.get("stage_cache_hit")
+    print(
+        f"arch {arch['nx']}x{arch['ny']} CLBs, channel width "
+        f"{arch['channel_width']}; campaign-stage cache hit: {hit}"
+    )
+    for strategy, row in payload["dcs"].items():
+        print(
+            f"  dcs[{strategy}]: speed-up {row['speedup']:.2f}x, "
+            f"wires {100 * row['wirelength_ratio']:.0f}% of MDR"
+        )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+
+    from repro.serve.client import ServeClient, ServeError, pair_submission
+
+    _warn_unused_timing_args(args)
+    options = _client_options(args)
+    try:
+        if args.modes_json:
+            with open(args.modes_json, encoding="utf-8") as handle:
+                modes = json.load(handle)
+            submission = {
+                "modes": modes,
+                "options": options,
+                "tenant": args.tenant,
+                "priority": args.priority,
+            }
+            if args.name:
+                submission["name"] = args.name
+            if args.strategies:
+                submission["strategies"] = args.strategies
+        else:
+            if not args.suite:
+                print(
+                    "error: need --suite NAME (a registered workload "
+                    "suite) or --modes-json FILE",
+                    file=sys.stderr,
+                )
+                return 2
+            submission = pair_submission(
+                args.suite,
+                scale=args.scale,
+                pair_index=args.pair_index,
+                seed=args.seed,
+                k=args.k,
+                options=options,
+                strategies=args.strategies,
+                tenant=args.tenant,
+                priority=args.priority,
+                name=args.name,
+            )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    client = ServeClient(args.url)
+    try:
+        response = client.submit(submission)
+        print(
+            f"{response['id']}: {response['state']}"
+            + (" (deduped)" if response.get("deduped") else "")
+            + f"  fingerprint {str(response['fingerprint'])[:16]}"
+        )
+        if not args.wait:
+            if args.json:
+                print(json.dumps(response, indent=2, sort_keys=True))
+            return 0
+        status = client.wait(str(response["id"]), timeout=args.timeout)
+        if status.get("state") != "done":
+            print(
+                f"flow {response['id']} ended {status.get('state')!r}: "
+                f"{status.get('error')}",
+                file=sys.stderr,
+            )
+            return 1
+        result = client.result(str(response["id"]))
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            _print_flow_result(result)
+        return 0
+    except (ServeError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, ConnectionError, OSError) as error:
+        print(
+            f"error: cannot reach {args.url}: {error}", file=sys.stderr
+        )
+        return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        body = client.status(args.id)
+    except (ServeError, urllib.error.URLError, ConnectionError,
+            OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.id is not None:
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    flows = body.get("flows", [])
+    if not flows:
+        print("no flows")
+        return 0
+    print(f"{'id':14s} {'state':10s} {'subs':>4s} {'hit':>4s}  name")
+    for flow in flows:
+        hit = flow.get("stage_cache_hit")
+        print(
+            f"{flow['id']:14s} {flow['state']:10s} "
+            f"{flow['n_submissions']:4d} "
+            f"{'yes' if hit else '-':>4s}  {flow['name']}"
+        )
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        result = client.result(args.id)
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, ConnectionError, OSError) as error:
+        print(
+            f"error: cannot reach {args.url}: {error}", file=sys.stderr
+        )
+        return 1
+    text = json.dumps(result, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -678,6 +932,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared option groups: every flow-running subcommand (including
+    # serve/submit) inherits the same spellings from these parents.
+    exec_parent = _exec_parent()
+    timing_parent = _timing_parent()
 
     p_map = sub.add_parser("map", help="map BLIF to K-LUTs")
     p_map.add_argument("input")
@@ -693,7 +952,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(func=_cmd_info)
 
     p_impl = sub.add_parser(
-        "implement", help="run MDR + DCS on mode circuits"
+        "implement", help="run MDR + DCS on mode circuits",
+        parents=[exec_parent, timing_parent],
     )
     p_impl.add_argument("modes", nargs="+",
                         help="BLIF file per mode (>= 2)")
@@ -707,8 +967,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=["edge_matching", "wire_length"],
         choices=[s.value for s in MergeStrategy],
     )
-    _add_exec_args(p_impl)
-    _add_timing_args(p_impl)
     p_impl.set_defaults(func=_cmd_implement)
 
     p_export = sub.add_parser(
@@ -722,7 +980,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.set_defaults(func=_cmd_export)
 
     p_report = sub.add_parser(
-        "report", help="write the Markdown implementation report"
+        "report", help="write the Markdown implementation report",
+        parents=[exec_parent, timing_parent],
     )
     p_report.add_argument("modes", nargs="+",
                           help="BLIF file per mode (>= 2)")
@@ -732,28 +991,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-k", type=int, default=4)
     p_report.add_argument("--seed", type=int, default=0)
     p_report.add_argument("--effort", type=float, default=0.3)
-    _add_exec_args(p_report)
-    _add_timing_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_exp = sub.add_parser(
-        "experiments", help="regenerate the paper's tables/figures"
+        "experiments", help="regenerate the paper's tables/figures",
+        parents=[exec_parent, timing_parent],
     )
     p_exp.add_argument("--effort", default="quick",
                        choices=("quick", "default", "paper"))
     p_exp.add_argument("--seed", type=int, default=0)
-    p_exp.add_argument(
-        "--timing-driven", action="store_true",
-        help="run every pair timing-driven (criticality-weighted "
-             "placement and routing)",
-    )
-    _add_exec_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_camp = sub.add_parser(
         "campaign",
         help="run a declarative suite x options x seed sweep, write "
              "JSONL records + summary (QoR gate for CI)",
+        parents=[exec_parent, timing_parent],
     )
     p_camp.add_argument(
         "--preset", default=None,
@@ -821,14 +1074,13 @@ def build_parser() -> argparse.ArgumentParser:
              "whose fingerprints still match are kept, only the "
              "missing runs execute (default: overwrite)",
     )
-    _add_exec_args(p_camp)
-    _add_timing_args(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_bench = sub.add_parser(
         "bench-exec",
         help="benchmark parallel execution + stage cache, write "
              "BENCH_exec.json",
+        parents=[exec_parent],
     )
     p_bench.add_argument("-o", "--output", default="BENCH_exec.json")
     p_bench.add_argument(
@@ -852,13 +1104,6 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("tiny", "quick", "default", "medium"),
         help="workload scale of the router_vectorized A/B phase "
              "(scalar vs vectorized PathFinder core)",
-    )
-    p_bench.add_argument("--workers", type=int, default=4)
-    p_bench.add_argument(
-        "--cache-dir", default=None,
-        help="cache dir (default: fresh temp dir; a given dir gets "
-             "an exec-bench subdirectory, which the cold phase "
-             "clears)",
     )
     p_bench.set_defaults(func=_cmd_bench_exec)
 
@@ -953,6 +1198,108 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trend_query_args(p_treport)
     p_treport.add_argument("-o", "--output", default=None)
     p_treport.set_defaults(func=_cmd_trend)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile service: an HTTP API that accepts flow "
+             "submissions, dedups identical requests and executes "
+             "them on a worker pool",
+        parents=[exec_parent],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listening port (0 picks a free port; default 8765)",
+    )
+    p_serve.add_argument(
+        "--use-threads", action="store_true",
+        help="thread workers instead of process workers (lower "
+             "start-up cost, no isolation; useful for tests)",
+    )
+    p_serve.add_argument(
+        "--quota", type=int, default=8,
+        help="max non-terminal flows per tenant (default 8)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one flow to a running `repro serve` instance",
+        parents=[timing_parent],
+    )
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="server base URL (default http://127.0.0.1:8765)",
+    )
+    p_submit.add_argument(
+        "--suite", default=None,
+        help="registered workload suite; the pair's mode circuits "
+             "become the submission (see `repro campaign --list`)",
+    )
+    p_submit.add_argument(
+        "--scale", default="tiny",
+        choices=("tiny", "quick", "default", "medium", "paper"),
+        help="workload scale of --suite (default tiny)",
+    )
+    p_submit.add_argument(
+        "--pair-index", type=int, default=0,
+        help="which pair of the suite (default 0)",
+    )
+    p_submit.add_argument(
+        "--modes-json", default=None, metavar="FILE",
+        help="explicit mode list as JSON (alternative to --suite): "
+             '[{"kind": ..., "name": ..., "seed": ..., "k": ..., '
+             '"params": {...}}, ...]',
+    )
+    p_submit.add_argument("-k", type=int, default=4)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--effort", type=float, default=0.3,
+                          help="annealing inner_num")
+    p_submit.add_argument("--channel-width", type=int, default=None)
+    p_submit.add_argument(
+        "--strategies", nargs="+", default=None,
+        choices=[s.value for s in MergeStrategy],
+    )
+    p_submit.add_argument("--name", default=None,
+                          help="flow name (default: the pair's name)")
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument(
+        "--priority", default="batch",
+        choices=("interactive", "batch"),
+        help="queue lane; interactive overtakes queued batch flows",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the flow finishes and print its result",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON response",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status",
+        help="list flows on a `repro serve` instance (or one flow's "
+             "full status)",
+    )
+    p_status.add_argument("id", nargs="?", default=None,
+                          help="flow id (default: list every flow)")
+    p_status.add_argument("--url", default="http://127.0.0.1:8765")
+    p_status.set_defaults(func=_cmd_status)
+
+    p_result = sub.add_parser(
+        "result",
+        help="fetch a finished flow's QoR payload as JSON",
+    )
+    p_result.add_argument("id", help="flow id")
+    p_result.add_argument("--url", default="http://127.0.0.1:8765")
+    p_result.add_argument("-o", "--output", default=None)
+    p_result.set_defaults(func=_cmd_result)
 
     return parser
 

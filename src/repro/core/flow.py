@@ -18,14 +18,19 @@ retries with a wider channel when routing fails — mirroring the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.architecture import FpgaArchitecture, size_for_circuits
 from repro.arch.rrg import RoutingResourceGraph, build_rrg
 from repro.exec.cache import StageCache
 from repro.exec.progress import ProgressLog, StageRecord, timed_call
-from repro.exec.scheduler import Scheduler, Task
+from repro.exec.jobs import (
+    Task,
+    effective_workers,
+    resolve_workers,
+    run_tasks,
+)
 from repro.core.combined_placement import (
     CombinedPlacementResult,
     merge_with_combined_placement,
@@ -136,6 +141,142 @@ class FlowOptions:
     #: QoR-gated opt-in paired with ``router_lookahead``; a no-op for
     #: the batched core, which always rips whole nets.
     partial_ripup: bool = False
+
+    # Wire typing of every knob (to_dict/from_dict boundary).  The
+    # round-trip test asserts these partition the dataclass fields and
+    # OPTION_STAGE_COVERAGE exactly, so adding a field without
+    # declaring its wire type fails fast.
+    _INT_KNOBS = frozenset({
+        "seed", "k", "io_rat", "max_width_retries",
+        "router_max_iterations", "sharing_passes",
+    })
+    _FLOAT_KNOBS = frozenset({
+        "slack", "fc_in", "fc_out", "inner_num", "net_affinity",
+        "bit_affinity", "criticality_exponent", "timing_tradeoff",
+    })
+    _BOOL_KNOBS = frozenset({
+        "tplace_refine", "timing_driven", "batched_router",
+        "batched_placer", "router_lookahead", "partial_ripup",
+    })
+    _OPTIONAL_INT_KNOBS = frozenset({"channel_width"})
+    _CHOICE_KNOBS = {"sizing": ("estimate", "search")}
+
+    def __post_init__(self) -> None:
+        """Reject out-of-range knobs with a clear error.
+
+        Only numeric ranges are enforced here — values no stage could
+        honour.  Enum-ish knobs (``sizing``) are validated where they
+        are consumed, and strictly at the wire boundary
+        (:meth:`from_dict`), so exploratory in-process construction
+        stays permissive.
+        """
+        def require(ok: bool, knob: str, why: str) -> None:
+            if not ok:
+                raise ValueError(
+                    f"FlowOptions.{knob} out of range: {why} "
+                    f"(got {getattr(self, knob)!r})"
+                )
+
+        require(self.k >= 2, "k", "LUT arity must be >= 2")
+        require(self.slack > 0, "slack",
+                "channel-width slack factor must be > 0")
+        require(self.io_rat >= 1, "io_rat", "I/O pads per tile must be >= 1")
+        require(0 < self.fc_in <= 1, "fc_in",
+                "connection-box fraction must be in (0, 1]")
+        require(0 < self.fc_out <= 1, "fc_out",
+                "connection-box fraction must be in (0, 1]")
+        require(self.channel_width is None or self.channel_width >= 1,
+                "channel_width", "explicit channel width must be >= 1")
+        require(self.inner_num > 0, "inner_num",
+                "annealing effort must be > 0")
+        require(self.max_width_retries >= 1, "max_width_retries",
+                "width retries must be >= 1")
+        require(self.router_max_iterations >= 1, "router_max_iterations",
+                "router iteration budget must be >= 1")
+        require(0 < self.net_affinity <= 1, "net_affinity",
+                "TRoute affinity discount must be in (0, 1]")
+        require(0 < self.bit_affinity <= 1, "bit_affinity",
+                "TRoute affinity discount must be in (0, 1]")
+        require(self.sharing_passes >= 0, "sharing_passes",
+                "sharing sweeps must be >= 0")
+        require(self.criticality_exponent >= 0, "criticality_exponent",
+                "criticality exponent must be >= 0")
+        require(0 <= self.timing_tradeoff <= 1, "timing_tradeoff",
+                "timing tradeoff must be in [0, 1]")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping of every knob; exact inverse of
+        :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: object) -> "FlowOptions":
+        """Build options from an untrusted wire mapping.
+
+        Strict by design — this is the HTTP API boundary:
+
+        * unknown keys are rejected (a typo must not silently fall
+          back to a default and dedup against the wrong fingerprint);
+        * numbers are coerced to the declared knob type (``1`` and
+          ``1.0`` fingerprint differently, so cross-client dedup
+          needs canonical types);
+        * enum knobs must name a known choice;
+        * numeric ranges are then enforced by ``__post_init__``.
+        """
+        try:
+            items = dict(data)  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            raise ValueError(
+                "FlowOptions payload must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(items) - known)
+        if unknown:
+            raise ValueError(
+                "unknown FlowOptions key(s): " + ", ".join(unknown)
+                + "; known keys: " + ", ".join(sorted(known))
+            )
+        kwargs: Dict[str, object] = {}
+        for name, value in items.items():
+            if name in cls._FLOAT_KNOBS:
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(
+                        f"FlowOptions.{name} must be a number, got {value!r}"
+                    )
+                kwargs[name] = float(value)
+            elif name in cls._INT_KNOBS:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(
+                        f"FlowOptions.{name} must be an integer, got {value!r}"
+                    )
+                kwargs[name] = int(value)
+            elif name in cls._OPTIONAL_INT_KNOBS:
+                if value is not None and (
+                    isinstance(value, bool) or not isinstance(value, int)
+                ):
+                    raise ValueError(
+                        f"FlowOptions.{name} must be an integer or null, "
+                        f"got {value!r}"
+                    )
+                kwargs[name] = value
+            elif name in cls._BOOL_KNOBS:
+                if not isinstance(value, bool):
+                    raise ValueError(
+                        f"FlowOptions.{name} must be a boolean, got {value!r}"
+                    )
+                kwargs[name] = value
+            else:
+                choices = cls._CHOICE_KNOBS[name]
+                if value not in choices:
+                    raise ValueError(
+                        f"FlowOptions.{name} must be one of "
+                        f"{', '.join(choices)}; got {value!r}"
+                    )
+                kwargs[name] = value
+        return cls(**kwargs)
 
     def schedule(self) -> AnnealingSchedule:
         return AnnealingSchedule(inner_num=self.inner_num)
@@ -795,7 +936,7 @@ class MdrFlow:
         progress: Optional[ProgressLog] = None,
     ) -> None:
         self.options = options or FlowOptions()
-        self.scheduler = Scheduler(workers)
+        self.workers = resolve_workers(workers)
         self.cache = cache or StageCache(enabled=False)
         self.progress = progress or ProgressLog()
 
@@ -809,7 +950,7 @@ class MdrFlow:
         """Place & route every mode independently in the region."""
         rrg = rrg or build_rrg(arch)
         inline = (
-            self.scheduler.effective_workers(len(mode_circuits)) <= 1
+            effective_workers(self.workers, len(mode_circuits)) <= 1
         )
         tasks = [
             Task(
@@ -823,7 +964,7 @@ class MdrFlow:
             )
             for mode, circuit in enumerate(mode_circuits)
         ]
-        outcomes = self.scheduler.run(tasks)
+        outcomes = run_tasks(tasks, workers=self.workers)
         return _assemble_mdr(
             arch, rrg, outcomes, self.progress, mode_circuits
         )
@@ -947,7 +1088,7 @@ def implement_multi_mode(
     options = options or FlowOptions()
     cache = cache or StageCache(enabled=False)
     progress = progress or ProgressLog()
-    scheduler = Scheduler(workers)
+    workers = resolve_workers(workers)
 
     pair_key = None
     if cache.enabled:
@@ -1018,7 +1159,7 @@ def implement_multi_mode(
         # graph; pool workers rebuild it locally instead of
         # deserialising it.
         n_tasks = len(mode_circuits) + len(strategies)
-        serial = scheduler.effective_workers(n_tasks) <= 1
+        serial = effective_workers(workers, n_tasks) <= 1
         rrg = build_rrg(arch)
         shipped_rrg = rrg if serial else None
         tasks = [
@@ -1045,7 +1186,7 @@ def implement_multi_mode(
             for strategy in strategies
         ]
         try:
-            outcomes = scheduler.run(tasks)
+            outcomes = run_tasks(tasks, workers=workers)
         except RoutingError as error:
             last_error = error
             width = max(width + 2, int(width * 1.25))

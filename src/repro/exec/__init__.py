@@ -10,9 +10,14 @@ beyond:
 * :mod:`repro.exec.cache` — an on-disk, hash-addressed memo of stage
   results (placements, routings, merged tunable circuits, whole
   multi-mode results) with atomic writes and corruption tolerance.
-* :mod:`repro.exec.scheduler` — deterministic fan-out of independent
-  stage tasks over a ``ProcessPoolExecutor`` (results are returned in
-  submission order regardless of completion order).
+* :mod:`repro.exec.jobs` — the transport-agnostic job-graph core:
+  submit/await/cancel with explicit job states over pluggable inline,
+  thread-pool, and process-pool executors, plus priority dispatch and
+  graceful resize/drain (the substrate of the ``repro.serve`` flow
+  service).
+* :mod:`repro.exec.scheduler` — deterministic batch facade over the
+  job core (results are returned in submission order regardless of
+  completion order).
 * :mod:`repro.exec.progress` — wall-clock accounting per stage, merged
   across worker processes, feeding ``BENCH_exec.json``.
 
@@ -31,10 +36,34 @@ from repro.exec.cache import (
     default_cache_dir,
 )
 from repro.exec.fingerprint import FINGERPRINT_VERSION, fingerprint
+from repro.exec.jobs import (
+    InlineExecutor,
+    Job,
+    JobExecutor,
+    JobGraph,
+    JobState,
+    ProcessJobExecutor,
+    ThreadJobExecutor,
+    effective_workers,
+    executor_for,
+    resolve_workers,
+    run_tasks,
+)
 from repro.exec.progress import ProgressLog, StageRecord
 from repro.exec.scheduler import Scheduler, Task, default_workers
 
 __all__ = [
+    "InlineExecutor",
+    "Job",
+    "JobExecutor",
+    "JobGraph",
+    "JobState",
+    "ProcessJobExecutor",
+    "ThreadJobExecutor",
+    "effective_workers",
+    "executor_for",
+    "resolve_workers",
+    "run_tasks",
     "CacheStats",
     "StageCache",
     "atomic_append_text",

@@ -1,5 +1,13 @@
 """Deterministic fan-out of independent flow-stage tasks.
 
+Compatibility facade over :mod:`repro.exec.jobs`, the transport-
+agnostic job-graph core that now owns dispatching, pooling, and the
+determinism contract.  :class:`Scheduler` keeps the original batch
+API — construct with a worker count, call :meth:`run` on a list of
+:class:`Task` — and delegates to :func:`repro.exec.jobs.run_tasks`,
+so existing callers (and their bit-identical results at any worker
+count) are untouched.
+
 The unit of work is a :class:`Task`: a picklable module-level function
 plus positional arguments.  :meth:`Scheduler.run` executes a batch and
 returns the results **in submission order**, whatever the completion
@@ -21,39 +29,17 @@ exception the serial path would have raised.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-
-def default_workers() -> int:
-    """Worker count honouring ``REPRO_WORKERS`` (default: serial).
-
-    Serial-by-default keeps unit tests and library callers free of
-    process-pool surprises; the CLI and the experiment harness opt in
-    explicitly.
-    """
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return 1
-
-
-@dataclass(frozen=True)
-class Task:
-    """One unit of schedulable work.
-
-    ``fn`` must be an importable module-level callable (the process
-    pool pickles it by reference); ``args`` must be picklable.
-    """
-
-    fn: Callable[..., Any]
-    args: Tuple[Any, ...] = ()
-    name: str = ""
+# Task and default_workers moved to repro.exec.jobs; re-exported here
+# so historical import paths keep working.
+from repro.exec.jobs import (  # noqa: F401
+    Task,
+    default_workers,
+    effective_workers,
+    resolve_workers,
+    run_tasks,
+)
 
 
 class Scheduler:
@@ -73,27 +59,16 @@ class Scheduler:
         workers: Optional[int] = None,
         use_threads: bool = False,
     ) -> None:
-        self.workers = default_workers() if workers is None else max(
-            1, int(workers)
-        )
+        self.workers = resolve_workers(workers)
         self.use_threads = bool(use_threads)
 
     def effective_workers(self, n_tasks: int) -> int:
         """Pool size a batch of *n_tasks* would actually run with.
 
-        Never more processes than there is work or hardware:
-        oversubscribing cores only adds context-switch and memory
-        pressure (results are order-locked, so this cannot change
-        them).  ``1`` means the batch executes inline; callers use
-        this to decide whether to ship shared objects or let workers
-        rebuild them.  Thread pools are not capped by the core count:
-        they exist for unpicklable or latency-hiding work, and the
-        worker-count-independence tests must be able to exercise a
-        real multi-thread pool on single-core CI boxes.
+        See :func:`repro.exec.jobs.effective_workers`: capped by work
+        and (for processes) hardware; ``1`` means inline execution.
         """
-        if self.use_threads:
-            return max(1, min(self.workers, n_tasks))
-        return max(1, min(self.workers, n_tasks, os.cpu_count() or 1))
+        return effective_workers(self.workers, n_tasks, self.use_threads)
 
     def run(
         self,
@@ -102,50 +77,17 @@ class Scheduler:
     ) -> List[Any]:
         """Execute *tasks*; results in submission order.
 
-        ``on_result(index, result)`` — when given — is invoked in the
-        calling process, in strict submission order, as each prefix of
-        the batch completes.  Callers use it to checkpoint durable
-        state incrementally (the campaign JSONL): when the process is
-        killed mid-batch, every result already handed to ``on_result``
-        was complete, and the unreported suffix is simply recomputed
-        on resume.  The callback sees exactly the results ``run``
-        returns, so it cannot perturb determinism.
+        ``on_result(index, result)`` fires in the calling process in
+        strict submission order as each prefix completes — the
+        incremental-checkpoint hook (see
+        :meth:`repro.exec.jobs.JobGraph.wait`).
         """
-        if not tasks:
-            return []
-        n_workers = self.effective_workers(len(tasks))
-        if n_workers <= 1:
-            results = []
-            for index, task in enumerate(tasks):
-                result = task.fn(*task.args)
-                results.append(result)
-                if on_result is not None:
-                    on_result(index, result)
-            return results
-        results: List[Any] = [None] * len(tasks)
-        pool_cls = (
-            ThreadPoolExecutor if self.use_threads
-            else ProcessPoolExecutor
+        return run_tasks(
+            tasks,
+            workers=self.workers,
+            use_threads=self.use_threads,
+            on_result=on_result,
         )
-        with pool_cls(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(task.fn, *task.args) for task in tasks
-            ]
-            error: Optional[BaseException] = None
-            for index, future in enumerate(futures):
-                if error is not None:
-                    future.cancel()
-                    continue
-                try:
-                    results[index] = future.result()
-                except BaseException as exc:  # first failure wins
-                    error = exc
-                    continue
-                if on_result is not None:
-                    on_result(index, results[index])
-            if error is not None:
-                raise error
-        return results
 
     def map(
         self, fn: Callable[..., Any], args_list: Sequence[Tuple]

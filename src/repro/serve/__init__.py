@@ -1,0 +1,41 @@
+"""Compile-as-a-service: flow execution behind an HTTP API.
+
+The subsystem splits cleanly in three:
+
+* :mod:`repro.serve.service` — the transport-agnostic core.
+  :class:`FlowService` validates submissions (workload specs +
+  ``FlowOptions`` + merge strategies), collapses identical requests
+  onto one execution via the campaign stage-cache fingerprint,
+  enforces per-tenant quotas, and runs flows as jobs on a
+  :class:`repro.exec.jobs.JobGraph` with priority lanes and graceful
+  resize/drain.
+* :mod:`repro.serve.server` — a stdlib-only asyncio HTTP/1.1 front
+  end (``repro serve``): JSON endpoints for submit/status/result,
+  an SSE event stream, and admin resize/drain.
+* :mod:`repro.serve.client` — a urllib client (``repro
+  submit/status/result`` and the CI smoke test are built on it).
+"""
+
+from repro.serve.service import (
+    DEFAULT_TENANT_QUOTA,
+    PRIORITY_LANES,
+    FlowRecord,
+    FlowService,
+    FlowSubmission,
+    QuotaExceeded,
+    ServiceDraining,
+    SubmissionError,
+    workload_spec_dict,
+)
+
+__all__ = [
+    "DEFAULT_TENANT_QUOTA",
+    "PRIORITY_LANES",
+    "FlowRecord",
+    "FlowService",
+    "FlowSubmission",
+    "QuotaExceeded",
+    "ServiceDraining",
+    "SubmissionError",
+    "workload_spec_dict",
+]

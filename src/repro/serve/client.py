@@ -1,0 +1,199 @@
+"""urllib client for the ``repro serve`` HTTP API.
+
+Deliberately dependency-free and import-light: the CLI
+``submit/status/result`` subcommands, the CI serve-smoke script, and
+the e2e tests all drive the server through :class:`ServeClient`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Tuple
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServeError(RuntimeError):
+    """Non-success response from the server."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP wrapper; one instance per server URL."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 60.0) -> None:
+        self.base = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout
+            ) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                parsed = json.loads(body)
+            except ValueError:
+                parsed = {"error": body.decode("utf-8", "replace")}
+            return exc.code, parsed
+
+    def _expect(
+        self,
+        ok: Tuple[int, ...],
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        status, body = self.request(method, path, payload)
+        if status not in ok:
+            raise ServeError(status, body)
+        return body
+
+    # -- API ----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._expect((200,), "GET", "/v1/healthz")
+
+    def ping(self) -> bool:
+        try:
+            self.healthz()
+            return True
+        except (ServeError, urllib.error.URLError, ConnectionError, OSError):
+            return False
+
+    def wait_ready(self, timeout: float = 30.0, interval: float = 0.1) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.ping():
+                return
+            time.sleep(interval)
+        raise TimeoutError(f"server at {self.base} not ready in {timeout}s")
+
+    def stats(self) -> Dict[str, object]:
+        return self._expect((200,), "GET", "/v1/stats")
+
+    def submit(self, submission: Dict[str, object]) -> Dict[str, object]:
+        """POST a submission; the response carries ``"deduped"``."""
+        return self._expect((200, 202), "POST", "/v1/flows", submission)
+
+    def status(self, flow_id: Optional[str] = None) -> Dict[str, object]:
+        path = "/v1/flows" if flow_id is None else f"/v1/flows/{flow_id}"
+        return self._expect((200,), "GET", path)
+
+    def result(self, flow_id: str) -> Dict[str, object]:
+        """Fetch the QoR payload; raises until the flow is done."""
+        return self._expect((200,), "GET", f"/v1/flows/{flow_id}/result")
+
+    def cancel(self, flow_id: str) -> Dict[str, object]:
+        return self._expect((200,), "POST", f"/v1/flows/{flow_id}/cancel")
+
+    def wait(
+        self,
+        flow_id: str,
+        timeout: float = 600.0,
+        interval: float = 0.2,
+    ) -> Dict[str, object]:
+        """Poll until the flow reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            body = self.status(flow_id)
+            if body.get("state") in TERMINAL_STATES:
+                return body
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"flow {flow_id} still {body.get('state')!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def events(
+        self, flow_id: str, timeout: float = 600.0
+    ) -> Iterator[Dict[str, object]]:
+        """Yield SSE ``state`` events until the stream closes."""
+        req = urllib.request.Request(
+            f"{self.base}/v1/flows/{flow_id}/events"
+        )
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8", "replace").strip()
+                if line.startswith("data:"):
+                    yield json.loads(line[len("data:"):].strip())
+
+    def resize(self, workers: int) -> Dict[str, object]:
+        return self._expect(
+            (200,), "POST", "/v1/admin/resize", {"workers": workers}
+        )
+
+    def drain(self, stop: bool = False) -> Dict[str, object]:
+        return self._expect(
+            (200,), "POST", "/v1/admin/drain", {"stop": stop}
+        )
+
+
+def pair_submission(
+    suite: str,
+    scale: str = "tiny",
+    pair_index: int = 0,
+    seed: int = 0,
+    k: int = 4,
+    options: Optional[Dict[str, object]] = None,
+    strategies: Optional[List[str]] = None,
+    tenant: str = "default",
+    priority: str = "batch",
+    name: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build a submission payload for one registered suite pair.
+
+    This is how ``repro submit --suite ...`` and the CI smoke test
+    phrase their requests: the workload registry resolves the pair to
+    concrete :class:`WorkloadSpec` values client-side, so the server
+    fingerprint matches a local :func:`run_campaign` of the same pair
+    exactly.
+    """
+    from repro.gen.suites import suite_pair_specs
+    from repro.serve.service import workload_spec_dict
+
+    pairs = suite_pair_specs(suite, seed=seed, k=k, scale=scale)
+    if not 0 <= pair_index < len(pairs):
+        raise ValueError(
+            f"pair_index {pair_index} out of range; suite {suite!r} at "
+            f"scale {scale!r} has {len(pairs)} pairs"
+        )
+    pair_name, specs = pairs[pair_index]
+    body: Dict[str, object] = {
+        "name": name or pair_name,
+        "modes": [workload_spec_dict(spec) for spec in specs],
+        "options": dict(options or {}),
+        "tenant": tenant,
+        "priority": priority,
+    }
+    if strategies is not None:
+        body["strategies"] = list(strategies)
+    return body

@@ -1,0 +1,418 @@
+"""Stdlib-only asyncio HTTP/1.1 front end for :class:`FlowService`.
+
+No third-party web framework: requests are parsed off an
+``asyncio.start_server`` stream, handlers are synchronous service
+calls (the service is thread-safe and non-blocking except ``drain``,
+which runs on a worker thread), and responses close the connection.
+Flow execution itself never touches the event loop — jobs run on the
+service's worker pool and completion arrives via job-state listeners
+bridged with ``loop.call_soon_threadsafe``.
+
+API (JSON bodies unless noted):
+
+====== ============================ =====================================
+GET    /v1/healthz                  liveness + drain state
+GET    /v1/stats                    service/job-graph/dedup counters
+POST   /v1/flows                    submit a flow; ``202`` on fresh
+                                    execution, ``200`` with
+                                    ``"deduped": true`` when attached to
+                                    an identical in-flight/completed flow;
+                                    ``400`` invalid, ``429`` over quota,
+                                    ``503`` draining
+GET    /v1/flows                    status list of every flow
+GET    /v1/flows/<id>               one flow's status (+ submission echo)
+GET    /v1/flows/<id>/result        QoR payload; ``409`` until done,
+                                    ``500`` when the flow failed
+GET    /v1/flows/<id>/events        SSE: one ``state`` event per job
+                                    transition, closing after a terminal
+                                    state (text/event-stream)
+POST   /v1/flows/<id>/cancel        cancel while still queued
+POST   /v1/admin/resize             ``{"workers": n}`` — live pool resize
+POST   /v1/admin/drain              ``{"stop": bool}`` — refuse new
+                                    submissions, wait for quiescence,
+                                    optionally stop the server
+====== ============================ =====================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.serve.service import (
+    FlowRecord,
+    FlowService,
+    FlowSubmission,
+    QuotaExceeded,
+    ServiceDraining,
+    SubmissionError,
+)
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Submission bodies larger than this are rejected outright.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class FlowServer:
+    """One listening socket bound to one :class:`FlowService`."""
+
+    def __init__(
+        self,
+        service: FlowService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: Set once the socket is bound and ``self.port`` is final.
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or drain with ``stop``) is called."""
+        try:
+            asyncio.run(self._main())
+        finally:
+            self.service.shutdown()
+
+    def stop(self) -> None:
+        """Thread-safe shutdown request."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self.ready.set()
+        async with server:
+            await self._stop.wait()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request plumbing ---------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, body = request
+                await self._dispatch(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+        except asyncio.TimeoutError:
+            return None
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            key, sep, value = header.decode("latin1").partition(":")
+            if sep:
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            return None
+        if length < 0 or length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, body
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: object
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        reason = _REASONS.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        parts = [p for p in path.split("?", 1)[0].split("/") if p]
+        if parts[:1] != ["v1"]:
+            await self._respond(
+                writer, 404, {"error": f"unknown path {path!r}"}
+            )
+            return
+        rest = parts[1:]
+
+        if rest == ["healthz"] and method == "GET":
+            await self._respond(writer, 200, {
+                "status": "draining" if self.service.draining else "ok",
+            })
+            return
+        if rest == ["stats"] and method == "GET":
+            await self._respond(writer, 200, self.service.stats())
+            return
+        if rest == ["flows"]:
+            if method == "POST":
+                await self._submit(body, writer)
+            elif method == "GET":
+                await self._respond(writer, 200, {
+                    "flows": [
+                        record.describe()
+                        for record in self.service.flows()
+                    ],
+                })
+            else:
+                await self._respond(
+                    writer, 405, {"error": f"{method} not allowed"}
+                )
+            return
+        if len(rest) >= 2 and rest[0] == "flows":
+            record = self.service.get(rest[1])
+            if record is None:
+                await self._respond(
+                    writer, 404, {"error": f"no flow {rest[1]!r}"}
+                )
+                return
+            await self._flow_endpoint(method, rest[2:], record, writer)
+            return
+        if rest == ["admin", "resize"] and method == "POST":
+            await self._resize(body, writer)
+            return
+        if rest == ["admin", "drain"] and method == "POST":
+            await self._drain(body, writer)
+            return
+        await self._respond(
+            writer, 404, {"error": f"unknown path {path!r}"}
+        )
+
+    # -- handlers -----------------------------------------------------
+
+    @staticmethod
+    def _parse_body(body: bytes) -> object:
+        if not body:
+            return {}
+        try:
+            return json.loads(body)
+        except ValueError as exc:
+            raise SubmissionError(f"request body is not JSON: {exc}")
+
+    async def _submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            submission = FlowSubmission.from_dict(self._parse_body(body))
+            record, deduped = self.service.submit(submission)
+        except SubmissionError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        except QuotaExceeded as exc:
+            await self._respond(writer, 429, {
+                "error": str(exc),
+                "tenant": exc.tenant,
+                "active": exc.active,
+                "quota": exc.quota,
+            })
+            return
+        except ServiceDraining as exc:
+            await self._respond(writer, 503, {"error": str(exc)})
+            return
+        payload = record.describe()
+        payload["deduped"] = deduped
+        await self._respond(writer, 200 if deduped else 202, payload)
+
+    async def _flow_endpoint(
+        self,
+        method: str,
+        tail: list,
+        record: FlowRecord,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if not tail and method == "GET":
+            await self._respond(
+                writer, 200, record.describe(include_submission=True)
+            )
+            return
+        if tail == ["result"] and method == "GET":
+            state = record.state
+            if record.payload is not None:
+                await self._respond(writer, 200, {
+                    "id": record.id,
+                    "state": state.value,
+                    "stage_cache_hit": record.stage_cache_hit,
+                    "fingerprint": record.fingerprint,
+                    "result": record.payload,
+                })
+            elif state.value == "failed":
+                await self._respond(writer, 500, {
+                    "id": record.id,
+                    "state": state.value,
+                    "error": record.error,
+                })
+            else:
+                await self._respond(writer, 409, {
+                    "id": record.id,
+                    "state": state.value,
+                    "error": "result not ready; poll status or /events",
+                })
+            return
+        if tail == ["events"] and method == "GET":
+            await self._events(record, writer)
+            return
+        if tail == ["cancel"] and method == "POST":
+            cancelled = self.service.cancel(record)
+            await self._respond(writer, 200, {
+                "id": record.id,
+                "cancelled": cancelled,
+                "state": record.state.value,
+            })
+            return
+        await self._respond(writer, 405, {
+            "error": f"{method} /{'/'.join(tail)} not supported"
+        })
+
+    async def _events(
+        self, record: FlowRecord, writer: asyncio.StreamWriter
+    ) -> None:
+        """SSE: stream state transitions until the flow is terminal."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[str]" = asyncio.Queue()
+
+        def listener(rec: FlowRecord) -> None:
+            # Fires on a pool thread; hop onto the loop.
+            loop.call_soon_threadsafe(queue.put_nowait, rec.state.value)
+
+        record.add_listener(listener)
+        try:
+            while True:
+                sent = record.state
+                data = json.dumps(record.describe(), sort_keys=True)
+                writer.write(
+                    f"event: state\ndata: {data}\n\n".encode()
+                )
+                await writer.drain()
+                if sent.terminal:
+                    break
+                try:
+                    await asyncio.wait_for(queue.get(), timeout=15.0)
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+        finally:
+            record.remove_listener(listener)
+
+    async def _resize(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            data = self._parse_body(body)
+        except SubmissionError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        workers = data.get("workers") if isinstance(data, dict) else None
+        if isinstance(workers, bool) or not isinstance(workers, int) \
+                or workers < 1:
+            await self._respond(writer, 400, {
+                "error": "'workers' must be a positive integer"
+            })
+            return
+        capacity = self.service.resize(workers)
+        await self._respond(writer, 200, {"workers": capacity})
+
+    async def _drain(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            data = self._parse_body(body)
+        except SubmissionError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        stop = bool(data.get("stop")) if isinstance(data, dict) else False
+        # Drain blocks until quiescent; keep the loop serving status
+        # queries meanwhile.
+        drained = await asyncio.to_thread(self.service.drain)
+        await self._respond(writer, 200, {
+            "drained": drained,
+            "stopped": stop,
+        })
+        if stop:
+            self.stop()
+
+
+def main(
+    service: FlowService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = False,
+) -> None:
+    """Entry point used by ``repro serve``."""
+    server = FlowServer(service, host=host, port=port)
+
+    def announce() -> None:
+        server.ready.wait()
+        if not quiet:
+            print(f"repro serve: listening on {server.url}", flush=True)
+            print(
+                "  submit with: repro submit --url "
+                f"{server.url} --suite fir --scale tiny",
+                flush=True,
+            )
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,475 @@
+"""Transport-agnostic flow service: validation, dedup, quotas, lanes.
+
+:class:`FlowService` is the core the HTTP server (and any future
+transport) wraps.  A submission names the mode circuits as
+:class:`~repro.gen.spec.WorkloadSpec` dicts plus a
+:class:`~repro.core.flow.FlowOptions` payload and merge strategies —
+exactly the inputs of one campaign run — and executes as one job on a
+:class:`~repro.exec.jobs.JobGraph`.
+
+**Dedup.**  The identity of a flow is the ``campaign`` stage-cache
+key: ``fingerprint(code digest, "campaign", schema version, specs,
+options, strategies)`` — the same key
+:func:`repro.bench.campaign._campaign_run_worker` memoizes its QoR
+payload under.  Identical submissions (any client, any tenant)
+therefore collapse twice over: concurrent ones attach to the
+in-flight :class:`FlowRecord`, and later ones re-execute the worker
+only to hit the persistent stage cache.  Distinct option *types*
+cannot split the key because :meth:`FlowOptions.from_dict`
+canonicalises every knob at the wire boundary.
+
+**Quotas.**  A tenant may have at most ``tenant_quota`` non-terminal
+flows that it originated or attached to; excess submissions are
+rejected (HTTP 429) without queueing, keeping one tenant from
+monopolising the pending heap.  Deduped attachment to another
+tenant's flow is never rejected — it costs nothing.
+
+**Priority lanes.**  ``"interactive"`` submissions dispatch before
+``"batch"`` ones whenever the worker pool is contended (the job graph
+owns the pending queue, so lanes work even while the pool is
+saturated).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.campaign import (
+    _campaign_run_worker,
+    campaign_stage_inputs,
+)
+from repro.core.flow import FlowOptions
+from repro.core.merge import MergeStrategy
+from repro.exec.cache import StageCache
+from repro.exec.jobs import (
+    Job,
+    JobGraph,
+    JobState,
+    ProcessJobExecutor,
+    ThreadJobExecutor,
+)
+from repro.gen.spec import WorkloadSpec, registered_kinds
+
+#: Dispatch priority by lane name; higher dispatches first.
+PRIORITY_LANES: Dict[str, int] = {"interactive": 10, "batch": 0}
+
+#: Max non-terminal flows a tenant may have originated/attached to.
+DEFAULT_TENANT_QUOTA = 8
+
+DEFAULT_STRATEGIES = (
+    MergeStrategy.EDGE_MATCHING,
+    MergeStrategy.WIRE_LENGTH,
+)
+
+
+class SubmissionError(ValueError):
+    """Malformed submission payload (maps to HTTP 400)."""
+
+
+class QuotaExceeded(RuntimeError):
+    """Tenant has too many active flows (maps to HTTP 429)."""
+
+    def __init__(self, tenant: str, active: int, quota: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} has {active} active flows "
+            f"(quota {quota}); retry after one finishes"
+        )
+        self.tenant = tenant
+        self.active = active
+        self.quota = quota
+
+
+class ServiceDraining(RuntimeError):
+    """Service refuses new work while draining (maps to HTTP 503)."""
+
+
+def workload_spec_dict(spec: WorkloadSpec) -> Dict[str, object]:
+    """JSON form of a workload spec (inverse of ``_parse_spec``)."""
+    return {
+        "kind": spec.kind,
+        "name": spec.name,
+        "seed": spec.seed,
+        "k": spec.k,
+        "params": spec.params_dict(),
+    }
+
+
+def _parse_spec(data: object, index: int) -> WorkloadSpec:
+    if not isinstance(data, dict):
+        raise SubmissionError(
+            f"modes[{index}] must be a workload-spec object, "
+            f"got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"kind", "name", "seed", "k", "params"})
+    if unknown:
+        raise SubmissionError(
+            f"modes[{index}]: unknown key(s) {', '.join(unknown)}"
+        )
+    kind = data.get("kind")
+    kinds = registered_kinds()
+    if kind not in kinds:
+        raise SubmissionError(
+            f"modes[{index}]: unknown workload kind {kind!r}; "
+            f"registered kinds: {', '.join(kinds)}"
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise SubmissionError(
+            f"modes[{index}]: 'name' must be a non-empty string"
+        )
+    seed = data.get("seed", 0)
+    k = data.get("k", 4)
+    for knob, value in (("seed", seed), ("k", k)):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SubmissionError(
+                f"modes[{index}]: {knob!r} must be an integer, "
+                f"got {value!r}"
+            )
+    params = data.get("params") or {}
+    if not isinstance(params, dict) or not all(
+        isinstance(key, str) for key in params
+    ):
+        raise SubmissionError(
+            f"modes[{index}]: 'params' must be an object with "
+            "string keys"
+        )
+    return WorkloadSpec.create(kind, name, seed=seed, k=k, **params)
+
+
+@dataclass(frozen=True)
+class FlowSubmission:
+    """One validated flow request (the wire payload, canonicalised)."""
+
+    name: str
+    specs: Tuple[WorkloadSpec, ...]
+    options: FlowOptions
+    strategies: Tuple[MergeStrategy, ...]
+    tenant: str = "default"
+    priority: str = "batch"
+
+    @classmethod
+    def from_dict(cls, data: object) -> "FlowSubmission":
+        """Validate an untrusted wire object; every error is explicit."""
+        if not isinstance(data, dict):
+            raise SubmissionError(
+                f"submission must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {
+            "name", "modes", "options", "strategies", "tenant",
+            "priority",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SubmissionError(
+                f"unknown submission key(s): {', '.join(unknown)}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        modes = data.get("modes")
+        if not isinstance(modes, list) or not modes:
+            raise SubmissionError(
+                "'modes' must be a non-empty list of workload specs"
+            )
+        specs = tuple(
+            _parse_spec(mode, index) for index, mode in enumerate(modes)
+        )
+        name = data.get("name") or "+".join(spec.name for spec in specs)
+        if not isinstance(name, str):
+            raise SubmissionError("'name' must be a string")
+        try:
+            options = FlowOptions.from_dict(data.get("options") or {})
+        except ValueError as exc:
+            raise SubmissionError(f"options: {exc}") from None
+        raw = data.get("strategies")
+        if raw is None:
+            strategies = DEFAULT_STRATEGIES
+        else:
+            if not isinstance(raw, list) or not raw:
+                raise SubmissionError(
+                    "'strategies' must be a non-empty list of "
+                    "merge-strategy names"
+                )
+            try:
+                strategies = tuple(MergeStrategy(value) for value in raw)
+            except ValueError:
+                raise SubmissionError(
+                    f"unknown merge strategy in {raw!r}; known: "
+                    + ", ".join(s.value for s in MergeStrategy)
+                ) from None
+        tenant = data.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise SubmissionError("'tenant' must be a non-empty string")
+        priority = data.get("priority", "batch")
+        if priority not in PRIORITY_LANES:
+            raise SubmissionError(
+                f"unknown priority {priority!r}; lanes: "
+                + ", ".join(sorted(PRIORITY_LANES))
+            )
+        return cls(name, specs, options, strategies, tenant, priority)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "modes": [workload_spec_dict(spec) for spec in self.specs],
+            "options": self.options.to_dict(),
+            "strategies": [s.value for s in self.strategies],
+            "tenant": self.tenant,
+            "priority": self.priority,
+        }
+
+    def fingerprint(self) -> str:
+        """Dedup identity == the ``campaign`` stage-cache key.
+
+        Two submissions share this iff the worker would compute (and
+        memoize) byte-identical QoR payloads, so in-flight dedup,
+        completed dedup, and the persistent stage cache all agree on
+        what "identical" means.
+        """
+        return StageCache.key(
+            "campaign",
+            *campaign_stage_inputs(
+                self.specs, self.options, self.strategies
+            ),
+        )
+
+
+class FlowRecord:
+    """One deduplicated unit of server-side work and its lifecycle."""
+
+    def __init__(
+        self,
+        flow_id: str,
+        submission: FlowSubmission,
+        fingerprint: str,
+    ) -> None:
+        self.id = flow_id
+        self.submission = submission
+        self.fingerprint = fingerprint
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.n_submissions = 1
+        self.tenants = {submission.tenant}
+        self.job: Optional[Job] = None
+        self.payload: Optional[Dict[str, object]] = None
+        #: Whether the worker's ``campaign`` stage was a cache hit —
+        #: i.e. the QoR came from the persistent content-addressed
+        #: store rather than a fresh flow execution.
+        self.stage_cache_hit: Optional[bool] = None
+        self.error: Optional[str] = None
+        self._listeners: List[Callable[["FlowRecord"], None]] = []
+
+    @property
+    def state(self) -> JobState:
+        return self.job.state if self.job is not None else JobState.PENDING
+
+    def add_listener(self, callback: Callable[["FlowRecord"], None]) -> None:
+        """``callback(record)`` after every job-state transition."""
+        self._listeners.append(callback)
+
+    def remove_listener(
+        self, callback: Callable[["FlowRecord"], None]
+    ) -> None:
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _on_job_state(self, job: Job, state: JobState) -> None:
+        if state is JobState.DONE:
+            payload, stage_records = job.future.result()
+            self.payload = payload
+            self.stage_cache_hit = any(
+                record.stage == "campaign" and record.cache_hit
+                for record in stage_records
+            )
+            self.finished = time.time()
+        elif state is JobState.FAILED:
+            exc = job.future.exception()
+            self.error = f"{type(exc).__name__}: {exc}"
+            self.finished = time.time()
+        elif state is JobState.CANCELLED:
+            self.finished = time.time()
+        for callback in list(self._listeners):
+            callback(self)
+
+    def describe(self, include_submission: bool = False) -> Dict[str, object]:
+        """Wire-ready status object."""
+        body: Dict[str, object] = {
+            "id": self.id,
+            "name": self.submission.name,
+            "state": self.state.value,
+            "fingerprint": self.fingerprint,
+            "priority": self.submission.priority,
+            "tenants": sorted(self.tenants),
+            "n_submissions": self.n_submissions,
+            "created": self.created,
+            "finished": self.finished,
+            "stage_cache_hit": self.stage_cache_hit,
+            "error": self.error,
+        }
+        if include_submission:
+            body["submission"] = self.submission.to_dict()
+        return body
+
+
+class FlowService:
+    """Validated, deduplicated, quota'd flow execution over a JobGraph.
+
+    Thread-safe; every transport shares one instance.  ``use_threads``
+    runs flows on a thread pool instead of processes — the flow is
+    pure compute, so this is mainly for tests and 1-core boxes where
+    process spawn costs dominate the tiny workloads.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        use_threads: bool = False,
+        cache: Optional[StageCache] = None,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        runner: Optional[Callable[..., object]] = None,
+    ) -> None:
+        executor = (
+            ThreadJobExecutor(workers) if use_threads
+            else ProcessJobExecutor(workers)
+        )
+        self.graph = JobGraph(executor)
+        self.cache = cache if cache is not None else StageCache()
+        self.tenant_quota = max(1, int(tenant_quota))
+        #: The job body; swappable for tests.  Must match
+        #: ``_campaign_run_worker``'s signature and return
+        #: ``(payload, stage_records)``.
+        self.runner = runner if runner is not None else _campaign_run_worker
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._records: Dict[str, FlowRecord] = {}
+        self._by_fingerprint: Dict[str, FlowRecord] = {}
+        self.n_submitted = 0
+        self.n_deduped = 0
+        self.n_executed = 0
+        self.n_quota_rejected = 0
+
+    # -- submission ---------------------------------------------------
+
+    def submit(
+        self, submission: FlowSubmission
+    ) -> Tuple[FlowRecord, bool]:
+        """Register *submission*; returns ``(record, deduped)``.
+
+        Raises :class:`ServiceDraining` or :class:`QuotaExceeded`.
+        A failed or cancelled record never dedups — resubmitting
+        retries the flow under a fresh record.
+        """
+        fp = submission.fingerprint()
+        with self._lock:
+            if self.graph.draining:
+                raise ServiceDraining(
+                    "server is draining; new submissions are refused"
+                )
+            existing = self._by_fingerprint.get(fp)
+            if existing is not None and existing.state not in (
+                JobState.FAILED, JobState.CANCELLED
+            ):
+                existing.n_submissions += 1
+                existing.tenants.add(submission.tenant)
+                self.n_submitted += 1
+                self.n_deduped += 1
+                return existing, True
+            active = sum(
+                1
+                for record in self._records.values()
+                if submission.tenant in record.tenants
+                and not record.state.terminal
+            )
+            if active >= self.tenant_quota:
+                self.n_quota_rejected += 1
+                raise QuotaExceeded(
+                    submission.tenant, active, self.tenant_quota
+                )
+            flow_id = f"flow-{next(self._ids):06d}"
+            record = FlowRecord(flow_id, submission, fp)
+            self._records[flow_id] = record
+            self._by_fingerprint[fp] = record
+            self.n_submitted += 1
+            self.n_executed += 1
+        try:
+            job = self.graph.submit(
+                self.runner,
+                submission.name,
+                submission.specs,
+                submission.options,
+                tuple(s.value for s in submission.strategies),
+                str(self.cache.root) if self.cache.enabled else None,
+                self.cache.enabled,
+                name=flow_id,
+                priority=PRIORITY_LANES[submission.priority],
+            )
+        except RuntimeError:
+            # Drain began between the check and the submit.
+            with self._lock:
+                del self._records[flow_id]
+                del self._by_fingerprint[fp]
+                self.n_submitted -= 1
+                self.n_executed -= 1
+            raise ServiceDraining(
+                "server is draining; new submissions are refused"
+            ) from None
+        record.job = job
+        job.on_state(record._on_job_state)
+        return record, False
+
+    # -- queries ------------------------------------------------------
+
+    def get(self, flow_id: str) -> Optional[FlowRecord]:
+        with self._lock:
+            return self._records.get(flow_id)
+
+    def flows(self) -> List[FlowRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def cancel(self, record: FlowRecord) -> bool:
+        """Cancel a still-pending flow (all attached submitters see it)."""
+        return record.job is not None and self.graph.cancel(record.job)
+
+    # -- admin --------------------------------------------------------
+
+    def resize(self, workers: int) -> int:
+        """Resize the worker pool; running flows finish where they are."""
+        return self.graph.resize(workers)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new submissions; wait for in-flight flows to finish."""
+        return self.graph.drain(timeout=timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self.graph.draining
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for record in self._records.values():
+                key = record.state.value
+                states[key] = states.get(key, 0) + 1
+        body = {
+            "uptime_seconds": time.time() - self.started,
+            "submitted": self.n_submitted,
+            "deduped": self.n_deduped,
+            "executed": self.n_executed,
+            "quota_rejected": self.n_quota_rejected,
+            "tenant_quota": self.tenant_quota,
+            "flows_by_state": states,
+            "cache_enabled": self.cache.enabled,
+            "cache_root": str(self.cache.root) if self.cache.enabled else None,
+        }
+        body.update(self.graph.stats())
+        return body
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.graph.shutdown(wait=wait)
