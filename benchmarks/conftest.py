@@ -13,7 +13,11 @@ sweep (all 10 pairs per suite).
 
 import pytest
 
-from repro.bench.harness import EFFORT_PROFILES, EffortProfile, ExperimentHarness
+from repro.bench.harness import (
+    EFFORT_PROFILES,
+    EffortProfile,
+    ExperimentHarness,
+)
 
 # A one-pair-per-suite profile so the benchmark session stays in the
 # minutes range while exercising the full pipeline (quick-scale

@@ -14,7 +14,6 @@ the paper's novel step.
 
 import pytest
 
-from repro.arch.architecture import FpgaArchitecture
 from repro.core.combined_placement import combined_place
 from repro.core.flow import DcsFlow, FlowOptions
 from repro.core.merge import MergeStrategy

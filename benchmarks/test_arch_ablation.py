@@ -16,11 +16,7 @@ paper's qualitative relationships hold at every point.
 import pytest
 
 from repro.bench.regex import compile_regex_circuit
-from repro.core.flow import (
-    FlowOptions,
-    estimate_channel_width,
-    implement_multi_mode,
-)
+from repro.core.flow import FlowOptions, implement_multi_mode
 from repro.core.merge import MergeStrategy
 
 PATTERNS = ("ab+c(de)*", "a(bc|de)+f")
@@ -165,7 +161,7 @@ class TestAnnealingEffort:
         for inner_num, result in effort_sweep.items():
             wl = result.wirelength_ratio(MergeStrategy.WIRE_LENGTH)
             print(f"  inner_num={inner_num}: "
-                  f"speed-up "
+                  "speed-up "
                   f"{result.speedup(MergeStrategy.WIRE_LENGTH):.2f}x "
                   f"wires {100 * wl:.0f}% of MDR")
             assert result.speedup(MergeStrategy.WIRE_LENGTH) > 1.5

@@ -23,7 +23,7 @@ from repro.bench.regex import compile_regex_circuit
 from repro.core.combined_placement import (
     merge_with_combined_placement,
 )
-from repro.core.flow import FlowOptions, estimate_channel_width
+from repro.core.flow import estimate_channel_width
 from repro.core.merge import MergeStrategy
 from repro.arch.architecture import FpgaArchitecture, size_for_circuits
 from repro.route.troute import (

@@ -17,7 +17,6 @@ flow results; one full DCS flow run is timed separately on the
 smallest pair.
 """
 
-from repro.core.merge import MergeStrategy
 
 
 def test_fig5_rows(harness, experiment):

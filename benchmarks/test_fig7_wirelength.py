@@ -12,7 +12,6 @@ wire-length strategy never does *worse* than edge matching by a large
 factor; the penalty of the wire-length strategy stays moderate.
 """
 
-from repro.core.merge import MergeStrategy
 
 
 def test_fig7_rows(harness, experiment):

@@ -55,14 +55,14 @@ def test_frame_rows(frame_data):
     print(f"  MDR rewrites:       {mdr.total} frames")
     print(f"  DCS as-routed:      {dcs.total} frames "
           f"({dcs.routing_frames} routing)")
-    print(f"  DCS column-packed:  "
+    print("  DCS column-packed:  "
           f"{layout.n_lut_frames + report['column_packed']} frames")
-    print(f"  DCS ideal packing:  "
+    print("  DCS ideal packing:  "
           f"{layout.n_lut_frames + report['ideal']} frames")
     routing_speedup = (
         layout.n_routing_frames / max(1, report["column_packed"])
     )
-    print(f"  routing-frame speed-up after packing: "
+    print("  routing-frame speed-up after packing: "
           f"{routing_speedup:.1f}x (paper projects 4x-20x)")
 
     assert dcs.total <= mdr.total

@@ -14,11 +14,10 @@ from repro.bench.mcnc import McncProfile, generate_mcnc_circuit, mcnc_network
 from repro.core.merge import merge_by_index
 from repro.place.annealing import AnnealingSchedule
 from repro.place.placer import place_circuit
-from repro.route.router import PathFinderRouter, RouteRequest
+from repro.route.router import PathFinderRouter
 from repro.route.troute import (
     lut_circuit_connections,
     requests_from_connections,
-    route_lut_circuit,
 )
 from repro.synth.optimize import optimize_network
 from repro.synth.techmap import tech_map

@@ -86,7 +86,7 @@ def main() -> None:
     print(
         f"  multi-mode region holds the biggest mode: {biggest} LUTs "
         f"({100 * biggest / generic.n_luts():.0f}% of the generic "
-        f"filter; the paper reports ~33%)"
+        "filter; the paper reports ~33%)"
     )
 
     print("\nImplementing the multi-mode filter (MDR vs DCS)...")

@@ -111,7 +111,7 @@ def main() -> None:
             f"{tunable.n_shared_connections()}/"
             f"{tunable.n_tunable_connections()} connections merged, "
             f"speed-up {result.speedup(strategy):.2f}x, "
-            f"wire usage "
+            "wire usage "
             f"{100 * result.wirelength_ratio(strategy):.0f}% of MDR"
         )
     print(

@@ -44,7 +44,7 @@ def main() -> None:
     print("Mode circuits:")
     for i, circuit in enumerate(modes):
         print(f"  mode {i}: {circuit.name:8s} {circuit.n_luts():4d} "
-              f"4-LUTs")
+              "4-LUTs")
 
     options = FlowOptions(seed=0, inner_num=0.2)
     result = implement_multi_mode(
@@ -66,7 +66,7 @@ def main() -> None:
     # any transition; DCS rewrites LUT bits + parameterised routing
     # bits, also transition-independent in the paper's accounting.
     print(f"\nMDR rewrites {result.mdr.cost.total} bits on every "
-          f"transition")
+          "transition")
     print(f"DCS rewrites {dcs.cost.total} bits "
           f"({dcs.cost.routing_bits} parameterised routing); "
           f"speed-up {result.speedup(MergeStrategy.WIRE_LENGTH):.2f}x")

@@ -98,16 +98,16 @@ def main() -> None:
 
     print("\nReconfiguration cost on a mode switch:")
     print(
-        f"  MDR rewrites the whole region: "
+        "  MDR rewrites the whole region: "
         f"{result.mdr.cost.total} bits"
     )
     print(
-        f"  DCS rewrites LUTs + parameterised routing: "
+        "  DCS rewrites LUTs + parameterised routing: "
         f"{dcs.cost.total} bits "
         f"({dcs.cost.routing_bits} routing bits are mode-dependent)"
     )
     print(
-        f"  speed-up: "
+        "  speed-up: "
         f"{result.speedup(MergeStrategy.WIRE_LENGTH):.2f}x"
     )
 

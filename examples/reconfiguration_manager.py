@@ -86,7 +86,7 @@ def main() -> None:
     manager = ReconfigurationManager(config)
     record = manager.load_initial(0)
     print(f"  power-up into mode 0: {record.bits_written} bits "
-          f"(full load)")
+          "(full load)")
     for mode in (1, 0, 1, 1):
         record = manager.switch(mode)
         manager.verify()
@@ -116,7 +116,7 @@ def main() -> None:
           f"({layout.n_routing_frames} routing)")
     print(f"  MDR rewrites {mdr_frames.total} frames")
     print(f"  DCS as-routed touches {dcs_frames.routing_frames} "
-          f"routing frames")
+          "routing frames")
     print(f"  after column packing: {report['column_packed']} "
           f"(ideal bound {report['ideal']})")
 

@@ -82,7 +82,7 @@ def main() -> None:
         f"({result.mdr.cost.routing_bits} routing)"
     )
     print(
-        f"  differing routing bits between the separate "
+        "  differing routing bits between the separate "
         f"implementations: {result.mdr.diff.routing_bits}"
     )
     for strategy in (
@@ -94,7 +94,7 @@ def main() -> None:
             f"bits ({dcs.cost.routing_bits} parameterised routing "
             f"bits), speed-up {result.speedup(strategy):.2f}x, "
             f"wire usage {100 * result.wirelength_ratio(strategy):.0f}% "
-            f"of MDR"
+            "of MDR"
         )
 
     print("\nFunctional check of the merged circuit:")
@@ -114,7 +114,7 @@ def main() -> None:
     print(
         f"\nMerged circuit: {total} tunable connections, "
         f"{shared} active in both modes (no routing bits change "
-        f"for those on a mode switch)."
+        "for those on a mode switch)."
     )
 
 

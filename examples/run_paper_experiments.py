@@ -43,7 +43,7 @@ def main(argv=None) -> int:
         cache=StageCache(args.cache_dir, enabled=not args.no_cache),
     )
     print(
-        f"Running the paper's experiments "
+        "Running the paper's experiments "
         f"(effort={args.effort}, seed={args.seed})\n"
     )
 

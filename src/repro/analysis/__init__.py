@@ -1,0 +1,36 @@
+"""Project-specific static analysis (`repro lint`).
+
+Three checker families guard the invariants the reproduction's results
+stand on:
+
+* determinism (RPR0xx) -- wall-clock reads, unseeded entropy, unsorted
+  set / filesystem iteration feeding result-producing code, identity
+  hashes used for ordering, float sums over unordered collections;
+* fingerprint coverage (RPR1xx) -- every ``FlowOptions`` field read
+  reachable from a stage body must be declared in
+  ``OPTION_STAGE_COVERAGE``;
+* shared state (RPR2xx) -- unlocked writes to shared mutable state
+  from functions reachable from thread-pool entry points.
+
+Accepted findings live in a committed baseline file so CI only fails
+on *new* ones; individual lines opt out with
+``# repro: allow[RPRnnn] reason``.
+"""
+
+from .base import (
+    ALL_RULES,
+    Finding,
+    load_baseline,
+    write_baseline,
+)
+from .runner import LintResult, lint_paths, lint_tree
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "lint_paths",
+    "lint_tree",
+    "load_baseline",
+    "write_baseline",
+]

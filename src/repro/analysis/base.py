@@ -1,0 +1,256 @@
+"""Shared infrastructure for the `repro lint` checkers.
+
+A checker produces :class:`Finding` objects; the runner suppresses
+those matched by an inline pragma or by the committed baseline and
+reports the rest.  Baseline identity deliberately excludes line
+numbers -- a finding is keyed on (rule, path, stripped source line,
+occurrence index) so unrelated edits above a finding do not invalidate
+the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule id -> one-line description.  The registry is the single source
+#: of truth: the CLI's ``--list-rules``, the docs table and the tests
+#: all read it.
+ALL_RULES: Dict[str, str] = {
+    "RPR001": (
+        "wall-clock read (time.time/perf_counter/datetime.now) outside "
+        "the allowlisted bench/serve timing modules"
+    ),
+    "RPR002": (
+        "unseeded entropy source (module-level random.*, os.urandom, "
+        "uuid.uuid4, secrets.*, global numpy.random.*)"
+    ),
+    "RPR003": (
+        "iteration over a set feeding order-sensitive code "
+        "(list/tuple/enumerate/join/append/yield) without sorted()"
+    ),
+    "RPR004": (
+        "unsorted filesystem enumeration (os.listdir/walk/scandir, "
+        "glob, Path.glob/rglob/iterdir) feeding ordered accumulation"
+    ),
+    "RPR005": (
+        "id() or default object hash() used as an ordering key "
+        "(sorted/sort/min/max/heapq key=)"
+    ),
+    "RPR006": (
+        "float-sensitive sum() over a set-typed iterable "
+        "(accumulation order is not deterministic)"
+    ),
+    "RPR101": (
+        "FlowOptions field read reachable from a stage body but not "
+        "mapped to that stage in OPTION_STAGE_COVERAGE"
+    ),
+    "RPR102": (
+        "OPTION_STAGE_COVERAGE keys do not exactly match the "
+        "FlowOptions field set"
+    ),
+    "RPR201": (
+        "unlocked write to shared instance or module state from a "
+        "function reachable from a thread-pool entry point"
+    ),
+    "RPR202": (
+        "unlocked write to a global/nonlocal-declared name from a "
+        "function reachable from a thread-pool entry point"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding at a concrete source location."""
+
+    rule: str
+    path: str  # posix-style path relative to the scanned root
+    line: int
+    col: int
+    message: str
+    snippet: str  # stripped text of the offending source line
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} {self.message}"
+        )
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file handed to every checker."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the scanned root
+    text: str
+    lines: List[str]
+    tree: ast.AST
+    #: line number -> set of rule ids allowed on that line ('*' = all)
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """True when a pragma on this or the preceding line allows
+        ``rule``."""
+        for cand in (line, line - 1):
+            rules = self.pragmas.get(cand)
+            if rules and ("*" in rules or rule in rules):
+                return True
+        return False
+
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]"
+)
+
+
+def parse_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Extract ``# repro: allow[RPRnnn, ...] reason`` pragmas."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        rules = {
+            part.strip()
+            for part in m.group(1).split(",")
+            if part.strip()
+        }
+        if rules:
+            out[lineno] = rules
+    return out
+
+
+def load_source_file(path: Path, root: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    tree = ast.parse(text, filename=str(path))
+    return SourceFile(
+        path=path,
+        rel=path.relative_to(root).as_posix(),
+        text=text,
+        lines=lines,
+        tree=tree,
+        pragmas=parse_pragmas(lines),
+    )
+
+
+def walk_tree(root: Path) -> List[Path]:
+    """All python files under ``root``, deterministically ordered."""
+    return sorted(
+        p for p in root.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def _occurrence_keys(
+    findings: Iterable[Finding],
+) -> List[Tuple[str, str, str, int]]:
+    """Stable identity per finding: (rule, path, snippet, index) where
+    index disambiguates repeated identical lines within one file."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    keys = []
+    for f in sorted(findings, key=Finding.sort_key):
+        base = (f.rule, f.path, f.snippet)
+        idx = seen.get(base, 0)
+        seen[base] = idx + 1
+        keys.append((f.rule, f.path, f.snippet, idx))
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"rule": rule, "path": rel, "snippet": snippet, "index": idx}
+        for rule, rel, snippet, idx in _occurrence_keys(findings)
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "rules": sorted({f.rule for f in findings}),
+        "findings": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: Path) -> Set[Tuple[str, str, str, int]]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {version!r} in {path}"
+        )
+    out: Set[Tuple[str, str, str, int]] = set()
+    for entry in payload.get("findings", ()):
+        out.add(
+            (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["snippet"]),
+                int(entry.get("index", 0)),
+            )
+        )
+    return out
+
+
+def filter_baselined(
+    findings: Sequence[Finding],
+    baseline: Set[Tuple[str, str, str, int]],
+) -> List[Finding]:
+    """Findings not covered by the baseline, in stable order."""
+    fresh = []
+    for f, key in zip(
+        sorted(findings, key=Finding.sort_key),
+        _occurrence_keys(findings),
+    ):
+        if key not in baseline:
+            fresh.append(f)
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Small AST helpers shared by the checkers
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for nested Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

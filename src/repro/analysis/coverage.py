@@ -1,0 +1,649 @@
+"""Fingerprint-coverage checker (RPR101, RPR102).
+
+The stage cache keys every memoized stage on the FlowOptions-derived
+inputs that reach its computation, and ``OPTION_STAGE_COVERAGE``
+declares, per field, which stage keys the field perturbs.  A field
+read reachable from a stage body whose stage is missing from the
+field's declared set is the stale-cache aliasing bug class: two runs
+differing only in that field would collide on one cache entry.
+
+This pass turns the runtime never-alias test into a static one that
+names the uncovered read site.  It is generic over a source tree: it
+locates the ``FlowOptions`` class and the ``OPTION_STAGE_COVERAGE``
+literal wherever they live, so the test suite can point it at a
+synthetic fixture tree.
+
+Read-set construction per memoize/key site:
+
+* direct ``options.<field>`` attribute reads in the key-inputs
+  expression and in the compute closure body;
+* ``options.<method>()`` calls expand to the method's own transitive
+  field reads (``schedule()`` -> ``inner_num``, ``criticality()`` ->
+  the timing triple);
+* calls passing an options-typed argument to a resolvable helper
+  (same module first, then package-unique name) recurse into it;
+* assignments in the enclosing function feeding names used by the
+  closure or inputs (``timing = options.criticality()``) contribute
+  their reads;
+* a bare options object embedded in the key data ("whole-object
+  keyed", the ``multimode``/``campaign`` shape) covers every field,
+  so such sites are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .base import Finding, SourceFile, const_str, dotted_name
+
+OPTIONS_CLASS = "FlowOptions"
+COVERAGE_NAME = "OPTION_STAGE_COVERAGE"
+
+#: Parameter names treated as options-typed even without annotation.
+_OPTIONS_PARAM_NAMES = {"options", "opts", "flow_options"}
+
+
+# ---------------------------------------------------------------------------
+# Project model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FuncInfo:
+    module: str  # rel path of defining file
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    sf: SourceFile
+
+
+@dataclass
+class _OptionsModel:
+    fields: Set[str] = field(default_factory=set)
+    #: method name -> transitive set of fields it reads
+    method_reads: Dict[str, Set[str]] = field(default_factory=dict)
+    class_site: Optional[Tuple[SourceFile, int]] = None
+    coverage: Dict[str, Set[str]] = field(default_factory=dict)
+    coverage_site: Optional[Tuple[SourceFile, int]] = None
+
+
+def _is_options_annotation(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return OPTIONS_CLASS in node.value
+    name = dotted_name(node)
+    if name is not None and name.split(".")[-1] == OPTIONS_CLASS:
+        return True
+    if isinstance(node, ast.Subscript):  # Optional[FlowOptions]
+        return any(
+            _is_options_annotation(child)
+            for child in ast.walk(node.slice)
+            if isinstance(child, ast.expr)
+        )
+    return False
+
+
+def _options_params(node: ast.AST) -> Set[str]:
+    """Parameter names of ``node`` that carry an options object."""
+    out: Set[str] = set()
+    args = getattr(node, "args", None)
+    if args is None:
+        return out
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+    ):
+        if arg.arg in _OPTIONS_PARAM_NAMES or _is_options_annotation(
+            arg.annotation
+        ):
+            out.add(arg.arg)
+    return out
+
+
+def _direct_self_reads(
+    node: ast.AST, fields_: Set[str]
+) -> Tuple[Set[str], Set[str]]:
+    """(field reads, self-method calls) on ``self`` inside a method."""
+    reads: Set[str] = set()
+    calls: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and isinstance(
+            sub.value, ast.Name
+        ):
+            if sub.value.id != "self":
+                continue
+            if sub.attr in fields_:
+                reads.add(sub.attr)
+            else:
+                calls.add(sub.attr)
+    return reads, calls
+
+
+def _extract_stage_set(node: ast.expr) -> Optional[Set[str]]:
+    """Stage-name strings out of ``frozenset({...})`` / set literals."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in {"frozenset", "set"} and len(node.args) <= 1:
+            if not node.args:
+                return set()
+            return _extract_stage_set(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out = set()
+        for elt in node.elts:
+            s = const_str(elt)
+            if s is None:
+                return None
+            out.add(s)
+        return out
+    return None
+
+
+def _build_options_model(
+    files: Sequence[SourceFile],
+) -> Optional[_OptionsModel]:
+    model = _OptionsModel()
+    for sf in files:
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name == OPTIONS_CLASS
+            ):
+                model.class_site = (sf, node.lineno)
+                _fill_class(model, node)
+            elif isinstance(node, ast.Assign):
+                targets = [
+                    t.id
+                    for t in node.targets
+                    if isinstance(t, ast.Name)
+                ]
+                if COVERAGE_NAME in targets and isinstance(
+                    node.value, ast.Dict
+                ):
+                    model.coverage_site = (sf, node.lineno)
+                    _fill_coverage(model, node.value)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == COVERAGE_NAME
+                and isinstance(node.value, ast.Dict)
+            ):
+                model.coverage_site = (sf, node.lineno)
+                _fill_coverage(model, node.value)
+    if model.class_site is None:
+        return None
+    return model
+
+
+def _fill_class(model: _OptionsModel, cls: ast.ClassDef) -> None:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            name = stmt.target.id
+            anno = ast.dump(stmt.annotation)
+            if not name.startswith("_") and "ClassVar" not in anno:
+                model.fields.add(name)
+    # Methods: direct reads first, then expand self-method calls to a
+    # fixpoint so schedule()/criticality() chains resolve fully.
+    direct: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    for stmt in cls.body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            direct[stmt.name] = _direct_self_reads(stmt, model.fields)
+    reads = {name: set(r) for name, (r, _c) in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_r, calls) in direct.items():
+            for callee in calls:
+                extra = reads.get(callee)
+                if extra and not extra <= reads[name]:
+                    reads[name] |= extra
+                    changed = True
+    model.method_reads = reads
+
+
+def _fill_coverage(model: _OptionsModel, node: ast.Dict) -> None:
+    for key, value in zip(node.keys, node.values):
+        if key is None:
+            continue
+        name = const_str(key)
+        stages = _extract_stage_set(value)
+        if name is not None and stages is not None:
+            model.coverage[name] = stages
+
+
+def _index_functions(
+    files: Sequence[SourceFile],
+) -> Tuple[Dict[str, Dict[str, _FuncInfo]], Dict[str, List[_FuncInfo]]]:
+    """(per-module name->func, package-wide name->funcs)."""
+    per_module: Dict[str, Dict[str, _FuncInfo]] = {}
+    by_name: Dict[str, List[_FuncInfo]] = {}
+    for sf in files:
+        table: Dict[str, _FuncInfo] = {}
+        for stmt in sf.tree.body:  # type: ignore[attr-defined]
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                info = _FuncInfo(module=sf.rel, node=stmt, sf=sf)
+                table[stmt.name] = info
+                by_name.setdefault(stmt.name, []).append(info)
+        per_module[sf.rel] = table
+    return per_module, by_name
+
+
+# ---------------------------------------------------------------------------
+# Stage sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StageSite:
+    stage: str
+    inputs: List[ast.expr]
+    compute: Optional[ast.expr]
+    call: ast.Call
+    enclosing: Optional[ast.AST]  # enclosing function, if any
+    sf: SourceFile
+
+
+def _find_stage_sites(sf: SourceFile) -> List[_StageSite]:
+    sites: List[_StageSite] = []
+    parents: Dict[ast.AST, Optional[ast.AST]] = {}
+
+    def _walk(node: ast.AST, func: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            parents[child] = func
+            _walk(
+                child,
+                child
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                else func,
+            )
+
+    _walk(sf.tree, None)
+
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        site = _classify_call(node, sf)
+        if site is not None:
+            site.enclosing = parents.get(node)
+            sites.append(site)
+    return sites
+
+
+def _classify_call(
+    node: ast.Call, sf: SourceFile
+) -> Optional[_StageSite]:
+    func = node.func
+    # cache.memoize("stage", inputs, compute)
+    if isinstance(func, ast.Attribute) and func.attr == "memoize":
+        stage = const_str(node.args[0]) if node.args else None
+        if stage is not None and len(node.args) >= 2:
+            return _StageSite(
+                stage=stage,
+                inputs=[node.args[1]],
+                compute=node.args[2] if len(node.args) > 2 else None,
+                call=node,
+                enclosing=None,
+                sf=sf,
+            )
+    # cache.key("stage", *inputs) (+ later cache.get/cache.put)
+    if isinstance(func, ast.Attribute) and func.attr == "key":
+        stage = const_str(node.args[0]) if node.args else None
+        if stage is not None and len(node.args) >= 2:
+            return _StageSite(
+                stage=stage,
+                inputs=list(node.args[1:]),
+                compute=None,
+                call=node,
+                enclosing=None,
+                sf=sf,
+            )
+    # timed_call(label, item, cache.memoize, "stage", inputs, compute)
+    for idx, arg in enumerate(node.args):
+        if (
+            isinstance(arg, ast.Attribute)
+            and arg.attr == "memoize"
+            and idx + 2 < len(node.args)
+        ):
+            stage = const_str(node.args[idx + 1])
+            if stage is not None:
+                compute = (
+                    node.args[idx + 3]
+                    if idx + 3 < len(node.args)
+                    else None
+                )
+                return _StageSite(
+                    stage=stage,
+                    inputs=[node.args[idx + 2]],
+                    compute=compute,
+                    call=node,
+                    enclosing=None,
+                    sf=sf,
+                )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Read-set extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ReadSet:
+    #: field name -> first (SourceFile, line, via) it was read at
+    reads: Dict[str, Tuple[SourceFile, int, str]] = field(
+        default_factory=dict
+    )
+    whole_object: bool = False
+
+
+class _Extractor:
+    def __init__(
+        self,
+        model: _OptionsModel,
+        per_module: Dict[str, Dict[str, _FuncInfo]],
+        by_name: Dict[str, List[_FuncInfo]],
+    ) -> None:
+        self.model = model
+        self.per_module = per_module
+        self.by_name = by_name
+        self._visiting: Set[int] = set()
+
+    def _resolve_func(
+        self, name: str, sf: SourceFile
+    ) -> Optional[_FuncInfo]:
+        info = self.per_module.get(sf.rel, {}).get(name)
+        if info is not None:
+            return info
+        candidates = self.by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def expr_reads(
+        self,
+        expr: ast.AST,
+        options_names: Set[str],
+        sf: SourceFile,
+        out: _ReadSet,
+        via: str,
+    ) -> None:
+        """Accumulate options-field reads from ``expr`` into ``out``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in options_names
+                ):
+                    self._record_attr(node, sf, out, via)
+            elif isinstance(node, ast.Name):
+                if node.id in options_names and _is_data_position(
+                    node, expr
+                ):
+                    out.whole_object = True
+            elif isinstance(node, ast.Call):
+                self._maybe_recurse_call(
+                    node, options_names, sf, out, via
+                )
+
+    def _record_attr(
+        self,
+        node: ast.Attribute,
+        sf: SourceFile,
+        out: _ReadSet,
+        via: str,
+    ) -> None:
+        attr = node.attr
+        if attr in self.model.fields:
+            out.reads.setdefault(attr, (sf, node.lineno, via))
+        else:
+            expanded = self.model.method_reads.get(attr)
+            if expanded:
+                for fld in expanded:
+                    out.reads.setdefault(
+                        fld, (sf, node.lineno, f"{via}.{attr}()")
+                    )
+
+    def _maybe_recurse_call(
+        self,
+        node: ast.Call,
+        options_names: Set[str],
+        sf: SourceFile,
+        out: _ReadSet,
+        via: str,
+    ) -> None:
+        """Recurse into helpers that receive an options argument."""
+        passed = [
+            arg
+            for arg in node.args
+            if isinstance(arg, ast.Name) and arg.id in options_names
+        ]
+        passed += [
+            kw.value
+            for kw in node.keywords
+            if isinstance(kw.value, ast.Name)
+            and kw.value.id in options_names
+        ]
+        if not passed:
+            return
+        name = dotted_name(node.func)
+        if name is None or "." in name:
+            return  # method/attribute call on an object: opaque
+        info = self._resolve_func(name, sf)
+        if info is None:
+            # Unresolvable call receiving the options object: assume
+            # it embeds the whole object (conservative, never a false
+            # positive).
+            out.whole_object = True
+            return
+        key = id(info.node)
+        if key in self._visiting:
+            return
+        self._visiting.add(key)
+        try:
+            inner_names = _options_params(info.node)
+            # positional matching is overkill here: inside the helper
+            # the options param is recognised by name/annotation.
+            body = getattr(info.node, "body", [])
+            for stmt in body:
+                self.expr_reads(
+                    stmt, inner_names, info.sf, out, f"{via}->{name}"
+                )
+        finally:
+            self._visiting.discard(key)
+
+    # -- site-level analysis ----------------------------------------
+
+    def site_reads(self, site: _StageSite) -> _ReadSet:
+        out = _ReadSet()
+        enclosing = site.enclosing
+        options_names = (
+            _options_params(enclosing) if enclosing is not None else set()
+        )
+        scope_sets = _scope_assignments(enclosing)
+
+        roots: List[ast.AST] = list(site.inputs)
+        compute_body = _resolve_compute(site, enclosing)
+        roots.extend(compute_body)
+
+        # Names referenced by the inputs/compute that are fed by
+        # enclosing-scope assignments (closure captures like
+        # ``timing = options.criticality()``).
+        referenced: Set[str] = set()
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Name):
+                    referenced.add(node.id)
+        for name in sorted(referenced & set(scope_sets)):
+            roots.append(scope_sets[name])
+            for node in ast.walk(scope_sets[name]):
+                if isinstance(node, ast.Name):
+                    referenced.add(node.id)
+
+        for root in roots:
+            self.expr_reads(
+                root, options_names, site.sf, out, site.stage
+            )
+        return out
+
+
+def _is_data_position(name: ast.Name, root: ast.AST) -> bool:
+    """True when ``name`` is embedded in key data rather than passed
+    to a call (call args are handled by helper recursion)."""
+    parent_map: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parent_map[child] = node
+    parent = parent_map.get(name)
+    if isinstance(parent, ast.Call):
+        return False
+    if isinstance(parent, ast.keyword):
+        return False
+    if isinstance(parent, ast.Attribute):
+        return False
+    return True
+
+
+def _scope_assignments(
+    enclosing: Optional[ast.AST],
+) -> Dict[str, ast.expr]:
+    """Simple ``name = expr`` assignments in the enclosing function
+    (not descending into nested defs)."""
+    out: Dict[str, ast.expr] = {}
+    if enclosing is None:
+        return out
+    for stmt in getattr(enclosing, "body", []):
+        for node in _statements_shallow(stmt):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    out[target.id] = node.value
+    return out
+
+
+def _statements_shallow(stmt: ast.stmt):
+    yield stmt
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            yield from _statements_shallow(child)
+        else:
+            for grand in ast.walk(child):
+                if isinstance(grand, ast.stmt):
+                    yield from _statements_shallow(grand)
+
+
+def _resolve_compute(
+    site: _StageSite, enclosing: Optional[ast.AST]
+) -> List[ast.AST]:
+    compute = site.compute
+    if compute is None:
+        return []
+    if isinstance(compute, ast.Lambda):
+        return [compute.body]
+    if isinstance(compute, ast.Name) and enclosing is not None:
+        for stmt in ast.walk(enclosing):
+            if (
+                isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                and stmt.name == compute.id
+            ):
+                return list(stmt.body)
+    return [compute]
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_coverage(files: Sequence[SourceFile]) -> List[Finding]:
+    model = _build_options_model(list(files))
+    if model is None:
+        return []  # tree does not define FlowOptions: nothing to do
+    findings: List[Finding] = []
+
+    if model.coverage_site is not None:
+        sf, lineno = model.coverage_site
+        declared = set(model.coverage)
+        missing = sorted(model.fields - declared)
+        extra = sorted(declared - model.fields)
+        for name in missing:
+            findings.append(
+                Finding(
+                    rule="RPR102",
+                    path=sf.rel,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"{COVERAGE_NAME} is missing FlowOptions "
+                        f"field {name!r}; every knob must declare "
+                        "which stage keys it perturbs"
+                    ),
+                    snippet=sf.snippet(lineno),
+                )
+            )
+        for name in extra:
+            findings.append(
+                Finding(
+                    rule="RPR102",
+                    path=sf.rel,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"{COVERAGE_NAME} declares {name!r} which is "
+                        "not a FlowOptions field (stale entry?)"
+                    ),
+                    snippet=sf.snippet(lineno),
+                )
+            )
+
+    per_module, by_name = _index_functions(files)
+    extractor = _Extractor(model, per_module, by_name)
+
+    for sf in files:
+        for site in _find_stage_sites(sf):
+            reads = extractor.site_reads(site)
+            if reads.whole_object:
+                continue  # whole options object is in the key
+            for fld in sorted(reads.reads):
+                read_sf, lineno, via = reads.reads[fld]
+                stages = model.coverage.get(fld, set())
+                if site.stage in stages:
+                    continue
+                declared = (
+                    "{" + ", ".join(sorted(stages)) + "}"
+                    if stages
+                    else "nothing"
+                )
+                findings.append(
+                    Finding(
+                        rule="RPR101",
+                        path=read_sf.rel,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"FlowOptions.{fld} is read in the "
+                            f"{site.stage!r} stage body (via {via}) "
+                            f"but {COVERAGE_NAME} maps it to "
+                            f"{declared}; add the stage or key the "
+                            "read out of the stage computation"
+                        ),
+                        snippet=read_sf.snippet(lineno),
+                    )
+                )
+    return findings

@@ -1,0 +1,504 @@
+"""Determinism checkers (RPR001-RPR006).
+
+The flow's QoR must be bit-identical across runs, worker counts and
+warm/cold caches, so anything that injects wall-clock time, process
+entropy or container-iteration order into result-producing code is a
+bug.  These checkers encode the exact classes PR 1 fixed by hand:
+PYTHONHASHSEED-dependent set iteration, float sums over unordered
+collections, and unseeded RNG use outside ``repro.utils.rng``.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .base import Finding, SourceFile, dotted_name
+
+#: Modules whose whole purpose is measuring wall-clock time (bench
+#: harnesses, progress reporting, the job scheduler's drain timeouts,
+#: the HTTP service).  Wall-clock reads are legitimate there; anywhere
+#: else they need a pragma.
+DEFAULT_TIMING_ALLOWLIST: Sequence[str] = (
+    "repro/bench/*",
+    "repro/exec/progress.py",
+    "repro/exec/jobs.py",
+    "repro/serve/*",
+)
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_GLOBAL_RANDOM_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "paretovariate",
+    "vonmisesvariate",
+    "weibullvariate",
+    "getrandbits",
+}
+
+_NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "RandomState",
+    "PCG64",
+    "Philox",
+}
+
+_ENTROPY_EXACT = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Call names whose result is a filesystem enumeration in OS order.
+_FS_ENUM_CALLS = {
+    "os.listdir",
+    "os.walk",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+}
+
+#: Path-object methods returning entries in OS order.
+_FS_ENUM_METHODS = {"glob", "rglob", "iterdir"}
+
+#: Attribute calls that mutate an ordered container (sink evidence).
+_ORDERED_APPENDS = {"append", "extend", "insert"}
+
+_KEYED_CALLS = {
+    "sorted",
+    "min",
+    "max",
+    "heapq.nsmallest",
+    "heapq.nlargest",
+}
+
+
+class _Imports:
+    """Resolve local aliases back to canonical dotted module names."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        if head in self.names:
+            head = self.names[head]
+        elif head in self.modules:
+            head = self.modules[head]
+        return f"{head}.{rest}" if rest else head
+
+
+def _resolved_call(imports: _Imports, node: ast.Call) -> Optional[str]:
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return imports.resolve(name)
+
+
+def _is_fs_enum(imports: _Imports, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = _resolved_call(imports, node)
+    if resolved in _FS_ENUM_CALLS:
+        return True
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FS_ENUM_METHODS
+    ):
+        return True
+    return False
+
+
+def _is_set_expr(
+    node: ast.AST,
+    set_vars: Set[str],
+) -> bool:
+    """Syntactic inference: does ``node`` evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        }:
+            return _is_set_expr(node.func.value, set_vars)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(
+            node.right, set_vars
+        )
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    return False
+
+
+def _collect_set_vars(
+    body: Sequence[ast.stmt],
+    inherited: Set[str],
+) -> Set[str]:
+    """Names assigned a set-typed value in this scope (one forward
+    pass to a small fixpoint, nested scopes excluded)."""
+    set_vars = set(inherited)
+    for _ in range(2):  # two passes pick up simple chains
+        for stmt in _scope_statements(body):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if _is_set_expr(stmt.value, set_vars):
+                        set_vars.add(target.id)
+                    elif target.id in set_vars and not isinstance(
+                        stmt.value, ast.Name
+                    ):
+                        # reassigned to something non-set: drop it
+                        set_vars.discard(target.id)
+    return set_vars
+
+
+def _scope_statements(body: Sequence[ast.stmt]) -> Iterable[ast.stmt]:
+    """All statements in a scope, not descending into nested
+    function/class definitions (those are separate scopes)."""
+    stack: List[ast.stmt] = list(body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(
+            stmt,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            else:
+                stack.extend(
+                    grand
+                    for grand in ast.walk(child)
+                    if isinstance(grand, ast.stmt)
+                )
+
+
+def _body_accumulates(body: Sequence[ast.stmt]) -> bool:
+    """Does a loop body append/extend/yield -- i.e. build an ordered
+    result from iteration order?"""
+    for stmt in _scope_statements(body):
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDERED_APPENDS
+            ):
+                return True
+    return False
+
+
+def _key_uses_identity(key: ast.expr) -> bool:
+    if isinstance(key, ast.Name) and key.id in {"id", "hash"}:
+        return True
+    if isinstance(key, ast.Lambda):
+        for node in ast.walk(key.body):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in {"id", "hash"}:
+                    return True
+    return False
+
+
+class _DeterminismScan:
+    def __init__(self, sf: SourceFile, timing_allowed: bool) -> None:
+        self.sf = sf
+        self.timing_allowed = timing_allowed
+        self.imports = _Imports(sf.tree)
+        self.findings: List[Finding] = []
+
+    # -- emission ----------------------------------------------------
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.sf.rel,
+                line=line,
+                col=col,
+                message=message,
+                snippet=self.sf.snippet(line),
+            )
+        )
+
+    # -- entry -------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        module_body = self.sf.tree.body  # type: ignore[attr-defined]
+        self._scan_scope(module_body, set())
+        return self.findings
+
+    def _scan_scope(
+        self,
+        body: Sequence[ast.stmt],
+        inherited_sets: Set[str],
+    ) -> None:
+        set_vars = _collect_set_vars(body, inherited_sets)
+        for stmt in _scope_statements(body):
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._scan_scope(stmt.body, set_vars)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._scan_scope(stmt.body, set_vars)
+                continue
+            self._scan_statement(stmt, set_vars)
+
+    # -- per-statement checks ---------------------------------------
+
+    def _scan_statement(
+        self,
+        stmt: ast.stmt,
+        set_vars: Set[str],
+    ) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_loop(stmt, set_vars)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._check_call(node, set_vars)
+            elif isinstance(node, ast.ListComp):
+                self._check_listcomp(node, set_vars)
+
+    def _check_loop(self, stmt: ast.stmt, set_vars: Set[str]) -> None:
+        iterable = stmt.iter  # type: ignore[attr-defined]
+        if not _body_accumulates(stmt.body):  # type: ignore
+            return
+        if _is_set_expr(iterable, set_vars):
+            self._emit(
+                "RPR003",
+                iterable,
+                "loop over a set builds an ordered result; iteration "
+                "order depends on PYTHONHASHSEED -- wrap the iterable "
+                "in sorted()",
+            )
+        elif _is_fs_enum(self.imports, iterable):
+            self._emit(
+                "RPR004",
+                iterable,
+                "loop over an OS-ordered directory listing builds an "
+                "ordered result -- wrap the enumeration in sorted()",
+            )
+
+    def _check_listcomp(
+        self, node: ast.ListComp, set_vars: Set[str]
+    ) -> None:
+        first = node.generators[0].iter
+        if _is_set_expr(first, set_vars):
+            self._emit(
+                "RPR003",
+                first,
+                "list comprehension over a set produces "
+                "PYTHONHASHSEED-dependent element order -- wrap the "
+                "iterable in sorted()",
+            )
+        elif _is_fs_enum(self.imports, first):
+            self._emit(
+                "RPR004",
+                first,
+                "list comprehension over an OS-ordered directory "
+                "listing -- wrap the enumeration in sorted()",
+            )
+
+    def _check_call(self, node: ast.Call, set_vars: Set[str]) -> None:
+        resolved = _resolved_call(self.imports, node)
+        name = dotted_name(node.func)
+
+        if resolved in _WALL_CLOCK and not self.timing_allowed:
+            self._emit(
+                "RPR001",
+                node,
+                f"wall-clock read {resolved}() outside the timing "
+                "allowlist; results must not depend on the clock",
+            )
+        self._check_entropy(node, resolved)
+        self._check_order_sinks(node, name, set_vars)
+        self._check_identity_key(node, name, resolved)
+        if name == "sum" and node.args:
+            self._check_sum(node, set_vars)
+
+    def _check_entropy(
+        self, node: ast.Call, resolved: Optional[str]
+    ) -> None:
+        if resolved is None:
+            return
+        if resolved in _ENTROPY_EXACT or resolved.startswith("secrets."):
+            self._emit(
+                "RPR002",
+                node,
+                f"{resolved}() draws process entropy; thread a seeded "
+                "generator from repro.utils.rng.make_rng instead",
+            )
+            return
+        parts = resolved.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in _GLOBAL_RANDOM_DRAWS
+        ):
+            self._emit(
+                "RPR002",
+                node,
+                f"module-level {resolved}() uses the shared unseeded "
+                "RNG; use repro.utils.rng.make_rng",
+            )
+            return
+        if (
+            len(parts) >= 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in _NUMPY_RANDOM_OK
+        ):
+            self._emit(
+                "RPR002",
+                node,
+                f"global {resolved}() bypasses seeded Generator "
+                "state; use numpy.random.default_rng(seed)",
+            )
+
+    def _check_order_sinks(
+        self,
+        node: ast.Call,
+        name: Optional[str],
+        set_vars: Set[str],
+    ) -> None:
+        is_join = (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        )
+        if name not in {"list", "tuple", "enumerate"} and not is_join:
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        target = arg
+        if isinstance(arg, ast.GeneratorExp):
+            target = arg.generators[0].iter
+        what = name if name else "str.join"
+        if _is_set_expr(target, set_vars):
+            self._emit(
+                "RPR003",
+                node,
+                f"{what}() over a set captures PYTHONHASHSEED-"
+                "dependent order -- wrap the iterable in sorted()",
+            )
+        elif _is_fs_enum(self.imports, target):
+            self._emit(
+                "RPR004",
+                node,
+                f"{what}() over an OS-ordered directory listing -- "
+                "wrap the enumeration in sorted()",
+            )
+
+    def _check_identity_key(
+        self,
+        node: ast.Call,
+        name: Optional[str],
+        resolved: Optional[str],
+    ) -> None:
+        is_sort_method = (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort"
+        )
+        if (
+            name not in _KEYED_CALLS
+            and resolved not in _KEYED_CALLS
+            and not is_sort_method
+        ):
+            return
+        for kw in node.keywords:
+            if kw.arg == "key" and _key_uses_identity(kw.value):
+                self._emit(
+                    "RPR005",
+                    node,
+                    "ordering key uses id()/hash(): both vary across "
+                    "processes (ASLR / PYTHONHASHSEED); key on stable "
+                    "content instead",
+                )
+
+    def _check_sum(self, node: ast.Call, set_vars: Set[str]) -> None:
+        arg = node.args[0]
+        target = arg
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            target = arg.generators[0].iter
+        if _is_set_expr(target, set_vars):
+            self._emit(
+                "RPR006",
+                node,
+                "sum() over a set accumulates in PYTHONHASHSEED-"
+                "dependent order; float sums are order-sensitive -- "
+                "iterate sorted()",
+            )
+
+
+def check_determinism(
+    sf: SourceFile,
+    timing_allowlist: Sequence[str] = DEFAULT_TIMING_ALLOWLIST,
+) -> List[Finding]:
+    timing_allowed = any(
+        fnmatch(sf.rel, pattern) for pattern in timing_allowlist
+    )
+    return _DeterminismScan(sf, timing_allowed).run()

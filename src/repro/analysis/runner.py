@@ -1,0 +1,165 @@
+"""Orchestration for `repro lint`: parse, check, suppress, report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .base import (
+    ALL_RULES,
+    Finding,
+    SourceFile,
+    filter_baselined,
+    load_baseline,
+    load_source_file,
+    walk_tree,
+)
+from .coverage import check_coverage
+from .determinism import DEFAULT_TIMING_ALLOWLIST, check_determinism
+from .threads import check_threads
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed_pragma: int = 0
+    suppressed_baseline: int = 0
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def to_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "suppressed_pragma": self.suppressed_pragma,
+            "suppressed_baseline": self.suppressed_baseline,
+            "errors": self.errors,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "snippet": f.snippet,
+                }
+                for f in self.findings
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in "
+            f"{self.files_checked} file(s)"
+        )
+        extras = []
+        if self.suppressed_pragma:
+            extras.append(f"{self.suppressed_pragma} pragma-allowed")
+        if self.suppressed_baseline:
+            extras.append(f"{self.suppressed_baseline} baselined")
+        if extras:
+            summary += " (" + ", ".join(extras) + ")"
+        lines.append(summary)
+        lines.extend(f"error: {e}" for e in self.errors)
+        return "\n".join(lines)
+
+
+def _load_files(
+    root: Path, paths: Optional[Sequence[Path]], result: LintResult
+) -> List[SourceFile]:
+    if paths:
+        candidates: List[Path] = []
+        for p in paths:
+            candidates.extend(walk_tree(p) if p.is_dir() else [p])
+        candidates = sorted(set(candidates))
+    else:
+        candidates = walk_tree(root)
+    files: List[SourceFile] = []
+    for path in candidates:
+        try:
+            files.append(load_source_file(path, root))
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            result.errors.append(f"{path}: {exc}")
+    return files
+
+
+def lint_tree(
+    root: Path,
+    paths: Optional[Sequence[Path]] = None,
+    baseline_path: Optional[Path] = None,
+    timing_allowlist: Sequence[str] = DEFAULT_TIMING_ALLOWLIST,
+    rules: Optional[Set[str]] = None,
+) -> LintResult:
+    """Lint every python file under ``root`` (or just ``paths``).
+
+    ``root`` anchors relative paths in findings, the RPR001 module
+    allowlist and baseline identity, so pass the directory that
+    contains the ``repro`` package (``src/``), not the package itself.
+    """
+    result = LintResult()
+    files = _load_files(root, paths, result)
+    result.files_checked = len(files)
+
+    raw: List[Finding] = []
+    for sf in files:
+        raw.extend(check_determinism(sf, timing_allowlist))
+    raw.extend(check_coverage(files))
+    raw.extend(check_threads(files))
+
+    if rules is not None:
+        raw = [f for f in raw if f.rule in rules]
+
+    by_rel = {sf.rel: sf for sf in files}
+    kept: List[Finding] = []
+    for f in sorted(raw, key=Finding.sort_key):
+        sf = by_rel.get(f.path)
+        if sf is not None and sf.allowed(f.rule, f.line):
+            result.suppressed_pragma += 1
+            continue
+        kept.append(f)
+
+    if baseline_path is not None and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+        fresh = filter_baselined(kept, baseline)
+        result.suppressed_baseline = len(kept) - len(fresh)
+        kept = fresh
+
+    result.findings = kept
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: str = "src",
+    baseline: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Convenience wrapper used by the CLI."""
+    root_path = Path(root)
+    path_objs = [Path(p) for p in paths] if paths else None
+    rule_set = set(rules) if rules else None
+    if rule_set is not None:
+        unknown = rule_set - set(ALL_RULES)
+        if unknown:
+            raise ValueError(
+                "unknown rule id(s): " + ", ".join(sorted(unknown))
+            )
+    return lint_tree(
+        root_path,
+        paths=path_objs,
+        baseline_path=Path(baseline) if baseline else None,
+        rules=rule_set,
+    )
+
+
+def describe_rules() -> List[Tuple[str, str]]:
+    return sorted(ALL_RULES.items())

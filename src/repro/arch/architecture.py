@@ -19,8 +19,8 @@ Coordinate system (VPR convention):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 
 @dataclass(frozen=True)

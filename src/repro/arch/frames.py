@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Set
 
 from repro.arch.architecture import FpgaArchitecture
 from repro.arch.rrg import RoutingResourceGraph

@@ -23,7 +23,7 @@ internal and carry no bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.architecture import FpgaArchitecture, Site
 

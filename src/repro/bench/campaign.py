@@ -865,7 +865,7 @@ def compare_to_baseline(
 
     if summary.get("campaign") != baseline.get("campaign"):
         violations.append(
-            f"baseline is for campaign "
+            "baseline is for campaign "
             f"{baseline.get('campaign')!r}, summary is "
             f"{summary.get('campaign')!r}"
         )

@@ -592,7 +592,7 @@ def run_exec_bench(
     baseline_delay = _mean_critical_delay(res_cold)
     timed_delay = _mean_critical_delay(res_timed)
 
-    log(f"router A/B/C (scalar vs vectorized vs batched vs "
+    log("router A/B/C (scalar vs vectorized vs batched vs "
         f"lookahead, {router_scale} scale) ...")
     router_phase = run_router_bench(scale=router_scale, seed=seed)
     batched_phase = router_phase.pop("batched")
@@ -605,7 +605,7 @@ def run_exec_bench(
         f"({batched_phase['speedup_vs_scalar']:.2f}x vs scalar), "
         f"lookahead {lookahead_phase['vectorized_seconds']:.1f}s "
         f"({lookahead_phase['pop_reduction_vs_manhattan']:.2f}x "
-        f"fewer pops)"
+        "fewer pops)"
     )
 
     baseline = None

@@ -24,7 +24,7 @@ records results per profile).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.fir import generate_fir_circuit
@@ -36,7 +36,6 @@ from repro.core.flow import (
     unpack_result,
 )
 from repro.core.merge import MergeStrategy
-from repro.core.reconfig import BreakdownRow, breakdown_rows
 from repro.exec.cache import StageCache
 from repro.exec.progress import ProgressLog, StageRecord
 from repro.exec.scheduler import Scheduler, Task
@@ -428,7 +427,7 @@ class ExperimentHarness:
         dcs_route = rows[2]["routing_pct_of_mdr"]
         if dcs_route > 0 and diff_route > 0:
             lines.append(
-                f"routing reduction: region effect "
+                "routing reduction: region effect "
                 f"{mdr_route / diff_route:.1f}x, merge effect "
                 f"{diff_route / dcs_route:.1f}x, combined "
                 f"{mdr_route / dcs_route:.1f}x"
@@ -478,7 +477,7 @@ class ExperimentHarness:
             )
         return "\n".join(lines)
 
-    # -- Section IV-C: area -----------------------------------------------------
+    # -- Section IV-C: area ---------------------------------------------------
 
     def area_table(self) -> List[Dict[str, object]]:
         """Area of the multi-mode region vs static implementations.
@@ -538,7 +537,7 @@ class ExperimentHarness:
             )
         return "\n".join(lines)
 
-    # -- extension: routed timing (abstract's performance claim) ----------------
+    # -- extension: routed timing (abstract's performance claim) --------------
 
     def sta_table(
         self, outcomes_by_suite: Dict[str, List[PairOutcome]]
@@ -569,7 +568,7 @@ class ExperimentHarness:
                 })
         return rows
 
-    # -- extension: per-mode Fmax (the paper's speed comparison) ----------------
+    # -- extension: per-mode Fmax (the paper's speed comparison) --------------
 
     def fmax_table(
         self, outcomes_by_suite: Dict[str, List[PairOutcome]]
@@ -657,7 +656,7 @@ class ExperimentHarness:
             )
         return "\n".join(lines)
 
-    # -- one-call driver --------------------------------------------------------
+    # -- one-call driver ------------------------------------------------------
 
     def run_all(self, verbose: bool = False) -> Dict[str, object]:
         """Run every experiment; returns all rows keyed by artefact."""

@@ -24,7 +24,7 @@ tech_map` and can replace these stand-ins in the harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.netlist.logic import LogicNetwork
 from repro.netlist.lutcircuit import LutCircuit

@@ -26,7 +26,7 @@ any pattern in the supported syntax can be compiled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.netlist.logic import LogicNetwork
 from repro.netlist.lutcircuit import LutCircuit

@@ -19,7 +19,7 @@ These are analysis tools; the flow itself never needs them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 import networkx as nx
 
@@ -148,7 +148,9 @@ def degree_profile_similarity(a: LutCircuit, b: LutCircuit) -> float:
         return counts
 
     ha, hb = histogram(a), histogram(b)
-    keys = set(ha) | set(hb)
+    # sorted(): the products are ints today, but accumulation order
+    # must not depend on PYTHONHASHSEED if this ever goes float.
+    keys = sorted(set(ha) | set(hb))
     dot = sum(ha.get(k, 0) * hb.get(k, 0) for k in keys)
     norm_a = math.sqrt(sum(v * v for v in ha.values()))
     norm_b = math.sqrt(sum(v * v for v in hb.values()))

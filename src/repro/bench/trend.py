@@ -163,7 +163,7 @@ def load_records_jsonl(path: str) -> List[Dict[str, object]]:
                 raise TrendError(
                     f"{path}:{number}: unparsable JSONL line "
                     f"({error}) — ingest needs a completed campaign "
-                    f"file"
+                    "file"
                 ) from None
     return records
 
@@ -217,7 +217,7 @@ def ingest(
         raise TrendError(
             f"records name {len(campaigns)} campaigns "
             f"({sorted(str(c) for c in campaigns)}); ingest one "
-            f"campaign per call"
+            "campaign per call"
         )
     campaign = campaigns.pop()
 
@@ -453,7 +453,7 @@ def drift_report(
         f"Campaign **{outcome.campaign}**, newest ingest "
         f"#{outcome.ingest_id} (commit `{outcome.commit}`"
         + (f", {outcome.label}" if outcome.label else "")
-        + f") vs the median of the previous "
+        + ") vs the median of the previous "
         f"{len(outcome.window_ids)} ingest(s) "
         f"(window {outcome.window}).",
         "",

@@ -255,7 +255,7 @@ def _cmd_implement(args: argparse.Namespace) -> int:
     )
     print(f"MDR rewrites {result.mdr.cost.total} bits per switch "
           f"({result.mdr.cost.routing_bits} routing)")
-    print(f"differing routing bits (separate implementations): "
+    print("differing routing bits (separate implementations): "
           f"{result.mdr.diff.routing_bits}")
     mdr_fmax = result.mdr.per_mode_fmax()
     print("MDR per-mode Fmax: "
@@ -268,12 +268,12 @@ def _cmd_implement(args: argparse.Namespace) -> int:
             f"({dcs.cost.routing_bits} parameterised), "
             f"speed-up {result.speedup(strategy):.2f}x, "
             f"wires {100 * result.wirelength_ratio(strategy):.0f}% "
-            f"of MDR"
+            "of MDR"
         )
         print(
-            f"    per-mode Fmax "
+            "    per-mode Fmax "
             + ", ".join(f"{f:.4f}" for f in dcs.per_mode_fmax())
-            + f"; MDR:DCS frequency ratio "
+            + "; MDR:DCS frequency ratio "
             + ", ".join(f"{r:.2f}" for r in ratios)
             + f" (mean {sum(ratios) / len(ratios):.2f})"
         )
@@ -630,6 +630,61 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries:    {cache.n_entries()}")
         print(f"bytes:      {cache.total_bytes()}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import ALL_RULES, write_baseline
+    from repro.analysis.runner import lint_tree
+
+    if args.list_rules:
+        for rule, description in sorted(ALL_RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = rules - set(ALL_RULES)
+        if unknown:
+            print(
+                "error: unknown rule id(s): "
+                + ", ".join(sorted(unknown)),
+                file=sys.stderr,
+            )
+            return 2
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: lint root {root} is not a directory",
+              file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths] or None
+
+    baseline = Path(args.baseline) if args.baseline else None
+    result = lint_tree(
+        root, paths=paths, baseline_path=baseline, rules=rules
+    )
+
+    if args.write_baseline:
+        # Regenerate the accepted-findings file from the current tree
+        # (pragma-suppressed findings stay out: pragmas are the
+        # preferred, self-documenting suppression).
+        write_baseline(Path(args.write_baseline), result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    if result.errors:
+        return 2
+    return 0 if not result.findings else 1
 
 
 def _default_commit() -> str:
@@ -1128,6 +1183,48 @@ def build_parser() -> argparse.ArgumentParser:
              "(most recently used kept)",
     )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis: determinism, "
+             "fingerprint coverage and thread-safety checkers",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the whole "
+             "--root tree)",
+    )
+    p_lint.add_argument(
+        "--root", default="src",
+        help="tree root anchoring finding paths and the timing "
+             "allowlist (default: src)",
+    )
+    p_lint.add_argument(
+        "--baseline", nargs="?", const="lint-baseline.json",
+        default=None, metavar="FILE",
+        help="suppress findings recorded in FILE (default "
+             "lint-baseline.json when the flag is given bare); "
+             "only new findings fail the run",
+    )
+    p_lint.add_argument(
+        "--write-baseline", nargs="?", const="lint-baseline.json",
+        default=None, metavar="FILE",
+        help="accept the current findings: write them to FILE and "
+             "exit 0",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default text)",
+    )
+    p_lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_trend = sub.add_parser(
         "trend",

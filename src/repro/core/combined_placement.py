@@ -144,7 +144,7 @@ class CombinedPlacementProblem(PlacementTimingMixin):
         self.clb_sites = clb_sites
         self.all_pad_sites = pad_sites
 
-        # -- nets (for wire-length cost and reporting) -------------------------
+        # -- nets (for wire-length cost and reporting) ------------------------
         self.mode_nets: List[Tuple[int, Net]] = []
         for mode, circuit in enumerate(self.circuits):
             for net in circuit_nets(circuit):
@@ -165,7 +165,7 @@ class CombinedPlacementProblem(PlacementTimingMixin):
             self._compute_net_cost(i) for i in range(len(self.mode_nets))
         ]
 
-        # -- connections (for edge-matching cost) ------------------------------
+        # -- connections (for edge-matching cost) -----------------------------
         # Per mode, cell-level connections as (src key, sink key).
         self.mode_conns: List[Tuple[int, CellKey, CellKey]] = []
         for mode, circuit in enumerate(self.circuits):
@@ -198,7 +198,7 @@ class CombinedPlacementProblem(PlacementTimingMixin):
             self.conn_counter[key] = self.conn_counter.get(key, 0) + 1
             self._conn_keys[i] = key
 
-        # -- timing term (wire-length strategy only) ---------------------------
+        # -- timing term (wire-length strategy only) --------------------------
         timing_cost = None
         if timing is not None:
             # Lazy import: repro.timing.criticality imports

@@ -377,6 +377,11 @@ def lookahead_stage_inputs(
     untouched, so one build serves all nets, modes, seeds and
     campaign variants on the same fabric.
     """
+    # The tables depend only on the delay model projected out of the
+    # criticality config; exponent/tradeoff never reach the key or
+    # the build, so 'lookahead' is deliberately absent from their
+    # OPTION_STAGE_COVERAGE sets.
+    # repro: allow[RPR101] only .model reaches the lookahead key
     timing = options.criticality()
     model = timing.model if timing is not None else None
     return (arch, model)
@@ -1140,7 +1145,7 @@ def implement_multi_mode(
     else:
         raise ValueError(
             f"unknown sizing {options.sizing!r} "
-            f"(use 'estimate' or 'search')"
+            "(use 'estimate' or 'search')"
         )
 
     cache_root = _cache_root_arg(cache)

@@ -20,12 +20,11 @@ functions are evaluated off-line; this module implements both views:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.core.modes import ModeEncoding
 from repro.route.router import RoutingResult
-from repro.utils.qm import expression_to_string, minimize_boolean
 
 
 @dataclass

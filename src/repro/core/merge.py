@@ -19,7 +19,7 @@ Two groupings are provided:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.arch.architecture import Site
 from repro.netlist.lutcircuit import LutCircuit

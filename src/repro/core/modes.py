@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Iterable, List
 
 from repro.utils.qm import (
     evaluate_terms,

@@ -22,7 +22,7 @@ of them).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.arch.architecture import Site
 from repro.core.activation import ActivationFunction

@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
@@ -243,7 +243,7 @@ class StageCache:
         self.put(stage, key, value)
         return value, False
 
-    # -- maintenance ------------------------------------------------------------
+    # -- maintenance ----------------------------------------------------------
 
     def clear(self) -> int:
         """Remove every entry; returns the number of files removed."""
@@ -286,13 +286,17 @@ class StageCache:
         """
         entries = []
         if self.root.exists():
-            for path in self.root.rglob("*.pkl"):
+            # sorted(): rglob yields OS order, and the recency sort
+            # below is stable, so mtime *ties* would otherwise be
+            # evicted in filesystem-dependent order.
+            for path in sorted(self.root.rglob("*.pkl")):
                 try:
                     stat = path.stat()
                 except OSError:
                     continue
                 entries.append((stat.st_mtime, stat.st_size, path))
         # Newest first; keep while the running total fits the budget.
+        # Stable sort + sorted enumeration = deterministic tie-breaks.
         entries.sort(key=lambda e: e[0], reverse=True)
         kept = 0
         removed = removed_bytes = 0

@@ -89,7 +89,7 @@ def _walk(value: Any, out: "hashlib._Hash") -> None:
         body = _structure(value)
         if body is None:
             raise Unfingerprintable(
-                f"no canonical serialisation for "
+                "no canonical serialisation for "
                 f"{type(value).__module__}.{type(value).__qualname__}"
             )
         _tagged(value, body, out)

@@ -173,7 +173,10 @@ class Job:
             callback(self, fire)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Job(id={self.id}, name={self.name!r}, state={self._state.value})"
+        return (
+            f"Job(id={self.id}, name={self.name!r}, "
+            f"state={self._state.value})"
+        )
 
 
 class JobExecutor:
@@ -314,14 +317,18 @@ class JobGraph:
                     "job graph is draining; new submissions are refused"
                 )
             seq = next(self._counter)
-            job = Job(seq, name or f"job{seq}", priority, fn, tuple(args), self)
+            job = Job(
+                seq, name or f"job{seq}", priority, fn, tuple(args), self
+            )
             heapq.heappush(self._heap, (-priority, seq, job))
             self._n_pending += 1
         self._dispatch()
         return job
 
     def submit_task(self, task: Task, priority: int = 0) -> Job:
-        return self.submit(task.fn, *task.args, name=task.name, priority=priority)
+        return self.submit(
+            task.fn, *task.args, name=task.name, priority=priority
+        )
 
     # -- dispatch -----------------------------------------------------
 
@@ -554,7 +561,9 @@ def run_tasks(
     """
     if not tasks:
         return []
-    graph = JobGraph(executor_for(resolve_workers(workers), len(tasks), use_threads))
+    graph = JobGraph(
+        executor_for(resolve_workers(workers), len(tasks), use_threads)
+    )
     try:
         jobs = [graph.submit_task(task) for task in tasks]
         return graph.wait(jobs, on_result=on_result)

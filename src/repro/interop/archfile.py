@@ -15,7 +15,7 @@ everything else is preserved verbatim so a file can round-trip through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.arch.architecture import FpgaArchitecture
 

@@ -145,14 +145,14 @@ def parse_net_file(text: str, k: int, name: str = "netlist"
                 if len(pins) != 1:
                     raise InteropError(
                         f"line {line_no}: .input pinlist must have "
-                        f"one pin"
+                        "one pin"
                     )
                 structure.inputs.append(pins[0])
             elif kind == ".output":
                 if len(pins) != 1:
                     raise InteropError(
                         f"line {line_no}: .output pinlist must have "
-                        f"one pin"
+                        "one pin"
                     )
                 structure.outputs.append(pins[0])
             else:

@@ -17,7 +17,7 @@ cells are named ``pad:<signal>`` (see
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.arch.architecture import FpgaArchitecture, Site
 from repro.interop.archfile import InteropError
@@ -129,5 +129,5 @@ def _site_for(
         return Site("pad", x, y, slot)
     raise InteropError(
         f"line {line_no}: ({x},{y}) is neither a logic tile nor a "
-        f"pad location"
+        "pad location"
     )

@@ -24,7 +24,7 @@ lossless: :func:`parse_route_file` recovers the exact RRG node ids.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.arch.rrg import (
     IPIN,

@@ -13,7 +13,7 @@ directives raise :class:`BlifError` rather than being silently skipped.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.netlist.logic import LogicNetwork
 from repro.netlist.lutcircuit import LutCircuit

@@ -12,7 +12,7 @@ technology mapper (paper Fig. 1: "logic network" between *Synthesis* and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.netlist.truthtable import TruthTable

@@ -89,7 +89,7 @@ class TruthTable:
 
     @property
     def bits(self) -> int:
-        """On-set as an integer bit mask (bit *i* = value at assignment *i*)."""
+        """On-set as an int bit mask (bit *i* = value at row *i*)."""
         return self._bits
 
     @property

@@ -11,7 +11,7 @@ lets combined placement "assess the wire usage of the Tunable circuit".
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 # VPR's cross_count table: expected wiring overhead vs half-perimeter
 # for nets with 1..50 terminals.

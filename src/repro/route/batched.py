@@ -203,7 +203,11 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
                 break
 
     def _man_np(self, target: int) -> np.ndarray:
+        # Deliberately lock-free pop-then-reinsert LRU: single-word
+        # dict ops are atomic under the GIL, values are immutable
+        # once built, and a lost race only recomputes one array.
         cache = self._man_cache
+        # repro: allow[RPR201] GIL-benign LRU pop; lost race recomputes
         man = cache.pop(target, None)
         if man is None:
             self._lru_evict(cache)
@@ -211,11 +215,14 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
                 np.abs(self._np_x - self.rrg.node_x[target])
                 + np.abs(self._np_y - self.rrg.node_y[target])
             ).astype(np.float64)
+        # repro: allow[RPR201] GIL-benign reinsert of immutable value
         cache[target] = man
         return man
 
     def _bh_np(self, target: int) -> np.ndarray:
+        # Same lock-free LRU discipline as _man_np.
         cache = self._bh_cache
+        # repro: allow[RPR201] GIL-benign LRU pop; lost race recomputes
         h = cache.pop(target, None)
         if h is None:
             self._lru_evict(cache)
@@ -226,6 +233,7 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
                 h = self.astar_fac * self.lookahead.cost_array(target)
             else:
                 h = self.astar_fac * self._man_np(target)
+        # repro: allow[RPR201] GIL-benign reinsert of immutable value
         cache[target] = h
         return h
 
@@ -330,6 +338,7 @@ class BatchedPathFinderRouter(VectorizedPathFinderRouter):
                 1.0 + pres_fac * overuse
             )
             entry = (cost, overuse)
+            # repro: allow[RPR201] benign race documented above
             self._round_cost[modes] = entry
         return entry
 

@@ -58,11 +58,10 @@ that need a specific core regardless of the environment instantiate
 from __future__ import annotations
 
 import os
-import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.arch.rrg import IPIN, OPIN, SINK, WIRE, RoutingResourceGraph
+from repro.arch.rrg import OPIN, SINK, WIRE, RoutingResourceGraph
 from repro.route.searchkernel import (
     RouterStats,
     scalar_search,
@@ -550,6 +549,7 @@ class PathFinderRouter:
             trunk &= refs.keys()
         # No ordering needed: the caller unions these into its start
         # set (int sets iterate identically in every process).
+        # repro: allow[RPR003] consumer is order-insensitive (set union)
         return list(trunk)
 
     # -- search --------------------------------------------------------------

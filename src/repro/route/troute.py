@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.architecture import Site
 from repro.arch.rrg import RoutingResourceGraph
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.placer import Placement, pad_cell

@@ -156,7 +156,7 @@ class FlowSubmission:
         """Validate an untrusted wire object; every error is explicit."""
         if not isinstance(data, dict):
             raise SubmissionError(
-                f"submission must be a JSON object, "
+                "submission must be a JSON object, "
                 f"got {type(data).__name__}"
             )
         known = {

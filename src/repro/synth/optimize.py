@@ -17,9 +17,9 @@ with randomised simulation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
-from repro.netlist.logic import LogicNetwork, Node
+from repro.netlist.logic import LogicNetwork
 from repro.netlist.truthtable import TruthTable
 
 

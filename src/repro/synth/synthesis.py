@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.netlist.logic import LogicNetwork, fresh_namer
-from repro.netlist.truthtable import TruthTable
 
 
 class WordBuilder:

@@ -43,7 +43,16 @@ routed truth is checked afterwards by :mod:`repro.timing.sta`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.placer import pad_cell

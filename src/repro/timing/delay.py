@@ -21,7 +21,7 @@ layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.arch.rrg import IPIN, OPIN, SINK, WIRE, RoutingResourceGraph
 

@@ -18,7 +18,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.arch.rrg import RoutingResourceGraph
 from repro.netlist.lutcircuit import LutCircuit
 from repro.place.placer import Placement, pad_cell
 from repro.route.router import RoutingResult

@@ -15,7 +15,7 @@ than fast enough.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 # A term is (value, mask): bit positions in `mask` are don't-care.
 Term = Tuple[int, int]

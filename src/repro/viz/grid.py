@@ -6,10 +6,8 @@ the VPR convention of y growing upwards (row ``ny`` first).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Set
 
-from repro.arch.architecture import FpgaArchitecture, Site
-from repro.arch.rrg import WIRE, RoutingResourceGraph
 from repro.place.placer import Placement
 from repro.route.router import RoutingResult
 
@@ -80,7 +78,7 @@ def tunable_occupancy(tunable) -> str:
     merged = sum(1 for c in counts.values() if c > 1)
     lines.append(
         f"{len(counts)} occupied tiles, {merged} carrying "
-        f"multiple modes"
+        "multiple modes"
     )
     return "\n".join(lines)
 

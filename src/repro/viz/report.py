@@ -12,8 +12,6 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.flow import MultiModeResult
-from repro.core.merge import MergeStrategy
-from repro.core.reconfig import breakdown_rows
 
 
 def _table(header: List[str], rows: List[List[str]]) -> List[str]:
@@ -76,7 +74,7 @@ def implementation_report(result: MultiModeResult) -> str:
             f"{stats['connections']} Tunable connections "
             f"({stats['shared_connections']} always-on), "
             f"{stats['parameterized_lut_bits']} parameterised LUT "
-            f"bits"
+            "bits"
         )
 
     lines.extend(["", "## Per-mode wire usage", ""])

@@ -11,7 +11,6 @@ from __future__ import annotations
 import html
 from typing import Dict, List, Optional, Sequence
 
-from repro.arch.rrg import WIRE, RoutingResourceGraph
 from repro.route.router import RoutingResult
 
 TILE = 20
@@ -24,7 +23,7 @@ _MODE_COLORS = (
 def _header(width: int, height: int, title: str) -> List[str]:
     return [
         '<?xml version="1.0" encoding="UTF-8"?>',
-        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        '<svg xmlns="http://www.w3.org/2000/svg" '
         f'width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}">',
         f"<title>{html.escape(title)}</title>",
@@ -63,7 +62,7 @@ def routing_svg(
             parts.append(
                 f'<rect x="{ox + 3}" y="{oy + 3}" '
                 f'width="{TILE - 6}" height="{TILE - 6}" '
-                f'fill="#eeeeee" stroke="#999999"/>'
+                'fill="#eeeeee" stroke="#999999"/>'
             )
 
     # Wire usage per mode.
@@ -113,17 +112,17 @@ def routing_svg(
         )
         parts.append(
             f'<text x="{legend_x + 14}" y="{legend_y}" '
-            f'font-size="10" font-family="monospace">mode '
+            'font-size="10" font-family="monospace">mode '
             f"{mode}</text>"
         )
         legend_x += 70
     parts.append(
         f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" '
-        f'height="10" fill="#222222"/>'
+        'height="10" fill="#222222"/>'
     )
     parts.append(
         f'<text x="{legend_x + 14}" y="{legend_y}" font-size="10" '
-        f'font-family="monospace">shared</text>'
+        'font-family="monospace">shared</text>'
     )
     parts.append("</svg>")
     return "\n".join(parts)

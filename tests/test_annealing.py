@@ -1,6 +1,5 @@
 """Edge-case tests for the annealing engine."""
 
-import pytest
 
 from repro.place.annealing import AnnealingSchedule, anneal
 from repro.utils.rng import make_rng

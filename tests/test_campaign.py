@@ -30,7 +30,6 @@ from repro.bench.campaign import (
     run_campaign,
     write_baseline,
     write_jsonl,
-    write_summary,
 )
 from repro.exec.cache import StageCache
 from repro.gen.suites import registered_suites

@@ -16,7 +16,6 @@ from repro.timing.criticality import (
     tunable_carriers,
     tunable_connection_criticalities,
 )
-from repro.timing.delay import DelayModel
 
 
 def chain(n=3, registered_tail=False):

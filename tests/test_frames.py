@@ -5,7 +5,6 @@ import pytest
 from repro.arch.architecture import FpgaArchitecture
 from repro.arch.frames import (
     FrameAllocator,
-    FrameLayout,
     build_frame_layout,
     dcs_frame_cost,
     mdr_frame_cost,

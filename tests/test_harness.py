@@ -5,9 +5,7 @@ suite; here the aggregation, printers and suite construction are
 exercised with lightweight stand-ins.
 """
 
-import math
 from dataclasses import dataclass
-from typing import Dict
 
 import pytest
 

@@ -10,7 +10,7 @@ import xml.etree.ElementTree as ET
 
 import pytest
 
-from repro.arch.rrg import WIRE, build_rrg
+from repro.arch.rrg import WIRE
 from repro.core.flow import FlowOptions, implement_multi_mode
 from repro.core.merge import MergeStrategy
 from repro.interop import (

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.architecture import FpgaArchitecture
 from repro.arch.rrg import build_rrg
 from repro.interop import (
     DEFAULT_4LUT_ARCH,
-    ArchSpec,
     InteropError,
     format_arch,
     parse_arch,
@@ -19,7 +18,7 @@ from repro.interop import (
 )
 from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.truthtable import TruthTable
-from repro.place.placer import pad_cell, place_circuit
+from repro.place.placer import place_circuit
 from repro.route.troute import route_lut_circuit
 
 

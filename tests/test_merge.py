@@ -8,9 +8,7 @@ from repro.core.merge import (
     merge_by_index,
     merge_from_placement,
 )
-from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.simulate import equivalent
-from repro.netlist.truthtable import TruthTable
 
 from tests.test_tunable import two_mode_circuits
 

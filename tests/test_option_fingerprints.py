@@ -131,7 +131,7 @@ class TestOptionCoverage:
             assert stages <= set(STAGES), field
             assert "multimode" in stages, (
                 f"{field}: the whole-result key embeds the options "
-                f"object, so every field perturbs it"
+                "object, so every field perturbs it"
             )
 
     def test_perturbed_values_differ_from_defaults(self):

@@ -1,6 +1,5 @@
 """Tests for the annealing engine and the single-circuit placer."""
 
-import random
 
 import pytest
 

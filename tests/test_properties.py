@@ -164,7 +164,6 @@ class TestMergeProperty:
 
 
 def _connection_exists(tunable, circuit, mode, source, sink) -> bool:
-    from repro.place.placer import pad_cell
 
     def cell_of(signal: str) -> str:
         key = (mode, signal)

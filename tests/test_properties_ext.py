@@ -9,7 +9,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.arch.architecture import FpgaArchitecture, Site
+from repro.arch.architecture import FpgaArchitecture
 from repro.arch.rrg import build_rrg
 from repro.core.modes import ENCODING_STYLES, ModeEncoding, gray_code
 from repro.interop import parse_place_file, write_place_file

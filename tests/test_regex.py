@@ -5,7 +5,6 @@ import pytest
 from repro.bench.regex import (
     DEFAULT_PATTERNS,
     RegexSyntaxError,
-    build_nfa,
     compile_regex_circuit,
     parse_regex,
     reference_match_positions,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch.architecture import FpgaArchitecture, Site
-from repro.arch.rrg import SINK, WIRE, build_rrg
+from repro.arch.rrg import build_rrg
 from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.truthtable import TruthTable
 from repro.place.placer import place_circuit

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.arch.architecture import FpgaArchitecture, Site
-from repro.arch.rrg import (
-    IPIN,
-    OPIN,
-    SINK,
-    WIRE,
-    build_rrg,
-)
+from repro.arch.rrg import IPIN, OPIN, WIRE, build_rrg
 
 
 @pytest.fixture(scope="module")

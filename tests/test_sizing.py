@@ -3,11 +3,7 @@
 import pytest
 
 from repro.arch.architecture import FpgaArchitecture
-from repro.arch.sizing import (
-    WidthSearchResult,
-    minimum_channel_width,
-    paper_channel_width,
-)
+from repro.arch.sizing import minimum_channel_width, paper_channel_width
 from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.truthtable import TruthTable
 from repro.route.router import RoutingError

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.arch.architecture import FpgaArchitecture
-from repro.arch.rrg import SINK, WIRE, build_rrg
+from repro.arch.rrg import build_rrg
 from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.truthtable import TruthTable
-from repro.place.placer import pad_cell, place_circuit
+from repro.place.placer import place_circuit
 from repro.place.timing import mdr_timing
 from repro.route.router import PathFinderRouter, RouteRequest
 from repro.route.troute import route_lut_circuit

@@ -1,6 +1,5 @@
 """Tests for the word-level synthesis helpers."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

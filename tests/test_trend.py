@@ -15,7 +15,6 @@ import pytest
 from repro.bench.trend import (
     DEFAULT_MIN_HISTORY,
     TREND_METRICS,
-    GateOutcome,
     TrendError,
     connect,
     drift_report,

@@ -7,11 +7,10 @@ from repro.arch.rrg import build_rrg
 from repro.netlist.lutcircuit import LutCircuit
 from repro.netlist.truthtable import TruthTable
 from repro.place.cost import total_cost
-from repro.place.placer import Placement, pad_cell, place_circuit
+from repro.place.placer import pad_cell, place_circuit
 from repro.route.troute import (
     lut_circuit_connections,
     parameterized_routing_bits,
-    requests_from_connections,
     route_tunable_circuit,
 )
 
